@@ -1,0 +1,57 @@
+"""§1 claim — bulk loading an R*-tree vastly outperforms repeated inserts.
+
+Paper: "using a buffer pool size of 16MB, Paradise takes 109.9 seconds to
+bulk load 122K objects into an 6.5MB R*-tree index, and 864.5 seconds to
+build the same index using multiple inserts" — a ~7.9x ratio.  This is why
+the paper's INL and R-tree baselines always bulk load.
+"""
+
+import time
+
+from repro.bench import BENCH_SCALE, ResultTable, fresh_tiger
+from repro.core.stats import JoinReport, PhaseMeter
+from repro.geometry import Rect
+from repro.index import RStarTree, bulk_load_rstar
+
+
+def test_bulkload_vs_multiple_inserts(benchmark):
+    def run():
+        # Paper used the Hydrography data with a 16 MB pool.
+        db, rels = fresh_tiger(16.0, include=("hydro",))
+        hydro = rels["hydro"]
+        report = JoinReport("index build")
+        meter = PhaseMeter(db.pool.disk, report)
+
+        with meter.phase("Bulk load") as bulk_phase:
+            bulk_tree = bulk_load_rstar(db.pool, hydro)
+
+        db.pool.clear()
+        with meter.phase("Multiple inserts") as insert_phase:
+            insert_tree = RStarTree(db.pool)
+            for oid, t in hydro.scan():
+                insert_tree.insert(t.mbr, oid)
+
+        # Both trees index the same entries.
+        window = hydro.universe
+        assert sorted(bulk_tree.search(window)) == sorted(insert_tree.search(window))
+        bulk_tree.check_invariants()
+        insert_tree.check_invariants()
+
+        table = ResultTable(
+            f"Bulk load vs multiple inserts, Hydrography (scale={BENCH_SCALE})",
+            ["method", "sim seconds", "pages", "entries"],
+        )
+        table.add("bulk load", bulk_phase.total_s, bulk_tree.num_pages, len(bulk_tree))
+        table.add(
+            "multiple inserts",
+            insert_phase.total_s,
+            insert_tree.num_pages,
+            len(insert_tree),
+        )
+        table.add("ratio", insert_phase.total_s / bulk_phase.total_s, "-", "-")
+        table.emit("bulkload_vs_inserts.txt")
+        return bulk_phase.total_s, insert_phase.total_s
+
+    bulk_s, insert_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Paper ratio is ~7.9x; require a clear multiple-of-bulk-load win.
+    assert insert_s > 3.0 * bulk_s, f"inserts {insert_s:.1f}s vs bulk {bulk_s:.1f}s"

@@ -1,0 +1,73 @@
+"""Tables 2 & 3 — dataset statistics.
+
+Paper (full scale):
+    Table 2 (TIGER):   Road 456,613 / 62.4 MB / 24.0 MB R*-tree
+                       Hydro 122,149 / 25.2 MB / 6.5 MB
+                       Rail 16,844 / 2.4 MB / 1.0 MB
+    Table 3 (Sequoia): Polygon 58,115 (avg 46 pts), Island (avg 35 pts)
+
+We reproduce the *ratios* (cardinality, bytes/tuple, tree-to-data size) at
+``BENCH_SCALE``.
+"""
+
+from repro.bench import BENCH_SCALE, ResultTable, fresh_sequoia, fresh_tiger
+from repro.index import bulk_load_rstar
+
+
+def test_table2_tiger_statistics(benchmark):
+    def build():
+        db, rels = fresh_tiger(8.0)
+        table = ResultTable(
+            f"Table 2: Wisconsin TIGER data (scale={BENCH_SCALE})",
+            ["Data", "# objects", "total MB", "R*-tree MB", "avg points"],
+        )
+        stats = {}
+        for name in ("road", "hydro", "rail"):
+            rel = rels[name]
+            tree = bulk_load_rstar(db.pool, rel)
+            table.add(
+                name,
+                len(rel),
+                rel.size_bytes() / 1e6,
+                tree.size_bytes() / 1e6,
+                rel.catalog.avg_points,
+            )
+            stats[name] = (len(rel), rel.size_bytes(), tree.size_bytes())
+        table.emit("table2_tiger.txt")
+        return stats
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    road, hydro, rail = stats["road"], stats["hydro"], stats["rail"]
+    # Paper cardinality ratios: road:hydro ~3.7, road:rail ~27.
+    assert 3.0 < road[0] / hydro[0] < 4.5
+    assert 20 < road[0] / rail[0] < 35
+    # Paper tree-to-data ratios: road tree 38% of data, hydro 26%.
+    assert 0.1 < road[2] / road[1] < 0.7
+
+
+def test_table3_sequoia_statistics(benchmark):
+    def build():
+        db, rels = fresh_sequoia(8.0)
+        table = ResultTable(
+            f"Table 3: Sequoia data (scale={BENCH_SCALE})",
+            ["Data", "# objects", "total MB", "R*-tree MB", "avg points"],
+        )
+        stats = {}
+        for name in ("polygon", "island"):
+            rel = rels[name]
+            tree = bulk_load_rstar(db.pool, rel)
+            table.add(
+                name,
+                len(rel),
+                rel.size_bytes() / 1e6,
+                tree.size_bytes() / 1e6,
+                rel.catalog.avg_points,
+            )
+            stats[name] = (len(rel), rel.catalog.avg_points)
+        table.emit("table3_sequoia.txt")
+        return stats
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    # Paper: polygons average 46 points, islands 35.
+    assert abs(stats["polygon"][1] - 46) < 8
+    assert abs(stats["island"][1] - 35) < 8

@@ -1,0 +1,65 @@
+"""Figure 13 — Sequoia polygon ⋈ island containment join.
+
+Paper shape: PBSM 13-27% faster than the R-tree join and 17-114% faster
+than INL; the refinement step dominates both PBSM (~79% of total) and the
+R-tree join (~68%) because the exact containment test is the naive O(n^2)
+polygon algorithm over 46/35-point polygons.
+"""
+
+from repro import (
+    IndexedNestedLoopsJoin,
+    PBSMJoin,
+    RTreeJoin,
+    contains,
+)
+from repro.bench import BENCH_SCALE, PAPER_BUFFER_MB, ResultTable, fresh_sequoia
+
+
+def test_fig13_sequoia_sweep(benchmark):
+    def run():
+        results = {}
+        for paper_mb in PAPER_BUFFER_MB:
+            per_algo = {}
+            for name in ("PBSM", "R-tree", "INL"):
+                db, rels = fresh_sequoia(paper_mb)
+                if name == "PBSM":
+                    res = PBSMJoin(db.pool).run(rels["polygon"], rels["island"], contains)
+                elif name == "R-tree":
+                    res = RTreeJoin(db.pool).run(rels["polygon"], rels["island"], contains)
+                else:
+                    res = IndexedNestedLoopsJoin(db.pool).run(
+                        rels["polygon"], rels["island"], contains
+                    )
+                per_algo[name] = res
+            results[paper_mb] = per_algo
+        table = ResultTable(
+            f"Figure 13: Sequoia polygon x island containment (scale={BENCH_SCALE})",
+            ["buffer (paper MB)", "PBSM (s)", "R-tree (s)", "INL (s)"],
+        )
+        for paper_mb, per_algo in sorted(results.items()):
+            table.add(
+                paper_mb,
+                per_algo["PBSM"].report.total_s,
+                per_algo["R-tree"].report.total_s,
+                per_algo["INL"].report.total_s,
+            )
+        table.emit("fig13_sequoia.txt")
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    counts = {
+        len(res.pairs)
+        for per_algo in results.values()
+        for res in per_algo.values()
+    }
+    assert len(counts) == 1  # all algorithms agree
+
+    for paper_mb, per_algo in results.items():
+        pbsm = per_algo["PBSM"].report
+        rtree = per_algo["R-tree"].report
+        # PBSM is faster than the R-tree join at every buffer size.
+        assert pbsm.total_s < rtree.total_s * 1.05, paper_mb
+        # Refinement dominates both (paper: 79% / 68%).
+        assert pbsm.phase("Refinement").total_s > 0.5 * pbsm.total_s
+        assert rtree.phase("Refinement").total_s > 0.35 * rtree.total_s

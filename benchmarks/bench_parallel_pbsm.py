@@ -1,0 +1,68 @@
+"""§5 future work — parallel PBSM speedup and the declustering trade-off.
+
+The paper predicts PBSM "will parallelize efficiently" using its own tiled
+partitioning function as the declustering strategy, and poses the
+replication question: copy boundary objects entirely (more storage, no
+remote fetches) or copy only their MBRs ([TY95]: less storage, remote
+fetches during refinement).  This benchmark measures the speedup curve and
+both sides of that trade.
+"""
+
+from repro import intersects
+from repro.bench import BENCH_SCALE, ResultTable
+from repro.bench.harness import _cached_tuples
+from repro.parallel import (
+    REPLICATE_MBRS,
+    REPLICATE_OBJECTS,
+    ParallelPBSM,
+    serial_feature_pairs,
+)
+
+NODE_SWEEP = (1, 2, 4, 8)
+
+
+def test_parallel_speedup_and_declustering(benchmark):
+    def run():
+        tuples_r = list(_cached_tuples("road", BENCH_SCALE / 2, False))
+        tuples_s = list(_cached_tuples("hydro", BENCH_SCALE / 2, False))
+        expected, serial_s = serial_feature_pairs(tuples_r, tuples_s, intersects)
+
+        table = ResultTable(
+            f"Parallel PBSM (scale={BENCH_SCALE / 2}), serial={serial_s:.2f}s",
+            ["nodes", "scheme", "critical path s", "speedup vs serial",
+             "storage factor R", "remote fetches"],
+        )
+        runs = {}
+        for nodes in NODE_SWEEP:
+            for scheme in (REPLICATE_OBJECTS, REPLICATE_MBRS):
+                result = ParallelPBSM(nodes, scheme=scheme).run(
+                    tuples_r, tuples_s, intersects
+                )
+                assert result.pairs == expected, (nodes, scheme)
+                runs[(nodes, scheme)] = result
+                table.add(
+                    nodes,
+                    scheme,
+                    result.critical_path_s,
+                    serial_s / result.critical_path_s,
+                    result.storage_factor_r,
+                    result.remote_fetches,
+                )
+        table.emit("parallel_pbsm.txt")
+        return runs, serial_s
+
+    runs, serial_s = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Speedup: 8 nodes must beat 1 node by a wide margin.
+    one = runs[(1, REPLICATE_OBJECTS)].critical_path_s
+    eight = runs[(8, REPLICATE_OBJECTS)].critical_path_s
+    assert eight < one / 2.5
+
+    # The declustering trade-off, §5: full replication stores more ...
+    assert (
+        runs[(8, REPLICATE_OBJECTS)].storage_factor_r
+        == runs[(8, REPLICATE_MBRS)].storage_factor_r  # placement identical
+    )
+    # ... but never fetches remotely, while MBR-only replication does.
+    assert runs[(8, REPLICATE_OBJECTS)].remote_fetches == 0
+    assert runs[(8, REPLICATE_MBRS)].remote_fetches > 0

@@ -1,0 +1,63 @@
+"""Seeded trees (LR94/LR95) vs PBSM — the paper's cited alternative for the
+missing-index case (§1/§2: "One solution to this problem is to build a
+spatial index on both inputs and then use a tree join algorithm [LR95]").
+
+The paper argues PBSM is the better answer; this benchmark runs the
+LR95-style build-seeded-trees-then-join pipeline next to PBSM on the same
+workload and checks the results agree.
+"""
+
+from repro import PBSMJoin, intersects
+from repro.bench import BENCH_SCALE, PAPER_BUFFER_MB, ResultTable, fresh_tiger
+from repro.index import bulk_load_rstar
+from repro.joins.seeded import SeededTreeJoin
+
+
+def test_seeded_trees_vs_pbsm(benchmark):
+    def run():
+        results = {}
+        for paper_mb in PAPER_BUFFER_MB:
+            db, rels = fresh_tiger(paper_mb, include=("road", "hydro"))
+            pbsm = PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+
+            db, rels = fresh_tiger(paper_mb, include=("road", "hydro"))
+            lr95 = SeededTreeJoin(db.pool).run(
+                rels["road"], rels["hydro"], intersects
+            )
+
+            db, rels = fresh_tiger(paper_mb, include=("road", "hydro"))
+            idx_s = bulk_load_rstar(db.pool, rels["hydro"])
+            db.pool.clear()
+            lr94 = SeededTreeJoin(db.pool).run(
+                rels["road"], rels["hydro"], intersects, index_s=idx_s
+            )
+            results[paper_mb] = {"PBSM": pbsm, "LR95": lr95, "LR94": lr94}
+
+        table = ResultTable(
+            f"PBSM vs seeded-tree joins, Road x Hydro (scale={BENCH_SCALE})",
+            ["buffer (paper MB)", "PBSM (s)", "LR95 no-index (s)",
+             "LR94 one-index (s)"],
+        )
+        for paper_mb, per in sorted(results.items()):
+            table.add(
+                paper_mb,
+                per["PBSM"].report.total_s,
+                per["LR95"].report.total_s,
+                per["LR94"].report.total_s,
+            )
+        table.emit("seeded_trees_vs_pbsm.txt")
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    counts = {
+        len(res.pairs) for per in results.values() for res in per.values()
+    }
+    assert len(counts) == 1  # all three agree exactly
+
+    # The paper's position: PBSM beats building trees first when no index
+    # exists.  Allow slack at the smallest buffer where both thrash.
+    for paper_mb, per in results.items():
+        assert (
+            per["PBSM"].report.total_s < per["LR95"].report.total_s * 1.25
+        ), paper_mb

@@ -1,0 +1,78 @@
+"""Table 4 — detailed cost and I/O breakdown, Road ⋈ Hydrography.
+
+For each algorithm and each buffer size, the paper lists every component's
+total cost, I/O cost, and the I/O contribution percentage.  Its headline
+observation: **CPU costs dominate I/O costs** for all the spatial join
+algorithms (spatial operations are computationally intensive and SHORE
+clusters its dirty-page writes), except INL at tiny buffers where random
+fetches blow up.
+"""
+
+from repro import IndexedNestedLoopsJoin, PBSMJoin, RTreeJoin, intersects
+from repro.bench import BENCH_SCALE, PAPER_BUFFER_MB, ResultTable, fresh_tiger
+
+
+def test_table4_io_breakdown(benchmark):
+    def run():
+        reports = {}
+        for paper_mb in PAPER_BUFFER_MB:
+            for name, ctor in (
+                ("PBSM", PBSMJoin),
+                ("R-Tree Join", RTreeJoin),
+                ("NL-Idx", IndexedNestedLoopsJoin),
+            ):
+                db, rels = fresh_tiger(paper_mb, include=("road", "hydro"))
+                res = ctor(db.pool).run(rels["road"], rels["hydro"], intersects)
+                reports[(name, paper_mb)] = res.report
+
+        table = ResultTable(
+            f"Table 4: cost breakdown, Road x Hydrography (scale={BENCH_SCALE}; "
+            "columns per paper buffer size: total s / io s / io %)",
+            ["Algorithm", "Component",
+             *(f"{mb:g}MB tot/io/io%" for mb in sorted(PAPER_BUFFER_MB, reverse=True))],
+        )
+        algos = ("PBSM", "R-Tree Join", "NL-Idx")
+        for name in algos:
+            component_names = [
+                p.name for p in reports[(name, PAPER_BUFFER_MB[0])].phases
+            ] + ["TOTAL"]
+            for comp in component_names:
+                cells = []
+                for mb in sorted(PAPER_BUFFER_MB, reverse=True):
+                    rep = reports[(name, mb)]
+                    if comp == "TOTAL":
+                        tot, io = rep.total_s, rep.io_s
+                    else:
+                        phase = rep.phase(comp)
+                        tot, io = phase.total_s, phase.io_s
+                    pct = 100 * io / tot if tot else 0.0
+                    cells.append(f"{tot:8.2f}/{io:7.2f}/{pct:4.1f}")
+                table.add(name, comp, *cells)
+        table.emit("table4_io_breakdown.txt")
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    biggest = max(PAPER_BUFFER_MB)
+    smallest = min(PAPER_BUFFER_MB)
+    # The paper's absolute CPU:I/O balance (CPU dominating at 12-30% I/O)
+    # reflects Paradise's C++ per-tuple CPU cost on a SPARC-10; our
+    # substrate pairs (fast) Python-measured CPU with a (slow) simulated
+    # 1996 disk, so only the *relative* shapes are asserted — see
+    # EXPERIMENTS.md for the discussion.
+    #
+    # Shape 1: every algorithm's I/O fraction grows as the buffer shrinks.
+    for name in ("PBSM", "R-Tree Join", "NL-Idx"):
+        assert (
+            reports[(name, smallest)].io_fraction
+            >= reports[(name, biggest)].io_fraction
+        ), name
+    # Shape 2 (the paper's INL observation): INL's I/O contribution at the
+    # small buffer exceeds everyone else's — random fetches dominate it.
+    inl_small = reports[("NL-Idx", smallest)].io_fraction
+    assert inl_small > reports[("PBSM", smallest)].io_fraction
+    assert inl_small > reports[("R-Tree Join", smallest)].io_fraction
+    # Shape 3: I/O cost shrinks monotonically with buffer size.
+    for name in ("PBSM", "R-Tree Join", "NL-Idx"):
+        ios = [reports[(name, mb)].io_s for mb in sorted(PAPER_BUFFER_MB)]
+        assert ios[0] >= ios[-1], f"{name}: {ios}"

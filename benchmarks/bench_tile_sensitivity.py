@@ -1,0 +1,39 @@
+"""§4.3 claim — the number of tiles barely affects PBSM's execution time.
+
+Paper: "We explored the effect of the number of tiles on the execution time
+of PBSM, but found that changing the number of tiles had a very small
+effect on the overall execution time (less than 5%)."  (The paper settled
+on 1024 tiles.)
+"""
+
+from repro import PBSMConfig, PBSMJoin, intersects
+from repro.bench import BENCH_SCALE, ResultTable, fresh_tiger
+
+TILE_SWEEP = (256, 1024, 4096)
+BUFFER = 8.0
+
+
+def test_tile_count_sensitivity(benchmark):
+    def run():
+        times = {}
+        counts = set()
+        for tiles in TILE_SWEEP:
+            db, rels = fresh_tiger(BUFFER, include=("road", "hydro"))
+            cfg = PBSMConfig(num_tiles=tiles)
+            res = PBSMJoin(db.pool, cfg).run(rels["road"], rels["hydro"], intersects)
+            times[tiles] = res.report.total_s
+            counts.add(len(res.pairs))
+        table = ResultTable(
+            f"PBSM total time vs number of tiles (scale={BENCH_SCALE})",
+            ["tiles", "sim seconds"],
+        )
+        for tiles in TILE_SWEEP:
+            table.add(tiles, times[tiles])
+        table.emit("tile_sensitivity.txt")
+        assert len(counts) == 1  # identical results at every tile count
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    spread = (max(times.values()) - min(times.values())) / min(times.values())
+    # Paper says <5%; allow slack for wall-clock noise in the CPU part.
+    assert spread < 0.30, f"tile sensitivity {spread:.0%}"

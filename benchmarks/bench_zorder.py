@@ -1,0 +1,64 @@
+"""Z-order join (Orenstein) — the §2 grid-granularity trade-off, plus a
+head-to-head with PBSM.
+
+The paper dismisses transform-based approaches because "in the new domain
+some spatial proximity information is lost, making the algorithms complex
+and less efficient", and cites [Ore89]: a fine grid filters better but
+costs more z-values per object.  This benchmark measures that curve and
+compares the best z-order configuration against PBSM on the same workload.
+"""
+
+from repro import PBSMJoin, intersects
+from repro.bench import BENCH_SCALE, ResultTable, fresh_tiger
+from repro.joins import ZOrderConfig, ZOrderJoin
+
+BUFFER = 8.0
+LEVELS = (4, 6, 8, 10)
+
+
+def test_zorder_granularity_tradeoff(benchmark):
+    def run():
+        runs = {}
+        for level in LEVELS:
+            db, rels = fresh_tiger(BUFFER, include=("road", "hydro"))
+            cfg = ZOrderConfig(max_level=level)
+            runs[level] = ZOrderJoin(db.pool, cfg).run(
+                rels["road"], rels["hydro"], intersects
+            )
+        db, rels = fresh_tiger(BUFFER, include=("road", "hydro"))
+        pbsm = PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+
+        table = ResultTable(
+            f"Z-order join granularity sweep vs PBSM (scale={BENCH_SCALE})",
+            ["config", "total s", "z-elements R", "distinct candidates"],
+        )
+        for level in LEVELS:
+            rep = runs[level].report
+            table.add(
+                f"z-order level {level}",
+                rep.total_s,
+                rep.notes["z_elements_r"],
+                rep.notes["distinct_candidates"],
+            )
+        table.add("PBSM (1024 tiles)", pbsm.report.total_s, "-", pbsm.report.candidates)
+        table.emit("zorder_tradeoff.txt")
+        return runs, pbsm
+
+    runs, pbsm = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    counts = {len(res.pairs) for res in runs.values()} | {len(pbsm.pairs)}
+    assert len(counts) == 1  # every configuration returns the exact result
+
+    # [Ore89]: finer grid -> more elements overall, fewer distinct
+    # candidates.  Element counts need not be strictly monotone between
+    # adjacent levels (adjacent-interval coalescing can shrink a level),
+    # so only the endpoints are compared.
+    elems = [runs[lv].report.notes["z_elements_r"] for lv in LEVELS]
+    cands = [runs[lv].report.notes["distinct_candidates"] for lv in LEVELS]
+    assert elems[-1] > elems[0]
+    assert cands == sorted(cands, reverse=True)
+
+    # §2's verdict: the transform-based join is less efficient than PBSM
+    # (it loses proximity information and pays for element replication).
+    best_z = min(res.report.total_s for res in runs.values())
+    assert pbsm.report.total_s < best_z * 1.5

@@ -1,0 +1,88 @@
+"""Shared helpers for the join benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro import (
+    IndexedNestedLoopsJoin,
+    PBSMJoin,
+    RTreeJoin,
+    intersects,
+)
+from repro.bench import PAPER_BUFFER_MB, ResultTable, fresh_tiger
+from repro.core.stats import JoinResult
+from repro.storage import Database, Relation
+
+ALGORITHMS = ("PBSM", "R-tree", "INL")
+
+
+def run_three_algorithms(
+    make_db: Callable[[float], Tuple[Database, Relation, Relation]],
+    predicate=intersects,
+    clustered: bool = False,
+) -> Dict[float, Dict[str, JoinResult]]:
+    """Run PBSM / R-tree join / INL cold at each paper buffer size.
+
+    ``make_db(paper_buffer_mb)`` must return a fresh cold database plus the
+    two join inputs.  Each algorithm gets its own fresh database so index
+    builds and temp files never help a competitor.
+    """
+    results: Dict[float, Dict[str, JoinResult]] = {}
+    for paper_mb in PAPER_BUFFER_MB:
+        per_algo: Dict[str, JoinResult] = {}
+        for algo_name in ALGORITHMS:
+            db, rel_r, rel_s = make_db(paper_mb)
+            if algo_name == "PBSM":
+                res = PBSMJoin(db.pool).run(rel_r, rel_s, predicate)
+            elif algo_name == "R-tree":
+                res = RTreeJoin(db.pool).run(
+                    rel_r, rel_s, predicate,
+                    r_clustered=clustered, s_clustered=clustered,
+                )
+            else:
+                res = IndexedNestedLoopsJoin(db.pool).run(
+                    rel_r, rel_s, predicate,
+                    r_clustered=clustered, s_clustered=clustered,
+                )
+            per_algo[algo_name] = res
+        results[paper_mb] = per_algo
+    return results
+
+
+def emit_sweep_table(
+    title: str,
+    filename: str,
+    results: Dict[float, Dict[str, JoinResult]],
+) -> None:
+    table = ResultTable(
+        title, ["buffer (paper MB)", *(f"{a} (s)" for a in ALGORITHMS)]
+    )
+    for paper_mb, per_algo in sorted(results.items()):
+        table.add(
+            paper_mb, *(per_algo[a].report.total_s for a in ALGORITHMS)
+        )
+    table.emit(filename)
+
+
+def tiger_workload(r_name: str, s_name: str, clustered: bool = False):
+    """A ``make_db`` for a TIGER query pair."""
+
+    def make_db(paper_mb: float):
+        db, rels = fresh_tiger(
+            paper_mb, clustered=clustered, include=(r_name, s_name)
+        )
+        return db, rels[r_name], rels[s_name]
+
+    return make_db
+
+
+def assert_same_results(results: Dict[float, Dict[str, JoinResult]]) -> None:
+    """All algorithms at all buffer sizes must agree exactly."""
+    reference = None
+    for per_algo in results.values():
+        for name, res in per_algo.items():
+            pair_count = len(res.pairs)
+            if reference is None:
+                reference = pair_count
+            assert pair_count == reference, f"{name} produced {pair_count}"

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Sequoia-style containment: which islands lie inside which land parcels?
+
+Reproduces the paper's second query shape (§4.3): join the land-use
+polygons with the island polygons, keeping pairs where the island is
+*contained* in the parcel — e.g. a lake inside a park.  Also demonstrates
+the §4.4 [BKSS94] refinement optimisation: caching a maximal enclosed
+rectangle (MER) per parcel lets many candidates skip the O(n^2) exact
+containment test.
+
+Run:  python examples/landuse_containment.py
+"""
+
+import time
+
+from repro import Database, PBSMJoin, contains
+from repro.core import ContainsWithFilters
+from repro.data import make_sequoia_datasets
+
+
+def main() -> None:
+    db = Database(buffer_mb=8.0)
+    rels = make_sequoia_datasets(db, scale=0.02)
+    parcels, islands = rels["polygon"], rels["island"]
+    print(f"{len(parcels)} land-use parcels "
+          f"(avg {parcels.catalog.avg_points:.0f} pts), "
+          f"{len(islands)} islands (avg {islands.catalog.avg_points:.0f} pts)")
+
+    # --- the paper's configuration: naive O(n^2) containment ---------- #
+    db.pool.clear()
+    t0 = time.perf_counter()
+    naive = PBSMJoin(db.pool).run(parcels, islands, contains)
+    naive_wall = time.perf_counter() - t0
+    refinement_share = (
+        naive.report.phase("Refinement").total_s / naive.report.total_s
+    )
+    print(f"\nnaive containment: {len(naive)} contained islands, "
+          f"{naive_wall:.1f}s wall")
+    print(f"refinement is {100 * refinement_share:.0f}% of the join cost "
+          f"(the paper reports ~79% for PBSM on Sequoia)")
+
+    # --- with the [BKSS94] MBR/MER pre-filters ------------------------ #
+    db.pool.clear()
+    filtered_predicate = ContainsWithFilters()
+    t0 = time.perf_counter()
+    filtered = PBSMJoin(db.pool).run(parcels, islands, filtered_predicate)
+    filtered_wall = time.perf_counter() - t0
+
+    assert filtered.pairs == naive.pairs
+    print(f"\nMER-filtered containment: same {len(filtered)} results, "
+          f"{filtered_wall:.1f}s wall")
+    print(f"  candidates resolved by filters alone: "
+          f"{filtered_predicate.filter_hits}")
+    print(f"  candidates needing exact geometry:    "
+          f"{filtered_predicate.exact_tests}")
+
+    # A few human-readable results.
+    print("\nsample containments:")
+    for oid_parcel, oid_island in naive.pairs[:5]:
+        parcel = parcels.fetch(oid_parcel)
+        island = islands.fetch(oid_island)
+        print(f"  {island.name} lies inside {parcel.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Map overlay: materialise road/river crossing points.
+
+The paper's §1 motivates spatial joins with *map overlay* — combining two
+maps into a third.  This example runs the Road x Hydrography join with each
+of the three algorithms the paper evaluates (verifying they agree), then
+uses the computational-geometry kernel to compute the actual crossing
+coordinates, i.e. the derived "bridges needed" layer.
+
+Run:  python examples/map_overlay.py
+"""
+
+from repro import (
+    Database,
+    IndexedNestedLoopsJoin,
+    PBSMJoin,
+    RTreeJoin,
+    intersects,
+)
+from repro.data import make_tiger_datasets
+from repro.geometry import segment_intersection_point
+
+
+def crossing_points(road_geom, river_geom, precision=1e-7):
+    """Distinct coordinates where two polylines cross.
+
+    Features clipped at the universe boundary can run collinearly for
+    several segments, so nearby duplicates are collapsed on a grid of
+    ``precision`` degrees.
+    """
+    seen = set()
+    points = []
+    for p1, p2 in zip(road_geom.points, road_geom.points[1:]):
+        for p3, p4 in zip(river_geom.points, river_geom.points[1:]):
+            pt = segment_intersection_point(p1, p2, p3, p4)
+            if pt is None:
+                continue
+            key = (round(pt[0] / precision), round(pt[1] / precision))
+            if key not in seen:
+                seen.add(key)
+                points.append(pt)
+    return points
+
+
+def main() -> None:
+    db = Database(buffer_mb=8.0)
+    rels = make_tiger_datasets(db, scale=0.005, include=("road", "hydro"))
+    roads, rivers = rels["road"], rels["hydro"]
+
+    print("running the three join algorithms of the paper's evaluation...")
+    runs = {}
+    for name, algo in (
+        ("PBSM", PBSMJoin(db.pool)),
+        ("R-tree join", RTreeJoin(db.pool)),
+        ("indexed NL", IndexedNestedLoopsJoin(db.pool)),
+    ):
+        db.pool.clear()
+        runs[name] = algo.run(roads, rivers, intersects)
+        report = runs[name].report
+        print(f"  {name:<12} {len(runs[name]):5d} pairs  "
+              f"sim={report.total_s:7.2f}s  io%={100 * report.io_fraction:4.1f}")
+
+    pair_sets = {name: tuple(res.pairs) for name, res in runs.items()}
+    assert len(set(pair_sets.values())) == 1, "algorithms disagree!"
+    print("all algorithms returned the identical result set\n")
+
+    # Build the overlay layer: one point feature per crossing.
+    overlay = []
+    for oid_road, oid_river in runs["PBSM"].pairs:
+        road = roads.fetch(oid_road)
+        river = rivers.fetch(oid_river)
+        for x, y in crossing_points(road.geom, river.geom):
+            overlay.append((road.name, river.name, x, y))
+
+    print(f"overlay layer: {len(overlay)} crossing points")
+    for road_name, river_name, x, y in overlay[:8]:
+        print(f"  ({x:9.4f}, {y:8.4f})  {road_name} x {river_name}")
+
+
+if __name__ == "__main__":
+    main()

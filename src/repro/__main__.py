@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``demo``  — run a small PBSM join end to end and print the cost report;
+* ``plan``  — show which algorithm the paper's decision table picks for a
+  described scenario;
+* ``info``  — package, subsystem, and experiment inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from . import Database, PBSMJoin, intersects
+    from .data import make_tiger_datasets
+
+    db = Database(buffer_mb=args.buffer_mb)
+    rels = make_tiger_datasets(db, scale=args.scale, include=("road", "hydro"))
+    print(
+        f"loaded {len(rels['road'])} roads and {len(rels['hydro'])} "
+        f"hydrography features (scale={args.scale})"
+    )
+    db.pool.clear()
+    result = PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+    print(f"{len(result)} intersecting pairs\n")
+    print(result.report.format_table())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .core.planner import choose_algorithm
+    from .storage import Database
+    from .data import make_tiger_datasets
+    from .index import bulk_load_rstar
+
+    db = Database(buffer_mb=args.buffer_mb)
+    rels = make_tiger_datasets(db, scale=args.scale, include=("road", "hydro"))
+    idx_r = bulk_load_rstar(db.pool, rels["road"]) if args.index_r else None
+    idx_s = bulk_load_rstar(db.pool, rels["hydro"]) if args.index_s else None
+    plan = choose_algorithm(
+        rels["road"], rels["hydro"], db.pool.capacity, idx_r, idx_s
+    )
+    print(f"scenario: index on road={args.index_r}, index on hydro={args.index_s}, "
+          f"buffer={args.buffer_mb} MB")
+    print(f"chosen algorithm: {plan.algorithm.upper()}")
+    print(f"reason: {plan.reason}")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — Partition Based Spatial-Merge Join "
+          "(Patel & DeWitt, SIGMOD 1996)")
+    print(__doc__)
+    print("subsystems: repro.geometry, repro.storage, repro.index, "
+          "repro.core, repro.joins, repro.exec, repro.data, repro.bench")
+    print("reproduce the paper: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PBSM spatial join reproduction",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="run a small PBSM join")
+    demo.add_argument("--scale", type=float, default=0.01)
+    demo.add_argument("--buffer-mb", type=float, default=8.0)
+    demo.set_defaults(func=_cmd_demo)
+
+    plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")
+    plan.add_argument("--scale", type=float, default=0.005)
+    plan.add_argument("--buffer-mb", type=float, default=0.5)
+    plan.add_argument("--index-r", action="store_true", help="road index pre-exists")
+    plan.add_argument("--index-s", action="store_true", help="hydro index pre-exists")
+    plan.set_defaults(func=_cmd_plan)
+
+    info = sub.add_parser("info", help="package inventory")
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The paper's contribution: the PBSM join and its building blocks."""
+
+from .keypointer import (
+    KEYPTR_SIZE,
+    CandidateFile,
+    KeyPointerFile,
+    pack_keypointer,
+    unpack_keypointer,
+)
+from .partition import (
+    SCHEME_HASH,
+    SCHEME_ROUND_ROBIN,
+    SCHEMES,
+    PartitioningProfile,
+    SpatialPartitioner,
+    TileGrid,
+    coefficient_of_variation,
+    estimate_num_partitions,
+    profile_partitioning,
+)
+from .pbsm import DEFAULT_NUM_TILES, PBSMConfig, PBSMJoin, pbsm_join
+from .planner import JoinPlan, choose_algorithm, plan_join
+from .predicates import (
+    ContainsWithFilters,
+    Predicate,
+    contains,
+    intersects,
+    intersects_naive,
+)
+from .refine import dedup_sorted_pairs, refine
+from .stats import JoinReport, JoinResult, PhaseCost, PhaseMeter
+
+__all__ = [
+    "DEFAULT_NUM_TILES",
+    "KEYPTR_SIZE",
+    "SCHEMES",
+    "SCHEME_HASH",
+    "SCHEME_ROUND_ROBIN",
+    "CandidateFile",
+    "ContainsWithFilters",
+    "JoinPlan",
+    "JoinReport",
+    "JoinResult",
+    "KeyPointerFile",
+    "PBSMConfig",
+    "PBSMJoin",
+    "PartitioningProfile",
+    "PhaseCost",
+    "PhaseMeter",
+    "Predicate",
+    "SpatialPartitioner",
+    "TileGrid",
+    "choose_algorithm",
+    "coefficient_of_variation",
+    "contains",
+    "dedup_sorted_pairs",
+    "estimate_num_partitions",
+    "intersects",
+    "intersects_naive",
+    "pack_keypointer",
+    "pbsm_join",
+    "plan_join",
+    "profile_partitioning",
+    "refine",
+    "unpack_keypointer",
+]

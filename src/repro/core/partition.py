@@ -1,0 +1,207 @@
+"""The tiled spatial partitioning function of §3.4, plus Equation 1.
+
+The universe is regularly decomposed into ``NT >= P`` tiles, numbered
+row-major from the upper-left corner; each tile is mapped to one of the
+``P`` partitions by round robin or by hashing the tile number.  A key-pointer
+element is inserted into *every* partition whose tiles its MBR overlaps —
+the replication that the refinement step's dedup later removes.
+
+This is the spatial analog of virtual-processor round-robin partitioning
+for skew handling in parallel relational joins [DNSS92]; Figure 4 (partition
+balance), Figures 5/6 (replication overhead) and the round-robin "spikes"
+all come from this module's behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from ..geometry import Rect
+from .keypointer import KEYPTR_SIZE
+
+SCHEME_ROUND_ROBIN = "round_robin"
+SCHEME_HASH = "hash"
+SCHEMES = (SCHEME_ROUND_ROBIN, SCHEME_HASH)
+
+
+def estimate_num_partitions(
+    card_r: int,
+    card_s: int,
+    memory_bytes: int,
+    keyptr_size: int = KEYPTR_SIZE,
+) -> int:
+    """Equation 1: ``P = ceil((||R|| + ||S||) * size_keyptr / M)``."""
+    if memory_bytes <= 0:
+        raise ValueError("memory budget must be positive")
+    return max(1, math.ceil((card_r + card_s) * keyptr_size / memory_bytes))
+
+
+def _hash_tile(tile: int) -> int:
+    """A deterministic integer hash (Fibonacci multiply + xor-fold).
+
+    The xor-fold matters: a bare multiplicative hash keeps its low bits
+    equal to ``tile``'s low bits, which would make ``hash % P`` collapse to
+    round robin whenever P divides a power of two.
+    """
+    h = (tile * 0x9E3779B1) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A regular rows x cols decomposition of a universe rectangle."""
+
+    universe: Rect
+    rows: int
+    cols: int
+
+    @staticmethod
+    def for_tiles(universe: Rect, num_tiles: int) -> "TileGrid":
+        """Near-square grid with at least ``num_tiles`` tiles."""
+        if num_tiles < 1:
+            raise ValueError("need at least one tile")
+        cols = max(1, round(math.sqrt(num_tiles)))
+        rows = max(1, math.ceil(num_tiles / cols))
+        return TileGrid(universe, rows, cols)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def tile_id(self, row: int, col: int) -> int:
+        """Row-major numbering from the upper-left corner (§3.4)."""
+        return row * self.cols + col
+
+    def tiles_for_rect(self, rect: Rect) -> List[int]:
+        """All tiles the rectangle overlaps (clamped to the universe)."""
+        u = self.universe
+        width = u.width or 1.0
+        height = u.height or 1.0
+        c0 = int((rect.xl - u.xl) / width * self.cols)
+        c1 = int((rect.xu - u.xl) / width * self.cols)
+        # Row 0 is the *upper* row, per the paper's figure.
+        r0 = int((u.yu - rect.yu) / height * self.rows)
+        r1 = int((u.yu - rect.yl) / height * self.rows)
+        c0 = min(max(c0, 0), self.cols - 1)
+        c1 = min(max(c1, 0), self.cols - 1)
+        r0 = min(max(r0, 0), self.rows - 1)
+        r1 = min(max(r1, 0), self.rows - 1)
+        return [
+            self.tile_id(r, c)
+            for r in range(r0, r1 + 1)
+            for c in range(c0, c1 + 1)
+        ]
+
+    def tile_rect(self, tile: int) -> Rect:
+        """The geometric extent of a tile (for visualisation/tests)."""
+        row, col = divmod(tile, self.cols)
+        u = self.universe
+        tw = u.width / self.cols
+        th = u.height / self.rows
+        return Rect(
+            u.xl + col * tw,
+            u.yu - (row + 1) * th,
+            u.xl + (col + 1) * tw,
+            u.yu - row * th,
+        )
+
+
+class SpatialPartitioner:
+    """Maps MBRs to the PBSM partitions their tiles belong to."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        num_partitions: int,
+        num_tiles: int | None = None,
+        scheme: str = SCHEME_HASH,
+    ):
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+        if num_tiles is None:
+            num_tiles = num_partitions
+        if num_tiles < num_partitions:
+            raise ValueError(
+                f"num_tiles ({num_tiles}) must be >= num_partitions "
+                f"({num_partitions})"
+            )
+        self.grid = TileGrid.for_tiles(universe, num_tiles)
+        self.num_partitions = num_partitions
+        self.scheme = scheme
+
+    @property
+    def num_tiles(self) -> int:
+        return self.grid.num_tiles
+
+    def partition_of_tile(self, tile: int) -> int:
+        if self.scheme == SCHEME_ROUND_ROBIN:
+            return tile % self.num_partitions
+        return _hash_tile(tile) % self.num_partitions
+
+    def partitions_for_rect(self, rect: Rect) -> Set[int]:
+        """Every partition that receives this MBR's key-pointer element."""
+        return {
+            self.partition_of_tile(t) for t in self.grid.tiles_for_rect(rect)
+        }
+
+
+# ---------------------------------------------------------------------- #
+# partition-quality metrics (Figures 4–6)
+# ---------------------------------------------------------------------- #
+
+
+def coefficient_of_variation(counts: Sequence[int]) -> float:
+    """Std-dev / mean of a partition size distribution (Figure 4 metric)."""
+    if not counts:
+        raise ValueError("no partitions")
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return 0.0
+    var = sum((c - mean) ** 2 for c in counts) / len(counts)
+    return math.sqrt(var) / mean
+
+
+@dataclass
+class PartitioningProfile:
+    """Outcome of test-partitioning a dataset (no I/O, statistics only)."""
+
+    counts: List[int]
+    input_tuples: int
+    placed_tuples: int
+
+    @property
+    def replication_overhead(self) -> float:
+        """Fractional increase in tuples due to replication (Figures 5/6)."""
+        if self.input_tuples == 0:
+            return 0.0
+        return (self.placed_tuples - self.input_tuples) / self.input_tuples
+
+    @property
+    def cov(self) -> float:
+        return coefficient_of_variation(self.counts)
+
+
+def profile_partitioning(
+    mbrs: Iterable[Rect],
+    universe: Rect,
+    num_partitions: int,
+    num_tiles: int,
+    scheme: str,
+) -> PartitioningProfile:
+    """Dry-run the partitioning function over a stream of MBRs."""
+    partitioner = SpatialPartitioner(universe, num_partitions, num_tiles, scheme)
+    counts = [0] * num_partitions
+    n_in = 0
+    n_placed = 0
+    for mbr in mbrs:
+        n_in += 1
+        parts = partitioner.partitions_for_rect(mbr)
+        n_placed += len(parts)
+        for p in parts:
+            counts[p] += 1
+    return PartitioningProfile(counts, n_in, n_placed)

@@ -1,0 +1,214 @@
+"""PBSM — Partition Based Spatial-Merge join (§3, the paper's contribution).
+
+Execution plan::
+
+    Partition R   scan R, append <MBR, OID> key-pointers to partition files
+    Partition S   same for S (same partitioning function)
+    Merge         per partition pair: read both sides into memory, sort on
+                  MBR.xl, plane-sweep, emit candidate OID pairs
+    Refinement    sort + dedup candidates, batched fetch, exact predicate
+
+The number of partitions follows Equation 1; the partitioning function is
+the tiled scheme of §3.4.  When a single partition pair fits in memory
+(P = 1) the key-pointers are kept in memory and the merge runs directly, as
+the paper describes for small inputs.
+
+§3.5's partition-skew handling (dynamic repartitioning of an overflown
+partition pair) is *not* in the paper's implementation; here it is available
+behind ``PBSMConfig.handle_partition_skew`` as a documented extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..geometry import Rect, sweep_join, sweep_join_interval_tree
+from ..storage.buffer import BufferPool
+from ..storage.disk import PAGE_SIZE
+from ..storage.relation import OID, Relation
+from .keypointer import KEYPTR_SIZE, CandidateFile, KeyPointer, KeyPointerFile
+from .partition import (
+    SCHEME_HASH,
+    SpatialPartitioner,
+    estimate_num_partitions,
+)
+from .predicates import Predicate
+from .refine import refine
+from .stats import JoinReport, JoinResult, PhaseMeter
+
+DEFAULT_NUM_TILES = 1024
+"""The tile count the paper settled on for its experiments (§4.3)."""
+
+
+@dataclass
+class PBSMConfig:
+    """Tuning knobs for a PBSM execution."""
+
+    num_tiles: int = DEFAULT_NUM_TILES
+    scheme: str = SCHEME_HASH
+    memory_bytes: Optional[int] = None
+    """Memory budget M of Equation 1; defaults to the buffer pool size."""
+    use_interval_tree: bool = False
+    """Footnote-1 variant: interval tree for the y-overlap check."""
+    handle_partition_skew: bool = False
+    """§3.5 extension: recursively repartition overflowing partition pairs."""
+    max_repartition_depth: int = 4
+
+
+class PBSMJoin:
+    """Partition Based Spatial-Merge join over two relations."""
+
+    def __init__(self, pool: BufferPool, config: Optional[PBSMConfig] = None):
+        self.pool = pool
+        self.config = config or PBSMConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        rel_r: Relation,
+        rel_s: Relation,
+        predicate: Predicate,
+    ) -> JoinResult:
+        """Execute the join; returns exact result pairs plus a cost report."""
+        report = JoinReport(algorithm="PBSM")
+        meter = PhaseMeter(self.pool.disk, report)
+        if len(rel_r) == 0 or len(rel_s) == 0:
+            return JoinResult([], report)
+
+        cfg = self.config
+        memory = cfg.memory_bytes or self.pool.capacity * PAGE_SIZE
+        num_partitions = estimate_num_partitions(len(rel_r), len(rel_s), memory)
+        universe = rel_r.universe.union(rel_s.universe)
+        partitioner = SpatialPartitioner(
+            universe,
+            num_partitions,
+            max(cfg.num_tiles, num_partitions),
+            cfg.scheme,
+        )
+        report.notes["num_partitions"] = num_partitions
+        report.notes["num_tiles"] = partitioner.num_tiles
+
+        in_memory = num_partitions == 1
+        with meter.phase(f"Partition {rel_r.name}"):
+            parts_r = self._partition_input(rel_r, partitioner, in_memory)
+        with meter.phase(f"Partition {rel_s.name}"):
+            parts_s = self._partition_input(rel_s, partitioner, in_memory)
+
+        candidate_file = CandidateFile(self.pool)
+        with meter.phase("Merge Partitions"):
+            for part_r, part_s in zip(parts_r, parts_s):
+                self._merge_pair(part_r, part_s, candidate_file, memory, depth=0)
+            for part in (*parts_r, *parts_s):
+                if isinstance(part, KeyPointerFile):
+                    part.drop()
+        report.candidates = candidate_file.count
+
+        with meter.phase("Refinement"):
+            candidates = candidate_file.read_all()
+            candidate_file.drop()
+            results = refine(rel_r, rel_s, candidates, predicate, memory)
+        report.result_count = len(results)
+        return JoinResult(results, report)
+
+    # ------------------------------------------------------------------ #
+    # filter step internals
+    # ------------------------------------------------------------------ #
+
+    def _partition_input(
+        self,
+        relation: Relation,
+        partitioner: SpatialPartitioner,
+        in_memory: bool,
+    ) -> List["KeyPointerFile | List[KeyPointer]"]:
+        """Scan a relation, routing key-pointers to the partitions their
+        MBRs' tiles map to (replicating across partitions as needed)."""
+        if in_memory:
+            bucket: List[KeyPointer] = []
+            for oid, t in relation.scan():
+                bucket.append((t.mbr, oid))
+            return [bucket]
+        files = [KeyPointerFile(self.pool) for _ in range(partitioner.num_partitions)]
+        for oid, t in relation.scan():
+            mbr = t.mbr
+            for p in partitioner.partitions_for_rect(mbr):
+                files[p].append(mbr, oid)
+        return files
+
+    def _merge_pair(
+        self,
+        part_r: "KeyPointerFile | List[KeyPointer]",
+        part_s: "KeyPointerFile | List[KeyPointer]",
+        out: CandidateFile,
+        memory: int,
+        depth: int,
+    ) -> None:
+        """Plane-sweep one partition pair, spilling to recursion on skew."""
+        kps_r = part_r if isinstance(part_r, list) else part_r.read_all()
+        kps_s = part_s if isinstance(part_s, list) else part_s.read_all()
+        if not kps_r or not kps_s:
+            return
+
+        oversized = (len(kps_r) + len(kps_s)) * KEYPTR_SIZE > memory
+        can_recurse = (
+            self.config.handle_partition_skew
+            and oversized
+            and depth < self.config.max_repartition_depth
+        )
+        if can_recurse:
+            self._repartition_pair(kps_r, kps_s, out, memory, depth)
+            return
+
+        items_r = [(rect, oid) for rect, oid in kps_r]
+        items_s = [(rect, oid) for rect, oid in kps_s]
+        if self.config.use_interval_tree:
+            sweep_join_interval_tree(items_r, items_s, out.append)
+        else:
+            sweep_join(items_r, items_s, out.append)
+
+    def _repartition_pair(
+        self,
+        kps_r: List[KeyPointer],
+        kps_s: List[KeyPointer],
+        out: CandidateFile,
+        memory: int,
+        depth: int,
+    ) -> None:
+        """§3.5 extension: split an overflowing pair with a finer grid."""
+        sub_universe = Rect.union_all(rect for rect, _ in kps_r).union(
+            Rect.union_all(rect for rect, _ in kps_s)
+        )
+        sub_p = max(
+            2,
+            estimate_num_partitions(len(kps_r), len(kps_s), memory),
+        )
+        sub = SpatialPartitioner(
+            sub_universe, sub_p, max(self.config.num_tiles, sub_p), self.config.scheme
+        )
+        buckets_r: List[List[KeyPointer]] = [[] for _ in range(sub_p)]
+        buckets_s: List[List[KeyPointer]] = [[] for _ in range(sub_p)]
+        for rect, oid in kps_r:
+            for p in sub.partitions_for_rect(rect):
+                buckets_r[p].append((rect, oid))
+        for rect, oid in kps_s:
+            for p in sub.partitions_for_rect(rect):
+                buckets_s[p].append((rect, oid))
+        progress = all(
+            len(br) < len(kps_r) or len(bs) < len(kps_s)
+            for br, bs in zip(buckets_r, buckets_s)
+        )
+        next_depth = depth + 1 if progress else self.config.max_repartition_depth
+        for br, bs in zip(buckets_r, buckets_s):
+            self._merge_pair(br, bs, out, memory, next_depth)
+
+
+def pbsm_join(
+    pool: BufferPool,
+    rel_r: Relation,
+    rel_s: Relation,
+    predicate: Predicate,
+    config: Optional[PBSMConfig] = None,
+) -> JoinResult:
+    """Functional convenience wrapper around :class:`PBSMJoin`."""
+    return PBSMJoin(pool, config).run(rel_r, rel_s, predicate)

@@ -1,0 +1,143 @@
+"""A spatial-join planner encoding the paper's conclusions (§4.4-§5).
+
+The performance study's summary is effectively a decision procedure:
+
+* no pre-existing indices                    → **PBSM**;
+* index only on the *smaller* input          → **PBSM** ("the PBSM
+  algorithm still performs better than the other algorithms");
+* index only on the *larger* input           → **R-tree join** (building
+  the small index is cheap);
+* indices on both inputs                     → **R-tree join**;
+* exception: when one input is so small that it and its index fit in the
+  buffer pool, **INL** probing that input wins (Figure 8 / Figure 15).
+
+:func:`choose_algorithm` applies those rules to catalog statistics, and
+:func:`plan_join` returns a ready-to-run driver.  This is the piece a
+query optimiser would call when a spatial join appears in a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..index.rstar import NODE_CAPACITY, RStarTree
+from ..joins.inl import IndexedNestedLoopsJoin
+from ..joins.rtree import RTreeJoin
+from ..storage.buffer import BufferPool
+from ..storage.disk import PAGE_SIZE
+from ..storage.relation import Relation
+from .pbsm import PBSMJoin
+from .predicates import Predicate
+from .stats import JoinResult
+
+ALGO_PBSM = "pbsm"
+ALGO_RTREE = "rtree"
+ALGO_INL = "inl"
+
+SMALL_INNER_FRACTION = 0.5
+"""An input counts as "fits in the pool" when its data plus estimated index
+occupy at most this fraction of the buffer pool."""
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The planner's verdict plus its reasoning."""
+
+    algorithm: str
+    reason: str
+    index_r: Optional[RStarTree] = None
+    index_s: Optional[RStarTree] = None
+
+
+def estimate_index_pages(cardinality: int) -> int:
+    """Pages of a bulk-loaded R*-tree over ``cardinality`` entries."""
+    leaves = max(1, -(-cardinality // int(NODE_CAPACITY * 0.8)))
+    internals = max(1, -(-leaves // int(NODE_CAPACITY * 0.8)))
+    return leaves + internals + 1  # + meta page
+
+
+def _fits_in_pool(relation: Relation, pool_pages: int) -> bool:
+    total = relation.num_pages + estimate_index_pages(len(relation))
+    return total <= SMALL_INNER_FRACTION * pool_pages
+
+
+def choose_algorithm(
+    rel_r: Relation,
+    rel_s: Relation,
+    pool_pages: int,
+    index_r: Optional[RStarTree] = None,
+    index_s: Optional[RStarTree] = None,
+) -> JoinPlan:
+    """Apply the paper's decision rules to pick a join algorithm."""
+    smaller, larger = (
+        (rel_r, rel_s) if len(rel_r) <= len(rel_s) else (rel_s, rel_r)
+    )
+
+    # Figure 8 / Figure 15 exception: a memory-resident small input makes
+    # INL unbeatable, with or without a pre-built index on it.
+    if _fits_in_pool(smaller, pool_pages):
+        return JoinPlan(
+            ALGO_INL,
+            f"{smaller.name} (+ index) fits in the buffer pool; probe it "
+            "with the larger input (Figures 8/15)",
+            index_r,
+            index_s,
+        )
+
+    have_r = index_r is not None
+    have_s = index_s is not None
+    if have_r and have_s:
+        return JoinPlan(
+            ALGO_RTREE,
+            "indices pre-exist on both inputs (Figure 14: Rtree-2-Indices "
+            "is best)",
+            index_r,
+            index_s,
+        )
+    if have_r or have_s:
+        indexed = rel_r if have_r else rel_s
+        if indexed is larger:
+            return JoinPlan(
+                ALGO_RTREE,
+                f"index pre-exists on the larger input {larger.name}; "
+                "building the small index is cheap (Figure 14: "
+                "Rtree-1-LargeIdx)",
+                index_r,
+                index_s,
+            )
+        return JoinPlan(
+            ALGO_PBSM,
+            f"index only on the smaller input {smaller.name}: PBSM beats "
+            "probing or extending it (§4.5 summary)",
+        )
+    return JoinPlan(
+        ALGO_PBSM,
+        "no pre-existing indices: PBSM avoids index construction entirely "
+        "(Figure 7)",
+    )
+
+
+def plan_join(
+    pool: BufferPool,
+    rel_r: Relation,
+    rel_s: Relation,
+    predicate: Predicate,
+    index_r: Optional[RStarTree] = None,
+    index_s: Optional[RStarTree] = None,
+) -> tuple[JoinPlan, JoinResult]:
+    """Choose per the paper's rules, execute, and return plan + result."""
+    plan = choose_algorithm(rel_r, rel_s, pool.capacity, index_r, index_s)
+    if plan.algorithm == ALGO_PBSM:
+        result = PBSMJoin(pool).run(rel_r, rel_s, predicate)
+    elif plan.algorithm == ALGO_RTREE:
+        result = RTreeJoin(pool).run(
+            rel_r, rel_s, predicate, index_r=plan.index_r, index_s=plan.index_s
+        )
+    else:
+        result = IndexedNestedLoopsJoin(pool).run(
+            rel_r, rel_s, predicate, index_r=plan.index_r, index_s=plan.index_s
+        )
+    result.report.notes["plan"] = plan.algorithm
+    result.report.notes["plan_reason"] = plan.reason
+    return plan, result

@@ -1,0 +1,131 @@
+"""The refinement step (§3.2), shared by PBSM and the R-tree join.
+
+Input: candidate ``<OID_R, OID_S>`` pairs from a filter step (possibly with
+duplicates from tile replication).  The step:
+
+1. sorts the pairs on ``OID_R`` (primary) / ``OID_S`` (secondary) —
+   eliminating duplicates during the sort.  When the pair set exceeds the
+   memory budget the sort runs externally (sorted runs spilled through the
+   buffer pool, k-way merged);
+2. reads as many distinct R tuples as fit in the memory budget, in physical
+   order (sequential I/O);
+3. "swizzles" the pair array to point at the in-memory R tuples and re-sorts
+   the batch on ``OID_S``, making the S accesses sequential too;
+4. fetches the S tuples and evaluates the exact join predicate.
+
+This is the [Val87]-style strategy the paper uses to avoid random seeks.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..storage.extsort import ExternalSorter
+from ..storage.relation import OID, Relation
+from ..storage.tuples import SpatialTuple, tuple_size_bytes
+from .predicates import Predicate
+
+# Big-endian packing makes lexicographic byte order equal pair order, so
+# packed records sort correctly without unpacking in the sorter's key.
+_PAIR = struct.Struct(">IIIIII")
+
+CandidatePair = Tuple[OID, OID]
+
+
+def dedup_sorted_pairs(pairs: List[CandidatePair]) -> List[CandidatePair]:
+    """Drop adjacent duplicates from a sorted pair list."""
+    out: List[CandidatePair] = []
+    prev: Optional[CandidatePair] = None
+    for pair in pairs:
+        if pair != prev:
+            out.append(pair)
+            prev = pair
+    return out
+
+
+def _dedup_stream(pairs: Iterator[CandidatePair]) -> Iterator[CandidatePair]:
+    prev: Optional[CandidatePair] = None
+    for pair in pairs:
+        if pair != prev:
+            yield pair
+            prev = pair
+
+
+def _sorted_unique_pairs(
+    rel_r: Relation,
+    candidates: Sequence[CandidatePair],
+    memory_bytes: int,
+) -> Iterator[CandidatePair]:
+    """Candidates in (OID_R, OID_S) order with duplicates removed.
+
+    Small sets sort in memory; sets larger than the memory budget go
+    through the external sorter using the relation's buffer pool.
+    """
+    if len(candidates) * _PAIR.size <= memory_bytes:
+        return iter(dedup_sorted_pairs(sorted(candidates)))
+    sorter = ExternalSorter(
+        rel_r.heap.pool, key=lambda record: record, memory_bytes=memory_bytes
+    )
+    for oid_r, oid_s in candidates:
+        sorter.add(_PAIR.pack(*oid_r, *oid_s))
+    unpacked = (
+        (OID(a, b, c), OID(d, e, f))
+        for a, b, c, d, e, f in (
+            _PAIR.unpack(record) for record in sorter.sorted_records()
+        )
+    )
+    return _dedup_stream(unpacked)
+
+
+def refine(
+    rel_r: Relation,
+    rel_s: Relation,
+    candidates: Sequence[CandidatePair],
+    predicate: Predicate,
+    memory_bytes: int,
+) -> List[CandidatePair]:
+    """Run the full refinement step; returns the exact join result pairs."""
+    if memory_bytes <= 0:
+        raise ValueError("memory budget must be positive")
+
+    stream = _sorted_unique_pairs(rel_r, candidates, memory_bytes)
+
+    results: List[CandidatePair] = []
+    # Reserve part of the budget for the S side (one tuple at a time plus
+    # buffer-pool residency); the R batch gets the rest.
+    r_budget = max(memory_bytes // 2, 1)
+    pending: Optional[CandidatePair] = next(stream, None)
+
+    while pending is not None:
+        # ---- load a memory-full batch of distinct R tuples ---- #
+        batch: Dict[OID, SpatialTuple] = {}
+        swizzled: List[Tuple[OID, SpatialTuple, OID]] = []
+        used = 0
+        while pending is not None:
+            oid_r, oid_s = pending
+            tuple_r = batch.get(oid_r)
+            if tuple_r is None:
+                tuple_r = rel_r.fetch(oid_r)
+                size = tuple_size_bytes(tuple_r)
+                if batch and used + size > r_budget:
+                    break  # batch full; ``pending`` starts the next one
+                batch[oid_r] = tuple_r
+                used += size
+            swizzled.append((oid_s, tuple_r, oid_r))
+            pending = next(stream, None)
+
+        # ---- swizzled pairs sorted on OID_S: S accesses sequential ---- #
+        swizzled.sort(key=lambda item: item[0])
+        last_oid_s: Optional[OID] = None
+        last_tuple_s: Optional[SpatialTuple] = None
+        for oid_s, tuple_r, oid_r in swizzled:
+            if oid_s != last_oid_s:
+                last_tuple_s = rel_s.fetch(oid_s)
+                last_oid_s = oid_s
+            assert last_tuple_s is not None
+            if predicate(tuple_r, last_tuple_s):
+                results.append((oid_r, oid_s))
+
+    results.sort()
+    return results

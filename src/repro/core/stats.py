@@ -1,0 +1,139 @@
+"""Cost accounting for join executions.
+
+Every join driver meters its phases ("Build Hyd. Index", "Partition Road",
+"Refinement", ...) with a :class:`PhaseMeter`.  A phase records wall-clock
+CPU seconds plus the simulated-disk I/O it generated; the paper's Table 4
+("Total Cost / I/O Cost / I/O Contribution" per component) falls directly
+out of these records.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..storage.disk import DiskStats, SimulatedDisk
+from ..storage.relation import OID
+
+
+@dataclass
+class PhaseCost:
+    """Measured cost of one named join phase."""
+
+    name: str
+    cpu_s: float = 0.0
+    io_s: float = 0.0
+    page_reads: int = 0
+    page_writes: int = 0
+    seeks: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.cpu_s + self.io_s
+
+    @property
+    def total_ios(self) -> int:
+        return self.page_reads + self.page_writes
+
+    @property
+    def io_fraction(self) -> float:
+        return self.io_s / self.total_s if self.total_s else 0.0
+
+    def merge(self, other: "PhaseCost") -> None:
+        self.cpu_s += other.cpu_s
+        self.io_s += other.io_s
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        self.seeks += other.seeks
+
+
+@dataclass
+class JoinReport:
+    """Phase-by-phase cost record of one join execution."""
+
+    algorithm: str
+    phases: List[PhaseCost] = field(default_factory=list)
+    candidates: int = 0
+    result_count: int = 0
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return sum(p.total_s for p in self.phases)
+
+    @property
+    def cpu_s(self) -> float:
+        return sum(p.cpu_s for p in self.phases)
+
+    @property
+    def io_s(self) -> float:
+        return sum(p.io_s for p in self.phases)
+
+    @property
+    def io_fraction(self) -> float:
+        return self.io_s / self.total_s if self.total_s else 0.0
+
+    def phase(self, name: str) -> PhaseCost:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase named {name!r} in {self.algorithm}")
+
+    def format_table(self) -> str:
+        """Render the report like a row group of the paper's Table 4."""
+        lines = [
+            f"{self.algorithm}: total={self.total_s:.2f}s "
+            f"(cpu={self.cpu_s:.2f}s io={self.io_s:.2f}s "
+            f"io%={100 * self.io_fraction:.1f}) "
+            f"candidates={self.candidates} results={self.result_count}"
+        ]
+        for p in self.phases:
+            lines.append(
+                f"  {p.name:<28} total={p.total_s:8.2f}s io={p.io_s:7.2f}s "
+                f"io%={100 * p.io_fraction:5.1f} "
+                f"r/w/seek={p.page_reads}/{p.page_writes}/{p.seeks}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class JoinResult:
+    """A join's output pairs plus its cost report."""
+
+    pairs: List[Tuple[OID, OID]]
+    report: JoinReport
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class PhaseMeter:
+    """Meters named phases against one simulated disk."""
+
+    def __init__(self, disk: SimulatedDisk, report: Optional[JoinReport] = None):
+        self.disk = disk
+        self.report = report
+        self.phases: List[PhaseCost] = report.phases if report is not None else []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseCost]:
+        """Meter a block; repeated names accumulate into one phase entry."""
+        before = self.disk.snapshot()
+        start = time.perf_counter()
+        cost = PhaseCost(name)
+        try:
+            yield cost
+        finally:
+            cost.cpu_s += time.perf_counter() - start
+            delta = self.disk.stats.minus(before)
+            cost.io_s += delta.io_time(self.disk.cost_model)
+            cost.page_reads += delta.page_reads
+            cost.page_writes += delta.page_writes
+            cost.seeks += delta.seeks
+            existing = next((p for p in self.phases if p.name == name), None)
+            if existing is not None and existing is not cost:
+                existing.merge(cost)
+            else:
+                self.phases.append(cost)

@@ -1,0 +1,21 @@
+"""Volcano-style executor: spatial joins over intermediate results."""
+
+from .operators import (
+    Filter,
+    Limit,
+    Materialize,
+    Operator,
+    RelationScan,
+    SpatialJoin,
+    WindowFilter,
+)
+
+__all__ = [
+    "Filter",
+    "Limit",
+    "Materialize",
+    "Operator",
+    "RelationScan",
+    "SpatialJoin",
+    "WindowFilter",
+]

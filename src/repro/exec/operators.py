@@ -1,0 +1,162 @@
+"""A small Volcano-style query executor.
+
+The paper's opening motivation for PBSM: "Such a situation could arise if
+both inputs to the join are intermediate results in a complex query" —
+intermediate results never have indices, so the optimiser must evaluate
+their spatial join without one.  This module provides exactly that setting:
+pull-based operators over spatial tuples, a :class:`Materialize` operator
+that spools an intermediate result into a temporary relation, and a
+:class:`SpatialJoin` operator that materialises both children and lets the
+planner pick the algorithm (which, with no indices, is PBSM).
+
+Rows flowing between operators are ``(OID, SpatialTuple)`` pairs; the OID
+is the row's identity in whatever relation it was last materialised in.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..core.planner import plan_join
+from ..core.predicates import Predicate
+from ..core.stats import JoinReport
+from ..geometry import Rect
+from ..storage.buffer import BufferPool
+from ..storage.relation import OID, Relation
+from ..storage.tuples import SpatialTuple
+
+Row = Tuple[OID, SpatialTuple]
+
+_temp_counter = itertools.count()
+
+
+class Operator:
+    """Base class: operators are restartable iterators of rows."""
+
+    def rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+
+class RelationScan(Operator):
+    """Leaf operator: sequential scan of a stored relation."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+
+    def rows(self) -> Iterator[Row]:
+        yield from self.relation.scan()
+
+
+class Filter(Operator):
+    """Row-level selection on attributes and/or geometry."""
+
+    def __init__(self, child: Operator, predicate: Callable[[SpatialTuple], bool]):
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self) -> Iterator[Row]:
+        for oid, t in self.child:
+            if self.predicate(t):
+                yield oid, t
+
+
+class WindowFilter(Filter):
+    """Selection by MBR overlap with a query window (a common GIS clause)."""
+
+    def __init__(self, child: Operator, window: Rect):
+        super().__init__(child, lambda t: t.mbr.intersects(window))
+        self.window = window
+
+
+class Limit(Operator):
+    """Cap the row count (pagination / top-k style plumbing)."""
+
+    def __init__(self, child: Operator, n: int):
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self.child = child
+        self.n = n
+
+    def rows(self) -> Iterator[Row]:
+        yield from itertools.islice(self.child, self.n)
+
+
+class Materialize(Operator):
+    """Spool the child into a temporary relation (run once, cached).
+
+    This is what makes a result "intermediate" in the paper's sense: it is
+    a fresh relation on disk with fresh OIDs and, crucially, no index.
+    """
+
+    def __init__(self, pool: BufferPool, child: Operator, name: Optional[str] = None):
+        self.pool = pool
+        self.child = child
+        self.name = name or f"__temp_{next(_temp_counter)}"
+        self._relation: Optional[Relation] = None
+
+    def relation(self) -> Relation:
+        if self._relation is None:
+            rel = Relation(self.pool, self.name)
+            for _oid, t in self.child:
+                rel.insert(t)
+            self._relation = rel
+        return self._relation
+
+    def rows(self) -> Iterator[Row]:
+        yield from self.relation().scan()
+
+    def drop(self) -> None:
+        if self._relation is not None:
+            self._relation.heap.drop()
+            self._relation = None
+
+
+class SpatialJoin(Operator):
+    """Spatial join of two sub-plans.
+
+    Both children are materialised into temporary (index-less) relations,
+    the planner chooses the algorithm — PBSM, per the paper, since no
+    intermediate result carries an index — and the exact result rows are
+    produced as ``(left_row, right_row)`` pairs via :meth:`pairs`, or as
+    left rows via the default iterator (semi-join style).
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        left: Operator,
+        right: Operator,
+        predicate: Predicate,
+    ):
+        self.pool = pool
+        self.left = Materialize(pool, left) if not isinstance(left, Materialize) else left
+        self.right = (
+            Materialize(pool, right) if not isinstance(right, Materialize) else right
+        )
+        self.predicate = predicate
+        self.last_report: Optional[JoinReport] = None
+
+    def pairs(self) -> List[Tuple[Row, Row]]:
+        rel_l = self.left.relation()
+        rel_r = self.right.relation()
+        if len(rel_l) == 0 or len(rel_r) == 0:
+            return []
+        _plan, result = plan_join(
+            self.pool, rel_l, rel_r, self.predicate
+        )
+        self.last_report = result.report
+        return [
+            ((oid_l, rel_l.fetch(oid_l)), (oid_r, rel_r.fetch(oid_r)))
+            for oid_l, oid_r in result.pairs
+        ]
+
+    def rows(self) -> Iterator[Row]:
+        seen = set()
+        for (oid_l, t_l), _right in self.pairs():
+            if oid_l not in seen:
+                seen.add(oid_l)
+                yield oid_l, t_l

@@ -1,0 +1,123 @@
+"""Space-filling curves: Hilbert and Z-order (Morton).
+
+Paradise bulk-loads its R*-trees by sorting key-pointers on the Hilbert value
+of the MBR centre (§4.1); the Z-order curve implements the Orenstein-style
+transform referenced in §2 and is used by the spatial-sort utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .rect import Rect
+
+DEFAULT_ORDER = 16
+"""Curve order: the unit square is discretised into 2^order x 2^order cells."""
+
+
+def hilbert_d(x: int, y: int, order: int = DEFAULT_ORDER) -> int:
+    """Distance along the Hilbert curve of the integer cell ``(x, y)``.
+
+    Classic bit-twiddling conversion (Hamilton's ``xy2d``).  ``x`` and ``y``
+    must lie in ``[0, 2^order)``.
+    """
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"cell ({x}, {y}) outside a {side}x{side} grid")
+    rx = ry = 0
+    d = 0
+    s = side >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hilbert_xy(d: int, order: int = DEFAULT_ORDER) -> Tuple[int, int]:
+    """Inverse of :func:`hilbert_d` (Hamilton's ``d2xy``)."""
+    side = 1 << order
+    if not (0 <= d < side * side):
+        raise ValueError(f"distance {d} outside curve of order {order}")
+    x = y = 0
+    t = d
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s <<= 1
+    return x, y
+
+
+def morton_d(x: int, y: int, order: int = DEFAULT_ORDER) -> int:
+    """Z-order (Morton) code: interleave the bits of ``x`` and ``y``."""
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"cell ({x}, {y}) outside a {side}x{side} grid")
+    code = 0
+    for bit in range(order):
+        code |= ((x >> bit) & 1) << (2 * bit)
+        code |= ((y >> bit) & 1) << (2 * bit + 1)
+    return code
+
+
+def morton_xy(code: int, order: int = DEFAULT_ORDER) -> Tuple[int, int]:
+    """Inverse of :func:`morton_d`."""
+    x = y = 0
+    for bit in range(order):
+        x |= ((code >> (2 * bit)) & 1) << bit
+        y |= ((code >> (2 * bit + 1)) & 1) << bit
+    return x, y
+
+
+class CurveMapper:
+    """Maps continuous points in a universe rectangle to curve distances."""
+
+    def __init__(self, universe: Rect, order: int = DEFAULT_ORDER):
+        if universe.width <= 0 or universe.height <= 0:
+            # Degenerate universes (all points collinear) still need a
+            # usable mapping; pad them slightly.
+            universe = Rect(
+                universe.xl, universe.yl,
+                universe.xl + max(universe.width, 1e-9),
+                universe.yl + max(universe.height, 1e-9),
+            )
+        self.universe = universe
+        self.order = order
+        self._side = 1 << order
+
+    def _cell(self, x: float, y: float) -> Tuple[int, int]:
+        u = self.universe
+        cx = int((x - u.xl) / u.width * (self._side - 1))
+        cy = int((y - u.yl) / u.height * (self._side - 1))
+        cx = min(max(cx, 0), self._side - 1)
+        cy = min(max(cy, 0), self._side - 1)
+        return cx, cy
+
+    def hilbert(self, x: float, y: float) -> int:
+        cx, cy = self._cell(x, y)
+        return hilbert_d(cx, cy, self.order)
+
+    def morton(self, x: float, y: float) -> int:
+        cx, cy = self._cell(x, y)
+        return morton_d(cx, cy, self.order)
+
+    def hilbert_of_rect(self, rect: Rect) -> int:
+        """Hilbert value of a rectangle's centre — the Paradise sort key."""
+        cx, cy = rect.center
+        return self.hilbert(cx, cy)

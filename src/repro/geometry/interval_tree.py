@@ -1,0 +1,127 @@
+"""A static interval tree over 1-D closed intervals.
+
+Footnote 1 of §3.1: the y-overlap check inside PBSM's plane-sweep merge "can
+be speeded up by organizing the MBRs ... in an Interval-tree".  This module
+provides that structure; the merge uses it when configured to (see
+``repro.core.planesweep``), and an ablation benchmark measures its effect.
+
+The classic centred interval tree: each node stores a centre point, the
+intervals containing the centre (sorted by both endpoints), and left/right
+subtrees of the strictly-smaller / strictly-larger intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+Interval = Tuple[float, float]
+
+
+@dataclass
+class _Node(Generic[T]):
+    center: float
+    by_lo: List[Tuple[float, float, T]]  # sorted ascending by lo
+    by_hi: List[Tuple[float, float, T]]  # sorted descending by hi
+    left: "Optional[_Node[T]]"
+    right: "Optional[_Node[T]]"
+
+
+class IntervalTree(Generic[T]):
+    """Static interval tree built once from ``(lo, hi, payload)`` triples."""
+
+    def __init__(self, intervals: Sequence[Tuple[float, float, T]]):
+        for lo, hi, _ in intervals:
+            if lo > hi:
+                raise ValueError(f"malformed interval [{lo}, {hi}]")
+        self._size = len(intervals)
+        self._root = self._build(list(intervals))
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _build(items: List[Tuple[float, float, T]]) -> Optional[_Node[T]]:
+        if not items:
+            return None
+        endpoints = sorted(lo for lo, _, _ in items)
+        center = endpoints[len(endpoints) // 2]
+        here: List[Tuple[float, float, T]] = []
+        left_items: List[Tuple[float, float, T]] = []
+        right_items: List[Tuple[float, float, T]] = []
+        for iv in items:
+            lo, hi, _ = iv
+            if hi < center:
+                left_items.append(iv)
+            elif lo > center:
+                right_items.append(iv)
+            else:
+                here.append(iv)
+        if not here:
+            # Degenerate split (all intervals on one side): fall back to a
+            # leaf-ish node holding everything to guarantee termination.
+            here = left_items + right_items
+            left_items = []
+            right_items = []
+        return _Node(
+            center=center,
+            by_lo=sorted(here, key=lambda iv: iv[0]),
+            by_hi=sorted(here, key=lambda iv: -iv[1]),
+            left=IntervalTree._build(left_items),
+            right=IntervalTree._build(right_items),
+        )
+
+    def stabbing(self, point: float) -> List[T]:
+        """All payloads whose interval contains ``point``."""
+        out: List[T] = []
+        node = self._root
+        while node is not None:
+            if point < node.center:
+                for lo, _hi, payload in node.by_lo:
+                    if lo > point:
+                        break
+                    out.append(payload)
+                node = node.left
+            elif point > node.center:
+                for _lo, hi, payload in node.by_hi:
+                    if hi < point:
+                        break
+                    out.append(payload)
+                node = node.right
+            else:
+                out.extend(payload for _lo, _hi, payload in node.by_lo)
+                node = node.left  # identical centres can only hide left
+        return out
+
+    def overlapping(self, lo: float, hi: float) -> List[T]:
+        """All payloads whose interval intersects the closed ``[lo, hi]``."""
+        if lo > hi:
+            raise ValueError(f"malformed query interval [{lo}, {hi}]")
+        out: List[T] = []
+        self._collect(self._root, lo, hi, out)
+        return out
+
+    @staticmethod
+    def _collect(
+        node: Optional[_Node[T]], lo: float, hi: float, out: List[T]
+    ) -> None:
+        while node is not None:
+            if hi < node.center:
+                for ilo, _ihi, payload in node.by_lo:
+                    if ilo > hi:
+                        break
+                    out.append(payload)
+                node = node.left
+            elif lo > node.center:
+                for _ilo, ihi, payload in node.by_hi:
+                    if ihi < lo:
+                        break
+                    out.append(payload)
+                node = node.right
+            else:
+                # Query straddles the centre: all stored intervals overlap.
+                out.extend(payload for _ilo, _ihi, payload in node.by_lo)
+                IntervalTree._collect(node.left, lo, hi, out)
+                node = node.right

@@ -1,0 +1,184 @@
+"""Axis-aligned rectangles (minimum bounding rectangles).
+
+The MBR is the approximation PBSM's filter step works on.  ``Rect`` is an
+immutable value type with the small algebra needed by the join algorithms:
+overlap tests, containment, union ("stretch"), intersection, area and margin
+(used by the R*-tree split heuristics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xl, xu] x [yl, yu]``.
+
+    Degenerate rectangles (points and segments, where ``xl == xu`` or
+    ``yl == yu``) are allowed; they arise as MBRs of axis-parallel
+    polylines and of points.
+    """
+
+    xl: float
+    yl: float
+    xu: float
+    yu: float
+
+    def __post_init__(self) -> None:
+        if self.xl > self.xu or self.yl > self.yu:
+            raise ValueError(f"malformed rectangle: {self!r}")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_points(points: Iterable[Tuple[float, float]]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty point sequence."""
+        it = iter(points)
+        try:
+            x0, y0 = next(it)
+        except StopIteration:
+            raise ValueError("cannot bound an empty point sequence") from None
+        xl = xu = x0
+        yl = yu = y0
+        for x, y in it:
+            if x < xl:
+                xl = x
+            elif x > xu:
+                xu = x
+            if y < yl:
+                yl = y
+            elif y > yu:
+                yu = y
+        return Rect(xl, yl, xu, yu)
+
+    @staticmethod
+    def union_all(rects: Iterable["Rect"]) -> "Rect":
+        """Minimum cover of a non-empty rectangle sequence (the *universe*)."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot cover an empty rectangle sequence") from None
+        xl, yl, xu, yu = first.xl, first.yl, first.xu, first.yu
+        for r in it:
+            if r.xl < xl:
+                xl = r.xl
+            if r.yl < yl:
+                yl = r.yl
+            if r.xu > xu:
+                xu = r.xu
+            if r.yu > yu:
+                yu = r.yu
+        return Rect(xl, yl, xu, yu)
+
+    # ------------------------------------------------------------------ #
+    # predicates
+    # ------------------------------------------------------------------ #
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two closed rectangles share at least one point."""
+        return (
+            self.xl <= other.xu
+            and other.xl <= self.xu
+            and self.yl <= other.yu
+            and other.yl <= self.yu
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xl <= other.xl
+            and self.yl <= other.yl
+            and other.xu <= self.xu
+            and other.yu <= self.yu
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xl <= x <= self.xu and self.yl <= y <= self.yu
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xl, other.xl),
+            min(self.yl, other.yl),
+            max(self.xu, other.xu),
+            max(self.yu, other.yu),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` when disjoint."""
+        xl = max(self.xl, other.xl)
+        yl = max(self.yl, other.yl)
+        xu = min(self.xu, other.xu)
+        yu = min(self.yu, other.yu)
+        if xl > xu or yl > yu:
+            return None
+        return Rect(xl, yl, xu, yu)
+
+    # ------------------------------------------------------------------ #
+    # measures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def width(self) -> float:
+        return self.xu - self.xl
+
+    @property
+    def height(self) -> float:
+        return self.yu - self.yl
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree split goodness metric."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.xl + self.xu) / 2.0, (self.yl + self.yu) / 2.0)
+
+    def overlap_area(self, other: "Rect") -> float:
+        w = min(self.xu, other.xu) - max(self.xl, other.xl)
+        if w <= 0.0:
+            return 0.0
+        h = min(self.yu, other.yu) - max(self.yl, other.yl)
+        if h <= 0.0:
+            return 0.0
+        return w * h
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to also cover ``other`` (R-tree ChooseSubtree)."""
+        w = max(self.xu, other.xu) - min(self.xl, other.xl)
+        h = max(self.yu, other.yu) - min(self.yl, other.yl)
+        return w * h - self.area
+
+    def distance_to_point(self, x: float, y: float) -> float:
+        """Euclidean distance from a point to the rectangle (0 if inside)."""
+        dx = max(self.xl - x, 0.0, x - self.xu)
+        dy = max(self.yl - y, 0.0, y - self.yu)
+        return math.hypot(dx, dy)
+
+    # ------------------------------------------------------------------ #
+    # serialisation / misc
+    # ------------------------------------------------------------------ #
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.xl, self.yl, self.xu, self.yu)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())
+
+
+EMPTYISH = Rect(0.0, 0.0, 0.0, 0.0)
+"""A degenerate zero rectangle, handy as a sentinel for empty covers."""

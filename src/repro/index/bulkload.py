@@ -1,0 +1,188 @@
+"""Bulk loading R*-trees the Paradise way (§4.1).
+
+Three phases, each exposed separately so join drivers can meter them:
+
+1. :func:`extract_keypointers` — scan the relation and collect
+   ``<MBR, OID>`` key-pointer elements;
+2. :func:`spatial_sort` / :func:`spatial_sort_external` — order
+   key-pointers by the Hilbert value of the MBR centre (skipped when the
+   input is already spatially clustered — the clustering effect the paper
+   measures in Figures 10-12).  The external variant spills sorted runs
+   through the buffer pool when the key-pointer stream exceeds the memory
+   budget, as a real system with a small buffer pool must;
+3. :func:`build_from_sorted` — pack the sorted run bottom-up into a tree.
+
+The paper's motivating numbers: bulk loading 122K objects took 109.9 s vs
+864.5 s for repeated inserts; `benchmarks/bench_bulkload_vs_inserts.py`
+reproduces the ratio.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..geometry import CurveMapper, Rect
+from ..storage.buffer import BufferPool
+from ..storage.extsort import ExternalSorter
+from ..storage.relation import OID, Relation
+from .node import NODE_CAPACITY, Node, pack_meta, pack_node
+from .rstar import META_PAGE, RStarTree
+
+DEFAULT_FILL = 0.80
+"""Leaf/branch fill factor used by the bulk loader."""
+
+KeyPointer = Tuple[Rect, OID]
+
+# Hilbert key (u64, big-endian so byte order equals numeric order) followed
+# by the key-pointer payload; used by the external-sort path.
+_SORT_REC = struct.Struct(">QddddIII")
+
+
+def extract_keypointers(relation: Relation) -> List[KeyPointer]:
+    """Sequential scan producing the ``<MBR, OID>`` stream."""
+    return [(t.mbr, oid) for oid, t in relation.scan()]
+
+
+def spatial_sort(
+    entries: Sequence[KeyPointer], universe: Optional[Rect] = None
+) -> List[KeyPointer]:
+    """In-memory sort of key-pointers by Hilbert value of the MBR centre."""
+    items = list(entries)
+    if not items:
+        return items
+    if universe is None:
+        universe = Rect.union_all(rect for rect, _ in items)
+    mapper = CurveMapper(universe)
+    items.sort(key=lambda kp: mapper.hilbert_of_rect(kp[0]))
+    return items
+
+
+def spatial_sort_external(
+    pool: BufferPool,
+    entries: Iterable[KeyPointer],
+    universe: Rect,
+    memory_bytes: int,
+) -> Iterator[KeyPointer]:
+    """Hilbert sort that spills runs to disk beyond ``memory_bytes``.
+
+    This is what Paradise actually has to do when bulk loading a 456K-tuple
+    index through a 2 MB buffer pool; the spill I/O is what makes index
+    builds genuinely more expensive at small buffer sizes.
+    """
+    mapper = CurveMapper(universe)
+    sorter = ExternalSorter(
+        pool, key=lambda record: record[:8], memory_bytes=memory_bytes
+    )
+    for rect, oid in entries:
+        sorter.add(
+            _SORT_REC.pack(
+                mapper.hilbert_of_rect(rect),
+                rect.xl, rect.yl, rect.xu, rect.yu,
+                *oid,
+            )
+        )
+    for record in sorter.sorted_records():
+        _h, xl, yl, xu, yu, a, b, c = _SORT_REC.unpack(record)
+        yield Rect(xl, yl, xu, yu), OID(a, b, c)
+
+
+def build_from_sorted(
+    pool: BufferPool,
+    sorted_entries: Iterable[KeyPointer],
+    fill: float = DEFAULT_FILL,
+) -> RStarTree:
+    """Pack a sorted key-pointer stream bottom-up into a fresh R*-tree file."""
+    if not 0.0 < fill <= 1.0:
+        raise ValueError(f"fill factor {fill} outside (0, 1]")
+    per_node = max(2, int(NODE_CAPACITY * fill))
+
+    file_id = pool.disk.create_file()
+    meta_no = pool.new_page(file_id)
+    assert meta_no == META_PAGE
+
+    def flush_node(
+        entries: List[Tuple[Rect, Tuple[int, int, int]]], is_leaf: bool
+    ) -> Tuple[Rect, Tuple[int, int, int]]:
+        node = Node(pool.new_page(file_id), is_leaf)
+        for rect, payload in entries:
+            node.add(rect, payload)
+        _write_raw_node(pool, file_id, node)
+        return (node.mbr(), (node.page_no, 0, 0))
+
+    # Leaf level: stream the input, flushing a leaf every ``per_node``.
+    parents: List[Tuple[Rect, Tuple[int, int, int]]] = []
+    chunk: List[Tuple[Rect, Tuple[int, int, int]]] = []
+    count = 0
+    for rect, oid in sorted_entries:
+        chunk.append((rect, tuple(oid)))
+        count += 1
+        if len(chunk) == per_node:
+            parents.append(flush_node(chunk, is_leaf=True))
+            chunk = []
+    if chunk:
+        parents.append(flush_node(chunk, is_leaf=True))
+
+    if count == 0:
+        # An empty tree still has a single empty leaf root.
+        root = Node(pool.new_page(file_id), is_leaf=True)
+        _write_raw_node(pool, file_id, root)
+        _write_raw_meta(pool, file_id, root.page_no, 1, 0)
+        return RStarTree(pool, file_id)
+
+    # Upper levels fit in memory (fanout ~150).
+    height = 1
+    level = parents
+    while len(level) > 1:
+        next_level: List[Tuple[Rect, Tuple[int, int, int]]] = []
+        for start in range(0, len(level), per_node):
+            next_level.append(flush_node(level[start : start + per_node], False))
+        level = next_level
+        height += 1
+    _write_raw_meta(pool, file_id, level[0][1][0], height, count)
+    return RStarTree(pool, file_id)
+
+
+def bulk_load_rstar(
+    pool: BufferPool,
+    relation: Relation,
+    presorted: bool = False,
+    fill: float = DEFAULT_FILL,
+    memory_bytes: Optional[int] = None,
+) -> RStarTree:
+    """Convenience wrapper running all three phases.
+
+    With ``presorted=True`` the Hilbert sort is skipped, modelling a
+    spatially clustered input whose physical order is already the curve
+    order.  With ``memory_bytes`` set, the sort spills runs to disk when
+    the key-pointer stream exceeds the budget (the small-buffer regime of
+    the paper's sweeps); otherwise it sorts in memory.
+    """
+    if presorted:
+        return build_from_sorted(
+            pool, ((t.mbr, oid) for oid, t in relation.scan()), fill
+        )
+    if memory_bytes is not None:
+        stream = spatial_sort_external(
+            pool,
+            ((t.mbr, oid) for oid, t in relation.scan()),
+            relation.universe,
+            memory_bytes,
+        )
+        return build_from_sorted(pool, stream, fill)
+    entries = spatial_sort(extract_keypointers(relation), relation.universe)
+    return build_from_sorted(pool, entries, fill)
+
+
+def _write_raw_node(pool: BufferPool, file_id: int, node: Node) -> None:
+    page = pool.get_page(file_id, node.page_no)
+    pack_node(node, page)
+    pool.mark_dirty(file_id, node.page_no)
+
+
+def _write_raw_meta(
+    pool: BufferPool, file_id: int, root_page: int, height: int, count: int
+) -> None:
+    page = pool.get_page(file_id, META_PAGE)
+    pack_meta(page, root_page, height, count)
+    pool.mark_dirty(file_id, META_PAGE)

@@ -1,0 +1,280 @@
+"""Grid files [NHS84] — the multikey substrate of Table 1's join-index row.
+
+A grid file partitions space with per-dimension *linear scales* (sorted
+split positions) and a *grid directory* mapping each cell to a data bucket.
+Buckets hold ``(Rect, OID)`` entries (objects are placed by their MBR
+centre, the point-database convention [BHF93] uses for spatial data);
+when a bucket overflows, a split position is added to the scale with the
+larger spread, the directory is refined, and the bucket's entries are
+redistributed.  Several cells may share one bucket (the classic grid-file
+trick that keeps the directory dense but buckets at a sane fill).
+
+Buckets are pages of a heap-file-like store, so grid-file probes cost real
+simulated I/O like every other access path here.
+
+This implementation supports exactly what [Rot91]'s spatial join index
+needs: insertion, window search over centres, and alignment of two grid
+files on a common set of scales.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from ..geometry import Rect
+from ..storage.buffer import BufferPool
+from ..storage.relation import OID, Relation
+from .node import NODE_CAPACITY
+
+BUCKET_CAPACITY = NODE_CAPACITY  # one page worth of (Rect, OID) entries
+
+Entry = Tuple[Rect, OID]
+
+
+class _Bucket:
+    """A page-backed bucket of entries."""
+
+    __slots__ = ("page_no", "entries")
+
+    def __init__(self, page_no: int):
+        self.page_no = page_no
+        self.entries: List[Entry] = []
+
+
+class GridFile:
+    """A 2-D grid file over ``(Rect, OID)`` entries, keyed by MBR centre."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        universe: Rect,
+        bucket_capacity: int = BUCKET_CAPACITY,
+    ):
+        if bucket_capacity < 2:
+            raise ValueError("bucket capacity must be at least 2")
+        self.pool = pool
+        self.universe = universe
+        self.bucket_capacity = bucket_capacity
+        self.file_id = pool.disk.create_file()
+        # Linear scales: interior split positions per dimension.
+        self.x_scale: List[float] = []
+        self.y_scale: List[float] = []
+        first = self._new_bucket()
+        # Directory indexed [ix][iy] -> bucket; initially one cell.
+        self.directory: List[List[_Bucket]] = [[first]]
+        self.count = 0
+        # Largest half-extents seen: how far an MBR can stick out of the
+        # cell its centre falls in (needed for conservative window probes).
+        self.max_half_w = 0.0
+        self.max_half_h = 0.0
+
+    # ------------------------------------------------------------------ #
+    # bucket page plumbing (entries serialised like key-pointers)
+    # ------------------------------------------------------------------ #
+
+    def _new_bucket(self) -> _Bucket:
+        page_no = self.pool.new_page(self.file_id)
+        return _Bucket(page_no)
+
+    def _touch(self, bucket: _Bucket) -> None:
+        """Charge a page access for reading/writing the bucket."""
+        self.pool.get_page(self.file_id, bucket.page_no)
+
+    def _dirty(self, bucket: _Bucket) -> None:
+        self.pool.get_page(self.file_id, bucket.page_no)
+        self.pool.mark_dirty(self.file_id, bucket.page_no)
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        return bisect.bisect_right(self.x_scale, x), bisect.bisect_right(
+            self.y_scale, y
+        )
+
+    def _bucket_of(self, x: float, y: float) -> _Bucket:
+        ix, iy = self._cell_of(x, y)
+        return self.directory[ix][iy]
+
+    @property
+    def num_cells(self) -> int:
+        return (len(self.x_scale) + 1) * (len(self.y_scale) + 1)
+
+    @property
+    def num_buckets(self) -> int:
+        seen = {
+            id(bucket) for column in self.directory for bucket in column
+        }
+        return len(seen)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, rect: Rect, oid: OID) -> None:
+        cx, cy = rect.center
+        self.max_half_w = max(self.max_half_w, rect.width / 2.0)
+        self.max_half_h = max(self.max_half_h, rect.height / 2.0)
+        bucket = self._bucket_of(cx, cy)
+        bucket.entries.append((rect, oid))
+        self._dirty(bucket)
+        self.count += 1
+        if len(bucket.entries) > self.bucket_capacity:
+            self._split(bucket)
+
+    def _split(self, bucket: _Bucket) -> None:
+        """Split an overflowing bucket by adding a scale position."""
+        xs = sorted(rect.center[0] for rect, _ in bucket.entries)
+        ys = sorted(rect.center[1] for rect, _ in bucket.entries)
+        x_spread = xs[-1] - xs[0]
+        y_spread = ys[-1] - ys[0]
+        if x_spread <= 0 and y_spread <= 0:
+            return  # all centres identical; overflow is tolerated
+        if x_spread >= y_spread:
+            split = xs[len(xs) // 2]
+            if split in self.x_scale or split <= xs[0]:
+                split = (xs[0] + xs[-1]) / 2.0
+            self._add_x_split(split)
+        else:
+            split = ys[len(ys) // 2]
+            if split in self.y_scale or split <= ys[0]:
+                split = (ys[0] + ys[-1]) / 2.0
+            self._add_y_split(split)
+
+    def _add_x_split(self, split: float) -> None:
+        idx = bisect.bisect_right(self.x_scale, split)
+        self.x_scale.insert(idx, split)
+        # Duplicate directory column idx; cells keep sharing buckets except
+        # where the split actually separates an overflowing one.
+        column = self.directory[idx]
+        self.directory.insert(idx, list(column))
+        self._redistribute_after_split(axis=0, index=idx, split=split)
+
+    def _add_y_split(self, split: float) -> None:
+        idx = bisect.bisect_right(self.y_scale, split)
+        self.y_scale.insert(idx, split)
+        for column in self.directory:
+            column.insert(idx, column[idx])
+        self._redistribute_after_split(axis=1, index=idx, split=split)
+
+    def _redistribute_after_split(self, axis: int, index: int, split: float) -> None:
+        """Give the two cell runs created by the split their own buckets
+        where a shared bucket overflows, then re-place its entries.
+
+        A bucket may back several cells along the perpendicular axis; every
+        high-side cell that referenced it must be repointed at the *same*
+        fresh bucket, or its entries would become unreachable.
+        """
+        ncols = len(self.directory)
+        nrows = len(self.directory[0])
+        straddlers: Dict[int, _Bucket] = {}
+        if axis == 0:
+            for iy in range(nrows):
+                bucket = self.directory[index][iy]
+                if bucket is self.directory[index + 1][iy]:
+                    straddlers[id(bucket)] = bucket
+        else:
+            for ix in range(ncols):
+                bucket = self.directory[ix][index]
+                if bucket is self.directory[ix][index + 1]:
+                    straddlers[id(bucket)] = bucket
+
+        for shared in straddlers.values():
+            if len(shared.entries) <= self.bucket_capacity:
+                continue  # still fits; keep sharing across the split
+            fresh = self._new_bucket()
+            moved: List[Entry] = []
+            kept: List[Entry] = []
+            for rect, oid in shared.entries:
+                centre = rect.center[axis]
+                # bisect_right addressing sends centre == split to the high
+                # cell, so the redistribution must match exactly.
+                (moved if centre >= split else kept).append((rect, oid))
+            shared.entries = kept
+            fresh.entries = moved
+            self._dirty(shared)
+            self._dirty(fresh)
+            for ix in range(ncols):
+                for iy in range(nrows):
+                    on_high_side = ix > index if axis == 0 else iy > index
+                    if on_high_side and self.directory[ix][iy] is shared:
+                        self.directory[ix][iy] = fresh
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def search_window(self, window: Rect) -> List[Entry]:
+        """All entries whose MBR *centre* lies in the window."""
+        out: List[Entry] = []
+        ix_lo, iy_lo = self._cell_of(window.xl, window.yl)
+        ix_hi, iy_hi = self._cell_of(window.xu, window.yu)
+        seen: set[int] = set()
+        for ix in range(ix_lo, ix_hi + 1):
+            for iy in range(iy_lo, iy_hi + 1):
+                bucket = self.directory[ix][iy]
+                if id(bucket) in seen:
+                    continue
+                seen.add(id(bucket))
+                self._touch(bucket)
+                out.extend(
+                    (rect, oid)
+                    for rect, oid in bucket.entries
+                    if window.contains_point(*rect.center)
+                )
+        return out
+
+    def all_entries(self) -> List[Entry]:
+        out: List[Entry] = []
+        seen: set[int] = set()
+        for column in self.directory:
+            for bucket in column:
+                if id(bucket) in seen:
+                    continue
+                seen.add(id(bucket))
+                self._touch(bucket)
+                out.extend(bucket.entries)
+        return out
+
+    def buckets_overlapping(self, window: Rect) -> List[Tuple[Rect, List[Entry]]]:
+        """(cell region, entries) for every distinct bucket whose cells
+        intersect the window — what the join-index build iterates."""
+        out: List[Tuple[Rect, List[Entry]]] = []
+        seen: set[int] = set()
+        for ix in range(len(self.directory)):
+            for iy in range(len(self.directory[0])):
+                region = self.cell_region(ix, iy)
+                if not region.intersects(window):
+                    continue
+                bucket = self.directory[ix][iy]
+                if id(bucket) in seen:
+                    continue
+                seen.add(id(bucket))
+                self._touch(bucket)
+                out.append((region, list(bucket.entries)))
+        return out
+
+    def cell_region(self, ix: int, iy: int) -> Rect:
+        """Geometric extent of directory cell (ix, iy)."""
+        u = self.universe
+        xs = [u.xl, *self.x_scale, u.xu]
+        ys = [u.yl, *self.y_scale, u.yu]
+        return Rect(
+            xs[ix], ys[iy],
+            xs[ix + 1] if ix + 1 < len(xs) else u.xu,
+            ys[iy + 1] if iy + 1 < len(ys) else u.yu,
+        )
+
+
+def build_grid_file(
+    pool: BufferPool,
+    relation: Relation,
+    bucket_capacity: int = BUCKET_CAPACITY,
+) -> GridFile:
+    """Load a relation's MBRs into a fresh grid file."""
+    grid = GridFile(pool, relation.universe, bucket_capacity)
+    for oid, t in relation.scan():
+        grid.insert(t.mbr, oid)
+    return grid

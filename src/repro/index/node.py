@@ -1,0 +1,106 @@
+"""R*-tree node layout on 8 KB pages.
+
+Every node occupies exactly one page of the tree's file.  Page 0 is a meta
+page holding the root pointer and tree height, so a tree is fully recoverable
+from its file.
+
+Node page layout::
+
+    0       is_leaf (u8)
+    1       pad
+    2..4    entry count (u16)
+    4..     entries, 44 bytes each:
+                xl, yl, xu, yu  (4 x f64)
+                a, b, c         (3 x u32)
+
+For an internal entry ``a`` is the child page number (b = c = 0); for a leaf
+entry ``(a, b, c)`` is the OID ``(file_id, page_no, slot)`` of the indexed
+tuple.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..geometry import Rect
+from ..storage.disk import PAGE_SIZE
+
+_META = struct.Struct("<IIIQ")  # magic, root page, height, entry count
+_NODE_HEADER = struct.Struct("<BBH")
+_ENTRY = struct.Struct("<ddddIII")
+
+META_MAGIC = 0x52545231  # "RTR1"
+
+NODE_CAPACITY = (PAGE_SIZE - _NODE_HEADER.size) // _ENTRY.size
+"""Maximum entries per node (186 with 8 KB pages)."""
+
+ENTRY_BYTES = _ENTRY.size
+
+Payload = Tuple[int, int, int]
+
+
+@dataclass
+class Node:
+    """A parsed node: parallel entry arrays plus its page number."""
+
+    page_no: int
+    is_leaf: bool
+    rects: List[Rect] = field(default_factory=list)
+    payloads: List[Payload] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rects)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.rects) >= NODE_CAPACITY
+
+    def mbr(self) -> Rect:
+        return Rect.union_all(self.rects)
+
+    def add(self, rect: Rect, payload: Payload) -> None:
+        self.rects.append(rect)
+        self.payloads.append(payload)
+
+    def entries(self) -> List[Tuple[Rect, Payload]]:
+        return list(zip(self.rects, self.payloads))
+
+
+def pack_node(node: Node, out: bytearray) -> None:
+    """Serialise a node into a page-sized bytearray in place."""
+    if len(node.rects) > NODE_CAPACITY:
+        raise ValueError(
+            f"node {node.page_no} has {len(node.rects)} entries "
+            f"(capacity {NODE_CAPACITY})"
+        )
+    _NODE_HEADER.pack_into(out, 0, 1 if node.is_leaf else 0, 0, len(node.rects))
+    pos = _NODE_HEADER.size
+    for rect, (a, b, c) in zip(node.rects, node.payloads):
+        _ENTRY.pack_into(out, pos, rect.xl, rect.yl, rect.xu, rect.yu, a, b, c)
+        pos += _ENTRY.size
+
+
+def unpack_node(page_no: int, page: bytes | bytearray) -> Node:
+    """Parse a node from its page image."""
+    is_leaf, _pad, count = _NODE_HEADER.unpack_from(page, 0)
+    node = Node(page_no, bool(is_leaf))
+    pos = _NODE_HEADER.size
+    for _ in range(count):
+        xl, yl, xu, yu, a, b, c = _ENTRY.unpack_from(page, pos)
+        node.rects.append(Rect(xl, yl, xu, yu))
+        node.payloads.append((a, b, c))
+        pos += _ENTRY.size
+    return node
+
+
+def pack_meta(out: bytearray, root_page: int, height: int, count: int) -> None:
+    _META.pack_into(out, 0, META_MAGIC, root_page, height, count)
+
+
+def unpack_meta(page: bytes | bytearray) -> Tuple[int, int, int]:
+    magic, root_page, height, count = _META.unpack_from(page, 0)
+    if magic != META_MAGIC:
+        raise ValueError("not an R*-tree file (bad magic)")
+    return root_page, height, count

@@ -1,0 +1,380 @@
+"""A page-based R*-tree [BKSS90].
+
+Supports tuple-at-a-time insertion with the full R* heuristics (ChooseSubtree
+with overlap minimisation at the leaf level, forced reinsert, and the
+margin-driven topological split) plus window search.  Bulk loading lives in
+:mod:`repro.index.bulkload`.
+
+All node reads and writes go through the buffer pool, so probing and
+building the index incur exactly the page I/O a disk-based tree would — the
+property the paper's buffer-pool-size sweeps depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Rect
+from ..storage.buffer import BufferPool
+from ..storage.relation import OID
+from .node import (
+    NODE_CAPACITY,
+    Node,
+    Payload,
+    pack_meta,
+    pack_node,
+    unpack_meta,
+    unpack_node,
+)
+
+MIN_FILL = max(2, int(NODE_CAPACITY * 0.40))
+"""Minimum entries per non-root node (R* recommends m = 40% of M)."""
+
+REINSERT_COUNT = max(1, int(NODE_CAPACITY * 0.30))
+"""Entries removed on forced reinsert (p = 30% of M)."""
+
+META_PAGE = 0
+
+
+class RStarTree:
+    """Disk-resident R*-tree over ``(Rect, OID)`` entries."""
+
+    def __init__(self, pool: BufferPool, file_id: Optional[int] = None):
+        self.pool = pool
+        self._node_cache: Dict[int, Node] = {}
+        self._reinserted_levels: set[int] = set()
+        if file_id is None:
+            self.file_id = pool.disk.create_file()
+            meta_no = pool.new_page(self.file_id)
+            assert meta_no == META_PAGE
+            root = Node(self._allocate_node_page(), is_leaf=True)
+            self._write_node(root)
+            self.root_page = root.page_no
+            self.height = 1
+            self.count = 0
+            self._write_meta()
+        else:
+            self.file_id = file_id
+            page = pool.get_page(file_id, META_PAGE)
+            self.root_page, self.height, self.count = unpack_meta(page)
+
+    # ------------------------------------------------------------------ #
+    # page plumbing
+    # ------------------------------------------------------------------ #
+
+    def _allocate_node_page(self) -> int:
+        return self.pool.new_page(self.file_id)
+
+    def _read_node(self, page_no: int) -> Node:
+        # The page access is charged to the buffer pool whether or not the
+        # parsed form is cached; the cache only skips re-parsing CPU work.
+        page = self.pool.get_page(self.file_id, page_no)
+        node = self._node_cache.get(page_no)
+        if node is None:
+            node = unpack_node(page_no, page)
+            self._node_cache[page_no] = node
+        return node
+
+    def _write_node(self, node: Node) -> None:
+        page = self.pool.get_page(self.file_id, node.page_no)
+        pack_node(node, page)
+        self.pool.mark_dirty(self.file_id, node.page_no)
+        self._node_cache[node.page_no] = node
+
+    def _write_meta(self) -> None:
+        page = self.pool.get_page(self.file_id, META_PAGE)
+        pack_meta(page, self.root_page, self.height, self.count)
+        self.pool.mark_dirty(self.file_id, META_PAGE)
+
+    # ------------------------------------------------------------------ #
+    # public interface
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def num_pages(self) -> int:
+        return self.pool.disk.file_length(self.file_id)
+
+    def size_bytes(self) -> int:
+        from ..storage.disk import PAGE_SIZE
+
+        return self.num_pages * PAGE_SIZE
+
+    def insert(self, rect: Rect, oid: OID) -> None:
+        """Insert one entry (R* semantics, with forced reinsert)."""
+        self._reinserted_levels = set()
+        self._insert_entry(rect, tuple(oid), level=0)
+        self.count += 1
+        self._write_meta()
+
+    def search(self, window: Rect) -> List[OID]:
+        """All OIDs whose rectangles intersect the window."""
+        out: List[OID] = []
+        stack = [self.root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            if node.is_leaf:
+                for rect, payload in zip(node.rects, node.payloads):
+                    if rect.intersects(window):
+                        out.append(OID(*payload))
+            else:
+                for rect, payload in zip(node.rects, node.payloads):
+                    if rect.intersects(window):
+                        stack.append(payload[0])
+        return out
+
+    def all_entries(self) -> List[Tuple[Rect, OID]]:
+        """Every leaf entry (diagnostics and invariant checks)."""
+        out: List[Tuple[Rect, OID]] = []
+        stack = [self.root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            if node.is_leaf:
+                out.extend(
+                    (rect, OID(*payload))
+                    for rect, payload in zip(node.rects, node.payloads)
+                )
+            else:
+                stack.extend(payload[0] for payload in node.payloads)
+        return out
+
+    def root_node(self) -> Node:
+        return self._read_node(self.root_page)
+
+    # ------------------------------------------------------------------ #
+    # insertion machinery
+    # ------------------------------------------------------------------ #
+
+    def _insert_entry(self, rect: Rect, payload: Payload, level: int) -> None:
+        """Insert an entry at ``level`` (0 = leaf level of this tree)."""
+        path = self._choose_path(rect, level)
+        node = path[-1]
+        node.add(rect, payload)
+        if len(node) <= NODE_CAPACITY:
+            self._write_node(node)
+            self._adjust_upward(path)
+            return
+        # Node is overfull (capacity + 1) in memory only; resolve before
+        # any attempt to serialise it.
+        self._overflow(path, len(path) - 1, level)
+
+    def _choose_path(self, rect: Rect, target_level: int) -> List[Node]:
+        """Descend from the root to a node at ``target_level``, stretching
+        the chosen entry rectangles on the way down."""
+        path: List[Node] = []
+        node = self._read_node(self.root_page)
+        level = self.height - 1
+        path.append(node)
+        while level > target_level:
+            idx = self._choose_subtree(
+                node, rect, children_are_leaves=(level == 1)
+            )
+            grown = node.rects[idx].union(rect)
+            if grown != node.rects[idx]:
+                node.rects[idx] = grown
+                self._write_node(node)
+            node = self._read_node(node.payloads[idx][0])
+            path.append(node)
+            level -= 1
+        return path
+
+    @staticmethod
+    def _choose_subtree(node: Node, rect: Rect, children_are_leaves: bool) -> int:
+        """R* ChooseSubtree: minimal overlap enlargement above leaves,
+        minimal area enlargement elsewhere; ties broken by area."""
+        if children_are_leaves:
+            best_idx = 0
+            best_key: Optional[Tuple[float, float, float]] = None
+            for i, candidate in enumerate(node.rects):
+                enlarged = candidate.union(rect)
+                overlap_delta = 0.0
+                for j, other in enumerate(node.rects):
+                    if j == i:
+                        continue
+                    overlap_delta += (
+                        enlarged.overlap_area(other) - candidate.overlap_area(other)
+                    )
+                key = (overlap_delta, candidate.enlargement(rect), candidate.area)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_idx = i
+            return best_idx
+        best_idx = 0
+        best_key2: Optional[Tuple[float, float]] = None
+        for i, candidate in enumerate(node.rects):
+            key2 = (candidate.enlargement(rect), candidate.area)
+            if best_key2 is None or key2 < best_key2:
+                best_key2 = key2
+                best_idx = i
+        return best_idx
+
+    def _adjust_upward(self, path: List[Node]) -> None:
+        """Make every parent entry rectangle equal its child's MBR.
+
+        Handles both growth (after inserts) and shrinkage (after forced
+        reinsert removed entries).
+        """
+        for i in range(len(path) - 1, 0, -1):
+            child = path[i]
+            parent = path[i - 1]
+            idx = self._child_index(parent, child.page_no)
+            tightened = child.mbr()
+            if parent.rects[idx] == tightened:
+                break
+            parent.rects[idx] = tightened
+            self._write_node(parent)
+
+    @staticmethod
+    def _child_index(parent: Node, child_page: int) -> int:
+        for i, payload in enumerate(parent.payloads):
+            if payload[0] == child_page:
+                return i
+        raise AssertionError(
+            f"child {child_page} not under parent {parent.page_no}"
+        )
+
+    def _overflow(self, path: List[Node], idx_in_path: int, insert_level: int) -> None:
+        """Resolve an overfull node by forced reinsert or split."""
+        node = path[idx_in_path]
+        node_level = insert_level + (len(path) - 1 - idx_in_path)
+        can_reinsert = (
+            node.page_no != self.root_page
+            and node_level not in self._reinserted_levels
+        )
+        if can_reinsert:
+            self._reinserted_levels.add(node_level)
+            self._force_reinsert(path, idx_in_path, node_level)
+        else:
+            self._split(path, idx_in_path, insert_level)
+
+    def _force_reinsert(self, path: List[Node], idx_in_path: int, level: int) -> None:
+        """R* forced reinsert: evict the p entries furthest from the node
+        centre and insert them again at the same level (far-first)."""
+        node = path[idx_in_path]
+        cx, cy = node.mbr().center
+        order = sorted(
+            range(len(node)),
+            key=lambda i: -(
+                (node.rects[i].center[0] - cx) ** 2
+                + (node.rects[i].center[1] - cy) ** 2
+            ),
+        )
+        evict_set = set(order[:REINSERT_COUNT])
+        evicted = [(node.rects[i], node.payloads[i]) for i in order[:REINSERT_COUNT]]
+        keep = [i for i in range(len(node)) if i not in evict_set]
+        node.rects = [node.rects[i] for i in keep]
+        node.payloads = [node.payloads[i] for i in keep]
+        self._write_node(node)
+        self._adjust_upward(path[: idx_in_path + 1])
+        for rect, payload in evicted:
+            self._insert_entry(rect, payload, level)
+
+    def _split(self, path: List[Node], idx_in_path: int, insert_level: int) -> None:
+        """R* topological split; may propagate an overflow to the parent."""
+        node = path[idx_in_path]
+        group_a, group_b = rstar_split(list(zip(node.rects, node.payloads)))
+
+        node.rects = [rect for rect, _ in group_a]
+        node.payloads = [payload for _, payload in group_a]
+        sibling = Node(self._allocate_node_page(), node.is_leaf)
+        sibling.rects = [rect for rect, _ in group_b]
+        sibling.payloads = [payload for _, payload in group_b]
+        self._write_node(node)
+        self._write_node(sibling)
+
+        if node.page_no == self.root_page:
+            new_root = Node(self._allocate_node_page(), is_leaf=False)
+            new_root.add(node.mbr(), (node.page_no, 0, 0))
+            new_root.add(sibling.mbr(), (sibling.page_no, 0, 0))
+            self._write_node(new_root)
+            self.root_page = new_root.page_no
+            self.height += 1
+            self._write_meta()
+            return
+
+        parent = path[idx_in_path - 1]
+        idx = self._child_index(parent, node.page_no)
+        parent.rects[idx] = node.mbr()
+        parent.add(sibling.mbr(), (sibling.page_no, 0, 0))
+        if len(parent) <= NODE_CAPACITY:
+            self._write_node(parent)
+            self._adjust_upward(path[:idx_in_path])
+        else:
+            self._overflow(path, idx_in_path - 1, insert_level)
+
+    # ------------------------------------------------------------------ #
+    # invariants (used by the test suite)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when any structural invariant is violated."""
+        leaf_depths: set[int] = set()
+        total = self._check_node(self.root_page, depth=0, leaf_depths=leaf_depths)
+        assert total == self.count, f"entry count {total} != recorded {self.count}"
+        assert len(leaf_depths) <= 1, f"leaves at multiple depths: {leaf_depths}"
+        if leaf_depths:
+            assert leaf_depths == {self.height - 1}, (
+                f"height {self.height} inconsistent with leaf depth {leaf_depths}"
+            )
+
+    def _check_node(self, page_no: int, depth: int, leaf_depths: set[int]) -> int:
+        node = self._read_node(page_no)
+        if node.page_no != self.root_page:
+            assert len(node) >= 1, f"empty non-root node {page_no}"
+        assert len(node) <= NODE_CAPACITY, f"overfull node {page_no}"
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            return len(node)
+        total = 0
+        for rect, payload in zip(node.rects, node.payloads):
+            child = self._read_node(payload[0])
+            assert rect.contains(child.mbr()), (
+                f"parent rect {rect} of node {page_no} does not cover child "
+                f"{payload[0]} mbr {child.mbr()}"
+            )
+            total += self._check_node(payload[0], depth + 1, leaf_depths)
+        return total
+
+
+def rstar_split(
+    entries: Sequence[Tuple[Rect, Payload]],
+) -> Tuple[List[Tuple[Rect, Payload]], List[Tuple[Rect, Payload]]]:
+    """The R* split: choose the axis with minimal margin sum, then the
+    distribution with minimal overlap (ties by area)."""
+    m = min(MIN_FILL, max(1, len(entries) // 3))
+    best_axis_key = None
+    best_axis_sortings: List[List[Tuple[Rect, Payload]]] = []
+    for axis in ("x", "y"):
+        if axis == "x":
+            by_lower = sorted(entries, key=lambda e: (e[0].xl, e[0].xu))
+            by_upper = sorted(entries, key=lambda e: (e[0].xu, e[0].xl))
+        else:
+            by_lower = sorted(entries, key=lambda e: (e[0].yl, e[0].yu))
+            by_upper = sorted(entries, key=lambda e: (e[0].yu, e[0].yl))
+        margin_sum = 0.0
+        for sorting in (by_lower, by_upper):
+            for k in range(m, len(sorting) - m + 1):
+                left = Rect.union_all(rect for rect, _ in sorting[:k])
+                right = Rect.union_all(rect for rect, _ in sorting[k:])
+                margin_sum += left.margin + right.margin
+        if best_axis_key is None or margin_sum < best_axis_key:
+            best_axis_key = margin_sum
+            best_axis_sortings = [by_lower, by_upper]
+
+    best_key = None
+    best_groups: Tuple[List, List] | None = None
+    for sorting in best_axis_sortings:
+        for k in range(m, len(sorting) - m + 1):
+            left_rect = Rect.union_all(rect for rect, _ in sorting[:k])
+            right_rect = Rect.union_all(rect for rect, _ in sorting[k:])
+            key = (
+                left_rect.overlap_area(right_rect),
+                left_rect.area + right_rect.area,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_groups = (list(sorting[:k]), list(sorting[k:]))
+    assert best_groups is not None
+    return best_groups

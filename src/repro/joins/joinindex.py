@@ -1,0 +1,118 @@
+"""Spatial join indices [Rot91] over grid files — Table 1's remaining row.
+
+Rotem's idea, transplanted from Valduriez's relational join indices: when a
+spatial join between two relations will be asked repeatedly, *partially
+precompute* it.  Two grid files (one per relation) drive the computation of
+all MBR-intersecting OID pairs, which are stored persistently as the join
+index.  Answering the join later is then just a scan of the join index plus
+the exact refinement step — no filter step at query time at all.
+
+Günther's analysis (§2) says join indices beat tree joins at *low* join
+selectivities; the benchmark in ``bench_joinindex.py`` shows the trade:
+expensive build, very cheap repeated queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.keypointer import CandidateFile
+from ..core.predicates import Predicate
+from ..core.refine import refine
+from ..core.stats import JoinReport, JoinResult, PhaseMeter
+from ..geometry import Rect, sweep_join
+from ..index.gridfile import GridFile, build_grid_file
+from ..storage.buffer import BufferPool
+from ..storage.disk import PAGE_SIZE
+from ..storage.relation import OID, Relation
+
+
+class SpatialJoinIndex:
+    """A persistent set of filter-level ``<OID_R, OID_S>`` pairs."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        rel_r: Relation,
+        rel_s: Relation,
+        candidate_file: CandidateFile,
+        build_report: JoinReport,
+    ):
+        self.pool = pool
+        self.rel_r = rel_r
+        self.rel_s = rel_s
+        self.candidate_file = candidate_file
+        self.build_report = build_report
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def build(
+        pool: BufferPool,
+        rel_r: Relation,
+        rel_s: Relation,
+        bucket_capacity: Optional[int] = None,
+    ) -> "SpatialJoinIndex":
+        """Compute the join index via grid files ([Rot91]'s construction)."""
+        report = JoinReport(algorithm="SpatialJoinIndex.build")
+        meter = PhaseMeter(pool.disk, report)
+        candidate_file = CandidateFile(pool)
+        if len(rel_r) == 0 or len(rel_s) == 0:
+            return SpatialJoinIndex(pool, rel_r, rel_s, candidate_file, report)
+
+        kwargs = {} if bucket_capacity is None else {"bucket_capacity": bucket_capacity}
+        with meter.phase(f"Build {rel_r.name} Grid"):
+            grid_r = build_grid_file(pool, rel_r, **kwargs)
+        with meter.phase(f"Build {rel_s.name} Grid"):
+            grid_s = build_grid_file(pool, rel_s, **kwargs)
+
+        with meter.phase("Compute Join Index"):
+            pairs: set[Tuple[OID, OID]] = set()
+            for region, entries_r in grid_r.buckets_overlapping(
+                grid_r.universe
+            ):
+                if not entries_r:
+                    continue
+                # Probe S around this bucket's entries: the probe window is
+                # the entries' cover expanded by S's largest half-extents,
+                # so no S MBR that could intersect is missed.
+                cover = Rect.union_all(rect for rect, _ in entries_r)
+                window = Rect(
+                    cover.xl - grid_s.max_half_w,
+                    cover.yl - grid_s.max_half_h,
+                    cover.xu + grid_s.max_half_w,
+                    cover.yu + grid_s.max_half_h,
+                )
+                entries_s = grid_s.search_window(window)
+                if not entries_s:
+                    continue
+                sweep_join(
+                    entries_r,
+                    entries_s,
+                    lambda a, b: pairs.add((a, b)),
+                )
+            for oid_r, oid_s in sorted(pairs):
+                candidate_file.append(oid_r, oid_s)
+        report.candidates = candidate_file.count
+        return SpatialJoinIndex(pool, rel_r, rel_s, candidate_file, report)
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self.candidate_file.count
+
+    def query(self, predicate: Predicate) -> JoinResult:
+        """Answer the join from the precomputed index + refinement."""
+        report = JoinReport(algorithm="SpatialJoinIndex.query")
+        meter = PhaseMeter(self.pool.disk, report)
+        memory = self.pool.capacity * PAGE_SIZE
+        with meter.phase("Scan Join Index"):
+            candidates: List[Tuple[OID, OID]] = self.candidate_file.read_all()
+        report.candidates = len(candidates)
+        with meter.phase("Refinement"):
+            results = refine(self.rel_r, self.rel_s, candidates, predicate, memory)
+        report.result_count = len(results)
+        return JoinResult(results, report)
+
+    def drop(self) -> None:
+        self.candidate_file.drop()

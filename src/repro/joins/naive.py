@@ -1,0 +1,44 @@
+"""Naive nested-loops spatial join — the correctness oracle.
+
+Not in the paper's evaluation; used by the test suite to validate every
+other algorithm's output on small inputs, and available to users who want a
+trivially-correct baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.predicates import Predicate
+from ..core.stats import JoinReport, JoinResult, PhaseMeter
+from ..storage.buffer import BufferPool
+from ..storage.relation import OID, Relation
+
+
+class NaiveNestedLoopsJoin:
+    """Materialise both inputs and test every pair (MBR pre-filtered)."""
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+
+    def run(
+        self, rel_r: Relation, rel_s: Relation, predicate: Predicate
+    ) -> JoinResult:
+        report = JoinReport(algorithm="NaiveNL")
+        meter = PhaseMeter(self.pool.disk, report)
+        results: List[Tuple[OID, OID]] = []
+        candidates = 0
+        with meter.phase("Nested Loops"):
+            s_tuples = list(rel_s.scan())
+            for oid_r, t_r in rel_r.scan():
+                mbr_r = t_r.mbr
+                for oid_s, t_s in s_tuples:
+                    if not mbr_r.intersects(t_s.mbr):
+                        continue
+                    candidates += 1
+                    if predicate(t_r, t_s):
+                        results.append((oid_r, oid_s))
+        results.sort()
+        report.candidates = candidates
+        report.result_count = len(results)
+        return JoinResult(results, report)

@@ -1,0 +1,114 @@
+"""Seeded-tree spatial join [LR94, LR95] — the paper's cited alternative
+for the missing-index case ("One solution to this problem is to build a
+spatial index on both inputs and then use a tree join algorithm [LR95]").
+
+Three scenarios, matching Lo & Ravishankar's papers:
+
+* index on one input only [LR94]: seed the other input's tree from the
+  existing index's top levels, grow it, tree-join;
+* no indices [LR95]: sample both inputs to seed both trees, grow, join;
+* both indices exist: plain BKS93 (delegated).
+
+The refinement step is the same exact-geometry stage every other join in
+this repository uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.predicates import Predicate
+from ..core.refine import refine
+from ..core.stats import JoinReport, JoinResult, PhaseMeter
+from ..index.rstar import RStarTree
+from ..index.seeded import (
+    DEFAULT_SEED_SLOTS,
+    SeededTree,
+    build_seeded_tree,
+    seed_slots_from_sample,
+    seed_slots_from_tree,
+    seeded_tree_join,
+)
+from ..index.treejoin import rtree_join
+from ..storage.buffer import BufferPool
+from ..storage.disk import PAGE_SIZE
+from ..storage.relation import OID, Relation
+
+
+def seeded_seeded_join(
+    seeded_r: SeededTree,
+    seeded_s: SeededTree,
+    emit: Callable[[OID, OID], None],
+) -> int:
+    """Join two seeded trees: BKS93 on every intersecting subtree pair."""
+    count = 0
+    for slot_r, sub_r in zip(seeded_r.slots, seeded_r.subtrees):
+        if not len(sub_r):
+            continue
+        for slot_s, sub_s in zip(seeded_s.slots, seeded_s.subtrees):
+            if not len(sub_s) or not slot_r.intersects(slot_s):
+                continue
+            count += rtree_join(sub_r, sub_s, emit)
+    return count
+
+
+class SeededTreeJoin:
+    """LR94/LR95 join driver; result pairs are ``(OID_R, OID_S)``."""
+
+    def __init__(self, pool: BufferPool, seed_slots: int = DEFAULT_SEED_SLOTS):
+        self.pool = pool
+        self.seed_slots = seed_slots
+
+    def run(
+        self,
+        rel_r: Relation,
+        rel_s: Relation,
+        predicate: Predicate,
+        index_r: Optional[RStarTree] = None,
+        index_s: Optional[RStarTree] = None,
+    ) -> JoinResult:
+        report = JoinReport(algorithm="SeededTreeJoin")
+        meter = PhaseMeter(self.pool.disk, report)
+        if len(rel_r) == 0 or len(rel_s) == 0:
+            return JoinResult([], report)
+
+        candidates: List[Tuple[OID, OID]] = []
+        emit = lambda a, b: candidates.append((a, b))  # noqa: E731
+
+        if index_r is not None and index_s is not None:
+            report.notes["mode"] = "both-indices (plain BKS93)"
+            with meter.phase("Join Indices"):
+                rtree_join(index_r, index_s, emit)
+        elif index_r is not None or index_s is not None:
+            report.notes["mode"] = "one-index (LR94 seeded tree)"
+            have, missing, have_is_r = (
+                (index_r, rel_s, True)
+                if index_r is not None
+                else (index_s, rel_r, False)
+            )
+            with meter.phase(f"Seed & Grow {missing.name} Tree"):
+                slots = seed_slots_from_tree(have, self.seed_slots)
+                seeded = build_seeded_tree(self.pool, missing, slots)
+            with meter.phase("Join Trees"):
+                if have_is_r:
+                    # Seeded tree holds S; flip the emitted pair order.
+                    seeded_tree_join(seeded, have, lambda s, r: emit(r, s))
+                else:
+                    seeded_tree_join(seeded, have, emit)
+        else:
+            report.notes["mode"] = "no-index (LR95 sampled seeds)"
+            with meter.phase(f"Seed & Grow {rel_r.name} Tree"):
+                slots_r = seed_slots_from_sample(rel_r, self.seed_slots)
+                seeded_r = build_seeded_tree(self.pool, rel_r, slots_r)
+            with meter.phase(f"Seed & Grow {rel_s.name} Tree"):
+                slots_s = seed_slots_from_sample(rel_s, self.seed_slots)
+                seeded_s = build_seeded_tree(self.pool, rel_s, slots_s)
+            with meter.phase("Join Trees"):
+                seeded_seeded_join(seeded_r, seeded_s, emit)
+
+        report.candidates = len(candidates)
+        memory = self.pool.capacity * PAGE_SIZE
+        with meter.phase("Refinement"):
+            results = refine(rel_r, rel_s, candidates, predicate, memory)
+        report.result_count = len(results)
+        return JoinResult(results, report)

@@ -1,0 +1,134 @@
+"""Spatial hash join [LR96] — the concurrent related work (§2, Table 1).
+
+Implemented as a documented extension for comparison with PBSM.  Following
+Lo & Ravishankar's design:
+
+* the *inner* input R is sampled and the samples, spatially sorted, seed B
+  bucket extents;
+* each R tuple goes to exactly **one** bucket (the one whose extent grows
+  least), so R is never replicated;
+* each S tuple is replicated into every bucket whose (final) extent its MBR
+  overlaps;
+* bucket pairs are joined in memory with the plane-sweep;
+* unlike [LR96], which ignores the refinement step, we run the same exact
+  refinement as PBSM so results are comparable end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.keypointer import KEYPTR_SIZE, CandidateFile, KeyPointerFile
+from ..core.partition import estimate_num_partitions
+from ..core.predicates import Predicate
+from ..core.refine import refine
+from ..core.stats import JoinReport, JoinResult, PhaseMeter
+from ..geometry import CurveMapper, Rect, sweep_join
+from ..storage.buffer import BufferPool
+from ..storage.disk import PAGE_SIZE
+from ..storage.relation import OID, Relation
+
+DEFAULT_SAMPLE_SIZE = 1024
+
+
+class SpatialHashJoin:
+    """LR96-style spatial hash join driver."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        memory_bytes: Optional[int] = None,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+    ):
+        self.pool = pool
+        self.memory_bytes = memory_bytes
+        self.sample_size = sample_size
+
+    def run(
+        self, rel_r: Relation, rel_s: Relation, predicate: Predicate
+    ) -> JoinResult:
+        report = JoinReport(algorithm="SpatialHashJoin")
+        meter = PhaseMeter(self.pool.disk, report)
+        if len(rel_r) == 0 or len(rel_s) == 0:
+            return JoinResult([], report)
+
+        memory = self.memory_bytes or self.pool.capacity * PAGE_SIZE
+        num_buckets = max(
+            1, estimate_num_partitions(len(rel_r), len(rel_s), memory)
+        )
+        report.notes["num_buckets"] = num_buckets
+
+        with meter.phase("Sample & Seed"):
+            seeds = self._seed_extents(rel_r, num_buckets)
+
+        buckets_r = [KeyPointerFile(self.pool) for _ in range(len(seeds))]
+        extents: List[Optional[Rect]] = [None] * len(seeds)
+        with meter.phase(f"Partition {rel_r.name}"):
+            for oid, t in rel_r.scan():
+                mbr = t.mbr
+                idx = self._choose_bucket(seeds, extents, mbr)
+                buckets_r[idx].append(mbr, oid)
+                cur = extents[idx]
+                extents[idx] = mbr if cur is None else cur.union(mbr)
+
+        buckets_s = [KeyPointerFile(self.pool) for _ in range(len(seeds))]
+        with meter.phase(f"Partition {rel_s.name}"):
+            for oid, t in rel_s.scan():
+                mbr = t.mbr
+                for idx, extent in enumerate(extents):
+                    if extent is not None and extent.intersects(mbr):
+                        buckets_s[idx].append(mbr, oid)
+
+        candidate_file = CandidateFile(self.pool)
+        with meter.phase("Join Buckets"):
+            for bucket_r, bucket_s in zip(buckets_r, buckets_s):
+                if bucket_r.count == 0 or bucket_s.count == 0:
+                    continue
+                items_r = bucket_r.read_all()
+                items_s = bucket_s.read_all()
+                sweep_join(items_r, items_s, candidate_file.append)
+            for bucket in (*buckets_r, *buckets_s):
+                bucket.drop()
+        report.candidates = candidate_file.count
+
+        with meter.phase("Refinement"):
+            candidates = candidate_file.read_all()
+            candidate_file.drop()
+            results = refine(rel_r, rel_s, candidates, predicate, memory)
+        report.result_count = len(results)
+        return JoinResult(results, report)
+
+    # ------------------------------------------------------------------ #
+
+    def _seed_extents(self, rel_r: Relation, num_buckets: int) -> List[Rect]:
+        """Sample R, Hilbert-sort the samples, and slice into bucket seeds."""
+        mbrs: List[Rect] = []
+        step = max(1, len(rel_r) // self.sample_size)
+        for i, (_oid, t) in enumerate(rel_r.scan()):
+            if i % step == 0:
+                mbrs.append(t.mbr)
+        mapper = CurveMapper(rel_r.universe)
+        mbrs.sort(key=mapper.hilbert_of_rect)
+        num_buckets = min(num_buckets, len(mbrs))
+        chunk = max(1, len(mbrs) // num_buckets)
+        seeds = []
+        for start in range(0, len(mbrs), chunk):
+            group = mbrs[start : start + chunk]
+            if group:
+                seeds.append(Rect.union_all(group))
+        return seeds[:num_buckets] if num_buckets else seeds
+
+    @staticmethod
+    def _choose_bucket(
+        seeds: List[Rect], extents: List[Optional[Rect]], mbr: Rect
+    ) -> int:
+        """Least-enlargement assignment against the current extents."""
+        best_idx = 0
+        best_key: Optional[Tuple[float, float]] = None
+        for idx, seed in enumerate(seeds):
+            base = extents[idx] or seed
+            key = (base.enlargement(mbr), base.area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = idx
+        return best_idx

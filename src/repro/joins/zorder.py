@@ -1,0 +1,333 @@
+"""Z-order spatial join [Ore86, OM88] — Table 1's transform-based class.
+
+Orenstein's approach superimposes a grid on the universe, approximates each
+object by the quadtree cells ("pixels") that overlap it, transforms each
+cell to a 1-D *z-value* interval, and joins two relations by merging their
+sorted z-value sequences.  Quadtree cell intervals are nested or disjoint,
+so the merge is a simple stack algorithm: an element pairs with every
+element of the other input whose interval encloses it.
+
+The paper (§2) notes the defining trade-off, which this implementation
+exposes as ``max_level``: a fine grid filters better but replicates each
+object into more z-elements ([Ore89]).  `benchmarks/bench_zorder.py`
+measures exactly that curve.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..core.predicates import Predicate
+from ..core.refine import refine
+from ..core.stats import JoinReport, JoinResult, PhaseMeter
+from ..geometry import Rect, morton_d
+from ..storage.buffer import BufferPool
+from ..storage.disk import PAGE_SIZE
+from ..storage.extsort import ExternalSorter
+from ..storage.relation import OID, Relation
+
+DEFAULT_MAX_LEVEL = 8
+"""Default quadtree depth (up to 4^8 = 64K pixels)."""
+
+DEFAULT_MAX_CELLS = 16
+"""Cap on z-elements per object (Orenstein's space/precision knob)."""
+
+ZElement = Tuple[int, int, OID]  # (zlo, zhi, oid)
+
+# Big-endian zlo, zhi then the OID: byte order equals (zlo, zhi) order.
+_ZREC = struct.Struct(">QQIII")
+
+
+def decompose_rect(
+    rect: Rect,
+    universe: Rect,
+    max_level: int = DEFAULT_MAX_LEVEL,
+    max_cells: int = DEFAULT_MAX_CELLS,
+) -> List[Tuple[int, int]]:
+    """Quadtree cells covering ``rect``, as (zlo, zhi) intervals.
+
+    The universe is refined breadth-first; a cell is finalised when it lies
+    fully inside the rectangle, and refinement stops when ``max_level`` is
+    reached or when one more level would exceed ``max_cells`` (remaining
+    open cells are emitted coarse — a *conservative* approximation, so the
+    join output stays a superset of the truth).  Breadth-first refinement
+    keeps the approximation balanced: the budget cannot be burned deep down
+    one branch while other branches stay coarse.
+    """
+    if max_level < 0:
+        raise ValueError("max_level must be >= 0")
+    target = rect.intersection(universe)
+    if target is None:
+        return []
+
+    def interval(x: int, y: int, level: int) -> Tuple[int, int]:
+        full_span = 2 * (max_level - level)
+        z = morton_d(x, y, order=level) if level else 0
+        return (z << full_span, ((z + 1) << full_span) - 1)
+
+    done: List[Tuple[int, int]] = []
+    open_cells: List[Tuple[Rect, int, int]] = [(universe, 0, 0)]
+    level = 0
+    while open_cells and level < max_level:
+        refined: List[Tuple[Rect, int, int]] = []
+        for cell, x, y in open_cells:
+            if target.contains(cell):
+                done.append(interval(x, y, level))
+                continue
+            half_w = cell.width / 2.0
+            half_h = cell.height / 2.0
+            for dx in (0, 1):
+                for dy in (0, 1):
+                    child = Rect(
+                        cell.xl + dx * half_w,
+                        cell.yl + dy * half_h,
+                        cell.xl + (dx + 1) * half_w,
+                        cell.yl + (dy + 1) * half_h,
+                    )
+                    if child.intersects(target):
+                        refined.append((child, (x << 1) | dx, (y << 1) | dy))
+        if len(done) + len(refined) > max_cells:
+            break  # refining further would blow the cell budget
+        open_cells = refined
+        level += 1
+    done.extend(interval(x, y, level) for _cell, x, y in open_cells)
+    return _merge_adjacent(sorted(done))
+
+
+def _merge_adjacent(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Coalesce abutting z-intervals (siblings often merge)."""
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def zmerge(
+    elems_r: List[ZElement],
+    elems_s: List[ZElement],
+    emit: Callable[[OID, OID], None],
+) -> int:
+    """Merge two sorted element sequences, emitting enclosing pairs.
+
+    Inputs must be sorted by ``(zlo, -zhi)`` — ascending start, *enclosing
+    interval first* on ties — so each stack's open intervals are properly
+    nested.  Quadtree intervals are nested or disjoint, so interval overlap
+    means one encloses the other; a stack per side holds the currently
+    "open" intervals.  Because the same object contributes several
+    elements, callers must dedup the emitted pairs (the shared refinement
+    step does).
+    """
+    count = 0
+    stack_r: List[ZElement] = []
+    stack_s: List[ZElement] = []
+    i = j = 0
+    nr, ns = len(elems_r), len(elems_s)
+    while i < nr or j < ns:
+        if j >= ns:
+            take_r = True
+        elif i >= nr:
+            take_r = False
+        else:
+            # Ascending zlo; on ties the enclosing (larger zhi) interval
+            # must enter its stack first, whichever side it is on.
+            key_r = (elems_r[i][0], -elems_r[i][1])
+            key_s = (elems_s[j][0], -elems_s[j][1])
+            take_r = key_r <= key_s
+        current = elems_r[i] if take_r else elems_s[j]
+        zlo = current[0]
+        while stack_r and stack_r[-1][1] < zlo:
+            stack_r.pop()
+        while stack_s and stack_s[-1][1] < zlo:
+            stack_s.pop()
+        if take_r:
+            for other in stack_s:
+                emit(current[2], other[2])
+                count += 1
+            stack_r.append(current)
+            i += 1
+        else:
+            for other in stack_r:
+                emit(other[2], current[2])
+                count += 1
+            stack_s.append(current)
+            j += 1
+    return count
+
+
+@dataclass
+class ZOrderConfig:
+    max_level: int = DEFAULT_MAX_LEVEL
+    max_cells: int = DEFAULT_MAX_CELLS
+    memory_bytes: Optional[int] = None
+
+
+class ZOrderJoin:
+    """Orenstein-style z-value merge join driver."""
+
+    def __init__(self, pool: BufferPool, config: Optional[ZOrderConfig] = None):
+        self.pool = pool
+        self.config = config or ZOrderConfig()
+
+    def _transform(
+        self, relation: Relation, universe: Rect, memory: int
+    ) -> List[ZElement]:
+        """Decompose every tuple and return its elements sorted by zlo.
+
+        Spills through the external sorter when the element stream exceeds
+        the memory budget, like every other sort in the system.
+        """
+        cfg = self.config
+        # Sort by (zlo asc, zhi desc): invert the zhi bytes in the key so
+        # enclosing intervals precede their children at equal zlo.
+        sorter = ExternalSorter(
+            self.pool,
+            key=lambda record: record[:8] + bytes(~b & 0xFF for b in record[8:16]),
+            memory_bytes=memory,
+        )
+        n_elements = 0
+        for oid, t in relation.scan():
+            for zlo, zhi in decompose_rect(
+                t.mbr, universe, cfg.max_level, cfg.max_cells
+            ):
+                sorter.add(_ZREC.pack(zlo, zhi, *oid))
+                n_elements += 1
+        out: List[ZElement] = []
+        for record in sorter.sorted_records():
+            zlo, zhi, a, b, c = _ZREC.unpack(record)
+            out.append((zlo, zhi, OID(a, b, c)))
+        return out
+
+    def run(
+        self, rel_r: Relation, rel_s: Relation, predicate: Predicate
+    ) -> JoinResult:
+        report = JoinReport(algorithm="ZOrderJoin")
+        meter = PhaseMeter(self.pool.disk, report)
+        if len(rel_r) == 0 or len(rel_s) == 0:
+            return JoinResult([], report)
+
+        memory = self.config.memory_bytes or self.pool.capacity * PAGE_SIZE
+        universe = rel_r.universe.union(rel_s.universe)
+
+        with meter.phase(f"Transform {rel_r.name}"):
+            elems_r = self._transform(rel_r, universe, memory)
+        with meter.phase(f"Transform {rel_s.name}"):
+            elems_s = self._transform(rel_s, universe, memory)
+        report.notes["z_elements_r"] = len(elems_r)
+        report.notes["z_elements_s"] = len(elems_s)
+
+        candidates: List[Tuple[OID, OID]] = []
+        with meter.phase("Merge Z-Sequences"):
+            zmerge(elems_r, elems_s, lambda a, b: candidates.append((a, b)))
+        report.candidates = len(candidates)
+        # Multiple cells of the same object pair repeatedly; the filter's
+        # real precision is the distinct pair count ([Ore89]'s metric).
+        report.notes["distinct_candidates"] = len(set(candidates))
+
+        with meter.phase("Refinement"):
+            results = refine(rel_r, rel_s, candidates, predicate, memory)
+        report.result_count = len(results)
+        return JoinResult(results, report)
+
+
+# ---------------------------------------------------------------------- #
+# Persistent z-value indices [OM84]
+# ---------------------------------------------------------------------- #
+
+_ZPAYLOAD = struct.Struct("<QIII")  # zhi + OID
+
+
+class ZOrderIndex:
+    """A relation's z-elements stored in a B+-tree keyed by ``zlo`` [OM84].
+
+    This is the persistent form of the transform: build once, reuse for
+    every later join or window query.  Joining two such indices is a merge
+    of their leaf chains — no transform phase at query time.
+    """
+
+    def __init__(self, tree, universe: Rect, config: ZOrderConfig):
+        self.tree = tree
+        self.universe = universe
+        self.config = config
+
+    @staticmethod
+    def build(
+        pool: BufferPool,
+        relation: Relation,
+        universe: Optional[Rect] = None,
+        config: Optional[ZOrderConfig] = None,
+    ) -> "ZOrderIndex":
+        """Decompose every tuple and bulk-load the element B+-tree."""
+        from ..index.btree import bulk_load_btree
+
+        config = config or ZOrderConfig()
+        universe = universe or relation.universe
+        items: List[Tuple[int, bytes]] = []
+        for oid, t in relation.scan():
+            for zlo, zhi in decompose_rect(
+                t.mbr, universe, config.max_level, config.max_cells
+            ):
+                items.append((zlo, _ZPAYLOAD.pack(zhi, *oid)))
+        items.sort(key=lambda item: (item[0], -_ZPAYLOAD.unpack(item[1])[0]))
+        tree = bulk_load_btree(pool, items, _ZPAYLOAD.size)
+        return ZOrderIndex(tree, universe, config)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def elements(self) -> List[ZElement]:
+        """All elements in (zlo asc, zhi desc) order — zmerge's precondition.
+
+        The B+-tree orders by ``zlo`` only; runs of equal ``zlo`` are
+        re-sorted locally on the way out.
+        """
+        out: List[ZElement] = []
+        run: List[ZElement] = []
+        run_key: Optional[int] = None
+        for zlo, payload in self.tree.scan_all():
+            zhi, a, b, c = _ZPAYLOAD.unpack(payload)
+            if zlo != run_key:
+                run.sort(key=lambda e: -e[1])
+                out.extend(run)
+                run = []
+                run_key = zlo
+            run.append((zlo, zhi, OID(a, b, c)))
+        run.sort(key=lambda e: -e[1])
+        out.extend(run)
+        return out
+
+
+def zorder_join_indexed(
+    pool: BufferPool,
+    rel_r: Relation,
+    rel_s: Relation,
+    index_r: ZOrderIndex,
+    index_s: ZOrderIndex,
+    predicate: Predicate,
+) -> JoinResult:
+    """Join two relations from their pre-built z-value indices [OM84].
+
+    The transform phase disappears: the filter step is one merge of the two
+    leaf chains, followed by the shared refinement.
+    """
+    report = JoinReport(algorithm="ZOrderJoin(indexed)")
+    meter = PhaseMeter(pool.disk, report)
+    if index_r.universe != index_s.universe:
+        raise ValueError("indices were built over different universes")
+
+    with meter.phase("Merge Z-Indices"):
+        elems_r = index_r.elements()
+        elems_s = index_s.elements()
+        candidates: List[Tuple[OID, OID]] = []
+        zmerge(elems_r, elems_s, lambda a, b: candidates.append((a, b)))
+    report.candidates = len(candidates)
+
+    memory = pool.capacity * PAGE_SIZE
+    with meter.phase("Refinement"):
+        results = refine(rel_r, rel_s, candidates, predicate, memory)
+    report.result_count = len(results)
+    return JoinResult(results, report)

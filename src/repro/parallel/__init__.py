@@ -1,0 +1,23 @@
+"""Simulated shared-nothing parallel PBSM (the paper's §5 future work)."""
+
+from .engine import (
+    REMOTE_FETCH_SECONDS,
+    REPLICATE_MBRS,
+    REPLICATE_OBJECTS,
+    SCHEMES,
+    NodeReport,
+    ParallelJoinResult,
+    ParallelPBSM,
+    serial_feature_pairs,
+)
+
+__all__ = [
+    "REMOTE_FETCH_SECONDS",
+    "REPLICATE_MBRS",
+    "REPLICATE_OBJECTS",
+    "SCHEMES",
+    "NodeReport",
+    "ParallelJoinResult",
+    "ParallelPBSM",
+    "serial_feature_pairs",
+]

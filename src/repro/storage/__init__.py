@@ -1,0 +1,35 @@
+"""Storage substrate: simulated disk, buffer pool, heap files, relations."""
+
+from .buffer import BufferPool, BufferPoolError, pages_for_megabytes
+from .database import Database
+from .disk import PAGE_SIZE, DiskStats, IOCostModel, SimulatedDisk
+from .heapfile import MAX_RECORD_SIZE, RID, HeapFile, HeapFileError
+from .relation import OID, CatalogEntry, Relation
+from .tuples import (
+    SpatialTuple,
+    deserialize_tuple,
+    serialize_tuple,
+    tuple_size_bytes,
+)
+
+__all__ = [
+    "PAGE_SIZE",
+    "MAX_RECORD_SIZE",
+    "OID",
+    "RID",
+    "BufferPool",
+    "BufferPoolError",
+    "CatalogEntry",
+    "Database",
+    "DiskStats",
+    "HeapFile",
+    "HeapFileError",
+    "IOCostModel",
+    "Relation",
+    "SimulatedDisk",
+    "SpatialTuple",
+    "deserialize_tuple",
+    "pages_for_megabytes",
+    "serialize_tuple",
+    "tuple_size_bytes",
+]

@@ -1,0 +1,191 @@
+"""An LRU buffer pool over the simulated disk.
+
+Mirrors the SHORE behaviours the paper leans on:
+
+* fixed number of frames (the experiments sweep 2 MB / 8 MB / 24 MB pools);
+* LRU replacement with pinning;
+* write clustering — when dirty pages are flushed, they are sorted by
+  (file, page number) so runs of consecutive pages become sequential writes
+  (§4.6: "the storage manager forms a sorted list of all the dirty pages in
+  the buffer pool, and tries to find pages that are consecutive on disk").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .disk import PAGE_SIZE, PageId, SimulatedDisk
+
+
+class BufferPoolError(RuntimeError):
+    pass
+
+
+@dataclass
+class _Frame:
+    data: bytearray
+    dirty: bool = False
+    pin_count: int = 0
+
+
+def pages_for_megabytes(megabytes: float) -> int:
+    """Frame count for a pool of the given size (the paper's 2/8/24 MB)."""
+    pages = int(megabytes * 1024 * 1024 / PAGE_SIZE)
+    if pages < 1:
+        raise ValueError(f"buffer pool of {megabytes} MB holds no pages")
+    return pages
+
+
+class BufferPool:
+    """LRU page cache with pin counts and clustered dirty-page flushing."""
+
+    def __init__(self, disk: SimulatedDisk, capacity_pages: int):
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity_pages
+        self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # core fix/unfix protocol
+    # ------------------------------------------------------------------ #
+
+    def get_page(self, file_id: int, page_no: int, pin: bool = False) -> bytearray:
+        """Return the frame for a page, faulting it in if needed.
+
+        The returned bytearray is the live frame: callers that mutate it must
+        follow up with :meth:`mark_dirty`.  With ``pin=True`` the frame is
+        protected from eviction until :meth:`unpin`.
+        """
+        pid = (file_id, page_no)
+        frame = self._frames.get(pid)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(pid)
+        else:
+            self.misses += 1
+            self._make_room()
+            frame = _Frame(bytearray(self.disk.read_page(file_id, page_no)))
+            self._frames[pid] = frame
+        if pin:
+            frame.pin_count += 1
+        return frame.data
+
+    def new_page(self, file_id: int, pin: bool = False) -> int:
+        """Allocate a fresh page and cache it dirty; returns its number."""
+        page_no = self.disk.allocate_page(file_id)
+        self._make_room()
+        frame = _Frame(bytearray(PAGE_SIZE), dirty=True)
+        if pin:
+            frame.pin_count += 1
+        self._frames[(file_id, page_no)] = frame
+        return page_no
+
+    def mark_dirty(self, file_id: int, page_no: int) -> None:
+        frame = self._frames.get((file_id, page_no))
+        if frame is None:
+            raise BufferPoolError(f"page ({file_id}, {page_no}) not resident")
+        frame.dirty = True
+
+    def unpin(self, file_id: int, page_no: int) -> None:
+        frame = self._frames.get((file_id, page_no))
+        if frame is None or frame.pin_count == 0:
+            raise BufferPoolError(f"page ({file_id}, {page_no}) not pinned")
+        frame.pin_count -= 1
+
+    # ------------------------------------------------------------------ #
+    # replacement & flushing
+    # ------------------------------------------------------------------ #
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        # Evict the least-recently-used unpinned frame.  If it is dirty,
+        # flush it together with dirty neighbours the way SHORE does.
+        victim: PageId | None = None
+        for pid, frame in self._frames.items():
+            if frame.pin_count == 0:
+                victim = pid
+                break
+        if victim is None:
+            raise BufferPoolError("all frames pinned; cannot evict")
+        frame = self._frames.pop(victim)
+        if frame.dirty:
+            self._flush_run(victim, frame)
+
+    def _flush_run(self, victim: PageId, victim_frame: _Frame) -> None:
+        """Write the victim plus resident dirty pages *consecutive to it* on
+        disk, in page order — SHORE's write clustering: "forms a sorted list
+        of all the dirty pages ... and tries to find pages that are
+        consecutive on the disk".  Non-adjacent dirty pages stay resident
+        (they may absorb further writes before they must go out)."""
+        file_id, page_no = victim
+        run = {page_no: victim_frame}
+        lo = page_no - 1
+        while True:
+            neighbour = self._frames.get((file_id, lo))
+            if neighbour is None or not neighbour.dirty or neighbour.pin_count:
+                break
+            run[lo] = neighbour
+            lo -= 1
+        hi = page_no + 1
+        while True:
+            neighbour = self._frames.get((file_id, hi))
+            if neighbour is None or not neighbour.dirty or neighbour.pin_count:
+                break
+            run[hi] = neighbour
+            hi += 1
+        for no in sorted(run):
+            frame = run[no]
+            self.disk.write_page(file_id, no, bytes(frame.data))
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write every dirty frame (clustered); frames stay resident."""
+        dirty = [
+            (pid, frame) for pid, frame in self._frames.items() if frame.dirty
+        ]
+        dirty.sort(key=lambda item: item[0])
+        for pid, frame in dirty:
+            self.disk.write_page(pid[0], pid[1], bytes(frame.data))
+            frame.dirty = False
+
+    def clear(self) -> None:
+        """Flush everything and empty the pool (cold-cache experiment start)."""
+        self.flush_all()
+        for pid, frame in self._frames.items():
+            if frame.pin_count:
+                raise BufferPoolError(f"page {pid} pinned during clear")
+        self._frames.clear()
+
+    def invalidate_file(self, file_id: int) -> None:
+        """Drop (without writing) all frames of a file being deleted."""
+        stale = [pid for pid in self._frames if pid[0] == file_id]
+        for pid in stale:
+            frame = self._frames[pid]
+            if frame.pin_count:
+                raise BufferPoolError(f"page {pid} pinned during file drop")
+            del self._frames[pid]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    def resident_page_ids(self) -> List[PageId]:
+        return list(self._frames)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,52 @@
+"""A minimal database facade: one simulated disk + one buffer pool.
+
+The single entry point most examples use::
+
+    db = Database(buffer_mb=8.0)
+    roads = db.create_relation("roads")
+    roads.bulk_load(generate_roads(...))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .buffer import BufferPool, pages_for_megabytes
+from .disk import IOCostModel, SimulatedDisk
+from .relation import Relation
+
+
+class Database:
+    """Owns the simulated disk, the buffer pool, and named relations."""
+
+    def __init__(
+        self,
+        buffer_mb: float = 8.0,
+        cost_model: Optional[IOCostModel] = None,
+    ):
+        self.disk = SimulatedDisk(cost_model)
+        self.pool = BufferPool(self.disk, pages_for_megabytes(buffer_mb))
+        self.relations: Dict[str, Relation] = {}
+
+    def create_relation(self, name: str) -> Relation:
+        if name in self.relations:
+            raise ValueError(f"relation {name!r} already exists")
+        rel = Relation(self.pool, name)
+        self.relations[name] = rel
+        return rel
+
+    def relation(self, name: str) -> Relation:
+        return self.relations[name]
+
+    def drop_relation(self, name: str) -> None:
+        rel = self.relations.pop(name)
+        rel.heap.drop()
+
+    @property
+    def buffer_pages(self) -> int:
+        return self.pool.capacity
+
+    def buffer_bytes(self) -> int:
+        from .disk import PAGE_SIZE
+
+        return self.pool.capacity * PAGE_SIZE

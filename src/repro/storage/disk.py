@@ -1,0 +1,166 @@
+"""A simulated disk with an explicit I/O cost model.
+
+The paper's experiments ran on a Sun SPARC-10 with a 2 GB Seagate SCSI disk
+and SHORE as the storage manager.  We replace the physical disk with an
+in-memory page store that *accounts* for every page read and write,
+classifying each access as sequential (the page follows the previous access
+on the same device) or random (requires a seek).  Simulated I/O time is then
+``seeks * seek_time + transfers * transfer_time``, with 1996-era defaults.
+
+All page traffic in the repository goes through here, so buffer-pool-size
+experiments and the paper's I/O-contribution breakdowns (Table 4) are
+reproducible and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+PAGE_SIZE = 8192
+"""Bytes per page, matching SHORE's default."""
+
+PageId = Tuple[int, int]
+"""(file_id, page_number)"""
+
+
+@dataclass
+class IOCostModel:
+    """Charges for the simulated disk, in seconds.
+
+    Defaults model a mid-90s SCSI disk: ~10 ms average seek + rotational
+    delay, ~5 MB/s transfer (an 8 KB page in ~1.6 ms).
+    """
+
+    seek_time: float = 0.010
+    transfer_time: float = 0.0016
+
+
+@dataclass
+class DiskStats:
+    """Cumulative access counters; snapshot-and-diff to meter a phase."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    random_reads: int = 0
+    random_writes: int = 0
+    pages_allocated: int = 0
+
+    def copy(self) -> "DiskStats":
+        return DiskStats(
+            self.page_reads,
+            self.page_writes,
+            self.random_reads,
+            self.random_writes,
+            self.pages_allocated,
+        )
+
+    def minus(self, earlier: "DiskStats") -> "DiskStats":
+        return DiskStats(
+            self.page_reads - earlier.page_reads,
+            self.page_writes - earlier.page_writes,
+            self.random_reads - earlier.random_reads,
+            self.random_writes - earlier.random_writes,
+            self.pages_allocated - earlier.pages_allocated,
+        )
+
+    @property
+    def total_ios(self) -> int:
+        return self.page_reads + self.page_writes
+
+    @property
+    def seeks(self) -> int:
+        return self.random_reads + self.random_writes
+
+    def io_time(self, cost: IOCostModel) -> float:
+        return self.seeks * cost.seek_time + self.total_ios * cost.transfer_time
+
+
+class SimulatedDisk:
+    """In-memory page store with sequential/random access classification."""
+
+    def __init__(self, cost_model: IOCostModel | None = None):
+        self.cost_model = cost_model or IOCostModel()
+        self.stats = DiskStats()
+        self._pages: Dict[PageId, bytes] = {}
+        self._file_lengths: Dict[int, int] = {}
+        self._next_file_id = 0
+        self._last_access_per_file: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # file management
+    # ------------------------------------------------------------------ #
+
+    def create_file(self) -> int:
+        fid = self._next_file_id
+        self._next_file_id += 1
+        self._file_lengths[fid] = 0
+        return fid
+
+    def drop_file(self, file_id: int) -> None:
+        npages = self._file_lengths.pop(file_id)
+        for page_no in range(npages):
+            self._pages.pop((file_id, page_no), None)
+        self._last_access_per_file.pop(file_id, None)
+
+    def file_length(self, file_id: int) -> int:
+        """Number of pages allocated to the file."""
+        return self._file_lengths[file_id]
+
+    def file_ids(self) -> List[int]:
+        return list(self._file_lengths)
+
+    def allocate_page(self, file_id: int) -> int:
+        """Extend the file by one (zeroed) page; returns its page number."""
+        page_no = self._file_lengths[file_id]
+        self._file_lengths[file_id] = page_no + 1
+        self._pages[(file_id, page_no)] = bytes(PAGE_SIZE)
+        self.stats.pages_allocated += 1
+        return page_no
+
+    # ------------------------------------------------------------------ #
+    # page I/O
+    # ------------------------------------------------------------------ #
+
+    def _is_sequential(self, pid: PageId) -> bool:
+        """Sequential = next page of the same file's current access stream.
+
+        Head position is tracked per file, modelling the per-stream
+        prefetch/write-behind a real I/O subsystem provides: a scan
+        interleaved with writes to another file does not pay a seek per
+        page, but random access within any one file does.
+        """
+        last = self._last_access_per_file.get(pid[0])
+        return last is not None and pid[1] == last + 1
+
+    def read_page(self, file_id: int, page_no: int) -> bytes:
+        pid = (file_id, page_no)
+        if pid not in self._pages:
+            raise KeyError(f"read of unallocated page {pid}")
+        self.stats.page_reads += 1
+        if not self._is_sequential(pid):
+            self.stats.random_reads += 1
+        self._last_access_per_file[pid[0]] = pid[1]
+        return self._pages[pid]
+
+    def write_page(self, file_id: int, page_no: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page must be exactly {PAGE_SIZE} bytes")
+        pid = (file_id, page_no)
+        if pid not in self._pages:
+            raise KeyError(f"write of unallocated page {pid}")
+        self.stats.page_writes += 1
+        if not self._is_sequential(pid):
+            self.stats.random_writes += 1
+        self._last_access_per_file[pid[0]] = pid[1]
+        self._pages[pid] = bytes(data)
+
+    # ------------------------------------------------------------------ #
+    # metering helpers
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> DiskStats:
+        return self.stats.copy()
+
+    def io_time_since(self, snapshot: DiskStats) -> float:
+        return self.stats.minus(snapshot).io_time(self.cost_model)

@@ -1,0 +1,154 @@
+"""Heap files of variable-length records on slotted pages.
+
+Record identifiers (RIDs) are ``(page_no, slot)`` pairs; together with the
+file they form the OIDs the paper's key-pointer elements carry.  Records are
+raw bytes; serialisation of spatial tuples lives in
+:mod:`repro.storage.tuples`.
+
+Page layout (offsets in bytes)::
+
+    0..2    number of slots (u16)
+    2..4    offset of the lowest record byte (u16); records grow downward
+    4..     slot directory, 4 bytes per slot: record offset (u16), length (u16)
+
+A slot whose offset is ``0xFFFF`` is a tombstone left by
+:meth:`HeapFile.delete` (0xFFFF can never be a real offset on an 8 KB page,
+so zero-length records remain representable).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, NamedTuple, Optional
+
+from .buffer import BufferPool
+from .disk import PAGE_SIZE
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+_HEADER_SIZE = _HEADER.size
+_SLOT_SIZE = _SLOT.size
+_TOMBSTONE = 0xFFFF
+
+MAX_RECORD_SIZE = PAGE_SIZE - _HEADER_SIZE - _SLOT_SIZE
+"""Largest record a single slotted page can hold."""
+
+
+class RID(NamedTuple):
+    """Record identifier within one heap file."""
+
+    page_no: int
+    slot: int
+
+
+class HeapFileError(RuntimeError):
+    pass
+
+
+def _page_free_space(page: bytes | bytearray) -> int:
+    num_slots, low = _HEADER.unpack_from(page, 0)
+    directory_end = _HEADER_SIZE + num_slots * _SLOT_SIZE
+    return low - directory_end
+
+
+def _init_page(page: bytearray) -> None:
+    _HEADER.pack_into(page, 0, 0, PAGE_SIZE)
+
+
+class HeapFile:
+    """An append-oriented record file over the buffer pool."""
+
+    def __init__(self, pool: BufferPool, file_id: Optional[int] = None):
+        self.pool = pool
+        if file_id is None:
+            file_id = pool.disk.create_file()
+        self.file_id = file_id
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def append(self, record: bytes) -> RID:
+        """Append a record, extending the file as necessary."""
+        if len(record) > MAX_RECORD_SIZE:
+            raise HeapFileError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"({MAX_RECORD_SIZE})"
+            )
+        npages = self.pool.disk.file_length(self.file_id)
+        if npages > 0:
+            page_no = npages - 1
+            page = self.pool.get_page(self.file_id, page_no)
+            needed = len(record) + _SLOT_SIZE
+            if _page_free_space(page) >= needed:
+                return self._insert_into(page_no, page, record)
+        page_no = self.pool.new_page(self.file_id)
+        page = self.pool.get_page(self.file_id, page_no)
+        _init_page(page)
+        return self._insert_into(page_no, page, record)
+
+    def _insert_into(self, page_no: int, page: bytearray, record: bytes) -> RID:
+        num_slots, low = _HEADER.unpack_from(page, 0)
+        new_low = low - len(record)
+        page[new_low:low] = record
+        _SLOT.pack_into(page, _HEADER_SIZE + num_slots * _SLOT_SIZE, new_low, len(record))
+        _HEADER.pack_into(page, 0, num_slots + 1, new_low)
+        self.pool.mark_dirty(self.file_id, page_no)
+        return RID(page_no, num_slots)
+
+    def delete(self, rid: RID) -> None:
+        """Tombstone a record (space is not reclaimed)."""
+        page = self.pool.get_page(self.file_id, rid.page_no)
+        num_slots, _low = _HEADER.unpack_from(page, 0)
+        if rid.slot >= num_slots:
+            raise HeapFileError(f"no such slot: {rid}")
+        offset, _length = _SLOT.unpack_from(page, _HEADER_SIZE + rid.slot * _SLOT_SIZE)
+        if offset == _TOMBSTONE:
+            raise HeapFileError(f"record already deleted: {rid}")
+        _SLOT.pack_into(page, _HEADER_SIZE + rid.slot * _SLOT_SIZE, _TOMBSTONE, 0)
+        self.pool.mark_dirty(self.file_id, rid.page_no)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, rid: RID) -> bytes:
+        page = self.pool.get_page(self.file_id, rid.page_no)
+        num_slots, _low = _HEADER.unpack_from(page, 0)
+        if rid.slot >= num_slots:
+            raise HeapFileError(f"no such slot: {rid}")
+        offset, length = _SLOT.unpack_from(page, _HEADER_SIZE + rid.slot * _SLOT_SIZE)
+        if offset == _TOMBSTONE:
+            raise HeapFileError(f"record deleted: {rid}")
+        return bytes(page[offset : offset + length])
+
+    def scan(self) -> Iterator[tuple[RID, bytes]]:
+        """Yield all live records in physical (page, slot) order."""
+        for page_no in range(self.pool.disk.file_length(self.file_id)):
+            yield from self.scan_page(page_no)
+
+    def scan_page(self, page_no: int) -> Iterator[tuple[RID, bytes]]:
+        page = self.pool.get_page(self.file_id, page_no)
+        num_slots, _low = _HEADER.unpack_from(page, 0)
+        records: List[tuple[RID, bytes]] = []
+        for slot in range(num_slots):
+            offset, length = _SLOT.unpack_from(page, _HEADER_SIZE + slot * _SLOT_SIZE)
+            if offset == _TOMBSTONE:
+                continue
+            records.append((RID(page_no, slot), bytes(page[offset : offset + length])))
+        yield from records
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_pages(self) -> int:
+        return self.pool.disk.file_length(self.file_id)
+
+    def size_bytes(self) -> int:
+        return self.num_pages * PAGE_SIZE
+
+    def drop(self) -> None:
+        self.pool.invalidate_file(self.file_id)
+        self.pool.disk.drop_file(self.file_id)

@@ -1,0 +1,125 @@
+"""Spatial tuples and their on-page serialisation.
+
+A tuple mirrors the TIGER/Sequoia records of the paper: a spatial feature
+(polyline or polygon-with-holes) plus a handful of alphanumeric attributes
+(name, classification).  Serialisation is explicit ``struct`` packing so
+that relation sizes in pages are meaningful and comparable to the paper's
+megabyte figures (a TIGER road tuple with 8 points packs to ~150 bytes here
+vs ~137 in Paradise).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..geometry import Polygon, Polyline, Rect
+
+Geometry = Union[Polyline, Polygon]
+
+_GEOM_POLYLINE = 1
+_GEOM_POLYGON = 2
+
+_HEAD = struct.Struct("<BIH")  # geom tag, feature id, category
+_U16 = struct.Struct("<H")
+_POINT = struct.Struct("<dd")
+
+
+@dataclass(frozen=True)
+class SpatialTuple:
+    """One record of a spatial relation."""
+
+    feature_id: int
+    category: int
+    name: str
+    geom: Geometry
+
+    @property
+    def mbr(self) -> Rect:
+        return self.geom.mbr
+
+    @property
+    def num_points(self) -> int:
+        return self.geom.num_points
+
+
+def serialize_tuple(t: SpatialTuple) -> bytes:
+    """Pack a tuple into bytes (inverse of :func:`deserialize_tuple`)."""
+    if isinstance(t.geom, Polyline):
+        tag = _GEOM_POLYLINE
+    elif isinstance(t.geom, Polygon):
+        tag = _GEOM_POLYGON
+    else:
+        raise TypeError(f"unsupported geometry: {type(t.geom).__name__}")
+
+    parts = [_HEAD.pack(tag, t.feature_id, t.category)]
+    name_bytes = t.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise ValueError("name too long")
+    parts.append(_U16.pack(len(name_bytes)))
+    parts.append(name_bytes)
+
+    if tag == _GEOM_POLYLINE:
+        points = t.geom.points
+        parts.append(_U16.pack(len(points)))
+        for x, y in points:
+            parts.append(_POINT.pack(x, y))
+    else:
+        rings = t.geom.rings
+        parts.append(_U16.pack(len(rings)))
+        for ring in rings:
+            parts.append(_U16.pack(len(ring)))
+            for x, y in ring:
+                parts.append(_POINT.pack(x, y))
+    return b"".join(parts)
+
+
+def deserialize_tuple(data: bytes) -> SpatialTuple:
+    """Unpack bytes produced by :func:`serialize_tuple`."""
+    tag, feature_id, category = _HEAD.unpack_from(data, 0)
+    pos = _HEAD.size
+    (name_len,) = _U16.unpack_from(data, pos)
+    pos += _U16.size
+    name = data[pos : pos + name_len].decode("utf-8")
+    pos += name_len
+
+    geom: Geometry
+    if tag == _GEOM_POLYLINE:
+        (npoints,) = _U16.unpack_from(data, pos)
+        pos += _U16.size
+        points = []
+        for _ in range(npoints):
+            x, y = _POINT.unpack_from(data, pos)
+            pos += _POINT.size
+            points.append((x, y))
+        geom = Polyline(points)
+    elif tag == _GEOM_POLYGON:
+        (nrings,) = _U16.unpack_from(data, pos)
+        pos += _U16.size
+        rings = []
+        for _ in range(nrings):
+            (npoints,) = _U16.unpack_from(data, pos)
+            pos += _U16.size
+            ring = []
+            for _ in range(npoints):
+                x, y = _POINT.unpack_from(data, pos)
+                pos += _POINT.size
+                ring.append((x, y))
+            rings.append(ring)
+        geom = Polygon(rings[0], rings[1:])
+    else:
+        raise ValueError(f"unknown geometry tag {tag}")
+    return SpatialTuple(feature_id, category, name, geom)
+
+
+def tuple_size_bytes(t: SpatialTuple) -> int:
+    """Serialised size without materialising the bytes twice."""
+    name_len = len(t.name.encode("utf-8"))
+    base = _HEAD.size + _U16.size + name_len
+    if isinstance(t.geom, Polyline):
+        return base + _U16.size + len(t.geom.points) * _POINT.size
+    rings = t.geom.rings
+    return base + _U16.size + sum(
+        _U16.size + len(ring) * _POINT.size for ring in rings
+    )

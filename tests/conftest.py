@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.geometry import Rect
+
+# --------------------------------------------------------------------- #
+# hypothesis strategies
+# --------------------------------------------------------------------- #
+
+coords = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw, min_size: float = 0.0, max_size: float = 50.0):
+    """A well-formed Rect with bounded extent."""
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.floats(min_value=min_size, max_value=max_size))
+    h = draw(st.floats(min_value=min_size, max_value=max_size))
+    return Rect(x, y, x + w, y + h)
+
+
+@st.composite
+def points(draw):
+    return (draw(coords), draw(coords))
+
+
+@st.composite
+def polyline_points(draw, max_points: int = 12):
+    n = draw(st.integers(min_value=2, max_value=max_points))
+    return [draw(points()) for _ in range(n)]
+
+
+# --------------------------------------------------------------------- #
+# fixtures
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(buffer_mb=2.0)
+
+
+@pytest.fixture
+def big_db() -> Database:
+    return Database(buffer_mb=16.0)

@@ -1,0 +1,87 @@
+"""Tests for key-pointer elements and their temporary files."""
+
+from repro.core import (
+    KEYPTR_SIZE,
+    CandidateFile,
+    KeyPointerFile,
+    pack_keypointer,
+    unpack_keypointer,
+)
+from repro.geometry import Rect
+from repro.storage import OID
+
+
+class TestPacking:
+    def test_roundtrip_exact_for_f32_values(self):
+        # Coordinates representable in single precision survive unchanged.
+        rect = Rect(1.5, -2.25, 3.0, 4.125)
+        oid = OID(3, 17, 250)
+        assert unpack_keypointer(pack_keypointer(rect, oid)) == (rect, oid)
+
+    def test_rounding_is_conservative(self):
+        # Arbitrary doubles round *outward*: the stored MBR contains the
+        # exact one, preserving the filter step's superset property.
+        rect = Rect(0.1, 0.2, 0.3, 0.4)
+        back, oid = unpack_keypointer(pack_keypointer(rect, OID(1, 2, 3)))
+        assert back.contains(rect)
+        assert oid == OID(1, 2, 3)
+        assert back.xl <= rect.xl and back.yu >= rect.yu
+
+    def test_size_matches_constant(self):
+        data = pack_keypointer(Rect(0, 0, 1, 1), OID(0, 0, 0))
+        assert len(data) == KEYPTR_SIZE
+
+    def test_keyptr_size_near_papers(self):
+        # The paper's <MBR, OID> is a few dozen bytes; ours is 28
+        # (single-precision MBR + 12-byte OID).
+        assert 16 <= KEYPTR_SIZE <= 48
+
+
+class TestKeyPointerFile:
+    def test_append_and_read_all(self, db):
+        kf = KeyPointerFile(db.pool)
+        items = [(Rect(i, 0, i + 1, 1), OID(0, i, 0)) for i in range(300)]
+        for rect, oid in items:
+            kf.append(rect, oid)
+        assert kf.count == 300
+        assert kf.read_all() == items  # small integers are f32-exact
+
+    def test_scan_streams(self, db):
+        kf = KeyPointerFile(db.pool)
+        kf.append(Rect(0, 0, 1, 1), OID(0, 0, 0))
+        kf.append(Rect(1, 1, 2, 2), OID(0, 1, 0))
+        assert list(kf.scan()) == kf.read_all()
+
+    def test_size_bytes(self, db):
+        kf = KeyPointerFile(db.pool)
+        for i in range(10):
+            kf.append(Rect(0, 0, 1, 1), OID(0, i, 0))
+        assert kf.size_bytes() == 10 * KEYPTR_SIZE
+
+    def test_drop(self, db):
+        kf = KeyPointerFile(db.pool)
+        kf.append(Rect(0, 0, 1, 1), OID(0, 0, 0))
+        fid = kf.heap.file_id
+        kf.drop()
+        assert fid not in db.disk.file_ids()
+
+    def test_spills_to_multiple_pages(self, db):
+        kf = KeyPointerFile(db.pool)
+        for i in range(800):
+            kf.append(Rect(0, 0, 1, 1), OID(0, i, 0))
+        assert kf.num_pages >= 3
+
+
+class TestCandidateFile:
+    def test_append_and_read_all(self, db):
+        cf = CandidateFile(db.pool)
+        pairs = [(OID(1, i, 0), OID(2, i * 2, 1)) for i in range(100)]
+        for a, b in pairs:
+            cf.append(a, b)
+        assert cf.count == 100
+        assert cf.read_all() == pairs
+
+    def test_empty(self, db):
+        cf = CandidateFile(db.pool)
+        assert cf.read_all() == []
+        assert cf.count == 0

@@ -1,0 +1,118 @@
+"""Tests: the planner reproduces the paper's §4 decision table."""
+
+import pytest
+
+from repro import Database, intersects
+from repro.core.planner import (
+    ALGO_INL,
+    ALGO_PBSM,
+    ALGO_RTREE,
+    choose_algorithm,
+    estimate_index_pages,
+    plan_join,
+)
+from repro.data import make_tiger_datasets
+from repro.index import bulk_load_rstar
+from repro.joins import NaiveNestedLoopsJoin
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # A pool small enough that neither input is memory-resident.
+    db = Database(buffer_mb=0.25)
+    rels = make_tiger_datasets(db, scale=0.003, include=("road", "hydro", "rail"))
+    idx_road = bulk_load_rstar(db.pool, rels["road"])
+    idx_hydro = bulk_load_rstar(db.pool, rels["hydro"])
+    expected = NaiveNestedLoopsJoin(db.pool).run(
+        rels["road"], rels["hydro"], intersects
+    ).pairs
+    return db, rels, idx_road, idx_hydro, expected
+
+
+class TestDecisionTable:
+    def test_no_indices_chooses_pbsm(self, setup):
+        db, rels, *_ = setup
+        plan = choose_algorithm(rels["road"], rels["hydro"], db.pool.capacity)
+        assert plan.algorithm == ALGO_PBSM
+
+    def test_both_indices_chooses_rtree(self, setup):
+        db, rels, idx_road, idx_hydro, _ = setup
+        plan = choose_algorithm(
+            rels["road"], rels["hydro"], db.pool.capacity,
+            index_r=idx_road, index_s=idx_hydro,
+        )
+        assert plan.algorithm == ALGO_RTREE
+
+    def test_index_on_larger_chooses_rtree(self, setup):
+        db, rels, idx_road, _idx_hydro, _ = setup
+        plan = choose_algorithm(
+            rels["road"], rels["hydro"], db.pool.capacity, index_r=idx_road
+        )
+        assert plan.algorithm == ALGO_RTREE
+        assert "larger" in plan.reason
+
+    def test_index_on_smaller_chooses_pbsm(self, setup):
+        db, rels, _idx_road, idx_hydro, _ = setup
+        plan = choose_algorithm(
+            rels["road"], rels["hydro"], db.pool.capacity, index_s=idx_hydro
+        )
+        assert plan.algorithm == ALGO_PBSM
+
+    def test_memory_resident_small_input_chooses_inl(self, setup):
+        _db, rels, *_ = setup
+        # A giant pool makes the rail input memory-resident -> INL wins
+        # (the Figure 8 / Figure 15 exception).
+        big_pool_pages = 4096
+        plan = choose_algorithm(rels["road"], rels["rail"], big_pool_pages)
+        assert plan.algorithm == ALGO_INL
+
+    def test_plan_carries_reasoning(self, setup):
+        db, rels, *_ = setup
+        plan = choose_algorithm(rels["road"], rels["hydro"], db.pool.capacity)
+        assert "Figure 7" in plan.reason
+
+
+class TestPlanExecution:
+    def test_plan_join_matches_oracle(self, setup):
+        db, rels, idx_road, idx_hydro, expected = setup
+        scenarios = [
+            dict(),
+            dict(index_r=idx_road),
+            dict(index_s=idx_hydro),
+            dict(index_r=idx_road, index_s=idx_hydro),
+        ]
+        for kwargs in scenarios:
+            plan, result = plan_join(
+                db.pool, rels["road"], rels["hydro"], intersects, **kwargs
+            )
+            assert result.pairs == expected, plan
+            assert result.report.notes["plan"] == plan.algorithm
+
+    def test_inl_path_executes(self, setup):
+        db, rels, *_ = setup
+        from repro import Database
+
+        big = Database(buffer_mb=32.0)
+        big_rels = make_tiger_datasets(
+            big, scale=0.003, include=("road", "rail")
+        )
+        expected = NaiveNestedLoopsJoin(big.pool).run(
+            big_rels["road"], big_rels["rail"], intersects
+        ).pairs
+        plan, result = plan_join(
+            big.pool, big_rels["road"], big_rels["rail"], intersects
+        )
+        assert plan.algorithm == ALGO_INL
+        assert result.pairs == expected
+
+
+class TestEstimates:
+    def test_index_pages_monotone(self):
+        sizes = [estimate_index_pages(n) for n in (10, 1000, 100_000)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 3
+
+    def test_index_estimate_close_to_actual(self, setup):
+        db, rels, idx_road, _idx_hydro, _ = setup
+        est = estimate_index_pages(len(rels["road"]))
+        assert est == pytest.approx(idx_road.num_pages, rel=0.5)

@@ -1,0 +1,89 @@
+"""Tests for phase metering and join reports."""
+
+import pytest
+
+from repro.core import JoinReport, PhaseCost, PhaseMeter
+from repro.storage import SimulatedDisk
+
+
+class TestPhaseCost:
+    def test_totals(self):
+        p = PhaseCost("x", cpu_s=2.0, io_s=1.0, page_reads=3, page_writes=2, seeks=1)
+        assert p.total_s == 3.0
+        assert p.total_ios == 5
+        assert p.io_fraction == pytest.approx(1 / 3)
+
+    def test_zero_cost_fraction(self):
+        assert PhaseCost("x").io_fraction == 0.0
+
+    def test_merge(self):
+        a = PhaseCost("x", cpu_s=1.0, io_s=0.5, page_reads=1)
+        b = PhaseCost("x", cpu_s=2.0, io_s=0.25, page_writes=4, seeks=2)
+        a.merge(b)
+        assert a.cpu_s == 3.0
+        assert a.io_s == 0.75
+        assert a.page_reads == 1 and a.page_writes == 4 and a.seeks == 2
+
+
+class TestPhaseMeter:
+    def test_measures_io(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        report = JoinReport("test")
+        meter = PhaseMeter(disk, report)
+        with meter.phase("read stuff"):
+            disk.read_page(fid, 0)
+        phase = report.phase("read stuff")
+        assert phase.page_reads == 1
+        assert phase.seeks == 1
+        assert phase.io_s > 0
+        assert phase.cpu_s >= 0
+
+    def test_repeated_phase_names_accumulate(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        report = JoinReport("test")
+        meter = PhaseMeter(disk, report)
+        for _ in range(3):
+            with meter.phase("loop"):
+                disk.read_page(fid, 0)
+        assert len(report.phases) == 1
+        assert report.phase("loop").page_reads == 3
+
+    def test_exception_still_records(self):
+        disk = SimulatedDisk()
+        report = JoinReport("test")
+        meter = PhaseMeter(disk, report)
+        with pytest.raises(RuntimeError):
+            with meter.phase("boom"):
+                raise RuntimeError("boom")
+        assert report.phase("boom").cpu_s >= 0
+
+
+class TestJoinReport:
+    def test_totals_sum_phases(self):
+        report = JoinReport("algo")
+        report.phases.append(PhaseCost("a", cpu_s=1.0, io_s=0.5))
+        report.phases.append(PhaseCost("b", cpu_s=2.0, io_s=1.5))
+        assert report.total_s == 5.0
+        assert report.cpu_s == 3.0
+        assert report.io_s == 2.0
+        assert report.io_fraction == pytest.approx(0.4)
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(KeyError):
+            JoinReport("algo").phase("nope")
+
+    def test_format_table_mentions_phases(self):
+        report = JoinReport("algo")
+        report.phases.append(PhaseCost("Partition R", cpu_s=1.0))
+        text = report.format_table()
+        assert "algo" in text
+        assert "Partition R" in text
+
+    def test_empty_report(self):
+        report = JoinReport("algo")
+        assert report.total_s == 0.0
+        assert report.io_fraction == 0.0

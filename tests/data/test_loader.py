@@ -1,0 +1,54 @@
+"""Tests for dataset loading and spatial clustering."""
+
+from repro.data import (
+    generate_rail,
+    load_relation,
+    make_sequoia_datasets,
+    make_tiger_datasets,
+)
+from repro.geometry import CurveMapper, Rect
+
+
+class TestLoadRelation:
+    def test_unclustered_preserves_generator_order(self, db):
+        tuples = list(generate_rail(scale=0.002))
+        rel = load_relation(db, "rail", tuples)
+        assert [t for _o, t in rel.scan()] == tuples
+
+    def test_clustered_is_hilbert_order(self, db):
+        tuples = list(generate_rail(scale=0.002))
+        rel = load_relation(db, "rail", tuples, clustered=True)
+        loaded = [t for _o, t in rel.scan()]
+        assert sorted(map(repr, loaded)) == sorted(map(repr, tuples))
+        universe = Rect.union_all(t.mbr for t in tuples)
+        mapper = CurveMapper(universe)
+        keys = [mapper.hilbert_of_rect(t.mbr) for t in loaded]
+        assert keys == sorted(keys)
+
+    def test_empty_load(self, db):
+        rel = load_relation(db, "empty", [])
+        assert len(rel) == 0
+
+
+class TestDatasetBundles:
+    def test_tiger_bundle(self, db):
+        rels = make_tiger_datasets(db, scale=0.0005)
+        assert set(rels) == {"road", "hydro", "rail"}
+        assert len(rels["road"]) > len(rels["hydro"]) > len(rels["rail"])
+
+    def test_tiger_include_filter(self, db):
+        rels = make_tiger_datasets(db, scale=0.0005, include=("rail",))
+        assert set(rels) == {"rail"}
+
+    def test_sequoia_bundle(self, db):
+        rels = make_sequoia_datasets(db, scale=0.001)
+        assert set(rels) == {"polygon", "island"}
+        assert len(rels["polygon"]) > 0
+        assert len(rels["island"]) > 0
+
+    def test_catalog_stats_populated(self, db):
+        rels = make_tiger_datasets(db, scale=0.0005, include=("road",))
+        road = rels["road"]
+        assert road.catalog.cardinality == len(road)
+        assert road.universe.area > 0
+        assert road.catalog.avg_points > 2

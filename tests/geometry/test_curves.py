@@ -1,0 +1,98 @@
+"""Tests for the Hilbert and Z-order space-filling curves."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    CurveMapper,
+    Rect,
+    hilbert_d,
+    hilbert_xy,
+    morton_d,
+    morton_xy,
+)
+
+cells = st.integers(min_value=0, max_value=(1 << 8) - 1)
+
+
+class TestHilbert:
+    def test_order_1_visits_all_cells(self):
+        seen = {hilbert_d(x, y, order=1) for x in range(2) for y in range(2)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_curve_is_continuous(self):
+        # Successive curve positions are adjacent cells (the Hilbert property).
+        order = 4
+        side = 1 << order
+        for d in range(side * side - 1):
+            x1, y1 = hilbert_xy(d, order)
+            x2, y2 = hilbert_xy(d + 1, order)
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    @given(cells, cells)
+    def test_roundtrip(self, x, y):
+        d = hilbert_d(x, y, order=8)
+        assert hilbert_xy(d, order=8) == (x, y)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_d(1 << 8, 0, order=8)
+        with pytest.raises(ValueError):
+            hilbert_xy(1 << 16, order=8)
+
+    def test_bijective_order_3(self):
+        side = 1 << 3
+        ds = {hilbert_d(x, y, 3) for x in range(side) for y in range(side)}
+        assert ds == set(range(side * side))
+
+
+class TestMorton:
+    @given(cells, cells)
+    def test_roundtrip(self, x, y):
+        code = morton_d(x, y, order=8)
+        assert morton_xy(code, order=8) == (x, y)
+
+    def test_interleaving(self):
+        # x=0b11, y=0b00 -> code 0b0101
+        assert morton_d(3, 0, order=2) == 5
+        assert morton_d(0, 3, order=2) == 10
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            morton_d(-1, 0, order=4)
+
+
+class TestCurveMapper:
+    def test_corners_map_in_range(self):
+        mapper = CurveMapper(Rect(0, 0, 10, 10), order=8)
+        side = 1 << 8
+        for x, y in [(0, 0), (10, 10), (0, 10), (5, 5)]:
+            assert 0 <= mapper.hilbert(x, y) < side * side
+
+    def test_out_of_universe_clamped(self):
+        mapper = CurveMapper(Rect(0, 0, 10, 10), order=8)
+        assert mapper.hilbert(-5, -5) == mapper.hilbert(0, 0)
+        assert mapper.hilbert(20, 20) == mapper.hilbert(10, 10)
+
+    def test_degenerate_universe_padded(self):
+        mapper = CurveMapper(Rect(1, 1, 1, 1), order=4)
+        assert isinstance(mapper.hilbert(1, 1), int)
+
+    def test_hilbert_of_rect_uses_center(self):
+        mapper = CurveMapper(Rect(0, 0, 100, 100), order=8)
+        r = Rect(10, 10, 30, 30)
+        assert mapper.hilbert_of_rect(r) == mapper.hilbert(20, 20)
+
+    def test_locality(self):
+        # Nearby points should usually have nearer curve values than far
+        # points; check a weak statistical version of the property.
+        mapper = CurveMapper(Rect(0, 0, 1, 1), order=10)
+        base = mapper.hilbert(0.3, 0.3)
+        near = mapper.hilbert(0.301, 0.301)
+        far = mapper.hilbert(0.9, 0.9)
+        assert abs(base - near) < abs(base - far)
+
+    def test_morton_also_available(self):
+        mapper = CurveMapper(Rect(0, 0, 1, 1), order=6)
+        assert mapper.morton(0.5, 0.5) >= 0

@@ -1,0 +1,98 @@
+"""Tests for the static interval tree against brute force."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import IntervalTree
+
+
+@st.composite
+def interval_sets(draw, max_n=40):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    out = []
+    for i in range(n):
+        lo = draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+        width = draw(st.floats(min_value=0, max_value=50, allow_nan=False))
+        out.append((lo, lo + width, i))
+    return out
+
+
+def brute_stab(intervals, point):
+    return sorted(p for lo, hi, p in intervals if lo <= point <= hi)
+
+
+def brute_overlap(intervals, lo, hi):
+    return sorted(p for ilo, ihi, p in intervals if ilo <= hi and lo <= ihi)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = IntervalTree([])
+        assert len(tree) == 0
+        assert tree.stabbing(0.0) == []
+        assert tree.overlapping(-1, 1) == []
+
+    def test_malformed_interval_raises(self):
+        with pytest.raises(ValueError):
+            IntervalTree([(2.0, 1.0, "x")])
+
+    def test_malformed_query_raises(self):
+        tree = IntervalTree([(0.0, 1.0, "a")])
+        with pytest.raises(ValueError):
+            tree.overlapping(5.0, 4.0)
+
+    def test_len(self):
+        assert len(IntervalTree([(0, 1, "a"), (2, 3, "b")])) == 2
+
+
+class TestQueries:
+    def test_stabbing_basic(self):
+        tree = IntervalTree([(0, 10, "a"), (5, 15, "b"), (20, 30, "c")])
+        assert sorted(tree.stabbing(7)) == ["a", "b"]
+        assert tree.stabbing(25) == ["c"]
+        assert tree.stabbing(17) == []
+
+    def test_stabbing_at_endpoints(self):
+        tree = IntervalTree([(0, 10, "a")])
+        assert tree.stabbing(0) == ["a"]
+        assert tree.stabbing(10) == ["a"]
+
+    def test_overlapping_basic(self):
+        tree = IntervalTree([(0, 10, "a"), (5, 15, "b"), (20, 30, "c")])
+        assert sorted(tree.overlapping(8, 22)) == ["a", "b", "c"]
+        assert sorted(tree.overlapping(16, 19)) == []
+
+    def test_overlapping_touching_counts(self):
+        tree = IntervalTree([(0, 10, "a")])
+        assert tree.overlapping(10, 20) == ["a"]
+        assert tree.overlapping(-5, 0) == ["a"]
+
+    def test_identical_intervals(self):
+        tree = IntervalTree([(1, 2, "a"), (1, 2, "b"), (1, 2, "c")])
+        assert sorted(tree.stabbing(1.5)) == ["a", "b", "c"]
+
+    def test_point_intervals(self):
+        tree = IntervalTree([(5, 5, "a"), (6, 6, "b")])
+        assert tree.stabbing(5) == ["a"]
+        assert sorted(tree.overlapping(5, 6)) == ["a", "b"]
+
+
+class TestAgainstBruteForce:
+    @given(
+        interval_sets(),
+        st.floats(min_value=-150, max_value=150, allow_nan=False),
+    )
+    def test_stabbing_matches(self, intervals, point):
+        tree = IntervalTree(intervals)
+        assert sorted(tree.stabbing(point)) == brute_stab(intervals, point)
+
+    @given(
+        interval_sets(),
+        st.floats(min_value=-150, max_value=150, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_overlapping_matches(self, intervals, lo, width):
+        tree = IntervalTree(intervals)
+        hi = lo + width
+        assert sorted(tree.overlapping(lo, hi)) == brute_overlap(intervals, lo, hi)

@@ -1,0 +1,104 @@
+"""Tests for the plane-sweep rectangle join (the PBSM merge engine)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Rect,
+    naive_join_pairs,
+    sweep_join,
+    sweep_join_interval_tree,
+    sweep_join_pairs,
+)
+from tests.conftest import rects
+
+
+@st.composite
+def rect_lists(draw, max_n=25):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    return [(draw(rects()), i) for i in range(n)]
+
+
+def as_sets(pairs):
+    return sorted(pairs)
+
+
+class TestSweepJoinBasics:
+    def test_empty_inputs(self):
+        assert sweep_join_pairs([], []) == []
+        assert sweep_join_pairs([(Rect(0, 0, 1, 1), "a")], []) == []
+        assert sweep_join_pairs([], [(Rect(0, 0, 1, 1), "a")]) == []
+
+    def test_single_overlap(self):
+        left = [(Rect(0, 0, 2, 2), "L")]
+        right = [(Rect(1, 1, 3, 3), "R")]
+        assert sweep_join_pairs(left, right) == [("L", "R")]
+
+    def test_payload_order_is_left_first(self):
+        # Regardless of which side the sweep picks first.
+        left = [(Rect(5, 0, 6, 1), "L")]
+        right = [(Rect(0, 0, 10, 1), "R")]
+        assert sweep_join_pairs(left, right) == [("L", "R")]
+
+    def test_touching_edges_count(self):
+        left = [(Rect(0, 0, 1, 1), "L")]
+        right = [(Rect(1, 0, 2, 1), "R")]
+        assert sweep_join_pairs(left, right) == [("L", "R")]
+
+    def test_y_disjoint_filtered(self):
+        left = [(Rect(0, 0, 1, 1), "L")]
+        right = [(Rect(0, 5, 1, 6), "R")]
+        assert sweep_join_pairs(left, right) == []
+
+    def test_returns_count(self):
+        left = [(Rect(0, 0, 10, 10), i) for i in range(3)]
+        right = [(Rect(1, 1, 2, 2), j) for j in range(2)]
+        n = sweep_join(left, right, lambda a, b: None)
+        assert n == 6
+
+    def test_presorted_flag(self):
+        left = sorted(
+            [(Rect(0, 0, 2, 2), "a"), (Rect(1, 0, 3, 2), "b")],
+            key=lambda it: it[0].xl,
+        )
+        right = sorted([(Rect(1.5, 0, 4, 2), "x")], key=lambda it: it[0].xl)
+        out = []
+        sweep_join(left, right, lambda a, b: out.append((a, b)), presorted=True)
+        assert as_sets(out) == [("a", "x"), ("b", "x")]
+
+    def test_duplicate_rectangles(self):
+        left = [(Rect(0, 0, 1, 1), "a"), (Rect(0, 0, 1, 1), "b")]
+        right = [(Rect(0, 0, 1, 1), "x")]
+        assert as_sets(sweep_join_pairs(left, right)) == [("a", "x"), ("b", "x")]
+
+
+class TestAgainstNaive:
+    @given(rect_lists(), rect_lists())
+    @settings(max_examples=200, deadline=None)
+    def test_sweep_matches_naive(self, left, right):
+        expected = as_sets(naive_join_pairs(left, right))
+        got = as_sets(sweep_join_pairs(left, right))
+        assert got == expected
+
+    @given(rect_lists(), rect_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_interval_tree_matches_naive(self, left, right):
+        expected = as_sets(naive_join_pairs(left, right))
+        out = []
+        sweep_join_interval_tree(left, right, lambda a, b: out.append((a, b)))
+        assert as_sets(out) == expected
+
+    def test_interval_tree_payload_order_when_swapped(self):
+        # Larger left side triggers the internal swap; payload order must
+        # still be (left, right).
+        left = [(Rect(i, 0, i + 1.5, 1), f"l{i}") for i in range(5)]
+        right = [(Rect(2, 0, 3, 1), "r")]
+        out = []
+        sweep_join_interval_tree(left, right, lambda a, b: out.append((a, b)))
+        assert all(a.startswith("l") and b == "r" for a, b in out)
+
+    def test_no_duplicate_emissions(self):
+        left = [(Rect(0, 0, 10, 10), i) for i in range(4)]
+        right = [(Rect(2, 2, 3, 3), j) for j in range(4)]
+        pairs = sweep_join_pairs(left, right)
+        assert len(pairs) == len(set(pairs)) == 16

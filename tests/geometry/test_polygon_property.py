@@ -1,0 +1,59 @@
+"""Property-based consistency tests for polygon predicates."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon, maximal_enclosed_rect, rect_inside_polygon
+
+
+@st.composite
+def star_polygons(draw, max_radius=10.0):
+    cx = draw(st.floats(min_value=-50, max_value=50))
+    cy = draw(st.floats(min_value=-50, max_value=50))
+    radius = draw(st.floats(min_value=0.5, max_value=max_radius))
+    n = draw(st.integers(min_value=4, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    angles = np.sort(rng.uniform(0, 2 * math.pi, n)) + np.arange(n) * 1e-9
+    radii = rng.uniform(0.5 * radius, radius, n)
+    return Polygon(
+        [(cx + r * math.cos(a), cy + r * math.sin(a)) for a, r in zip(angles, radii)]
+    )
+
+
+class TestPredicateConsistency:
+    @given(star_polygons(), star_polygons())
+    @settings(max_examples=60, deadline=None)
+    def test_containment_implies_intersection(self, outer, inner):
+        if outer.contains(inner):
+            assert outer.intersects(inner)
+            assert outer.mbr.contains(inner.mbr)
+
+    @given(star_polygons(), star_polygons())
+    @settings(max_examples=60, deadline=None)
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(star_polygons())
+    @settings(max_examples=40, deadline=None)
+    def test_self_containment(self, poly):
+        assert poly.intersects(poly)
+        # A polygon's vertices all lie inside (boundary counts as inside).
+        for x, y in poly.shell:
+            assert poly.contains_point(x, y)
+
+    @given(star_polygons())
+    @settings(max_examples=30, deadline=None)
+    def test_mer_is_enclosed_and_positive(self, poly):
+        mer = maximal_enclosed_rect(poly)
+        if mer is not None:
+            assert rect_inside_polygon(mer, poly)
+            assert poly.mbr.contains(mer)
+
+    @given(star_polygons())
+    @settings(max_examples=40, deadline=None)
+    def test_area_positive_and_within_mbr(self, poly):
+        assert 0 < poly.area() <= poly.mbr.area + 1e-9

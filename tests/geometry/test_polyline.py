@@ -1,0 +1,90 @@
+"""Tests for polylines and the sweep vs naive intersection equivalence."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import (
+    Polyline,
+    Rect,
+    polylines_intersect_naive,
+    polylines_intersect_sweep,
+)
+from tests.conftest import polyline_points
+
+
+class TestPolylineBasics:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            Polyline([(0, 0)])
+
+    def test_mbr(self):
+        pl = Polyline([(0, 0), (2, 3), (-1, 1)])
+        assert pl.mbr == Rect(-1, 0, 2, 3)
+
+    def test_counts(self):
+        pl = Polyline([(0, 0), (1, 0), (2, 0)])
+        assert pl.num_points == 3
+        assert pl.num_segments == 2
+        assert len(pl.segments()) == 2
+
+    def test_length(self):
+        pl = Polyline([(0, 0), (3, 4), (3, 5)])
+        assert pl.length() == pytest.approx(6.0)
+
+    def test_points_coerced_to_float(self):
+        pl = Polyline([(0, 0), (1, 1)])
+        assert all(isinstance(c, float) for p in pl.points for c in p)
+
+
+class TestIntersection:
+    def test_crossing(self):
+        a = Polyline([(0, 0), (2, 2)])
+        b = Polyline([(0, 2), (2, 0)])
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Polyline([(0, 0), (1, 0)])
+        b = Polyline([(0, 2), (1, 2)])
+        assert not a.intersects(b)
+
+    def test_mbrs_overlap_but_lines_do_not(self):
+        # b's corner chain nests inside a's: MBRs overlap, chains do not.
+        a = Polyline([(0, 0), (10, 0), (10, 10)])
+        b = Polyline([(2, 2), (8, 2), (8, 8)])
+        assert a.mbr.intersects(b.mbr)
+        assert not a.intersects(b)
+        assert not polylines_intersect_naive(a, b)
+
+    def test_touching_at_endpoint(self):
+        a = Polyline([(0, 0), (1, 1)])
+        b = Polyline([(1, 1), (2, 0)])
+        assert a.intersects(b)
+
+    def test_long_chains_crossing_once(self):
+        a = Polyline([(x, 0) for x in range(10)])
+        b = Polyline([(4.5, -1), (4.5, 1)])
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_self_comparison(self):
+        a = Polyline([(0, 0), (1, 1), (2, 0)])
+        assert a.intersects(a)
+
+
+class TestSweepEqualsNaive:
+    @given(polyline_points(), polyline_points())
+    @settings(max_examples=200, deadline=None)
+    def test_equivalence_random(self, pts_a, pts_b):
+        a, b = Polyline(pts_a), Polyline(pts_b)
+        assert polylines_intersect_sweep(a, b) == polylines_intersect_naive(a, b)
+
+    def test_equivalence_vertical_segments(self):
+        a = Polyline([(1, 0), (1, 5), (1, 10)])
+        b = Polyline([(0, 5), (2, 5)])
+        assert polylines_intersect_sweep(a, b) == polylines_intersect_naive(a, b) is True
+
+    def test_equivalence_collinear_chains(self):
+        a = Polyline([(0, 0), (5, 0)])
+        b = Polyline([(3, 0), (8, 0)])
+        assert polylines_intersect_sweep(a, b)
+        assert polylines_intersect_naive(a, b)

@@ -1,0 +1,169 @@
+"""Tests for the Rect MBR algebra."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from tests.conftest import rects
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        r = Rect(1.0, 2.0, 3.0, 5.0)
+        assert (r.xl, r.yl, r.xu, r.yu) == (1.0, 2.0, 3.0, 5.0)
+
+    def test_degenerate_point_allowed(self):
+        r = Rect(1.0, 1.0, 1.0, 1.0)
+        assert r.area == 0.0
+
+    def test_malformed_x_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 0.0, 1.0, 1.0)
+
+    def test_malformed_y_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0.0, 2.0, 1.0, 1.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([(0, 5), (3, -1), (2, 2)])
+        assert r == Rect(0, -1, 3, 5)
+
+    def test_from_points_single(self):
+        assert Rect.from_points([(1, 2)]) == Rect(1, 2, 1, 2)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_union_all(self):
+        r = Rect.union_all([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert r == Rect(0, -1, 3, 1)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+
+class TestPredicates:
+    def test_overlapping(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_touching_edge_counts(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_touching_corner_counts(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_disjoint_x(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+    def test_disjoint_y(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(0, 1.01, 1, 2))
+
+    def test_contains_proper(self):
+        assert Rect(0, 0, 10, 10).contains(Rect(1, 1, 2, 2))
+
+    def test_contains_self(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(r)
+
+    def test_contains_false_when_poking_out(self):
+        assert not Rect(0, 0, 10, 10).contains(Rect(9, 9, 11, 10))
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(0.5, 0.5)
+        assert r.contains_point(0.0, 1.0)  # boundary
+        assert not r.contains_point(1.5, 0.5)
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_intersection_overlap(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3)) == Rect(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        got = Rect(0, 0, 1, 1).intersection(Rect(1, 0, 2, 1))
+        assert got == Rect(1, 0, 1, 1)
+
+
+class TestMeasures:
+    def test_area_margin(self):
+        r = Rect(0, 0, 3, 4)
+        assert r.area == 12.0
+        assert r.margin == 7.0
+        assert r.width == 3.0
+        assert r.height == 4.0
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == (2.0, 1.0)
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 2, 2).overlap_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_enlargement(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.enlargement(Rect(0, 0, 2, 1)) == pytest.approx(1.0)
+        assert r.enlargement(Rect(0.2, 0.2, 0.8, 0.8)) == pytest.approx(0.0)
+
+    def test_distance_to_point_inside_is_zero(self):
+        assert Rect(0, 0, 2, 2).distance_to_point(1, 1) == 0.0
+
+    def test_distance_to_point_outside(self):
+        assert Rect(0, 0, 1, 1).distance_to_point(4, 5) == pytest.approx(5.0)
+
+    def test_iter_and_as_tuple(self):
+        r = Rect(1, 2, 3, 4)
+        assert tuple(r) == (1, 2, 3, 4) == r.as_tuple()
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_union_covers_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_intersects_iff_intersection_exists(self, a, b):
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    @given(rects(), rects())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(rects(), rects())
+    def test_overlap_area_matches_intersection(self, a, b):
+        inter = a.intersection(b)
+        expected = inter.area if inter is not None else 0.0
+        assert a.overlap_area(b) == pytest.approx(expected)
+
+    @given(rects(), rects())
+    def test_enlargement_nonnegative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+    @given(rects())
+    def test_contains_implies_intersects(self, a):
+        big = Rect(a.xl - 1, a.yl - 1, a.xu + 1, a.yu + 1)
+        assert big.contains(a)
+        assert big.intersects(a)
+
+    @given(rects(), rects(), rects())
+    def test_union_associative_cover(self, a, b, c):
+        u1 = a.union(b).union(c)
+        u2 = a.union(b.union(c))
+        assert u1 == u2

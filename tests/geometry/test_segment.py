@@ -1,0 +1,107 @@
+"""Tests for segment primitives: orientation and intersection."""
+
+import pytest
+from hypothesis import given
+
+from repro.geometry import (
+    on_segment,
+    orientation,
+    segment_intersection_point,
+    segments_intersect,
+)
+from tests.conftest import points
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation((0, 0), (1, 0), (1, -1)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_collinear_with_large_coordinates(self):
+        assert orientation((1e6, 1e6), (2e6, 2e6), (3e6, 3e6)) == 0
+
+    @given(points(), points(), points())
+    def test_antisymmetric(self, p, q, r):
+        assert orientation(p, q, r) == -orientation(p, r, q)
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert on_segment((0, 0), (1, 1), (2, 2))
+
+    def test_endpoint(self):
+        assert on_segment((0, 0), (0, 0), (2, 2))
+
+    def test_outside_extent(self):
+        assert not on_segment((0, 0), (3, 3), (2, 2))
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_shared_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (1, 1))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_parallel_non_collinear(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_almost_touching(self):
+        assert not segments_intersect((0, 0), (1, 0), (0.5, 1e-6), (0.5, 1))
+
+    @given(points(), points(), points(), points())
+    def test_symmetric(self, p1, p2, p3, p4):
+        assert segments_intersect(p1, p2, p3, p4) == segments_intersect(
+            p3, p4, p1, p2
+        )
+
+    @given(points(), points())
+    def test_segment_intersects_itself(self, p1, p2):
+        assert segments_intersect(p1, p2, p1, p2)
+
+
+class TestIntersectionPoint:
+    def test_proper_crossing_point(self):
+        pt = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert pt == pytest.approx((1.0, 1.0))
+
+    def test_disjoint_returns_none(self):
+        assert segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_lines_cross_but_segments_do_not(self):
+        # Infinite lines meet at (5, 5) — outside both segments.
+        assert segment_intersection_point((0, 0), (1, 1), (10, 0), (6, 4)) is None
+
+    def test_collinear_overlap_returns_shared_point(self):
+        pt = segment_intersection_point((0, 0), (2, 0), (1, 0), (3, 0))
+        assert pt is not None
+        x, y = pt
+        assert y == pytest.approx(0.0)
+        assert 1.0 - 1e-9 <= x <= 2.0 + 1e-9
+
+    def test_intersection_point_consistent_with_predicate(self):
+        cases = [
+            ((0, 0), (2, 2), (0, 2), (2, 0)),
+            ((0, 0), (1, 0), (0, 1), (1, 1)),
+            ((0, 0), (2, 0), (1, 0), (1, 1)),
+        ]
+        for p1, p2, p3, p4 in cases:
+            has_point = segment_intersection_point(p1, p2, p3, p4) is not None
+            assert has_point == segments_intersect(p1, p2, p3, p4)

@@ -1,0 +1,186 @@
+"""Tests for the B+-tree substrate."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.btree import BPlusTree, bulk_load_btree
+from repro.storage import BufferPool, SimulatedDisk
+
+PAYLOAD = 12
+
+
+def make_tree(capacity_pages=1024, payload=PAYLOAD):
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity_pages)
+    return disk, pool, BPlusTree(pool, payload)
+
+
+def pay(v: int) -> bytes:
+    return struct.pack("<III", v, v + 1, v + 2)
+
+
+class TestBasics:
+    def test_empty(self):
+        _d, _p, tree = make_tree()
+        assert len(tree) == 0
+        assert tree.search(5) == []
+        assert list(tree.scan_all()) == []
+        tree.check_invariants()
+
+    def test_payload_size_validated(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, 8)
+        with pytest.raises(ValueError):
+            BPlusTree(pool, 0)
+        tree = BPlusTree(pool, 4)
+        with pytest.raises(ValueError):
+            tree.insert(1, b"too long")
+
+    def test_single_insert(self):
+        _d, _p, tree = make_tree()
+        tree.insert(42, pay(1))
+        assert tree.search(42) == [pay(1)]
+        assert tree.search(41) == []
+        tree.check_invariants()
+
+    def test_duplicates(self):
+        _d, _p, tree = make_tree()
+        for i in range(10):
+            tree.insert(7, pay(i))
+        assert len(tree.search(7)) == 10
+        tree.check_invariants()
+
+
+class TestGrowth:
+    def test_many_inserts_random_order(self):
+        _d, _p, tree = make_tree()
+        rng = np.random.default_rng(0)
+        keys = [int(k) for k in rng.integers(0, 10**9, 3000)]
+        for i, k in enumerate(keys):
+            tree.insert(k, pay(i))
+        assert len(tree) == 3000
+        assert tree.height >= 2
+        tree.check_invariants()
+        scanned = [k for k, _p in tree.scan_all()]
+        assert scanned == sorted(keys)
+
+    def test_sequential_inserts(self):
+        _d, _p, tree = make_tree()
+        for i in range(2000):
+            tree.insert(i, pay(i))
+        tree.check_invariants()
+        assert [k for k, _p in tree.range_scan(100, 110)] == list(range(100, 111))
+
+    def test_duplicate_runs_across_splits(self):
+        _d, _p, tree = make_tree()
+        # Far more duplicates of one key than fit in one leaf.
+        for i in range(1500):
+            tree.insert(1000, pay(i))
+        tree.insert(999, pay(0))
+        tree.insert(1001, pay(0))
+        tree.check_invariants()
+        assert len(tree.search(1000)) == 1500
+
+
+class TestRangeScan:
+    def test_matches_linear_filter(self):
+        _d, _p, tree = make_tree()
+        rng = np.random.default_rng(1)
+        keys = [int(k) for k in rng.integers(0, 5000, 2000)]
+        for i, k in enumerate(keys):
+            tree.insert(k, pay(i))
+        for lo, hi in [(0, 5000), (100, 200), (4999, 5000), (2500, 2500)]:
+            expected = sorted(k for k in keys if lo <= k <= hi)
+            got = [k for k, _p in tree.range_scan(lo, hi)]
+            assert got == expected, (lo, hi)
+
+    def test_empty_range(self):
+        _d, _p, tree = make_tree()
+        tree.insert(10, pay(0))
+        assert list(tree.range_scan(11, 20)) == []
+
+    def test_malformed_range(self):
+        _d, _p, tree = make_tree()
+        with pytest.raises(ValueError):
+            list(tree.range_scan(5, 4))
+
+    @given(st.lists(st.integers(min_value=0, max_value=300), max_size=300),
+           st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_range_scan_property(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        _d, _p, tree = make_tree()
+        for i, k in enumerate(keys):
+            tree.insert(k, struct.pack("<III", i, 0, 0))
+        expected = sorted(k for k in keys if lo <= k <= hi)
+        assert [k for k, _p in tree.range_scan(lo, hi)] == expected
+
+
+class TestPersistence:
+    def test_reopen(self):
+        _d, pool, tree = make_tree()
+        for i in range(500):
+            tree.insert(i * 3, pay(i))
+        reopened = BPlusTree(pool, PAYLOAD, tree.file_id)
+        assert len(reopened) == 500
+        assert reopened.search(12) == tree.search(12)
+        reopened.check_invariants()
+
+    def test_survives_buffer_pressure(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, 6)
+        tree = BPlusTree(pool, PAYLOAD)
+        rng = np.random.default_rng(2)
+        keys = [int(k) for k in rng.integers(0, 10**6, 4000)]
+        for i, k in enumerate(keys):
+            tree.insert(k, pay(i))
+        assert disk.stats.page_writes > 0
+        # The node cache must not mask evicted pages.
+        tree._cache.clear()
+        assert [k for k, _p in tree.scan_all()] == sorted(keys)
+
+    def test_bad_magic(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, 8)
+        fid = disk.create_file()
+        pool.new_page(fid)
+        with pytest.raises(ValueError):
+            BPlusTree(pool, PAYLOAD, fid)
+
+
+class TestBulkLoad:
+    def test_matches_inserted_tree(self):
+        _d, pool, _unused = make_tree()
+        items = [(i * 2, pay(i)) for i in range(3000)]
+        tree = bulk_load_btree(pool, items, PAYLOAD)
+        tree.check_invariants()
+        assert len(tree) == 3000
+        assert [k for k, _p in tree.range_scan(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_unsorted_rejected(self):
+        _d, pool, _unused = make_tree()
+        with pytest.raises(ValueError):
+            bulk_load_btree(pool, [(2, pay(0)), (1, pay(1))], PAYLOAD)
+
+    def test_empty(self):
+        _d, pool, _unused = make_tree()
+        tree = bulk_load_btree(pool, [], PAYLOAD)
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_inserts_after_bulk_load(self):
+        _d, pool, _unused = make_tree()
+        tree = bulk_load_btree(pool, [(i, pay(i)) for i in range(1000)], PAYLOAD)
+        tree.insert(5000, pay(0))
+        tree.check_invariants()
+        assert tree.search(5000) == [pay(0)]
+
+    def test_bad_fill(self):
+        _d, pool, _unused = make_tree()
+        with pytest.raises(ValueError):
+            bulk_load_btree(pool, [], PAYLOAD, fill=0.0)

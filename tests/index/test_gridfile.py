@@ -1,0 +1,193 @@
+"""Tests for the grid file substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.index.gridfile import GridFile, build_grid_file
+from repro.storage import BufferPool, OID, SimulatedDisk
+
+UNIVERSE = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def make_grid(capacity=8, pool_pages=64):
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, pool_pages)
+    return disk, GridFile(pool, UNIVERSE, bucket_capacity=capacity)
+
+
+def random_entries(n, seed=0, size=3.0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(0, 95, 2)
+        w, h = rng.uniform(0, size, 2)
+        out.append((Rect(x, y, x + w, y + h), OID(0, i, 0)))
+    return out
+
+
+class TestBasics:
+    def test_empty_grid(self):
+        _disk, grid = make_grid()
+        assert grid.count == 0
+        assert grid.num_cells == 1
+        assert grid.search_window(UNIVERSE) == []
+
+    def test_capacity_validated(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, 8)
+        with pytest.raises(ValueError):
+            GridFile(pool, UNIVERSE, bucket_capacity=1)
+
+    def test_insert_and_find(self):
+        _disk, grid = make_grid()
+        r = Rect(10, 10, 12, 12)
+        grid.insert(r, OID(0, 1, 0))
+        assert grid.search_window(Rect(9, 9, 13, 13)) == [(r, OID(0, 1, 0))]
+
+    def test_splits_on_overflow(self):
+        _disk, grid = make_grid(capacity=4)
+        for rect, oid in random_entries(50, seed=1):
+            grid.insert(rect, oid)
+        assert grid.num_cells > 1
+        assert grid.num_buckets > 1
+
+
+class TestCorrectness:
+    def test_all_entries_complete(self):
+        _disk, grid = make_grid(capacity=4)
+        entries = random_entries(300, seed=2)
+        for rect, oid in entries:
+            grid.insert(rect, oid)
+        got = sorted(oid for _r, oid in grid.all_entries())
+        assert got == sorted(oid for _r, oid in entries)
+
+    def test_window_search_matches_linear_scan(self):
+        _disk, grid = make_grid(capacity=6)
+        entries = random_entries(400, seed=3)
+        for rect, oid in entries:
+            grid.insert(rect, oid)
+        for wrect, _ in random_entries(15, seed=4, size=40.0):
+            expected = sorted(
+                oid for rect, oid in entries if wrect.contains_point(*rect.center)
+            )
+            got = sorted(oid for _r, oid in grid.search_window(wrect))
+            assert got == expected
+
+    def test_identical_centres_tolerated(self):
+        _disk, grid = make_grid(capacity=2)
+        r = Rect(50, 50, 52, 52)
+        for i in range(10):
+            grid.insert(r, OID(0, i, 0))
+        assert len(grid.search_window(Rect(49, 49, 53, 53))) == 10
+
+    def test_skewed_insertions(self):
+        # Everything in one corner: many splits on the same region.
+        _disk, grid = make_grid(capacity=4)
+        rng = np.random.default_rng(5)
+        entries = []
+        for i in range(200):
+            x, y = rng.uniform(0, 5, 2)
+            entries.append((Rect(x, y, x + 0.1, y + 0.1), OID(0, i, 0)))
+        for rect, oid in entries:
+            grid.insert(rect, oid)
+        got = sorted(oid for _r, oid in grid.all_entries())
+        assert got == sorted(oid for _r, oid in entries)
+
+    def test_directory_shape_consistent(self):
+        _disk, grid = make_grid(capacity=4)
+        for rect, oid in random_entries(250, seed=6):
+            grid.insert(rect, oid)
+        assert len(grid.directory) == len(grid.x_scale) + 1
+        assert all(
+            len(col) == len(grid.y_scale) + 1 for col in grid.directory
+        )
+
+    def test_max_extent_tracking(self):
+        _disk, grid = make_grid()
+        grid.insert(Rect(0, 0, 10, 4), OID(0, 0, 0))
+        assert grid.max_half_w == 5.0
+        assert grid.max_half_h == 2.0
+
+
+class TestIOAccounting:
+    def test_probes_cost_page_accesses(self):
+        disk, grid = make_grid(capacity=4, pool_pages=4)
+        for rect, oid in random_entries(300, seed=7):
+            grid.insert(rect, oid)
+        grid.pool.clear()
+        before = disk.stats.page_reads
+        grid.search_window(Rect(0, 0, 50, 50))
+        assert disk.stats.page_reads > before
+
+
+class TestBuildFromRelation:
+    def test_build_grid_file(self, db):
+        from repro.data import generate_rail
+        from repro.data.loader import load_relation
+
+        rel = load_relation(db, "rail", generate_rail(scale=0.002))
+        grid = build_grid_file(db.pool, rel, bucket_capacity=8)
+        assert grid.count == len(rel)
+        got = sorted(oid for _r, oid in grid.all_entries())
+        assert got == sorted(oid for oid, _t in rel.scan())
+
+
+class TestAddressingInvariant:
+    def test_every_entry_reachable_from_its_cell(self):
+        """The invariant whose violation caused a real bug: after any
+        sequence of splits, an entry must live in the bucket its centre's
+        directory cell points to."""
+        _disk, grid = make_grid(capacity=6)
+        entries = random_entries(400, seed=3)
+        for rect, oid in entries:
+            grid.insert(rect, oid)
+        for rect, oid in entries:
+            bucket = grid._bucket_of(*rect.center)
+            assert (rect, oid) in bucket.entries, oid
+
+    def test_reachability_under_skew(self):
+        import numpy as np
+
+        _disk, grid = make_grid(capacity=4)
+        rng = np.random.default_rng(11)
+        entries = []
+        for i in range(300):
+            # Two tight clusters force repeated splits of shared buckets.
+            base = 5.0 if i % 2 else 90.0
+            x, y = base + rng.uniform(0, 2, 2)
+            entries.append((Rect(x, y, x + 0.2, y + 0.2), OID(0, i, 0)))
+        for rect, oid in entries:
+            grid.insert(rect, oid)
+        for rect, oid in entries:
+            assert (rect, oid) in grid._bucket_of(*rect.center).entries
+
+
+class TestGridFileProperty:
+    def test_random_workloads_match_model(self):
+        """Hypothesis-style randomized check against a list model."""
+        import numpy as np
+
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            _disk, grid = make_grid(capacity=int(rng.integers(2, 10)))
+            entries = []
+            n = int(rng.integers(1, 250))
+            for i in range(n):
+                x, y = rng.uniform(0, 99, 2)
+                w, h = rng.uniform(0, 4, 2)
+                e = (Rect(x, y, min(x + w, 100), min(y + h, 100)), OID(0, i, 0))
+                entries.append(e)
+                grid.insert(*e)
+            # Invariants after every full load:
+            got = sorted(oid for _r, oid in grid.all_entries())
+            assert got == sorted(oid for _r, oid in entries), seed
+            for rect, oid in entries:
+                assert (rect, oid) in grid._bucket_of(*rect.center).entries, seed
+            wx, wy = rng.uniform(0, 80, 2)
+            window = Rect(wx, wy, wx + 20, wy + 20)
+            expected = sorted(
+                oid for rect, oid in entries
+                if window.contains_point(*rect.center)
+            )
+            assert sorted(o for _r, o in grid.search_window(window)) == expected

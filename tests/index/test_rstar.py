@@ -1,0 +1,177 @@
+"""Tests for R*-tree insertion, search, and structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.index import NODE_CAPACITY, RStarTree, rstar_split
+from repro.index.rstar import MIN_FILL
+from repro.storage import OID, BufferPool, SimulatedDisk
+
+
+def make_tree(capacity_pages=4096):
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity_pages)
+    return pool, RStarTree(pool)
+
+
+def random_rects(n, seed=0, extent=1000.0, size=10.0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        x = rng.uniform(0, extent)
+        y = rng.uniform(0, extent)
+        w = rng.uniform(0, size)
+        h = rng.uniform(0, size)
+        out.append((Rect(x, y, x + w, y + h), OID(0, i, 0)))
+    return out
+
+
+class TestEmptyAndSmall:
+    def test_empty_tree(self):
+        _pool, tree = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.search(Rect(0, 0, 100, 100)) == []
+        tree.check_invariants()
+
+    def test_single_insert(self):
+        _pool, tree = make_tree()
+        tree.insert(Rect(0, 0, 1, 1), OID(0, 0, 0))
+        assert len(tree) == 1
+        assert tree.search(Rect(0.5, 0.5, 2, 2)) == [OID(0, 0, 0)]
+        assert tree.search(Rect(5, 5, 6, 6)) == []
+        tree.check_invariants()
+
+    def test_duplicate_rects_allowed(self):
+        _pool, tree = make_tree()
+        r = Rect(0, 0, 1, 1)
+        for i in range(10):
+            tree.insert(r, OID(0, i, 0))
+        assert len(tree.search(r)) == 10
+        tree.check_invariants()
+
+
+class TestGrowth:
+    def test_root_split_increases_height(self):
+        _pool, tree = make_tree()
+        for rect, oid in random_rects(NODE_CAPACITY + 1, seed=1):
+            tree.insert(rect, oid)
+        assert tree.height == 2
+        tree.check_invariants()
+
+    def test_three_levels(self):
+        _pool, tree = make_tree()
+        n = NODE_CAPACITY * (NODE_CAPACITY // 3)
+        # Too slow for full fanout^2; grow until height 3 appears.
+        for rect, oid in random_rects(3000, seed=2):
+            tree.insert(rect, oid)
+        assert tree.height >= 2
+        tree.check_invariants()
+
+    def test_count_tracks_inserts(self):
+        _pool, tree = make_tree()
+        entries = random_rects(500, seed=3)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        assert len(tree) == 500
+
+
+class TestSearchCorrectness:
+    def test_search_equals_linear_scan(self):
+        _pool, tree = make_tree()
+        entries = random_rects(800, seed=4)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        tree.check_invariants()
+        for window_rect, _oid in random_rects(20, seed=5, size=120.0):
+            expected = sorted(
+                oid for rect, oid in entries if rect.intersects(window_rect)
+            )
+            got = sorted(tree.search(window_rect))
+            assert got == expected
+
+    def test_all_entries_returns_everything(self):
+        _pool, tree = make_tree()
+        entries = random_rects(300, seed=6)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        assert sorted(oid for _r, oid in tree.all_entries()) == sorted(
+            oid for _r, oid in entries
+        )
+
+    def test_point_window(self):
+        _pool, tree = make_tree()
+        tree.insert(Rect(0, 0, 10, 10), OID(0, 1, 0))
+        assert tree.search(Rect(5, 5, 5, 5)) == [OID(0, 1, 0)]
+
+
+class TestPersistence:
+    def test_reopen_from_file(self):
+        pool, tree = make_tree()
+        entries = random_rects(400, seed=7)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        reopened = RStarTree(pool, tree.file_id)
+        assert len(reopened) == 400
+        assert reopened.height == tree.height
+        window = Rect(0, 0, 500, 500)
+        assert sorted(reopened.search(window)) == sorted(tree.search(window))
+
+    def test_survives_buffer_pressure(self):
+        # A pool far smaller than the tree forces evictions mid-build.
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, 8)
+        tree = RStarTree(pool)
+        entries = random_rects(4000, seed=8)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        tree.check_invariants()
+        assert disk.stats.page_writes > 0  # evictions really happened
+        for window_rect, _oid in random_rects(5, seed=9, size=200.0):
+            expected = sorted(
+                oid for rect, oid in entries if rect.intersects(window_rect)
+            )
+            assert sorted(tree.search(window_rect)) == expected
+
+
+class TestSplitHeuristic:
+    def test_split_respects_min_fill(self):
+        entries = [(r, tuple(o)) for r, o in random_rects(NODE_CAPACITY + 1, seed=10)]
+        a, b = rstar_split(entries)
+        assert len(a) + len(b) == len(entries)
+        assert min(len(a), len(b)) >= min(MIN_FILL, len(entries) // 3)
+
+    def test_split_partitions_entries(self):
+        entries = [(r, tuple(o)) for r, o in random_rects(50, seed=11)]
+        a, b = rstar_split(entries)
+        assert sorted(map(repr, a + b)) == sorted(map(repr, entries))
+
+    def test_split_separates_clusters(self):
+        left = [(Rect(i, 0, i + 1, 1), (i, 0, 0)) for i in range(10)]
+        right = [(Rect(1000 + i, 0, 1001 + i, 1), (100 + i, 0, 0)) for i in range(10)]
+        a, b = rstar_split(left + right)
+        ids_a = {p[0] for _r, p in a}
+        # One group should be exactly the left cluster (any order).
+        assert ids_a in ({i for i in range(10)}, {100 + i for i in range(10)})
+
+
+class TestClusteredInsertion:
+    def test_sequential_rects(self):
+        # Monotone insert order exercises the reinsert path differently.
+        _pool, tree = make_tree()
+        for i in range(NODE_CAPACITY * 2):
+            tree.insert(Rect(i, i, i + 1, i + 1), OID(0, i, 0))
+        tree.check_invariants()
+        # Rects 0..9 overlap the window; rect 10 touches its corner (closed
+        # semantics), so 11 in total.
+        assert len(tree.search(Rect(0, 0, 10, 10))) == 11
+
+    def test_identical_points(self):
+        _pool, tree = make_tree()
+        for i in range(NODE_CAPACITY + 5):
+            tree.insert(Rect(1, 1, 1, 1), OID(0, i, 0))
+        tree.check_invariants()
+        assert len(tree.search(Rect(1, 1, 1, 1))) == NODE_CAPACITY + 5

@@ -1,0 +1,125 @@
+"""Tests for the BKS93 synchronized R-tree join."""
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.index import NODE_CAPACITY, build_from_sorted, rtree_join_pairs
+from repro.index.bulkload import spatial_sort
+from repro.storage import BufferPool, OID, SimulatedDisk
+
+
+def make_pool():
+    return BufferPool(SimulatedDisk(), 4096)
+
+
+def random_entries(n, seed, file_id, extent=100.0, size=5.0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(0, extent, 2)
+        w, h = rng.uniform(0, size, 2)
+        out.append((Rect(x, y, x + w, y + h), OID(file_id, i, 0)))
+    return out
+
+
+def build(pool, entries):
+    return build_from_sorted(pool, spatial_sort(entries))
+
+
+def expected_pairs(left, right):
+    return sorted(
+        (lo, ro)
+        for lr, lo in left
+        for rr, ro in right
+        if lr.intersects(rr)
+    )
+
+
+class TestCorrectness:
+    def test_small_random(self):
+        pool = make_pool()
+        left = random_entries(150, seed=1, file_id=1)
+        right = random_entries(150, seed=2, file_id=2)
+        tr, ts = build(pool, left), build(pool, right)
+        got = sorted(rtree_join_pairs(tr, ts))
+        assert got == expected_pairs(left, right)
+
+    def test_multilevel_trees(self):
+        pool = make_pool()
+        left = random_entries(NODE_CAPACITY * 3, seed=3, file_id=1)
+        right = random_entries(NODE_CAPACITY * 3, seed=4, file_id=2)
+        tr, ts = build(pool, left), build(pool, right)
+        assert tr.height >= 2 and ts.height >= 2
+        got = sorted(rtree_join_pairs(tr, ts))
+        assert got == expected_pairs(left, right)
+
+    def test_different_heights(self):
+        pool = make_pool()
+        left = random_entries(NODE_CAPACITY * 4, seed=5, file_id=1)
+        right = random_entries(30, seed=6, file_id=2)
+        tr, ts = build(pool, left), build(pool, right)
+        assert tr.height > ts.height
+        got = sorted(rtree_join_pairs(tr, ts))
+        assert got == expected_pairs(left, right)
+
+    def test_different_heights_swapped(self):
+        pool = make_pool()
+        left = random_entries(30, seed=7, file_id=1)
+        right = random_entries(NODE_CAPACITY * 4, seed=8, file_id=2)
+        tr, ts = build(pool, left), build(pool, right)
+        assert tr.height < ts.height
+        got = sorted(rtree_join_pairs(tr, ts))
+        assert got == expected_pairs(left, right)
+
+    def test_pair_sides_not_swapped(self):
+        pool = make_pool()
+        left = [(Rect(0, 0, 1, 1), OID(1, 0, 0))]
+        right = [(Rect(0.5, 0.5, 2, 2), OID(2, 0, 0))]
+        tr, ts = build(pool, left), build(pool, right)
+        assert rtree_join_pairs(tr, ts) == [(OID(1, 0, 0), OID(2, 0, 0))]
+
+
+class TestEdgeCases:
+    def test_empty_left(self):
+        pool = make_pool()
+        tr = build(pool, [])
+        ts = build(pool, random_entries(20, seed=9, file_id=2))
+        assert rtree_join_pairs(tr, ts) == []
+
+    def test_empty_right(self):
+        pool = make_pool()
+        tr = build(pool, random_entries(20, seed=10, file_id=1))
+        ts = build(pool, [])
+        assert rtree_join_pairs(tr, ts) == []
+
+    def test_disjoint_universes(self):
+        pool = make_pool()
+        left = random_entries(100, seed=11, file_id=1, extent=50)
+        right = [
+            (Rect(r.xl + 1000, r.yl, r.xu + 1000, r.yu), o)
+            for r, o in random_entries(100, seed=12, file_id=2, extent=50)
+        ]
+        tr, ts = build(pool, left), build(pool, right)
+        assert rtree_join_pairs(tr, ts) == []
+
+    def test_self_join(self):
+        pool = make_pool()
+        entries = random_entries(100, seed=13, file_id=1)
+        tr = build(pool, entries)
+        got = sorted(rtree_join_pairs(tr, tr))
+        assert got == expected_pairs(entries, entries)
+
+    def test_join_on_insert_built_trees(self):
+        # The join must work on trees built by repeated insertion too.
+        from repro.index import RStarTree
+
+        pool = make_pool()
+        left = random_entries(250, seed=14, file_id=1)
+        right = random_entries(250, seed=15, file_id=2)
+        tr, ts = RStarTree(pool), RStarTree(pool)
+        for rect, oid in left:
+            tr.insert(rect, oid)
+        for rect, oid in right:
+            ts.insert(rect, oid)
+        got = sorted(rtree_join_pairs(tr, ts))
+        assert got == expected_pairs(left, right)

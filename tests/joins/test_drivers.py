@@ -1,0 +1,155 @@
+"""Cross-validation of the INL, R-tree and spatial-hash join drivers."""
+
+import pytest
+
+from repro import Database, intersects
+from repro.data import make_tiger_datasets
+from repro.index import bulk_load_rstar
+from repro.joins import (
+    IndexedNestedLoopsJoin,
+    NaiveNestedLoopsJoin,
+    RTreeJoin,
+    SpatialHashJoin,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = Database(buffer_mb=4.0)
+    rels = make_tiger_datasets(db, scale=0.0015)
+    oracle = NaiveNestedLoopsJoin(db.pool).run(
+        rels["road"], rels["hydro"], intersects
+    )
+    return db, rels, oracle.pairs
+
+
+class TestINL:
+    def test_matches_oracle(self, workload):
+        db, rels, expected = workload
+        res = IndexedNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects
+        )
+        assert res.pairs == expected
+
+    def test_builds_index_on_smaller_input(self, workload):
+        db, rels, _ = workload
+        res = IndexedNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects
+        )
+        assert res.report.notes["built_index_on"] == "hydro"
+        assert any("Build hydro Index" == p.name for p in res.report.phases)
+
+    def test_uses_preexisting_index_r(self, workload):
+        db, rels, expected = workload
+        idx = bulk_load_rstar(db.pool, rels["road"])
+        res = IndexedNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_r=idx
+        )
+        assert res.pairs == expected
+        assert "built_index_on" not in res.report.notes
+
+    def test_uses_preexisting_index_s(self, workload):
+        db, rels, expected = workload
+        idx = bulk_load_rstar(db.pool, rels["hydro"])
+        res = IndexedNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_s=idx
+        )
+        assert res.pairs == expected
+
+    def test_both_indices_probes_smaller(self, workload):
+        db, rels, expected = workload
+        idx_r = bulk_load_rstar(db.pool, rels["road"])
+        idx_s = bulk_load_rstar(db.pool, rels["hydro"])
+        res = IndexedNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_r=idx_r, index_s=idx_s
+        )
+        assert res.pairs == expected
+        # No build phase at all.
+        assert all("Build" not in p.name for p in res.report.phases)
+
+    def test_empty_input(self, workload):
+        db, rels, _ = workload
+        empty = db.create_relation("inl-empty")
+        res = IndexedNestedLoopsJoin(db.pool).run(empty, rels["hydro"], intersects)
+        assert res.pairs == []
+
+
+class TestRTreeJoinDriver:
+    def test_matches_oracle(self, workload):
+        db, rels, expected = workload
+        res = RTreeJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        assert res.pairs == expected
+
+    def test_builds_both_indices(self, workload):
+        db, rels, _ = workload
+        res = RTreeJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        names = [p.name for p in res.report.phases]
+        assert "Build road Index" in names
+        assert "Build hydro Index" in names
+        assert "Join Indices" in names
+        assert "Refinement" in names
+
+    def test_skips_existing_indices(self, workload):
+        db, rels, expected = workload
+        idx_r = bulk_load_rstar(db.pool, rels["road"])
+        idx_s = bulk_load_rstar(db.pool, rels["hydro"])
+        res = RTreeJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_r=idx_r, index_s=idx_s
+        )
+        assert res.pairs == expected
+        assert all("Build" not in p.name for p in res.report.phases)
+
+    def test_one_existing_index(self, workload):
+        db, rels, expected = workload
+        idx_r = bulk_load_rstar(db.pool, rels["road"])
+        res = RTreeJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_r=idx_r
+        )
+        assert res.pairs == expected
+        names = [p.name for p in res.report.phases]
+        assert "Build road Index" not in names
+        assert "Build hydro Index" in names
+
+    def test_candidate_count_at_least_results(self, workload):
+        db, rels, _ = workload
+        res = RTreeJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        assert res.report.candidates >= res.report.result_count
+
+
+class TestSpatialHashJoin:
+    def test_matches_oracle(self, workload):
+        db, rels, expected = workload
+        res = SpatialHashJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        assert res.pairs == expected
+
+    def test_matches_oracle_many_buckets(self, workload):
+        db, rels, expected = workload
+        res = SpatialHashJoin(db.pool, memory_bytes=8192).run(
+            rels["road"], rels["hydro"], intersects
+        )
+        assert res.report.notes["num_buckets"] > 1
+        assert res.pairs == expected
+
+    def test_empty_inputs(self, workload):
+        db, rels, _ = workload
+        empty = db.create_relation("shj-empty")
+        assert SpatialHashJoin(db.pool).run(empty, rels["hydro"], intersects).pairs == []
+
+
+class TestClusteredVariants:
+    def test_all_algorithms_on_clustered_data(self):
+        db = Database(buffer_mb=4.0)
+        rels = make_tiger_datasets(db, scale=0.001, clustered=True)
+        expected = NaiveNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects
+        ).pairs
+        from repro import PBSMJoin
+
+        assert PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects).pairs == expected
+        assert IndexedNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, s_clustered=True
+        ).pairs == expected
+        assert RTreeJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects,
+            r_clustered=True, s_clustered=True,
+        ).pairs == expected

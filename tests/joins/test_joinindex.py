@@ -1,0 +1,81 @@
+"""Tests for the Rot91 spatial join index."""
+
+import pytest
+
+from repro import Database, intersects
+from repro.data import make_tiger_datasets
+from repro.joins import NaiveNestedLoopsJoin
+from repro.joins.joinindex import SpatialJoinIndex
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = Database(buffer_mb=2.0)
+    rels = make_tiger_datasets(db, scale=0.0015, include=("road", "hydro"))
+    expected = NaiveNestedLoopsJoin(db.pool).run(
+        rels["road"], rels["hydro"], intersects
+    ).pairs
+    return db, rels, expected
+
+
+class TestBuild:
+    def test_index_is_filter_superset(self, workload):
+        db, rels, expected = workload
+        ji = SpatialJoinIndex.build(db.pool, rels["road"], rels["hydro"])
+        stored = set(ji.candidate_file.read_all())
+        assert set(expected).issubset(stored)
+        # And exactly the MBR-overlap pairs, no more.
+        mbr_pairs = {
+            (ro, so)
+            for ro, rt in rels["road"].scan()
+            for so, st in rels["hydro"].scan()
+            if rt.mbr.intersects(st.mbr)
+        }
+        assert stored == mbr_pairs
+
+    def test_build_report_phases(self, workload):
+        db, rels, _ = workload
+        ji = SpatialJoinIndex.build(db.pool, rels["road"], rels["hydro"])
+        names = [p.name for p in ji.build_report.phases]
+        assert names == [
+            "Build road Grid",
+            "Build hydro Grid",
+            "Compute Join Index",
+        ]
+
+    def test_empty_inputs(self, workload):
+        db, rels, _ = workload
+        empty = db.create_relation("ji-empty")
+        ji = SpatialJoinIndex.build(db.pool, empty, rels["hydro"])
+        assert len(ji) == 0
+        assert ji.query(intersects).pairs == []
+
+
+class TestQuery:
+    def test_query_matches_oracle(self, workload):
+        db, rels, expected = workload
+        ji = SpatialJoinIndex.build(db.pool, rels["road"], rels["hydro"])
+        result = ji.query(intersects)
+        assert result.pairs == expected
+
+    def test_repeated_queries_cheap(self, workload):
+        db, rels, _ = workload
+        ji = SpatialJoinIndex.build(db.pool, rels["road"], rels["hydro"])
+        first = ji.query(intersects)
+        second = ji.query(intersects)
+        assert first.pairs == second.pairs
+        # No grid or filter work at query time: just index scan + refine.
+        assert {p.name for p in second.report.phases} == {
+            "Scan Join Index",
+            "Refinement",
+        }
+
+    def test_drop_releases_storage(self, workload):
+        db, rels, _ = workload
+        files_before = set(db.disk.file_ids())
+        ji = SpatialJoinIndex.build(db.pool, rels["road"], rels["hydro"])
+        ji.drop()
+        # Grid-file buckets remain (they are the persistent access method),
+        # but the candidate file is gone.
+        assert ji.candidate_file.heap.file_id not in db.disk.file_ids()
+        del files_before

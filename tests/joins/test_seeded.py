@@ -1,0 +1,147 @@
+"""Tests for seeded trees (LR94/LR95) and their join driver."""
+
+import pytest
+
+from repro import Database, intersects
+from repro.data import make_tiger_datasets
+from repro.geometry import Rect
+from repro.index import bulk_load_rstar
+from repro.index.seeded import (
+    SeededTree,
+    build_seeded_tree,
+    seed_slots_from_sample,
+    seed_slots_from_tree,
+    seeded_tree_join,
+)
+from repro.joins import NaiveNestedLoopsJoin
+from repro.joins.seeded import SeededTreeJoin
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = Database(buffer_mb=2.0)
+    rels = make_tiger_datasets(db, scale=0.002, include=("road", "hydro"))
+    expected = NaiveNestedLoopsJoin(db.pool).run(
+        rels["road"], rels["hydro"], intersects
+    ).pairs
+    return db, rels, expected
+
+
+class TestSeeds:
+    def test_slots_from_tree(self, workload):
+        db, rels, _ = workload
+        tree = bulk_load_rstar(db.pool, rels["hydro"])
+        slots = seed_slots_from_tree(tree, max_slots=8)
+        assert 1 <= len(slots) <= 8
+        universe = rels["hydro"].universe
+        cover = Rect.union_all(slots)
+        assert cover.intersects(universe)
+
+    def test_slots_from_tree_respects_budget(self, workload):
+        db, rels, _ = workload
+        tree = bulk_load_rstar(db.pool, rels["road"])
+        for budget in (1, 4, 32):
+            assert len(seed_slots_from_tree(tree, max_slots=budget)) <= budget
+
+    def test_slots_from_empty_tree(self, workload):
+        db, _rels, _ = workload
+        from repro.index import build_from_sorted
+
+        empty = build_from_sorted(db.pool, [])
+        assert seed_slots_from_tree(empty) == []
+
+    def test_slots_from_sample(self, workload):
+        db, rels, _ = workload
+        slots = seed_slots_from_sample(rels["road"], max_slots=8)
+        assert 1 <= len(slots) <= 8
+
+
+class TestSeededTree:
+    def test_build_preserves_all_entries(self, workload):
+        db, rels, _ = workload
+        slots = seed_slots_from_sample(rels["road"], max_slots=8)
+        seeded = build_seeded_tree(db.pool, rels["road"], slots)
+        assert len(seeded) == len(rels["road"])
+
+    def test_search_equals_scan(self, workload):
+        db, rels, _ = workload
+        slots = seed_slots_from_sample(rels["road"], max_slots=8)
+        seeded = build_seeded_tree(db.pool, rels["road"], slots)
+        window = Rect(-90.5, 43.0, -88.0, 45.0)
+        expected = sorted(
+            oid for oid, t in rels["road"].scan() if t.mbr.intersects(window)
+        )
+        assert sorted(seeded.search(window)) == expected
+
+    def test_build_requires_slots(self, workload):
+        db, rels, _ = workload
+        with pytest.raises(ValueError):
+            build_seeded_tree(db.pool, rels["road"], [])
+
+    def test_slot_subtree_arity_checked(self):
+        with pytest.raises(ValueError):
+            SeededTree([Rect(0, 0, 1, 1)], [])
+
+    def test_seeded_join_matches_filter_truth(self, workload):
+        db, rels, _ = workload
+        slots = seed_slots_from_sample(rels["road"], max_slots=8)
+        seeded = build_seeded_tree(db.pool, rels["road"], slots)
+        tree_s = bulk_load_rstar(db.pool, rels["hydro"])
+        pairs = []
+        seeded_tree_join(seeded, tree_s, lambda a, b: pairs.append((a, b)))
+        expected = sorted(
+            (ro, so)
+            for ro, rt in rels["road"].scan()
+            for so, st in rels["hydro"].scan()
+            if rt.mbr.intersects(st.mbr)
+        )
+        assert sorted(set(pairs)) == expected
+
+
+class TestSeededTreeJoinDriver:
+    def test_no_index_mode(self, workload):
+        db, rels, expected = workload
+        res = SeededTreeJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        assert res.pairs == expected
+        assert "LR95" in res.report.notes["mode"]
+
+    def test_one_index_on_r(self, workload):
+        db, rels, expected = workload
+        idx_r = bulk_load_rstar(db.pool, rels["road"])
+        res = SeededTreeJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_r=idx_r
+        )
+        assert res.pairs == expected
+        assert "LR94" in res.report.notes["mode"]
+
+    def test_one_index_on_s(self, workload):
+        db, rels, expected = workload
+        idx_s = bulk_load_rstar(db.pool, rels["hydro"])
+        res = SeededTreeJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_s=idx_s
+        )
+        assert res.pairs == expected
+
+    def test_both_indices(self, workload):
+        db, rels, expected = workload
+        idx_r = bulk_load_rstar(db.pool, rels["road"])
+        idx_s = bulk_load_rstar(db.pool, rels["hydro"])
+        res = SeededTreeJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects, index_r=idx_r, index_s=idx_s
+        )
+        assert res.pairs == expected
+        assert "BKS93" in res.report.notes["mode"]
+
+    def test_empty_input(self, workload):
+        db, rels, _ = workload
+        empty = db.create_relation("seeded-empty")
+        res = SeededTreeJoin(db.pool).run(empty, rels["hydro"], intersects)
+        assert res.pairs == []
+
+    def test_various_slot_budgets(self, workload):
+        db, rels, expected = workload
+        for slots in (1, 4, 64):
+            res = SeededTreeJoin(db.pool, seed_slots=slots).run(
+                rels["road"], rels["hydro"], intersects
+            )
+            assert res.pairs == expected, slots

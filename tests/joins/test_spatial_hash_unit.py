@@ -1,0 +1,80 @@
+"""Unit tests for the LR96 spatial hash join internals."""
+
+import pytest
+
+from repro import Database, intersects
+from repro.data import make_tiger_datasets
+from repro.geometry import Rect
+from repro.joins import SpatialHashJoin
+from repro.joins.spatial_hash import DEFAULT_SAMPLE_SIZE
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = Database(buffer_mb=2.0)
+    rels = make_tiger_datasets(db, scale=0.002, include=("road", "hydro"))
+    return db, rels
+
+
+class TestSeeding:
+    def test_seed_extents_cover_samples(self, workload):
+        db, rels = workload
+        shj = SpatialHashJoin(db.pool)
+        seeds = shj._seed_extents(rels["road"], num_buckets=8)
+        assert 1 <= len(seeds) <= 8
+        cover = Rect.union_all(seeds)
+        # Every sampled MBR lies inside some seed by construction; the seed
+        # cover therefore overlaps the relation's universe substantially.
+        universe = rels["road"].universe
+        assert cover.overlap_area(universe) > 0.5 * cover.area
+
+    def test_more_buckets_than_samples_clamped(self, workload):
+        db, rels = workload
+        shj = SpatialHashJoin(db.pool, sample_size=4)
+        seeds = shj._seed_extents(rels["road"], num_buckets=1000)
+        assert len(seeds) <= 1000
+
+    def test_choose_bucket_prefers_containing_extent(self):
+        seeds = [Rect(0, 0, 10, 10), Rect(100, 100, 110, 110)]
+        extents = [None, None]
+        idx = SpatialHashJoin._choose_bucket(seeds, extents, Rect(2, 2, 3, 3))
+        assert idx == 0
+        idx = SpatialHashJoin._choose_bucket(seeds, extents, Rect(105, 105, 106, 106))
+        assert idx == 1
+
+    def test_choose_bucket_uses_grown_extents(self):
+        seeds = [Rect(0, 0, 1, 1), Rect(50, 50, 51, 51)]
+        extents = [Rect(0, 0, 40, 40), None]
+        # The point sits nearer seed 1 but inside extent 0 -> no enlargement.
+        idx = SpatialHashJoin._choose_bucket(seeds, extents, Rect(35, 35, 36, 36))
+        assert idx == 0
+
+
+class TestReportShape:
+    def test_phases_and_notes(self, workload):
+        db, rels = workload
+        res = SpatialHashJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        names = [p.name for p in res.report.phases]
+        assert names == [
+            "Sample & Seed",
+            "Partition road",
+            "Partition hydro",
+            "Join Buckets",
+            "Refinement",
+        ]
+        assert res.report.notes["num_buckets"] >= 1
+
+    def test_r_side_never_replicated(self, workload):
+        """LR96's defining property: R tuples go to exactly one bucket."""
+        db, rels = workload
+        shj = SpatialHashJoin(db.pool, memory_bytes=8192)
+        res = shj.run(rels["road"], rels["hydro"], intersects)
+        # If R were replicated, the same (r, s) pair could be emitted from
+        # two buckets; candidates would then exceed the distinct MBR pairs.
+        mbr_pairs = sum(
+            1
+            for _ro, rt in rels["road"].scan()
+            for _so, st in rels["hydro"].scan()
+            if rt.mbr.intersects(st.mbr)
+        )
+        assert res.report.candidates == mbr_pairs

@@ -1,0 +1,248 @@
+"""Tests for the Orenstein z-order spatial join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, intersects
+from repro.data import make_tiger_datasets
+from repro.geometry import Rect
+from repro.joins import NaiveNestedLoopsJoin, ZOrderConfig, ZOrderJoin
+from repro.joins.zorder import decompose_rect, zmerge
+from repro.storage import OID
+
+UNIVERSE = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+@st.composite
+def universe_rects(draw):
+    x = draw(st.floats(min_value=0, max_value=99))
+    y = draw(st.floats(min_value=0, max_value=99))
+    w = draw(st.floats(min_value=0, max_value=40))
+    h = draw(st.floats(min_value=0, max_value=40))
+    return Rect(x, y, min(x + w, 100.0), min(y + h, 100.0))
+
+
+def cells_cover(rect: Rect, intervals, max_level):
+    """Check coverage by sampling points of the rect and locating their cell."""
+    from repro.geometry import morton_d
+
+    side = 1 << max_level
+    points = [
+        (rect.xl, rect.yl), (rect.xu, rect.yu), rect.center,
+        (rect.xl, rect.yu), (rect.xu, rect.yl),
+    ]
+    for x, y in points:
+        cx = min(int((x - UNIVERSE.xl) / UNIVERSE.width * side), side - 1)
+        cy = min(int((y - UNIVERSE.yl) / UNIVERSE.height * side), side - 1)
+        z = morton_d(cx, cy, order=max_level)
+        if not any(lo <= z <= hi for lo, hi in intervals):
+            return False
+    return True
+
+
+class TestDecomposition:
+    def test_universe_is_one_interval(self):
+        cells = decompose_rect(UNIVERSE, UNIVERSE, max_level=6)
+        assert cells == [(0, (1 << 12) - 1)]
+
+    def test_outside_universe_empty(self):
+        assert decompose_rect(Rect(200, 200, 210, 210), UNIVERSE) == []
+
+    def test_intervals_sorted_and_disjoint(self):
+        cells = decompose_rect(Rect(10, 10, 42, 33), UNIVERSE, max_level=6)
+        for (lo1, hi1), (lo2, hi2) in zip(cells, cells[1:]):
+            assert hi1 < lo2
+        assert all(lo <= hi for lo, hi in cells)
+
+    @given(universe_rects(), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_cells_cover_rect(self, rect, max_level):
+        cells = decompose_rect(rect, UNIVERSE, max_level=max_level)
+        assert cells
+        assert cells_cover(rect, cells, max_level)
+
+    def test_cell_budget_respected(self):
+        # A long thin rectangle would need many cells; the budget caps it.
+        rect = Rect(0.1, 50.0, 99.9, 50.5)
+        few = decompose_rect(rect, UNIVERSE, max_level=8, max_cells=4)
+        many = decompose_rect(rect, UNIVERSE, max_level=8, max_cells=64)
+        assert len(few) <= len(many)
+        assert cells_cover(rect, few, 8)
+
+    def test_finer_level_tightens_approximation(self):
+        rect = Rect(10, 10, 11, 11)
+        coarse = decompose_rect(rect, UNIVERSE, max_level=3, max_cells=64)
+        fine = decompose_rect(rect, UNIVERSE, max_level=8, max_cells=64)
+
+        def covered_fraction(cells, max_level):
+            return sum(hi - lo + 1 for lo, hi in cells) / 4**max_level
+
+        assert covered_fraction(fine, 8) < covered_fraction(coarse, 3)
+
+
+class TestZMerge:
+    def test_nested_intervals_pair(self):
+        r = [(0, 63, OID(1, 0, 0))]
+        s = [(16, 31, OID(2, 0, 0))]
+        out = []
+        zmerge(r, s, lambda a, b: out.append((a, b)))
+        assert out == [(OID(1, 0, 0), OID(2, 0, 0))]
+
+    def test_disjoint_intervals_do_not_pair(self):
+        r = [(0, 15, OID(1, 0, 0))]
+        s = [(16, 31, OID(2, 0, 0))]
+        out = []
+        zmerge(r, s, lambda a, b: out.append((a, b)))
+        assert out == []
+
+    def test_pair_order_is_r_then_s(self):
+        r = [(16, 31, OID(1, 0, 0))]
+        s = [(0, 63, OID(2, 0, 0))]
+        out = []
+        zmerge(r, s, lambda a, b: out.append((a, b)))
+        assert out == [(OID(1, 0, 0), OID(2, 0, 0))]
+
+    def test_matches_brute_force(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+
+        def random_elems(file_id, n):
+            elems = []
+            for i in range(n):
+                level = rng.integers(0, 4)
+                span = 4 ** (4 - level)
+                start = rng.integers(0, 4**4 // span) * span
+                elems.append((int(start), int(start + span - 1), OID(file_id, i, 0)))
+            return sorted(elems, key=lambda e: (e[0], -e[1]))
+
+        r, s = random_elems(1, 40), random_elems(2, 40)
+        out = []
+        zmerge(r, s, lambda a, b: out.append((a, b)))
+        expected = sorted(
+            (ro, so)
+            for rlo, rhi, ro in r
+            for slo, shi, so in s
+            if rlo <= shi and slo <= rhi
+        )
+        assert sorted(out) == expected
+
+
+class TestZOrderJoinDriver:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        db = Database(buffer_mb=2.0)
+        rels = make_tiger_datasets(db, scale=0.0015, include=("road", "hydro"))
+        expected = NaiveNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects
+        ).pairs
+        return db, rels, expected
+
+    def test_matches_oracle(self, workload):
+        db, rels, expected = workload
+        res = ZOrderJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        assert res.pairs == expected
+
+    @pytest.mark.parametrize("max_level", [4, 6, 10])
+    def test_matches_oracle_at_all_granularities(self, workload, max_level):
+        db, rels, expected = workload
+        cfg = ZOrderConfig(max_level=max_level)
+        res = ZOrderJoin(db.pool, cfg).run(rels["road"], rels["hydro"], intersects)
+        assert res.pairs == expected
+
+    def test_finer_grid_fewer_candidates(self, workload):
+        db, rels, _ = workload
+        coarse = ZOrderJoin(db.pool, ZOrderConfig(max_level=3)).run(
+            rels["road"], rels["hydro"], intersects
+        )
+        fine = ZOrderJoin(db.pool, ZOrderConfig(max_level=9)).run(
+            rels["road"], rels["hydro"], intersects
+        )
+        # The paper's [Ore89] trade-off: finer grid = better filtering
+        # (fewer distinct candidates) but more z-elements per object.
+        assert (
+            fine.report.notes["distinct_candidates"]
+            < coarse.report.notes["distinct_candidates"]
+        )
+        assert (
+            fine.report.notes["z_elements_r"]
+            > coarse.report.notes["z_elements_r"]
+        )
+
+    def test_empty_inputs(self, workload):
+        db, rels, _ = workload
+        empty = db.create_relation("z-empty")
+        assert ZOrderJoin(db.pool).run(empty, rels["hydro"], intersects).pairs == []
+
+    def test_report_phases(self, workload):
+        db, rels, _ = workload
+        res = ZOrderJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        names = [p.name for p in res.report.phases]
+        assert names == [
+            "Transform road",
+            "Transform hydro",
+            "Merge Z-Sequences",
+            "Refinement",
+        ]
+
+
+class TestZOrderIndex:
+    """[OM84]: z-values stored persistently in a B+-tree."""
+
+    @pytest.fixture(scope="class")
+    def indexed(self):
+        db = Database(buffer_mb=2.0)
+        rels = make_tiger_datasets(db, scale=0.0015, include=("road", "hydro"))
+        universe = rels["road"].universe.union(rels["hydro"].universe)
+        from repro.joins import ZOrderIndex
+
+        idx_r = ZOrderIndex.build(db.pool, rels["road"], universe)
+        idx_s = ZOrderIndex.build(db.pool, rels["hydro"], universe)
+        expected = NaiveNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects
+        ).pairs
+        return db, rels, idx_r, idx_s, expected
+
+    def test_index_holds_all_elements(self, indexed):
+        _db, rels, idx_r, _idx_s, _exp = indexed
+        assert len(idx_r) >= len(rels["road"])  # >= 1 element per tuple
+
+    def test_elements_satisfy_zmerge_order(self, indexed):
+        _db, _rels, idx_r, _idx_s, _exp = indexed
+        elems = idx_r.elements()
+        keys = [(zlo, -zhi) for zlo, zhi, _oid in elems]
+        assert keys == sorted(keys)
+
+    def test_indexed_join_matches_oracle(self, indexed):
+        db, rels, idx_r, idx_s, expected = indexed
+        from repro.joins import zorder_join_indexed
+
+        result = zorder_join_indexed(
+            db.pool, rels["road"], rels["hydro"], idx_r, idx_s, intersects
+        )
+        assert result.pairs == expected
+        names = [p.name for p in result.report.phases]
+        assert names == ["Merge Z-Indices", "Refinement"]
+
+    def test_universe_mismatch_rejected(self, indexed):
+        db, rels, idx_r, _idx_s, _exp = indexed
+        from repro.joins import ZOrderIndex, zorder_join_indexed
+
+        other = ZOrderIndex.build(
+            db.pool, rels["hydro"], Rect(0, 0, 1, 1)
+        )
+        with pytest.raises(ValueError):
+            zorder_join_indexed(
+                db.pool, rels["road"], rels["hydro"], idx_r, other, intersects
+            )
+
+    def test_index_join_matches_transform_join(self, indexed):
+        db, rels, idx_r, idx_s, _exp = indexed
+        from repro.joins import zorder_join_indexed
+
+        indexed_res = zorder_join_indexed(
+            db.pool, rels["road"], rels["hydro"], idx_r, idx_s, intersects
+        )
+        direct = ZOrderJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        assert indexed_res.pairs == direct.pairs

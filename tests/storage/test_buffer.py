@@ -1,0 +1,181 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage import (
+    PAGE_SIZE,
+    BufferPool,
+    BufferPoolError,
+    SimulatedDisk,
+    pages_for_megabytes,
+)
+
+
+def make_pool(capacity=4):
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity)
+    fid = disk.create_file()
+    return disk, pool, fid
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            BufferPool(disk, 0)
+
+    def test_pages_for_megabytes(self):
+        assert pages_for_megabytes(2.0) == 2 * 1024 * 1024 // PAGE_SIZE
+        with pytest.raises(ValueError):
+            pages_for_megabytes(0.000001)
+
+    def test_new_page_visible_without_disk_read(self):
+        disk, pool, fid = make_pool()
+        page_no = pool.new_page(fid)
+        data = pool.get_page(fid, page_no)
+        assert len(data) == PAGE_SIZE
+        assert disk.stats.page_reads == 0
+
+    def test_miss_then_hit(self):
+        disk, pool, fid = make_pool()
+        page_no = pool.new_page(fid)
+        pool.clear()
+        pool.reset_counters()
+        pool.get_page(fid, page_no)
+        pool.get_page(fid, page_no)
+        assert pool.misses == 1
+        assert pool.hits == 1
+        assert disk.stats.page_reads == 1
+
+    def test_hit_rate(self):
+        disk, pool, fid = make_pool()
+        page_no = pool.new_page(fid)
+        pool.reset_counters()
+        pool.get_page(fid, page_no)
+        pool.get_page(fid, page_no)
+        assert pool.hit_rate() == pytest.approx(1.0)
+
+
+class TestDirtyTracking:
+    def test_mutation_persists_after_flush(self):
+        disk, pool, fid = make_pool()
+        page_no = pool.new_page(fid)
+        frame = pool.get_page(fid, page_no)
+        frame[0:4] = b"abcd"
+        pool.mark_dirty(fid, page_no)
+        pool.flush_all()
+        assert disk.read_page(fid, page_no)[0:4] == b"abcd"
+
+    def test_mark_dirty_nonresident_raises(self):
+        disk, pool, fid = make_pool()
+        with pytest.raises(BufferPoolError):
+            pool.mark_dirty(fid, 99)
+
+    def test_flush_all_is_idempotent(self):
+        disk, pool, fid = make_pool()
+        page_no = pool.new_page(fid)
+        pool.flush_all()
+        writes = disk.stats.page_writes
+        pool.flush_all()
+        assert disk.stats.page_writes == writes
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        disk, pool, fid = make_pool(capacity=2)
+        p0 = pool.new_page(fid)
+        p1 = pool.new_page(fid)
+        pool.flush_all()
+        pool.get_page(fid, p0)  # p0 becomes MRU
+        pool.new_page(fid)  # must evict p1 (LRU)
+        resident = {pn for _f, pn in pool.resident_page_ids()}
+        assert p0 in resident
+        assert p1 not in resident
+
+    def test_evicting_dirty_page_writes_it(self):
+        disk, pool, fid = make_pool(capacity=1)
+        p0 = pool.new_page(fid)
+        frame = pool.get_page(fid, p0)
+        frame[0:2] = b"hi"
+        pool.mark_dirty(fid, p0)
+        pool.new_page(fid)  # evicts p0
+        assert disk.read_page(fid, p0)[0:2] == b"hi"
+
+    def test_pinned_page_survives_eviction(self):
+        disk, pool, fid = make_pool(capacity=2)
+        p0 = pool.new_page(fid, pin=True)
+        pool.new_page(fid)
+        pool.new_page(fid)  # must evict the unpinned one
+        resident = {pn for _f, pn in pool.resident_page_ids()}
+        assert p0 in resident
+
+    def test_all_pinned_raises(self):
+        disk, pool, fid = make_pool(capacity=1)
+        pool.new_page(fid, pin=True)
+        with pytest.raises(BufferPoolError):
+            pool.new_page(fid)
+
+    def test_unpin_allows_eviction(self):
+        disk, pool, fid = make_pool(capacity=1)
+        p0 = pool.new_page(fid, pin=True)
+        pool.unpin(fid, p0)
+        pool.new_page(fid)  # fine now
+
+    def test_unpin_unpinned_raises(self):
+        disk, pool, fid = make_pool()
+        p0 = pool.new_page(fid)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(fid, p0)
+
+    def test_capacity_respected(self):
+        disk, pool, fid = make_pool(capacity=3)
+        for _ in range(10):
+            pool.new_page(fid)
+        assert pool.resident_pages <= 3
+
+
+class TestClusteredFlush:
+    def test_eviction_flushes_other_dirty_pages_clustered(self):
+        # SHORE behaviour: when a dirty page must go, dirty neighbours are
+        # written too, sorted, making the writes mostly sequential.
+        disk, pool, fid = make_pool(capacity=4)
+        for _ in range(4):
+            pool.new_page(fid)  # all dirty: pages 0..3
+        pool.new_page(fid)  # triggers eviction
+        # All four dirty pages were flushed in one sorted batch.
+        assert disk.stats.page_writes >= 4
+        assert disk.stats.random_writes <= 1
+
+    def test_flush_all_sorted(self):
+        disk, pool, fid = make_pool(capacity=8)
+        pages = [pool.new_page(fid) for _ in range(6)]
+        # Touch in reverse to scramble LRU order.
+        for p in reversed(pages):
+            pool.get_page(fid, p)
+        pool.flush_all()
+        assert disk.stats.page_writes == 6
+        assert disk.stats.random_writes == 1
+
+
+class TestClearAndInvalidate:
+    def test_clear_flushes_and_empties(self):
+        disk, pool, fid = make_pool()
+        pool.new_page(fid)
+        pool.clear()
+        assert pool.resident_pages == 0
+        assert disk.stats.page_writes == 1
+
+    def test_clear_with_pinned_raises(self):
+        disk, pool, fid = make_pool()
+        pool.new_page(fid, pin=True)
+        with pytest.raises(BufferPoolError):
+            pool.clear()
+
+    def test_invalidate_file_drops_without_writing(self):
+        disk, pool, fid = make_pool()
+        pool.new_page(fid)
+        other = disk.create_file()
+        pool.new_page(other)
+        pool.invalidate_file(fid)
+        assert all(f != fid for f, _p in pool.resident_page_ids())
+        assert disk.stats.page_writes == 0

@@ -1,0 +1,155 @@
+"""Tests for the simulated disk and its I/O cost model."""
+
+import pytest
+
+from repro.storage import PAGE_SIZE, DiskStats, IOCostModel, SimulatedDisk
+
+
+class TestFiles:
+    def test_create_files_get_distinct_ids(self):
+        disk = SimulatedDisk()
+        assert disk.create_file() != disk.create_file()
+
+    def test_new_file_is_empty(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        assert disk.file_length(fid) == 0
+
+    def test_allocate_extends(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        assert disk.allocate_page(fid) == 0
+        assert disk.allocate_page(fid) == 1
+        assert disk.file_length(fid) == 2
+
+    def test_drop_file_frees_pages(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        disk.drop_file(fid)
+        with pytest.raises(KeyError):
+            disk.file_length(fid)
+
+    def test_file_ids(self):
+        disk = SimulatedDisk()
+        a, b = disk.create_file(), disk.create_file()
+        assert set(disk.file_ids()) == {a, b}
+
+
+class TestIO:
+    def test_write_read_roundtrip(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        data = bytes(range(256)) * 32
+        disk.write_page(fid, 0, data)
+        assert disk.read_page(fid, 0) == data
+
+    def test_fresh_page_is_zeroed(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        assert disk.read_page(fid, 0) == bytes(PAGE_SIZE)
+
+    def test_read_unallocated_raises(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        with pytest.raises(KeyError):
+            disk.read_page(fid, 0)
+
+    def test_write_wrong_size_raises(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        with pytest.raises(ValueError):
+            disk.write_page(fid, 0, b"short")
+
+
+class TestAccessClassification:
+    def test_first_access_is_random(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        disk.read_page(fid, 0)
+        assert disk.stats.random_reads == 1
+
+    def test_consecutive_reads_are_sequential(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        for _ in range(5):
+            disk.allocate_page(fid)
+        for page in range(5):
+            disk.read_page(fid, page)
+        assert disk.stats.page_reads == 5
+        assert disk.stats.random_reads == 1  # only the first one seeks
+
+    def test_backwards_read_is_random(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        disk.allocate_page(fid)
+        disk.read_page(fid, 1)
+        disk.read_page(fid, 0)
+        assert disk.stats.random_reads == 2
+
+    def test_cross_file_access_is_random(self):
+        disk = SimulatedDisk()
+        f1, f2 = disk.create_file(), disk.create_file()
+        disk.allocate_page(f1)
+        disk.allocate_page(f2)
+        disk.read_page(f1, 0)
+        disk.read_page(f2, 0)
+        assert disk.stats.random_reads == 2
+
+    def test_sequential_writes(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        for _ in range(3):
+            disk.allocate_page(fid)
+        blank = bytes(PAGE_SIZE)
+        for page in range(3):
+            disk.write_page(fid, page, blank)
+        assert disk.stats.page_writes == 3
+        assert disk.stats.random_writes == 1
+
+    def test_read_after_write_same_position_continues_run(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        disk.allocate_page(fid)
+        disk.write_page(fid, 0, bytes(PAGE_SIZE))
+        disk.read_page(fid, 1)
+        assert disk.stats.random_reads == 0
+
+
+class TestCostModel:
+    def test_io_time_formula(self):
+        cost = IOCostModel(seek_time=0.01, transfer_time=0.001)
+        stats = DiskStats(
+            page_reads=10, page_writes=5, random_reads=3, random_writes=2
+        )
+        assert stats.io_time(cost) == pytest.approx(5 * 0.01 + 15 * 0.001)
+
+    def test_snapshot_diff(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        disk.read_page(fid, 0)
+        snap = disk.snapshot()
+        disk.read_page(fid, 0)  # random (same page, not +1)
+        delta = disk.stats.minus(snap)
+        assert delta.page_reads == 1
+        assert disk.io_time_since(snap) > 0
+
+    def test_stats_copy_is_independent(self):
+        disk = SimulatedDisk()
+        snap = disk.snapshot()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        disk.read_page(fid, 0)
+        assert snap.page_reads == 0
+
+    def test_total_and_seeks(self):
+        stats = DiskStats(page_reads=4, page_writes=6, random_reads=1, random_writes=2)
+        assert stats.total_ios == 10
+        assert stats.seeks == 3

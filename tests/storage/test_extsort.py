@@ -1,0 +1,112 @@
+"""Tests for the external merge sort."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BufferPool, SimulatedDisk
+from repro.storage.extsort import ExternalSorter, external_sort
+
+
+def make_pool(capacity=16):
+    disk = SimulatedDisk()
+    return disk, BufferPool(disk, capacity)
+
+
+def int_record(value: int) -> bytes:
+    return struct.pack(">I", value)
+
+
+def int_key(record: bytes) -> int:
+    return struct.unpack(">I", record)[0]
+
+
+class TestInMemoryPath:
+    def test_small_input_no_spill(self):
+        _disk, pool = make_pool()
+        sorter = ExternalSorter(pool, int_key, memory_bytes=1 << 20)
+        sorter.add_all(int_record(v) for v in [5, 3, 9, 1])
+        assert [int_key(r) for r in sorter.sorted_records()] == [1, 3, 5, 9]
+        assert sorter.spilled_runs == 0
+
+    def test_empty_input(self):
+        _disk, pool = make_pool()
+        sorter = ExternalSorter(pool, int_key)
+        assert list(sorter.sorted_records()) == []
+
+
+class TestSpillingPath:
+    def test_spills_and_merges(self):
+        disk, pool = make_pool()
+        values = list(range(1000, 0, -1))
+        sorter = ExternalSorter(pool, int_key, memory_bytes=256)
+        sorter.add_all(int_record(v) for v in values)
+        assert sorter.spilled_runs > 2
+        got = [int_key(r) for r in sorter.sorted_records()]
+        assert got == sorted(values)
+
+    def test_run_files_cleaned_up(self):
+        disk, pool = make_pool()
+        files_before = set(disk.file_ids())
+        sorter = ExternalSorter(pool, int_key, memory_bytes=64)
+        sorter.add_all(int_record(v) for v in range(200))
+        list(sorter.sorted_records())
+        assert set(disk.file_ids()) == files_before
+
+    def test_duplicates_preserved(self):
+        _disk, pool = make_pool()
+        records = [int_record(7)] * 50 + [int_record(3)] * 50
+        got = list(external_sort(pool, records, int_key, memory_bytes=64))
+        assert len(got) == 100
+        assert [int_key(r) for r in got] == [3] * 50 + [7] * 50
+
+    def test_spill_incurs_io(self):
+        disk, pool = make_pool(capacity=4)
+        list(
+            external_sort(
+                pool, (int_record(v) for v in range(5000, 0, -1)), int_key,
+                memory_bytes=1024,
+            )
+        )
+        assert disk.stats.page_writes > 0
+
+
+class TestMisuse:
+    def test_bad_memory(self):
+        _disk, pool = make_pool()
+        with pytest.raises(ValueError):
+            ExternalSorter(pool, int_key, memory_bytes=0)
+
+    def test_consume_twice(self):
+        _disk, pool = make_pool()
+        sorter = ExternalSorter(pool, int_key)
+        sorter.add(int_record(1))
+        list(sorter.sorted_records())
+        with pytest.raises(RuntimeError):
+            list(sorter.sorted_records())
+
+    def test_add_after_consume(self):
+        _disk, pool = make_pool()
+        sorter = ExternalSorter(pool, int_key)
+        list(sorter.sorted_records())
+        with pytest.raises(RuntimeError):
+            sorter.add(int_record(1))
+
+
+class TestProperty:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=300),
+        st.integers(min_value=16, max_value=4096),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_builtin_sort(self, values, memory):
+        _disk, pool = make_pool()
+        got = [
+            int_key(r)
+            for r in external_sort(
+                pool, (int_record(v) for v in values), int_key, memory
+            )
+        ]
+        assert got == sorted(values)

@@ -1,0 +1,114 @@
+"""Tests for relations, OIDs, and catalog statistics."""
+
+import pytest
+
+from repro.geometry import Polyline, Rect
+from repro.storage import Database, OID, SpatialTuple
+
+
+def line_tuple(i, x0=0.0, y0=0.0):
+    return SpatialTuple(
+        feature_id=i,
+        category=1,
+        name=f"f-{i}",
+        geom=Polyline([(x0, y0), (x0 + 1, y0 + 1)]),
+    )
+
+
+class TestInsertFetch:
+    def test_roundtrip(self, db):
+        rel = db.create_relation("r")
+        oid = rel.insert(line_tuple(1))
+        assert rel.fetch(oid) == line_tuple(1)
+
+    def test_fetch_wrong_relation_raises(self, db):
+        a = db.create_relation("a")
+        b = db.create_relation("b")
+        oid = a.insert(line_tuple(1))
+        with pytest.raises(ValueError):
+            b.fetch(oid)
+
+    def test_bulk_load_count(self, db):
+        rel = db.create_relation("r")
+        n = rel.bulk_load(line_tuple(i) for i in range(25))
+        assert n == 25
+        assert len(rel) == 25
+
+
+class TestScan:
+    def test_scan_in_insert_order(self, db):
+        rel = db.create_relation("r")
+        tuples = [line_tuple(i, x0=float(i)) for i in range(100)]
+        for t in tuples:
+            rel.insert(t)
+        scanned = [t for _oid, t in rel.scan()]
+        assert scanned == tuples
+
+    def test_scan_yields_fetchable_oids(self, db):
+        rel = db.create_relation("r")
+        rel.insert(line_tuple(1))
+        rel.insert(line_tuple(2))
+        for oid, t in rel.scan():
+            assert rel.fetch(oid) == t
+
+
+class TestCatalog:
+    def test_universe_grows_with_inserts(self, db):
+        rel = db.create_relation("r")
+        rel.insert(line_tuple(1, x0=0.0, y0=0.0))
+        assert rel.universe == Rect(0, 0, 1, 1)
+        rel.insert(line_tuple(2, x0=10.0, y0=-5.0))
+        assert rel.universe == Rect(0, -5, 11, -4).union(Rect(0, 0, 1, 1))
+
+    def test_universe_of_empty_raises(self, db):
+        rel = db.create_relation("r")
+        with pytest.raises(ValueError):
+            _ = rel.universe
+
+    def test_avg_points(self, db):
+        rel = db.create_relation("r")
+        rel.insert(SpatialTuple(1, 1, "a", Polyline([(0, 0), (1, 1)])))
+        rel.insert(SpatialTuple(2, 1, "b", Polyline([(0, 0), (1, 1), (2, 2), (3, 3)])))
+        assert rel.catalog.avg_points == pytest.approx(3.0)
+
+    def test_size_accounting(self, db):
+        rel = db.create_relation("r")
+        for i in range(500):
+            rel.insert(line_tuple(i))
+        assert rel.num_pages >= 2
+        assert rel.size_bytes() == rel.num_pages * 8192
+
+
+class TestOID:
+    def test_oids_sort_in_physical_order(self, db):
+        rel = db.create_relation("r")
+        oids = [rel.insert(line_tuple(i)) for i in range(1000)]
+        assert oids == sorted(oids)
+
+    def test_oid_fields(self, db):
+        rel = db.create_relation("r")
+        oid = rel.insert(line_tuple(1))
+        assert oid == OID(rel.file_id, 0, 0)
+        assert oid.rid.page_no == 0
+
+
+class TestDatabase:
+    def test_duplicate_relation_name_raises(self, db):
+        db.create_relation("r")
+        with pytest.raises(ValueError):
+            db.create_relation("r")
+
+    def test_relation_lookup(self, db):
+        rel = db.create_relation("r")
+        assert db.relation("r") is rel
+
+    def test_drop_relation(self, db):
+        rel = db.create_relation("r")
+        rel.insert(line_tuple(1))
+        db.drop_relation("r")
+        assert "r" not in db.relations
+
+    def test_buffer_sizing(self):
+        db = Database(buffer_mb=2.0)
+        assert db.buffer_pages == 256
+        assert db.buffer_bytes() == 2 * 1024 * 1024

@@ -1,0 +1,130 @@
+"""Model-based (stateful) property tests for the storage substrate.
+
+A hypothesis state machine drives the heap file / buffer pool through
+random operation sequences and checks them against a trivial in-memory
+model after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.storage import BufferPool, HeapFile, SimulatedDisk
+
+
+class HeapFileMachine(RuleBasedStateMachine):
+    """Heap file vs a dict of rid -> payload."""
+
+    def __init__(self):
+        super().__init__()
+        disk = SimulatedDisk()
+        # A deliberately tiny pool so evictions interleave with operations.
+        self.pool = BufferPool(disk, 3)
+        self.heap = HeapFile(self.pool)
+        self.model = {}
+
+    rids = Bundle("rids")
+
+    @rule(target=rids, payload=st.binary(min_size=0, max_size=600))
+    def append(self, payload):
+        rid = self.heap.append(payload)
+        assert rid not in self.model
+        self.model[rid] = payload
+        return rid
+
+    @rule(rid=rids)
+    def read(self, rid):
+        if self.model.get(rid) is None:
+            return  # deleted earlier; covered by delete rule
+        assert self.heap.get(rid) == self.model[rid]
+
+    @rule(rid=rids)
+    def delete(self, rid):
+        from repro.storage import HeapFileError
+
+        if self.model.get(rid) is None:
+            return
+        self.heap.delete(rid)
+        self.model[rid] = None
+        try:
+            self.heap.get(rid)
+            raise AssertionError("deleted record still readable")
+        except HeapFileError:
+            pass
+
+    @invariant()
+    def scan_matches_model(self):
+        live = {rid: data for rid, data in self.model.items() if data is not None}
+        scanned = dict(self.heap.scan())
+        assert scanned == live
+
+    @invariant()
+    def pool_within_capacity(self):
+        assert self.pool.resident_pages <= self.pool.capacity
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """Buffer pool contents vs the authoritative page images."""
+
+    def __init__(self):
+        super().__init__()
+        self.disk = SimulatedDisk()
+        self.pool = BufferPool(self.disk, 4)
+        self.fid = self.disk.create_file()
+        self.model = {}  # page_no -> latest bytes
+
+    pages = Bundle("pages")
+
+    @rule(target=pages)
+    def new_page(self):
+        page_no = self.pool.new_page(self.fid)
+        self.model[page_no] = bytes(8192)
+        return page_no
+
+    @rule(page_no=pages, stamp=st.integers(min_value=0, max_value=255))
+    def write(self, page_no, stamp):
+        frame = self.pool.get_page(self.fid, page_no)
+        frame[0] = stamp
+        self.pool.mark_dirty(self.fid, page_no)
+        data = bytearray(self.model[page_no])
+        data[0] = stamp
+        self.model[page_no] = bytes(data)
+
+    @rule(page_no=pages)
+    def read(self, page_no):
+        frame = self.pool.get_page(self.fid, page_no)
+        assert bytes(frame) == self.model[page_no]
+
+    @rule()
+    def flush(self):
+        self.pool.flush_all()
+
+    @rule()
+    def clear(self):
+        self.pool.clear()
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.pool.resident_pages <= self.pool.capacity
+
+    def teardown(self):
+        # Final durability check: everything lands on disk correctly.
+        self.pool.clear()
+        for page_no, expected in self.model.items():
+            assert self.disk.read_page(self.fid, page_no) == expected
+
+
+TestHeapFileStateful = HeapFileMachine.TestCase
+TestHeapFileStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+TestBufferPoolStateful = BufferPoolMachine.TestCase
+TestBufferPoolStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

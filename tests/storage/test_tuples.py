@@ -1,0 +1,100 @@
+"""Tests for spatial tuple serialisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon, Polyline
+from repro.storage import (
+    SpatialTuple,
+    deserialize_tuple,
+    serialize_tuple,
+    tuple_size_bytes,
+)
+from tests.conftest import polyline_points
+
+
+def polyline_tuple(points=None, name="road-1"):
+    return SpatialTuple(
+        feature_id=42,
+        category=1,
+        name=name,
+        geom=Polyline(points or [(0, 0), (1, 2), (3, 1)]),
+    )
+
+
+def polygon_tuple(holes=()):
+    return SpatialTuple(
+        feature_id=7,
+        category=10,
+        name="landuse-7",
+        geom=Polygon([(0, 0), (10, 0), (10, 10), (0, 10)], holes),
+    )
+
+
+class TestRoundtrip:
+    def test_polyline(self):
+        t = polyline_tuple()
+        back = deserialize_tuple(serialize_tuple(t))
+        assert back == t
+
+    def test_polygon(self):
+        t = polygon_tuple()
+        back = deserialize_tuple(serialize_tuple(t))
+        assert back == t
+
+    def test_swiss_cheese_polygon(self):
+        t = polygon_tuple(holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]])
+        back = deserialize_tuple(serialize_tuple(t))
+        assert back == t
+        assert len(back.geom.holes) == 1
+
+    def test_unicode_name(self):
+        t = polyline_tuple(name="rivière-éøü")
+        assert deserialize_tuple(serialize_tuple(t)).name == "rivière-éøü"
+
+    def test_empty_name(self):
+        t = polyline_tuple(name="")
+        assert deserialize_tuple(serialize_tuple(t)).name == ""
+
+    @given(polyline_points(max_points=20))
+    def test_arbitrary_polylines(self, pts):
+        t = SpatialTuple(1, 2, "x", Polyline(pts))
+        assert deserialize_tuple(serialize_tuple(t)) == t
+
+
+class TestSizing:
+    def test_size_matches_serialisation(self):
+        for t in (polyline_tuple(), polygon_tuple(), polygon_tuple(
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]]
+        )):
+            assert tuple_size_bytes(t) == len(serialize_tuple(t))
+
+    def test_paperlike_road_tuple_size(self):
+        # A TIGER road tuple with 8 points should serialise to roughly the
+        # paper's ~137 bytes/tuple.
+        t = SpatialTuple(1, 1, "road-00001", Polyline([(i, i) for i in range(8)]))
+        assert 120 <= tuple_size_bytes(t) <= 200
+
+
+class TestErrors:
+    def test_unsupported_geometry(self):
+        t = SpatialTuple(1, 1, "bad", geom="not a geometry")  # type: ignore
+        with pytest.raises(TypeError):
+            serialize_tuple(t)
+
+    def test_garbage_tag(self):
+        data = bytearray(serialize_tuple(polyline_tuple()))
+        data[0] = 99
+        with pytest.raises(ValueError):
+            deserialize_tuple(bytes(data))
+
+
+class TestAccessors:
+    def test_mbr_delegates_to_geometry(self):
+        t = polyline_tuple()
+        assert t.mbr == t.geom.mbr
+
+    def test_num_points(self):
+        assert polyline_tuple().num_points == 3
+        assert polygon_tuple().num_points == 4

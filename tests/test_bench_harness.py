@@ -1,0 +1,72 @@
+"""Tests for the benchmark harness (scaling, caching, table rendering)."""
+
+import pytest
+
+from repro.bench import ResultTable, fresh_tiger, scaled_buffer_mb
+from repro.bench.harness import MIN_POOL_PAGES, _cached_tuples
+from repro.storage import PAGE_SIZE
+
+
+class TestScaledBuffer:
+    def test_proportional_above_floor(self):
+        assert scaled_buffer_mb(24.0, scale=0.05) == pytest.approx(1.2)
+
+    def test_floor_applies(self):
+        floor_mb = MIN_POOL_PAGES * PAGE_SIZE / (1024 * 1024)
+        assert scaled_buffer_mb(2.0, scale=0.001) == pytest.approx(floor_mb)
+
+    def test_monotone_in_paper_mb(self):
+        sizes = [scaled_buffer_mb(mb, scale=0.05) for mb in (2.0, 8.0, 24.0)]
+        assert sizes == sorted(sizes)
+
+
+class TestCachedTuples:
+    def test_same_key_same_object(self):
+        a = _cached_tuples("rail", 0.001, False)
+        b = _cached_tuples("rail", 0.001, False)
+        assert a is b
+
+    def test_clustered_variant_differs_in_order(self):
+        plain = _cached_tuples("rail", 0.002, False)
+        clustered = _cached_tuples("rail", 0.002, True)
+        assert sorted(map(repr, plain)) == sorted(map(repr, clustered))
+        assert list(plain) != list(clustered)
+
+
+class TestFreshTiger:
+    def test_cold_start(self):
+        db, rels = fresh_tiger(8.0, scale=0.0005, include=("rail",))
+        assert db.pool.hits == 0 and db.pool.misses == 0
+        assert db.pool.resident_pages == 0
+        assert len(rels["rail"]) > 0
+
+    def test_include_controls_relations(self):
+        _db, rels = fresh_tiger(8.0, scale=0.0005, include=("road",))
+        assert set(rels) == {"road"}
+
+
+class TestResultTable:
+    def test_render_contains_everything(self):
+        t = ResultTable("My Title", ["a", "bb"])
+        t.add(1, 2.5)
+        text = t.render()
+        assert "My Title" in text
+        assert "a" in text and "bb" in text
+        assert "2.50" in text
+
+    def test_row_arity_checked(self):
+        t = ResultTable("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_empty_table_renders(self):
+        assert "hdr" in ResultTable("t", ["hdr"]).render()
+
+    def test_emit_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        t = ResultTable("t", ["a"])
+        t.add(42)
+        t.emit("out.txt")
+        assert (tmp_path / "out.txt").read_text().startswith("t\n")

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "demo" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SIGMOD 1996" in out
+
+    def test_demo_tiny(self, capsys):
+        assert main(["demo", "--scale", "0.001", "--buffer-mb", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "intersecting pairs" in out
+        assert "Partition road" in out
+
+    @pytest.mark.parametrize(
+        "flags, expected",
+        [
+            ([], "PBSM"),
+            (["--index-r"], "RTREE"),
+            (["--index-r", "--index-s"], "RTREE"),
+            (["--index-s"], "PBSM"),
+        ],
+    )
+    def test_plan_scenarios(self, capsys, flags, expected):
+        assert main(["plan", "--scale", "0.005", "--buffer-mb", "0.25", *flags]) == 0
+        out = capsys.readouterr().out
+        assert f"chosen algorithm: {expected}" in out

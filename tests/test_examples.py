@@ -1,0 +1,49 @@
+"""Smoke tests: the shipped examples must run to completion.
+
+The heavier examples are exercised at their shipped scales, so these tests
+double as end-to-end checks of the public API surface the examples use.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "crossings found" in out
+    assert "PBSM" in out
+    assert "Refinement" in out
+
+
+def test_map_overlay(capsys):
+    out = run_example("map_overlay.py", capsys)
+    assert "identical result set" in out
+    assert "overlay layer:" in out
+
+
+def test_parallel_pbsm(capsys):
+    out = run_example("parallel_pbsm.py", capsys)
+    assert "parallel result identical to serial" in out
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_landuse_containment(capsys):
+    out = run_example("landuse_containment.py", capsys)
+    assert "contained islands" in out
+    assert "MER-filtered containment: same" in out
+
+
+def test_complex_query(capsys):
+    out = run_example("complex_query.py", capsys)
+    assert "planner chose: PBSM" in out
+    assert "qualifying (road, water) pairs" in out

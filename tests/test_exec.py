@@ -1,0 +1,156 @@
+"""Tests for the executor: complex queries whose join inputs are
+intermediate results — the paper's opening motivation for PBSM."""
+
+import pytest
+
+from repro import Database, intersects
+from repro.data import make_tiger_datasets
+from repro.exec import (
+    Filter,
+    Limit,
+    Materialize,
+    RelationScan,
+    SpatialJoin,
+    WindowFilter,
+)
+from repro.geometry import Rect
+
+
+@pytest.fixture(scope="module")
+def db_and_rels():
+    db = Database(buffer_mb=2.0)
+    rels = make_tiger_datasets(db, scale=0.002, include=("road", "hydro"))
+    return db, rels
+
+
+class TestScanFilterLimit:
+    def test_scan_yields_everything(self, db_and_rels):
+        _db, rels = db_and_rels
+        rows = list(RelationScan(rels["road"]))
+        assert len(rows) == len(rels["road"])
+
+    def test_filter_on_attributes(self, db_and_rels):
+        _db, rels = db_and_rels
+        even = Filter(
+            RelationScan(rels["road"]), lambda t: t.feature_id % 2 == 0
+        )
+        rows = list(even)
+        assert rows
+        assert all(t.feature_id % 2 == 0 for _oid, t in rows)
+
+    def test_window_filter(self, db_and_rels):
+        _db, rels = db_and_rels
+        window = Rect(-90.5, 43.0, -88.5, 45.0)
+        rows = list(WindowFilter(RelationScan(rels["road"]), window))
+        expected = [
+            (oid, t) for oid, t in rels["road"].scan() if t.mbr.intersects(window)
+        ]
+        assert rows == expected
+
+    def test_limit(self, db_and_rels):
+        _db, rels = db_and_rels
+        assert len(list(Limit(RelationScan(rels["road"]), 7))) == 7
+        with pytest.raises(ValueError):
+            Limit(RelationScan(rels["road"]), -1)
+
+    def test_operators_are_restartable(self, db_and_rels):
+        _db, rels = db_and_rels
+        op = Filter(RelationScan(rels["road"]), lambda t: True)
+        assert list(op) == list(op)
+
+
+class TestMaterialize:
+    def test_materialized_relation_has_rows(self, db_and_rels):
+        db, rels = db_and_rels
+        mat = Materialize(
+            db.pool, Filter(RelationScan(rels["road"]), lambda t: t.feature_id < 50)
+        )
+        rel = mat.relation()
+        assert len(rel) == 50
+        assert rel.name.startswith("__temp_")
+
+    def test_runs_child_once(self, db_and_rels):
+        db, rels = db_and_rels
+        calls = []
+
+        def spy(t):
+            calls.append(1)
+            return True
+
+        mat = Materialize(db.pool, Filter(RelationScan(rels["road"]), spy))
+        list(mat)
+        first = len(calls)
+        list(mat)
+        assert len(calls) == first  # cached, not re-run
+
+    def test_drop_releases_storage(self, db_and_rels):
+        db, rels = db_and_rels
+        mat = Materialize(db.pool, Limit(RelationScan(rels["road"]), 5))
+        fid = mat.relation().file_id
+        mat.drop()
+        assert fid not in db.disk.file_ids()
+
+
+class TestComplexQuery:
+    def test_join_of_intermediate_results(self, db_and_rels):
+        """SELECT ... FROM roads r, hydro h
+        WHERE r.category-filter AND h.window-filter AND intersects(r, h)."""
+        db, rels = db_and_rels
+        window = Rect(-91.0, 42.49, -86.8, 46.0)
+        left = Filter(RelationScan(rels["road"]), lambda t: t.feature_id % 3 == 0)
+        right = WindowFilter(RelationScan(rels["hydro"]), window)
+        join = SpatialJoin(db.pool, left, right, intersects)
+        pairs = join.pairs()
+
+        # Oracle: evaluate the same query by brute force over base tables.
+        expected = set()
+        for _ro, rt in rels["road"].scan():
+            if rt.feature_id % 3 != 0:
+                continue
+            for _so, st in rels["hydro"].scan():
+                if not st.mbr.intersects(window):
+                    continue
+                if intersects(rt, st):
+                    expected.add((rt.feature_id, st.feature_id))
+        got = {(t_l.feature_id, t_r.feature_id) for (_o1, t_l), (_o2, t_r) in pairs}
+        assert got == expected
+
+    def test_planner_picks_pbsm_on_intermediates(self):
+        """Intermediate results carry no index, so the planner must choose
+        PBSM — the paper's motivating scenario, end to end.  The pool is
+        deliberately small so neither intermediate is memory-resident
+        (otherwise the planner's Figure-8 INL exception legitimately
+        applies)."""
+        db = Database(buffer_mb=0.25)
+        rels = make_tiger_datasets(db, scale=0.003, include=("road", "hydro"))
+        join = SpatialJoin(
+            db.pool,
+            Filter(RelationScan(rels["road"]), lambda t: t.feature_id % 2 == 0),
+            RelationScan(rels["hydro"]),
+            intersects,
+        )
+        join.pairs()
+        assert join.last_report is not None
+        assert join.last_report.notes["plan"] == "pbsm"
+
+    def test_join_rows_are_distinct_left_rows(self, db_and_rels):
+        db, rels = db_and_rels
+        join = SpatialJoin(
+            db.pool,
+            RelationScan(rels["road"]),
+            RelationScan(rels["hydro"]),
+            intersects,
+        )
+        rows = list(join)
+        oids = [oid for oid, _t in rows]
+        assert len(oids) == len(set(oids))
+
+    def test_empty_side(self, db_and_rels):
+        db, rels = db_and_rels
+        join = SpatialJoin(
+            db.pool,
+            Filter(RelationScan(rels["road"]), lambda t: False),
+            RelationScan(rels["hydro"]),
+            intersects,
+        )
+        assert join.pairs() == []

@@ -1,0 +1,174 @@
+"""System-level integration tests: every algorithm, every workload shape.
+
+These are the tests that pin the headline property of the reproduction —
+all four join algorithms (plus the oracle) compute the identical exact
+result set on the paper's two query shapes, clustered or not, under memory
+pressure or not.
+"""
+
+import pytest
+
+from repro import (
+    Database,
+    IndexedNestedLoopsJoin,
+    NaiveNestedLoopsJoin,
+    PBSMConfig,
+    PBSMJoin,
+    RTreeJoin,
+    SpatialHashJoin,
+    contains,
+    intersects,
+)
+from repro.data import make_sequoia_datasets, make_tiger_datasets
+from repro.index import bulk_load_rstar
+
+
+class TestTigerIntersection:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        db = Database(buffer_mb=2.0)
+        rels = make_tiger_datasets(db, scale=0.001)
+        expected = NaiveNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects
+        ).pairs
+        return db, rels, expected
+
+    def test_all_algorithms_agree(self, setup):
+        db, rels, expected = setup
+        algos = [
+            PBSMJoin(db.pool),
+            IndexedNestedLoopsJoin(db.pool),
+            RTreeJoin(db.pool),
+            SpatialHashJoin(db.pool),
+        ]
+        for algo in algos:
+            got = algo.run(rels["road"], rels["hydro"], intersects).pairs
+            assert got == expected, type(algo).__name__
+
+    def test_agreement_under_memory_pressure(self, setup):
+        db, rels, expected = setup
+        cfg = PBSMConfig(memory_bytes=2048)
+        got = PBSMJoin(db.pool, cfg).run(rels["road"], rels["hydro"], intersects)
+        assert got.pairs == expected
+
+    def test_road_rail_query(self, setup):
+        db, rels, _ = setup
+        expected = NaiveNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["rail"], intersects
+        ).pairs
+        for algo in (PBSMJoin(db.pool), IndexedNestedLoopsJoin(db.pool),
+                     RTreeJoin(db.pool)):
+            assert algo.run(rels["road"], rels["rail"], intersects).pairs == expected
+
+
+class TestSequoiaContainment:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        db = Database(buffer_mb=2.0)
+        rels = make_sequoia_datasets(db, scale=0.003)
+        expected = NaiveNestedLoopsJoin(db.pool).run(
+            rels["polygon"], rels["island"], contains
+        ).pairs
+        return db, rels, expected
+
+    def test_all_algorithms_agree(self, setup):
+        db, rels, expected = setup
+        for algo in (PBSMJoin(db.pool), IndexedNestedLoopsJoin(db.pool),
+                     RTreeJoin(db.pool), SpatialHashJoin(db.pool)):
+            got = algo.run(rels["polygon"], rels["island"], contains).pairs
+            assert got == expected, type(algo).__name__
+
+    def test_result_shape_is_paper_like(self, setup):
+        _db, rels, expected = setup
+        # Most islands are contained in exactly one land-use polygon.
+        assert len(expected) > 0.5 * len(rels["island"])
+
+    def test_refinement_dominates_pbsm_cost(self, setup):
+        db, rels, _ = setup
+        res = PBSMJoin(db.pool).run(rels["polygon"], rels["island"], contains)
+        refinement = res.report.phase("Refinement")
+        assert refinement.total_s > 0.5 * res.report.total_s
+
+
+class TestClusteredCollection:
+    def test_clustered_and_unclustered_results_identical(self):
+        db1 = Database(buffer_mb=2.0)
+        rels1 = make_tiger_datasets(db1, scale=0.0008)
+        db2 = Database(buffer_mb=2.0)
+        rels2 = make_tiger_datasets(db2, scale=0.0008, clustered=True)
+        res1 = PBSMJoin(db1.pool).run(rels1["road"], rels1["hydro"], intersects)
+        res2 = PBSMJoin(db2.pool).run(rels2["road"], rels2["hydro"], intersects)
+        # OIDs differ (different physical order) but the joined feature ids
+        # must match exactly.
+        def feature_pairs(db, rels, pairs):
+            r, s = rels["road"], rels["hydro"]
+            return sorted(
+                (r.fetch(a).feature_id, s.fetch(b).feature_id) for a, b in pairs
+            )
+
+        assert feature_pairs(db1, rels1, res1.pairs) == feature_pairs(
+            db2, rels2, res2.pairs
+        )
+
+
+class TestPreexistingIndexMatrix:
+    """§4.5's six algorithm variants must all produce the same result."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        db = Database(buffer_mb=2.0)
+        rels = make_tiger_datasets(db, scale=0.0008)
+        idx_r = bulk_load_rstar(db.pool, rels["road"])
+        idx_s = bulk_load_rstar(db.pool, rels["hydro"])
+        expected = NaiveNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects
+        ).pairs
+        return db, rels, idx_r, idx_s, expected
+
+    @pytest.mark.parametrize(
+        "use_r, use_s",
+        [(False, False), (True, False), (False, True), (True, True)],
+    )
+    def test_inl_variants(self, setup, use_r, use_s):
+        db, rels, idx_r, idx_s, expected = setup
+        res = IndexedNestedLoopsJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects,
+            index_r=idx_r if use_r else None,
+            index_s=idx_s if use_s else None,
+        )
+        assert res.pairs == expected
+
+    @pytest.mark.parametrize(
+        "use_r, use_s",
+        [(False, False), (True, False), (False, True), (True, True)],
+    )
+    def test_rtree_variants(self, setup, use_r, use_s):
+        db, rels, idx_r, idx_s, expected = setup
+        res = RTreeJoin(db.pool).run(
+            rels["road"], rels["hydro"], intersects,
+            index_r=idx_r if use_r else None,
+            index_s=idx_s if use_s else None,
+        )
+        assert res.pairs == expected
+
+
+class TestIOAccountingSanity:
+    def test_io_fractions_bounded(self):
+        db = Database(buffer_mb=2.0)
+        rels = make_tiger_datasets(db, scale=0.001)
+        db.pool.clear()
+        res = PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        assert 0.0 <= res.report.io_fraction <= 1.0
+        for phase in res.report.phases:
+            assert 0.0 <= phase.io_fraction <= 1.0
+            assert phase.page_reads >= 0 and phase.page_writes >= 0
+
+    def test_cold_cache_costs_more_io_than_warm(self):
+        db = Database(buffer_mb=8.0)
+        rels = make_tiger_datasets(db, scale=0.001)
+        db.pool.clear()
+        cold = PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        warm = PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+        cold_reads = sum(p.page_reads for p in cold.report.phases)
+        warm_reads = sum(p.page_reads for p in warm.report.phases)
+        assert cold_reads > warm_reads

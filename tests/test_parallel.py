@@ -1,0 +1,93 @@
+"""Tests for the §5 parallel PBSM engine."""
+
+import pytest
+
+from repro import intersects
+from repro.data import generate_hydrography, generate_roads
+from repro.parallel import (
+    REPLICATE_MBRS,
+    REPLICATE_OBJECTS,
+    ParallelJoinResult,
+    ParallelPBSM,
+    serial_feature_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tuples_r = list(generate_roads(scale=0.002))
+    tuples_s = list(generate_hydrography(scale=0.002))
+    expected, serial_s = serial_feature_pairs(tuples_r, tuples_s, intersects)
+    return tuples_r, tuples_s, expected, serial_s
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_nodes", [1, 3, 8])
+    def test_full_replication_matches_serial(self, workload, num_nodes):
+        tuples_r, tuples_s, expected, _ = workload
+        engine = ParallelPBSM(num_nodes, scheme=REPLICATE_OBJECTS)
+        result = engine.run(tuples_r, tuples_s, intersects)
+        assert result.pairs == expected
+
+    @pytest.mark.parametrize("num_nodes", [2, 6])
+    def test_mbr_replication_matches_serial(self, workload, num_nodes):
+        tuples_r, tuples_s, expected, _ = workload
+        engine = ParallelPBSM(num_nodes, scheme=REPLICATE_MBRS)
+        result = engine.run(tuples_r, tuples_s, intersects)
+        assert result.pairs == expected
+
+    def test_empty_inputs(self):
+        engine = ParallelPBSM(4)
+        assert engine.run([], [], intersects).pairs == []
+
+
+class TestTradeoffs:
+    def test_storage_factor_grows_with_nodes(self, workload):
+        tuples_r, tuples_s, _, _ = workload
+        small = ParallelPBSM(2).run(tuples_r, tuples_s, intersects)
+        large = ParallelPBSM(16).run(tuples_r, tuples_s, intersects)
+        # More nodes -> more boundary objects -> more replication.
+        assert large.storage_factor_r >= small.storage_factor_r
+        assert small.storage_factor_r >= 1.0
+
+    def test_full_replication_has_no_remote_fetches(self, workload):
+        tuples_r, tuples_s, _, _ = workload
+        result = ParallelPBSM(6, scheme=REPLICATE_OBJECTS).run(
+            tuples_r, tuples_s, intersects
+        )
+        assert result.remote_fetches == 0
+
+    def test_mbr_replication_fetches_remotely(self, workload):
+        tuples_r, tuples_s, _, _ = workload
+        result = ParallelPBSM(6, scheme=REPLICATE_MBRS).run(
+            tuples_r, tuples_s, intersects
+        )
+        # Some boundary objects must appear in foreign nodes' results.
+        assert result.remote_fetches > 0
+
+    def test_work_distributes_across_nodes(self, workload):
+        tuples_r, tuples_s, _, _ = workload
+        result = ParallelPBSM(8).run(tuples_r, tuples_s, intersects)
+        busy = [n for n in result.nodes if n.tuples_r > 0]
+        assert len(busy) >= 6  # the tiled declusterer spreads the load
+        assert result.speedup > 1.5
+
+    def test_critical_path_below_total_work(self, workload):
+        tuples_r, tuples_s, _, _ = workload
+        result = ParallelPBSM(4).run(tuples_r, tuples_s, intersects)
+        assert result.critical_path_s <= result.total_work_s
+
+
+class TestValidation:
+    def test_bad_node_count(self):
+        with pytest.raises(ValueError):
+            ParallelPBSM(0)
+
+    def test_bad_scheme(self):
+        with pytest.raises(ValueError):
+            ParallelPBSM(2, scheme="teleportation")
+
+    def test_result_len(self):
+        r = ParallelJoinResult([(1, 2), (3, 4)])
+        assert len(r) == 2
+        assert r.critical_path_s == 0.0
