@@ -10,7 +10,12 @@ from repro import (
     RTreeJoin,
     intersects,
 )
-from repro.bench import PAPER_BUFFER_MB, ResultTable, fresh_tiger
+from repro.bench import (
+    PAPER_BUFFER_MB,
+    ResultTable,
+    fresh_tiger,
+    write_bench_json,
+)
 from repro.core.stats import JoinResult
 from repro.storage import Database, Relation
 
@@ -55,6 +60,8 @@ def emit_sweep_table(
     filename: str,
     results: Dict[float, Dict[str, JoinResult]],
 ) -> None:
+    """Write the human-readable ``.txt`` table and, alongside it, the
+    schema-validated ``BENCH_<name>.json`` perf-trajectory record."""
     table = ResultTable(
         title, ["buffer (paper MB)", *(f"{a} (s)" for a in ALGORITHMS)]
     )
@@ -63,6 +70,7 @@ def emit_sweep_table(
             paper_mb, *(per_algo[a].report.total_s for a in ALGORITHMS)
         )
     table.emit(filename)
+    write_bench_json(filename.rsplit(".", 1)[0], results)
 
 
 def tiger_workload(r_name: str, s_name: str, clustered: bool = False):
@@ -78,11 +86,26 @@ def tiger_workload(r_name: str, s_name: str, clustered: bool = False):
 
 
 def assert_same_results(results: Dict[float, Dict[str, JoinResult]]) -> None:
-    """All algorithms at all buffer sizes must agree exactly."""
+    """All algorithms at all buffer sizes must produce the *same pairs*.
+
+    Comparing sorted OID pair sets, not counts: every algorithm loads the
+    same tuples in the same order into its own fresh database, so OIDs are
+    comparable across runs, and a count tie can mask wrong results.
+    """
     reference = None
-    for per_algo in results.values():
+    reference_from = None
+    for paper_mb, per_algo in results.items():
         for name, res in per_algo.items():
-            pair_count = len(res.pairs)
+            pairs = sorted(set(res.pairs))
             if reference is None:
-                reference = pair_count
-            assert pair_count == reference, f"{name} produced {pair_count}"
+                reference = pairs
+                reference_from = f"{name} @ {paper_mb}MB"
+                continue
+            if pairs != reference:
+                missing = len(set(reference) - set(pairs))
+                extra = len(set(pairs) - set(reference))
+                raise AssertionError(
+                    f"{name} @ {paper_mb}MB disagrees with {reference_from}: "
+                    f"{len(pairs)} pairs vs {len(reference)} "
+                    f"({missing} missing, {extra} unexpected)"
+                )

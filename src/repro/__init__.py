@@ -35,6 +35,7 @@ from .joins import (
     RTreeJoin,
     SpatialHashJoin,
 )
+from .obs import MetricsRegistry, Tracer
 from .storage import Database, Relation, SpatialTuple
 
 __version__ = "1.0.0"
@@ -44,6 +45,7 @@ __all__ = [
     "IndexedNestedLoopsJoin",
     "JoinReport",
     "JoinResult",
+    "MetricsRegistry",
     "NaiveNestedLoopsJoin",
     "PBSMConfig",
     "PBSMJoin",
@@ -55,6 +57,7 @@ __all__ = [
     "Relation",
     "SpatialHashJoin",
     "SpatialTuple",
+    "Tracer",
     "bulk_load_rstar",
     "contains",
     "intersects",

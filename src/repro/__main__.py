@@ -2,7 +2,12 @@
 
 Subcommands:
 
-* ``demo``  — run a small PBSM join end to end and print the cost report;
+* ``demo``  — run a small PBSM join end to end and print the cost report
+  (``--json`` for the machine-readable report, ``--seed`` for alternative
+  reproducible datasets);
+* ``trace`` — run a PBSM road × hydro join under the ``repro.obs``
+  observability layer and write the JSONL trace, metrics snapshot, and
+  chrome-trace timeline;
 * ``plan``  — show which algorithm the paper's decision table picks for a
   described scenario;
 * ``info``  — package, subsystem, and experiment inventory.
@@ -11,23 +16,83 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from . import Database, PBSMJoin, intersects
     from .data import make_tiger_datasets
+    from .obs import report_to_dict
 
     db = Database(buffer_mb=args.buffer_mb)
-    rels = make_tiger_datasets(db, scale=args.scale, include=("road", "hydro"))
-    print(
-        f"loaded {len(rels['road'])} roads and {len(rels['hydro'])} "
-        f"hydrography features (scale={args.scale})"
+    rels = make_tiger_datasets(
+        db, scale=args.scale, include=("road", "hydro"), seed=args.seed
     )
+    if not args.json:
+        print(
+            f"loaded {len(rels['road'])} roads and {len(rels['hydro'])} "
+            f"hydrography features (scale={args.scale})"
+        )
     db.pool.clear()
     result = PBSMJoin(db.pool).run(rels["road"], rels["hydro"], intersects)
+    if args.json:
+        document = report_to_dict(result.report)
+        document["scale"] = args.scale
+        document["buffer_mb"] = args.buffer_mb
+        document["seed"] = args.seed
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     print(f"{len(result)} intersecting pairs\n")
     print(result.report.format_table())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from . import Database, PBSMJoin, intersects
+    from .data import make_tiger_datasets
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        write_chrome_trace,
+        write_metrics_json,
+        write_trace_jsonl,
+    )
+
+    db = Database(buffer_mb=args.buffer_mb)
+    rels = make_tiger_datasets(
+        db, scale=args.scale, include=("road", "hydro"), seed=args.seed
+    )
+    db.pool.clear()
+    db.pool.reset_counters()
+
+    tracer = Tracer(disk=db.disk, pool=db.pool)
+    metrics = MetricsRegistry()
+    result = PBSMJoin(db.pool, tracer=tracer, metrics=metrics).run(
+        rels["road"], rels["hydro"], intersects
+    )
+
+    out = Path(args.out)
+    trace_path = write_trace_jsonl(tracer, out / "trace.jsonl")
+    metrics_path = write_metrics_json(
+        metrics,
+        out / "metrics.json",
+        extra={
+            "algorithm": "PBSM",
+            "scale": args.scale,
+            "buffer_mb": args.buffer_mb,
+            "result_count": len(result),
+        },
+    )
+    chrome_path = write_chrome_trace(tracer, out / "chrome_trace.json")
+
+    print(result.report.format_table())
+    print(f"\n{tracer.span_count} spans from {len(result)} result pairs")
+    print(f"trace:   {trace_path}")
+    print(f"metrics: {metrics_path}")
+    print(f"timeline: {chrome_path}  (open in chrome://tracing or Perfetto)")
     return 0
 
 
@@ -73,7 +138,23 @@ def main(argv: list[str] | None = None) -> int:
     demo = sub.add_parser("demo", help="run a small PBSM join")
     demo.add_argument("--scale", type=float, default=0.01)
     demo.add_argument("--buffer-mb", type=float, default=8.0)
+    demo.add_argument("--seed", type=int, default=None,
+                      help="base seed for the data generators")
+    demo.add_argument("--json", action="store_true",
+                      help="emit the cost report as JSON instead of a table")
     demo.set_defaults(func=_cmd_demo)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced PBSM join and dump trace/metrics files"
+    )
+    trace.add_argument("--scale", type=float, default=0.01)
+    trace.add_argument("--buffer-mb", type=float, default=8.0)
+    trace.add_argument("--seed", type=int, default=None,
+                       help="base seed for the data generators")
+    trace.add_argument("--out", default="trace_out",
+                       help="directory for trace.jsonl / metrics.json / "
+                            "chrome_trace.json")
+    trace.set_defaults(func=_cmd_trace)
 
     plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")
     plan.add_argument("--scale", type=float, default=0.005)

@@ -8,6 +8,7 @@ from .harness import (
     fresh_tiger,
     run_cold,
     scaled_buffer_mb,
+    write_bench_json,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "fresh_tiger",
     "run_cold",
     "scaled_buffer_mb",
+    "write_bench_json",
 ]

@@ -24,6 +24,7 @@ from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 from ..core.stats import JoinResult
 from ..data import sequoia, tiger
 from ..geometry import CurveMapper, Rect
+from ..obs.bench import bench_record, write_bench_file
 from ..storage.database import Database
 from ..storage.disk import PAGE_SIZE
 from ..storage.relation import Relation
@@ -160,3 +161,28 @@ def run_cold(db: Database, join: Callable[[], JoinResult]) -> JoinResult:
     db.pool.clear()
     db.pool.reset_counters()
     return join()
+
+
+def write_bench_json(
+    benchmark: str,
+    sweep_results: Dict[float, Dict[str, JoinResult]],
+    scale: float = BENCH_SCALE,
+) -> "Path":
+    """Emit ``BENCH_<benchmark>.json`` for a buffer-sweep result set.
+
+    One schema-validated record per (paper buffer size, algorithm) cell —
+    the machine-readable twin of :meth:`ResultTable.emit`'s ``.txt`` table,
+    written to the same ``benchmarks/results/`` directory.
+    """
+    records = [
+        bench_record(
+            result.report,
+            scale=scale,
+            buffer_mb=paper_mb,
+            buffer_mb_scaled=scaled_buffer_mb(paper_mb, scale),
+            algorithm=algo_name,
+        )
+        for paper_mb, per_algo in sorted(sweep_results.items())
+        for algo_name, result in per_algo.items()
+    ]
+    return write_bench_file(benchmark, records, RESULTS_DIR)

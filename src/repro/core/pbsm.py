@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..geometry import Rect, sweep_join, sweep_join_interval_tree
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.buffer import BufferPool
 from ..storage.disk import PAGE_SIZE
 from ..storage.relation import OID, Relation
@@ -57,11 +59,25 @@ class PBSMConfig:
 
 
 class PBSMJoin:
-    """Partition Based Spatial-Merge join over two relations."""
+    """Partition Based Spatial-Merge join over two relations.
 
-    def __init__(self, pool: BufferPool, config: Optional[PBSMConfig] = None):
+    ``tracer``/``metrics`` opt the execution into ``repro.obs``: per-phase
+    and per-partition-pair spans, partition-skew and candidates-per-pair
+    histograms.  Both default to shared no-ops, so an uninstrumented join
+    costs what it always did.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        config: Optional[PBSMConfig] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.pool = pool
         self.config = config or PBSMConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------------ #
 
@@ -73,7 +89,7 @@ class PBSMJoin:
     ) -> JoinResult:
         """Execute the join; returns exact result pairs plus a cost report."""
         report = JoinReport(algorithm="PBSM")
-        meter = PhaseMeter(self.pool.disk, report)
+        meter = PhaseMeter(self.pool.disk, report, tracer=self.tracer)
         if len(rel_r) == 0 or len(rel_s) == 0:
             return JoinResult([], report)
 
@@ -89,17 +105,25 @@ class PBSMJoin:
         )
         report.notes["num_partitions"] = num_partitions
         report.notes["num_tiles"] = partitioner.num_tiles
+        self.metrics.gauge("pbsm.num_partitions").set(num_partitions)
+        self.metrics.gauge("pbsm.num_tiles").set(partitioner.num_tiles)
 
         in_memory = num_partitions == 1
         with meter.phase(f"Partition {rel_r.name}"):
             parts_r = self._partition_input(rel_r, partitioner, in_memory)
         with meter.phase(f"Partition {rel_s.name}"):
             parts_s = self._partition_input(rel_s, partitioner, in_memory)
+        skew = self.metrics.histogram("pbsm.partition.keypointers")
+        for part in (*parts_r, *parts_s):
+            skew.observe(part.count if isinstance(part, KeyPointerFile) else len(part))
 
         candidate_file = CandidateFile(self.pool)
         with meter.phase("Merge Partitions"):
-            for part_r, part_s in zip(parts_r, parts_s):
-                self._merge_pair(part_r, part_s, candidate_file, memory, depth=0)
+            for index, (part_r, part_s) in enumerate(zip(parts_r, parts_s)):
+                self._merge_pair(
+                    part_r, part_s, candidate_file, memory,
+                    depth=0, label=str(index),
+                )
             for part in (*parts_r, *parts_s):
                 if isinstance(part, KeyPointerFile):
                     part.drop()
@@ -108,7 +132,10 @@ class PBSMJoin:
         with meter.phase("Refinement"):
             candidates = candidate_file.read_all()
             candidate_file.drop()
-            results = refine(rel_r, rel_s, candidates, predicate, memory)
+            results = refine(
+                rel_r, rel_s, candidates, predicate, memory,
+                tracer=self.tracer, metrics=self.metrics,
+            )
         report.result_count = len(results)
         return JoinResult(results, report)
 
@@ -143,29 +170,43 @@ class PBSMJoin:
         out: CandidateFile,
         memory: int,
         depth: int,
+        label: str = "0",
     ) -> None:
         """Plane-sweep one partition pair, spilling to recursion on skew."""
-        kps_r = part_r if isinstance(part_r, list) else part_r.read_all()
-        kps_s = part_s if isinstance(part_s, list) else part_s.read_all()
-        if not kps_r or not kps_s:
-            return
+        with self.tracer.span("merge_pair", pair=label, depth=depth) as span:
+            kps_r = part_r if isinstance(part_r, list) else part_r.read_all()
+            kps_s = part_s if isinstance(part_s, list) else part_s.read_all()
+            span.tag("len_r", len(kps_r))
+            span.tag("len_s", len(kps_s))
+            if not kps_r or not kps_s:
+                return
 
-        oversized = (len(kps_r) + len(kps_s)) * KEYPTR_SIZE > memory
-        can_recurse = (
-            self.config.handle_partition_skew
-            and oversized
-            and depth < self.config.max_repartition_depth
-        )
-        if can_recurse:
-            self._repartition_pair(kps_r, kps_s, out, memory, depth)
-            return
+            oversized = (len(kps_r) + len(kps_s)) * KEYPTR_SIZE > memory
+            can_recurse = (
+                self.config.handle_partition_skew
+                and oversized
+                and depth < self.config.max_repartition_depth
+            )
+            if can_recurse:
+                self.metrics.counter("pbsm.merge.repartitions").inc()
+                span.tag("repartitioned", True)
+                self._repartition_pair(kps_r, kps_s, out, memory, depth, label)
+                return
 
-        items_r = [(rect, oid) for rect, oid in kps_r]
-        items_s = [(rect, oid) for rect, oid in kps_s]
-        if self.config.use_interval_tree:
-            sweep_join_interval_tree(items_r, items_s, out.append)
-        else:
-            sweep_join(items_r, items_s, out.append)
+            before = out.count
+            items_r = [(rect, oid) for rect, oid in kps_r]
+            items_s = [(rect, oid) for rect, oid in kps_s]
+            if self.config.use_interval_tree:
+                sweep_join_interval_tree(items_r, items_s, out.append)
+            else:
+                sweep_join(items_r, items_s, out.append)
+            emitted = out.count - before
+            span.tag("candidates", emitted)
+            self.metrics.counter("pbsm.merge.pairs_swept").inc()
+            self.metrics.histogram("pbsm.merge.inputs_per_pair").observe(
+                len(kps_r) + len(kps_s)
+            )
+            self.metrics.histogram("pbsm.merge.candidates_per_pair").observe(emitted)
 
     def _repartition_pair(
         self,
@@ -174,6 +215,7 @@ class PBSMJoin:
         out: CandidateFile,
         memory: int,
         depth: int,
+        label: str = "0",
     ) -> None:
         """§3.5 extension: split an overflowing pair with a finer grid."""
         sub_universe = Rect.union_all(rect for rect, _ in kps_r).union(
@@ -199,8 +241,10 @@ class PBSMJoin:
             for br, bs in zip(buckets_r, buckets_s)
         )
         next_depth = depth + 1 if progress else self.config.max_repartition_depth
-        for br, bs in zip(buckets_r, buckets_s):
-            self._merge_pair(br, bs, out, memory, next_depth)
+        for sub_index, (br, bs) in enumerate(zip(buckets_r, buckets_s)):
+            self._merge_pair(
+                br, bs, out, memory, next_depth, label=f"{label}.{sub_index}"
+            )
 
 
 def pbsm_join(

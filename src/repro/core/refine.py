@@ -21,6 +21,8 @@ from __future__ import annotations
 import struct
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.extsort import ExternalSorter
 from ..storage.relation import OID, Relation
 from ..storage.tuples import SpatialTuple, tuple_size_bytes
@@ -84,48 +86,71 @@ def refine(
     candidates: Sequence[CandidatePair],
     predicate: Predicate,
     memory_bytes: int,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[CandidatePair]:
     """Run the full refinement step; returns the exact join result pairs."""
     if memory_bytes <= 0:
         raise ValueError("memory budget must be positive")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
 
-    stream = _sorted_unique_pairs(rel_r, candidates, memory_bytes)
+    with tracer.span("refine.sort_dedup", candidates=len(candidates)):
+        stream = _sorted_unique_pairs(rel_r, candidates, memory_bytes)
+        # The in-memory path sorts eagerly here; the external path has
+        # already built sorted runs, but merges lazily inside the batches.
+        pending: Optional[CandidatePair] = next(stream, None)
 
     results: List[CandidatePair] = []
     # Reserve part of the budget for the S side (one tuple at a time plus
     # buffer-pool residency); the R batch gets the rest.
     r_budget = max(memory_bytes // 2, 1)
-    pending: Optional[CandidatePair] = next(stream, None)
+    batch_no = 0
+    batch_size_hist = metrics.histogram("refine.pairs_per_batch")
 
     while pending is not None:
-        # ---- load a memory-full batch of distinct R tuples ---- #
-        batch: Dict[OID, SpatialTuple] = {}
-        swizzled: List[Tuple[OID, SpatialTuple, OID]] = []
-        used = 0
-        while pending is not None:
-            oid_r, oid_s = pending
-            tuple_r = batch.get(oid_r)
-            if tuple_r is None:
-                tuple_r = rel_r.fetch(oid_r)
-                size = tuple_size_bytes(tuple_r)
-                if batch and used + size > r_budget:
-                    break  # batch full; ``pending`` starts the next one
-                batch[oid_r] = tuple_r
-                used += size
-            swizzled.append((oid_s, tuple_r, oid_r))
-            pending = next(stream, None)
+        with tracer.span("refine.batch", batch=batch_no) as span:
+            # ---- load a memory-full batch of distinct R tuples ---- #
+            batch: Dict[OID, SpatialTuple] = {}
+            swizzled: List[Tuple[OID, SpatialTuple, OID]] = []
+            used = 0
+            while pending is not None:
+                oid_r, oid_s = pending
+                tuple_r = batch.get(oid_r)
+                if tuple_r is None:
+                    tuple_r = rel_r.fetch(oid_r)
+                    size = tuple_size_bytes(tuple_r)
+                    if batch and used + size > r_budget:
+                        break  # batch full; ``pending`` starts the next one
+                    batch[oid_r] = tuple_r
+                    used += size
+                swizzled.append((oid_s, tuple_r, oid_r))
+                pending = next(stream, None)
 
-        # ---- swizzled pairs sorted on OID_S: S accesses sequential ---- #
-        swizzled.sort(key=lambda item: item[0])
-        last_oid_s: Optional[OID] = None
-        last_tuple_s: Optional[SpatialTuple] = None
-        for oid_s, tuple_r, oid_r in swizzled:
-            if oid_s != last_oid_s:
-                last_tuple_s = rel_s.fetch(oid_s)
-                last_oid_s = oid_s
-            assert last_tuple_s is not None
-            if predicate(tuple_r, last_tuple_s):
-                results.append((oid_r, oid_s))
+            # ---- swizzled pairs sorted on OID_S: S accesses sequential ---- #
+            swizzled.sort(key=lambda item: item[0])
+            s_fetches = 0
+            last_oid_s: Optional[OID] = None
+            last_tuple_s: Optional[SpatialTuple] = None
+            for oid_s, tuple_r, oid_r in swizzled:
+                if oid_s != last_oid_s:
+                    last_tuple_s = rel_s.fetch(oid_s)
+                    last_oid_s = oid_s
+                    s_fetches += 1
+                assert last_tuple_s is not None
+                if predicate(tuple_r, last_tuple_s):
+                    results.append((oid_r, oid_s))
 
+            span.tag("pairs", len(swizzled))
+            span.tag("r_tuples", len(batch))
+            span.tag("s_fetches", s_fetches)
+            batch_size_hist.observe(len(swizzled))
+            metrics.counter("refine.r_tuples_fetched").inc(len(batch))
+            metrics.counter("refine.s_tuples_fetched").inc(s_fetches)
+            metrics.counter("refine.pairs_checked").inc(len(swizzled))
+            batch_no += 1
+
+    metrics.counter("refine.batches").inc(batch_no)
+    metrics.counter("refine.results").inc(len(results))
     results.sort()
     return results

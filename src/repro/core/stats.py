@@ -5,16 +5,22 @@ Every join driver meters its phases ("Build Hyd. Index", "Partition Road",
 CPU seconds plus the simulated-disk I/O it generated; the paper's Table 4
 ("Total Cost / I/O Cost / I/O Contribution" per component) falls directly
 out of these records.
+
+Since the ``repro.obs`` subsystem landed, :class:`PhaseMeter` is a thin
+adapter over :class:`repro.obs.trace.Tracer`: each phase is one span, and
+the :class:`PhaseCost` is filled from the closed span's deltas.  Reports
+are unchanged — byte-for-byte — but drivers handed an enabled tracer now
+contribute their phases to the full trace for free.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
-from ..storage.disk import DiskStats, SimulatedDisk
+from ..obs.trace import Tracer
+from ..storage.disk import SimulatedDisk
 from ..storage.relation import OID
 
 
@@ -110,28 +116,43 @@ class JoinResult:
 
 
 class PhaseMeter:
-    """Meters named phases against one simulated disk."""
+    """Meters named phases against one simulated disk.
 
-    def __init__(self, disk: SimulatedDisk, report: Optional[JoinReport] = None):
+    Each phase opens a span on the meter's tracer.  Pass a driver-level
+    tracer (built over the same disk) to nest per-phase spans into a wider
+    trace; without one the meter keeps a private tracer, so metering works
+    exactly as before observability existed.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        report: Optional[JoinReport] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.disk = disk
         self.report = report
         self.phases: List[PhaseCost] = report.phases if report is not None else []
+        if tracer is not None and tracer.enabled and tracer.disk is disk:
+            self.tracer = tracer
+        else:
+            # A disabled or foreign-disk tracer cannot meter this disk.
+            self.tracer = Tracer(disk=disk)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseCost]:
         """Meter a block; repeated names accumulate into one phase entry."""
-        before = self.disk.snapshot()
-        start = time.perf_counter()
         cost = PhaseCost(name)
+        span = self.tracer.start_span(name, kind="phase")
         try:
             yield cost
         finally:
-            cost.cpu_s += time.perf_counter() - start
-            delta = self.disk.stats.minus(before)
-            cost.io_s += delta.io_time(self.disk.cost_model)
-            cost.page_reads += delta.page_reads
-            cost.page_writes += delta.page_writes
-            cost.seeks += delta.seeks
+            self.tracer.end_span(span)
+            cost.cpu_s += span.cpu_s
+            cost.io_s += span.disk.io_time(self.disk.cost_model)
+            cost.page_reads += span.disk.page_reads
+            cost.page_writes += span.disk.page_writes
+            cost.seeks += span.disk.seeks
             existing = next((p for p in self.phases if p.name == name), None)
             if existing is not None and existing is not cost:
                 existing.merge(cost)

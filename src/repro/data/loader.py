@@ -9,7 +9,7 @@ so physical page order matches spatial order.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from ..geometry import CurveMapper, Rect
 from ..storage.database import Database
@@ -40,16 +40,28 @@ def make_tiger_datasets(
     scale: float = 0.01,
     clustered: bool = False,
     include: Iterable[str] = ("road", "hydro", "rail"),
+    seed: Optional[int] = None,
 ) -> Dict[str, Relation]:
-    """Load the Wisconsin TIGER-style collection into a database."""
+    """Load the Wisconsin TIGER-style collection into a database.
+
+    With ``seed`` each feature class draws from ``seed + <class offset>``
+    instead of its built-in default, so whole alternative-but-reproducible
+    worlds are one integer away (``python -m repro demo --seed 7``).
+    """
     generators = {
         "road": tiger.generate_roads,
         "hydro": tiger.generate_hydrography,
         "rail": tiger.generate_rail,
     }
+    offsets = {"road": 0, "hydro": 1, "rail": 2}
     out: Dict[str, Relation] = {}
     for key in include:
-        out[key] = load_relation(db, key, generators[key](scale), clustered)
+        tuples = (
+            generators[key](scale)
+            if seed is None
+            else generators[key](scale, seed=seed + offsets[key])
+        )
+        out[key] = load_relation(db, key, tuples, clustered)
     return out
 
 
@@ -57,13 +69,20 @@ def make_sequoia_datasets(
     db: Database,
     scale: float = 0.01,
     clustered: bool = False,
+    seed: Optional[int] = None,
 ) -> Dict[str, Relation]:
     """Load the Sequoia-style polygon and island sets into a database."""
+    polygons = (
+        sequoia.generate_landuse_polygons(scale)
+        if seed is None
+        else sequoia.generate_landuse_polygons(scale, seed=seed)
+    )
+    islands = (
+        sequoia.generate_islands(scale)
+        if seed is None
+        else sequoia.generate_islands(scale, seed=seed + 1)
+    )
     return {
-        "polygon": load_relation(
-            db, "polygon", sequoia.generate_landuse_polygons(scale), clustered
-        ),
-        "island": load_relation(
-            db, "island", sequoia.generate_islands(scale), clustered
-        ),
+        "polygon": load_relation(db, "polygon", polygons, clustered),
+        "island": load_relation(db, "island", islands, clustered),
     }

@@ -16,6 +16,8 @@ from ..core.predicates import Predicate
 from ..core.stats import JoinReport, JoinResult, PhaseMeter
 from ..index.bulkload import bulk_load_rstar
 from ..index.rstar import RStarTree
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.buffer import BufferPool
 from ..storage.disk import PAGE_SIZE
 from ..storage.relation import Relation
@@ -24,8 +26,15 @@ from ..storage.relation import Relation
 class IndexedNestedLoopsJoin:
     """INL join driver; result pairs are always ``(OID_R, OID_S)``."""
 
-    def __init__(self, pool: BufferPool):
+    def __init__(
+        self,
+        pool: BufferPool,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.pool = pool
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def run(
         self,
@@ -38,7 +47,7 @@ class IndexedNestedLoopsJoin:
         s_clustered: bool = False,
     ) -> JoinResult:
         report = JoinReport(algorithm="INL")
-        meter = PhaseMeter(self.pool.disk, report)
+        meter = PhaseMeter(self.pool.disk, report, tracer=self.tracer)
         if len(rel_r) == 0 or len(rel_s) == 0:
             return JoinResult([], report)
 
@@ -69,10 +78,15 @@ class IndexedNestedLoopsJoin:
 
         results = []
         candidates = 0
+        probes = self.metrics.counter("inl.probes")
+        matches_hist = self.metrics.histogram("inl.candidates_per_probe")
         with meter.phase("Probe Index"):
             for outer_oid, outer_tuple in outer.scan():
+                probes.inc()
+                probe_matches = 0
                 for inner_oid in index.search(outer_tuple.mbr):
                     candidates += 1
+                    probe_matches += 1
                     inner_tuple = inner.fetch(inner_oid)
                     if probe_r_side:
                         ok = predicate(inner_tuple, outer_tuple)
@@ -82,7 +96,9 @@ class IndexedNestedLoopsJoin:
                         pair = (outer_oid, inner_oid)
                     if ok:
                         results.append(pair)
+                matches_hist.observe(probe_matches)
         results.sort()
         report.candidates = candidates
+        self.metrics.counter("inl.candidates").inc(candidates)
         report.result_count = len(results)
         return JoinResult(results, report)

@@ -14,6 +14,8 @@ from ..core.stats import JoinReport, JoinResult, PhaseMeter
 from ..index.bulkload import bulk_load_rstar
 from ..index.rstar import RStarTree
 from ..index.treejoin import rtree_join
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.buffer import BufferPool
 from ..storage.disk import PAGE_SIZE
 from ..storage.relation import Relation
@@ -22,9 +24,17 @@ from ..storage.relation import Relation
 class RTreeJoin:
     """R-tree join driver; result pairs are ``(OID_R, OID_S)``."""
 
-    def __init__(self, pool: BufferPool, refine_memory_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        pool: BufferPool,
+        refine_memory_bytes: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.pool = pool
         self.refine_memory_bytes = refine_memory_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def _build(
         self,
@@ -50,7 +60,7 @@ class RTreeJoin:
         s_clustered: bool = False,
     ) -> JoinResult:
         report = JoinReport(algorithm="RTreeJoin")
-        meter = PhaseMeter(self.pool.disk, report)
+        meter = PhaseMeter(self.pool.disk, report, tracer=self.tracer)
         if len(rel_r) == 0 or len(rel_s) == 0:
             return JoinResult([], report)
 
@@ -65,11 +75,15 @@ class RTreeJoin:
         with meter.phase("Join Indices"):
             rtree_join(index_r, index_s, candidate_file.append)
         report.candidates = candidate_file.count
+        self.metrics.counter("rtree.candidates").inc(candidate_file.count)
 
         memory = self.refine_memory_bytes or self.pool.capacity * PAGE_SIZE
         with meter.phase("Refinement"):
             candidates = candidate_file.read_all()
             candidate_file.drop()
-            results = refine(rel_r, rel_s, candidates, predicate, memory)
+            results = refine(
+                rel_r, rel_s, candidates, predicate, memory,
+                tracer=self.tracer, metrics=self.metrics,
+            )
         report.result_count = len(results)
         return JoinResult(results, report)

@@ -1,0 +1,84 @@
+"""``repro.obs`` — tracing, metrics, and machine-readable benchmark output.
+
+The observability layer under every cost number this repository reports:
+
+* :mod:`repro.obs.trace` — nested :class:`Span`\\ s with per-span deltas of
+  disk and buffer-pool counters, collected by a :class:`Tracer` (with
+  per-worker merging for the parallel engine);
+* :mod:`repro.obs.metrics` — named counters / gauges / fixed-bucket
+  histograms behind a :class:`MetricsRegistry`, free when disabled;
+* :mod:`repro.obs.export` — JSONL trace dump, JSON metrics snapshot,
+  chrome-trace timeline, and ``JoinReport`` serialization;
+* :mod:`repro.obs.bench` + :mod:`repro.obs.schema` — schema-validated
+  ``BENCH_*.json`` perf-trajectory records for the benchmarks.
+
+``repro.core.stats.PhaseMeter`` is a thin adapter over :class:`Tracer`, so
+every existing join driver already produces spans; pass an enabled tracer
+and metrics registry to a driver (or use ``python -m repro trace``) to get
+the full picture.
+"""
+
+from .bench import (
+    bench_file_name,
+    bench_record,
+    load_bench_file,
+    validate_results_dir,
+    write_bench_file,
+)
+from .export import (
+    chrome_trace_events,
+    report_to_dict,
+    trace_to_dicts,
+    write_chrome_trace,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .schema import (
+    BENCH_FILE_SCHEMA,
+    BENCH_RECORD_SCHEMA,
+    SCHEMA_VERSION,
+    SchemaError,
+    validate,
+    validate_bench_file,
+    validate_bench_record,
+)
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BENCH_FILE_SCHEMA",
+    "BENCH_RECORD_SCHEMA",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Span",
+    "Tracer",
+    "bench_file_name",
+    "bench_record",
+    "chrome_trace_events",
+    "load_bench_file",
+    "report_to_dict",
+    "trace_to_dicts",
+    "validate",
+    "validate_bench_file",
+    "validate_bench_record",
+    "validate_results_dir",
+    "write_bench_file",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]

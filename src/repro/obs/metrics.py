@@ -1,0 +1,178 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+The quantities the paper's analysis keys on — candidates per partition
+pair, key-pointers per partition (skew), refinement batch sizes — are
+*distributions*, not single numbers, so the workhorse here is a
+fixed-bucket :class:`Histogram`.  Counters and gauges cover the scalar
+cases (total probes, chosen partition count).
+
+Instrumented code asks the registry for instruments by name; asking twice
+returns the same instrument, so call sites never coordinate.  A registry
+built with ``enabled=False`` hands out shared no-op instruments — the hot
+path pays one dict lookup and nothing else.  :data:`NULL_METRICS` is the
+canonical disabled registry every driver defaults to.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence
+
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
+"""Power-of-two-ish upper bounds; wide enough for tuple and page counts."""
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in a final overflow bucket.  Tracks count/sum/min/max so
+    means and extremes survive the bucketing.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be ascending")
+        self.name = name
+        self.bounds: List[float] = list(buckets)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": [
+                {"le": bound, "count": n}
+                for bound, n in zip([*self.bounds, "inf"], self.counts)
+            ],
+        }
+
+
+class _NullInstrument:
+    """Answers every instrument API with a no-op / zero."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use; snapshot-able as one dict."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # instrument factories
+    # ------------------------------------------------------------------ #
+
+    def _get(self, name: str, factory):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, buckets))
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All instruments as one JSON-ready mapping, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot() for name in self.names()
+        }
+
+
+NULL_METRICS = MetricsRegistry(enabled=False)
+"""Shared disabled registry — the default for every instrumented code path."""

@@ -1,0 +1,238 @@
+"""Tracing core: nested spans over the simulated disk and buffer pool.
+
+A :class:`Span` is one timed region of a join execution — a phase, a
+partition-pair merge, a refinement batch.  Opening a span snapshots the
+:class:`~repro.storage.disk.DiskStats` and buffer-pool counters it can see;
+closing it stores the deltas, so every span knows exactly which page
+traffic, cache hits/misses, evictions and dirty flushes happened inside it.
+Spans nest (a child's I/O is included in its ancestors' deltas, mirroring
+how Table 4's phase costs contain their sub-steps) and carry free-form
+tags for dimensions such as partition index or worker id.
+
+A :class:`Tracer` owns the open-span stack and the finished roots.  For
+``repro.parallel.engine`` — where every virtual node runs against its own
+disk and pool — :meth:`Tracer.adopt` grafts a per-worker tracer's finished
+spans into the coordinating tracer, tagging them with the worker id.
+
+:data:`NULL_TRACER` is a shared no-op tracer: ``span()`` costs one method
+call and no snapshots, so instrumented hot paths stay cheap when tracing
+is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..storage.buffer import BufferPool, PoolCounters
+from ..storage.disk import DiskStats, IOCostModel, SimulatedDisk
+
+
+@dataclass
+class Span:
+    """One closed (or still-open) timed region with its resource deltas."""
+
+    name: str
+    tags: Dict[str, object] = field(default_factory=dict)
+    start: float = 0.0
+    end: float = 0.0
+    disk: DiskStats = field(default_factory=DiskStats)
+    pool: PoolCounters = field(default_factory=PoolCounters)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def cpu_s(self) -> float:
+        """Wall-clock seconds spent inside the span (the metered CPU time)."""
+        return self.end - self.start
+
+    def io_s(self, disk: Optional[SimulatedDisk] = None) -> float:
+        """Simulated I/O seconds of the span's disk delta.
+
+        Charged with the given disk's cost model; without one (e.g. a
+        coordinator tracer that adopted per-worker spans from other disks)
+        the default :class:`IOCostModel` applies.
+        """
+        cost = disk.cost_model if disk is not None else IOCostModel()
+        return self.disk.io_time(cost)
+
+    def tag(self, key: str, value: object) -> None:
+        self.tags[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield the span and all descendants, depth-first, parents first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Collects nested spans against one disk and (optionally) one pool."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        disk: Optional[SimulatedDisk] = None,
+        pool: Optional[BufferPool] = None,
+    ):
+        self.disk = disk
+        self.pool = pool
+        self.epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._disk_marks: List[DiskStats] = []
+        self._pool_marks: List[PoolCounters] = []
+
+    # ------------------------------------------------------------------ #
+    # span lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start_span(self, name: str, **tags: object) -> Span:
+        span = Span(name, tags=dict(tags))
+        self._disk_marks.append(
+            self.disk.snapshot() if self.disk is not None else DiskStats()
+        )
+        self._pool_marks.append(
+            self.pool.counters() if self.pool is not None else PoolCounters()
+        )
+        self._stack.append(span)
+        span.start = time.perf_counter()
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        span.end = time.perf_counter()
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} is not the innermost open span"
+            )
+        self._stack.pop()
+        disk_mark = self._disk_marks.pop()
+        pool_mark = self._pool_marks.pop()
+        if self.disk is not None:
+            span.disk = self.disk.stats.minus(disk_mark)
+        if self.pool is not None:
+            span.pool = self.pool.counters().minus(pool_mark)
+        self._attach(span)
+        return span
+
+    def span(self, name: str, **tags: object) -> "_SpanContext":
+        """``with tracer.span("Merge", pair=3) as s: ...``"""
+        return _SpanContext(self, name, tags)
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # ------------------------------------------------------------------ #
+    # merging and inspection
+    # ------------------------------------------------------------------ #
+
+    def adopt(self, other: "Tracer", **tags: object) -> None:
+        """Graft another tracer's finished root spans into this tracer.
+
+        Used by the parallel engine: each virtual node traces against its
+        own disk/pool, then the coordinator adopts the node tracer with
+        ``worker=<node_id>``.  Tags are applied to every adopted span's
+        subtree root; spans land under the currently open span, if any.
+        Span timestamps are absolute (``time.perf_counter``) so adopted
+        spans stay correctly ordered on this tracer's timeline.
+        """
+        for root in other.roots:
+            root.tags.update(tags)
+            self._attach(root)
+        other.roots = []
+
+    def all_spans(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def span_count(self) -> int:
+        return sum(1 for _ in self.all_spans())
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.all_spans() if s.name == name]
+
+
+class _SpanContext:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, tags: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start_span(self._name, **self._tags)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.end_span(self._span)
+
+
+class _NullSpan:
+    """Inert span: accepts tags, reports zero cost, has no children."""
+
+    __slots__ = ()
+    name = ""
+    tags: Dict[str, object] = {}
+    children: List[Span] = []
+    cpu_s = 0.0
+    disk = DiskStats()
+    pool = PoolCounters()
+
+    def tag(self, key: str, value: object) -> None:
+        pass
+
+    def io_s(self, disk: Optional[SimulatedDisk] = None) -> float:
+        return 0.0
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a cheap no-op."""
+
+    enabled = False
+    disk = None
+    pool = None
+    roots: List[Span] = []
+    span_count = 0
+
+    def start_span(self, name: str, **tags: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end_span(self, span) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, **tags: object) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def adopt(self, other, **tags: object) -> None:
+        pass
+
+    def all_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+NULL_TRACER = NullTracer()
+"""Shared disabled tracer — the default for every instrumented code path."""

@@ -35,6 +35,8 @@ from ..core.pbsm import PBSMConfig, PBSMJoin
 from ..core.predicates import Predicate
 from ..core.refine import dedup_sorted_pairs
 from ..geometry import Rect
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.database import Database
 from ..storage.relation import Relation
 from ..storage.tuples import SpatialTuple
@@ -104,6 +106,8 @@ class ParallelPBSM:
         scheme: str = REPLICATE_OBJECTS,
         buffer_mb_per_node: float = 2.0,
         num_tiles: int = 1024,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if num_nodes < 1:
             raise ValueError("need at least one node")
@@ -113,6 +117,8 @@ class ParallelPBSM:
         self.scheme = scheme
         self.buffer_mb_per_node = buffer_mb_per_node
         self.num_tiles = num_tiles
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------------ #
 
@@ -140,14 +146,25 @@ class ParallelPBSM:
         placed_r = sum(len(frag) for frag in frag_r)
         placed_s = sum(len(frag) for frag in frag_s)
 
+        skew_r = self.metrics.histogram("parallel.fragment.tuples_r")
+        skew_s = self.metrics.histogram("parallel.fragment.tuples_s")
+        for node_id in range(self.num_nodes):
+            skew_r.observe(len(frag_r[node_id]))
+            skew_s.observe(len(frag_s[node_id]))
+
         reports: List[NodeReport] = []
         all_pairs: List[Tuple[int, int]] = []
         for node_id in range(self.num_nodes):
-            report, pairs = self._run_node(
-                node_id, frag_r[node_id], frag_s[node_id], predicate
-            )
+            with self.tracer.span("node", worker=node_id, scheme=self.scheme) as span:
+                report, pairs = self._run_node(
+                    node_id, frag_r[node_id], frag_s[node_id], predicate
+                )
+                span.tag("local_pairs", report.local_pairs)
+                span.tag("remote_fetches", report.remote_fetches)
+                span.tag("sim_seconds", round(report.sim_seconds, 6))
             reports.append(report)
             all_pairs.extend(pairs)
+            self.metrics.counter("parallel.remote_fetches").inc(report.remote_fetches)
 
         merged = dedup_sorted_pairs(sorted(all_pairs))
         return ParallelJoinResult(
@@ -204,13 +221,24 @@ class ParallelPBSM:
                 foreign.add(("s", t.feature_id))
         db.pool.clear()
 
+        # Per-worker tracing: the node joins against its own disk and pool,
+        # so it gets its own tracer; the coordinator adopts the finished
+        # spans (tagged with the worker id) under the open "node" span.
+        node_tracer = (
+            Tracer(disk=db.disk, pool=db.pool) if self.tracer.enabled else None
+        )
         wall_start = time.perf_counter()
         io_snapshot = db.disk.snapshot()
-        result = PBSMJoin(db.pool, PBSMConfig(num_tiles=self.num_tiles)).run(
-            rel_r, rel_s, predicate
-        )
+        result = PBSMJoin(
+            db.pool,
+            PBSMConfig(num_tiles=self.num_tiles),
+            tracer=node_tracer,
+            metrics=self.metrics,
+        ).run(rel_r, rel_s, predicate)
         cpu_s = time.perf_counter() - wall_start
         io_s = db.disk.io_time_since(io_snapshot)
+        if node_tracer is not None:
+            self.tracer.adopt(node_tracer, worker=node_id)
 
         pairs: List[Tuple[int, int]] = []
         remote = 0

@@ -24,6 +24,27 @@ class BufferPoolError(RuntimeError):
 
 
 @dataclass
+class PoolCounters:
+    """Cumulative buffer-pool counters; snapshot-and-diff to meter a span."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_flushes: int = 0
+
+    def copy(self) -> "PoolCounters":
+        return PoolCounters(self.hits, self.misses, self.evictions, self.dirty_flushes)
+
+    def minus(self, earlier: "PoolCounters") -> "PoolCounters":
+        return PoolCounters(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+            self.dirty_flushes - earlier.dirty_flushes,
+        )
+
+
+@dataclass
 class _Frame:
     data: bytearray
     dirty: bool = False
@@ -49,6 +70,8 @@ class BufferPool:
         self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.dirty_flushes = 0
 
     # ------------------------------------------------------------------ #
     # core fix/unfix protocol
@@ -114,6 +137,7 @@ class BufferPool:
         if victim is None:
             raise BufferPoolError("all frames pinned; cannot evict")
         frame = self._frames.pop(victim)
+        self.evictions += 1
         if frame.dirty:
             self._flush_run(victim, frame)
 
@@ -143,6 +167,7 @@ class BufferPool:
             frame = run[no]
             self.disk.write_page(file_id, no, bytes(frame.data))
             frame.dirty = False
+            self.dirty_flushes += 1
 
     def flush_all(self) -> None:
         """Write every dirty frame (clustered); frames stay resident."""
@@ -153,6 +178,7 @@ class BufferPool:
         for pid, frame in dirty:
             self.disk.write_page(pid[0], pid[1], bytes(frame.data))
             frame.dirty = False
+            self.dirty_flushes += 1
 
     def clear(self) -> None:
         """Flush everything and empty the pool (cold-cache experiment start)."""
@@ -186,6 +212,11 @@ class BufferPool:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def counters(self) -> PoolCounters:
+        return PoolCounters(self.hits, self.misses, self.evictions, self.dirty_flushes)
+
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.dirty_flushes = 0

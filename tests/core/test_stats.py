@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import JoinReport, PhaseCost, PhaseMeter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.storage import SimulatedDisk
 
 
@@ -87,3 +88,83 @@ class TestJoinReport:
         report = JoinReport("algo")
         assert report.total_s == 0.0
         assert report.io_fraction == 0.0
+
+    def test_format_table_golden(self):
+        """Byte-for-byte pin of the Table-4-style rendering.
+
+        ``PhaseMeter`` became an adapter over ``repro.obs`` spans; this
+        golden string guards that reports render exactly as before."""
+        report = JoinReport("PBSM", candidates=474, result_count=137)
+        report.phases.append(
+            PhaseCost("Partition road", cpu_s=0.75, io_s=0.25,
+                      page_reads=26, page_writes=0, seeks=1)
+        )
+        report.phases.append(
+            PhaseCost("Merge Partitions", cpu_s=0.125, io_s=0.375,
+                      page_reads=3, page_writes=12, seeks=4)
+        )
+        assert report.format_table() == (
+            "PBSM: total=1.50s (cpu=0.88s io=0.62s io%=41.7) "
+            "candidates=474 results=137\n"
+            "  Partition road               total=    1.00s io=   0.25s "
+            "io%= 25.0 r/w/seek=26/0/1\n"
+            "  Merge Partitions             total=    0.50s io=   0.38s "
+            "io%= 75.0 r/w/seek=3/12/4"
+        )
+
+
+class TestPhaseMeterOverSpans:
+    """The PhaseMeter is now a thin adapter over the obs tracer."""
+
+    def _disk(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        for _ in range(4):
+            disk.allocate_page(fid)
+        return disk, fid
+
+    def test_phases_produce_spans(self):
+        disk, fid = self._disk()
+        meter = PhaseMeter(disk, JoinReport("t"))
+        with meter.phase("Partition"):
+            disk.read_page(fid, 0)
+        spans = meter.tracer.find("Partition")
+        assert len(spans) == 1
+        assert spans[0].disk.page_reads == 1
+
+    def test_shared_tracer_nests_phase_spans(self):
+        disk, fid = self._disk()
+        tracer = Tracer(disk=disk)
+        meter = PhaseMeter(disk, JoinReport("t"), tracer=tracer)
+        assert meter.tracer is tracer
+        with tracer.span("join"):
+            with meter.phase("Refinement"):
+                disk.read_page(fid, 0)
+        assert [s.name for s in tracer.roots[0].children] == ["Refinement"]
+
+    def test_phase_cost_matches_span_delta(self):
+        disk, fid = self._disk()
+        report = JoinReport("t")
+        meter = PhaseMeter(disk, report)
+        with meter.phase("io"):
+            disk.read_page(fid, 0)
+            disk.read_page(fid, 1)
+        span = meter.tracer.find("io")[0]
+        cost = report.phase("io")
+        assert cost.page_reads == span.disk.page_reads == 2
+        assert cost.seeks == span.disk.seeks == 1
+        assert cost.io_s == pytest.approx(span.io_s(disk))
+
+    def test_null_tracer_rejected_so_metering_still_works(self):
+        disk, fid = self._disk()
+        report = JoinReport("t")
+        meter = PhaseMeter(disk, report, tracer=NULL_TRACER)
+        with meter.phase("read"):
+            disk.read_page(fid, 0)
+        assert report.phase("read").page_reads == 1
+
+    def test_foreign_disk_tracer_rejected(self):
+        disk, fid = self._disk()
+        other = SimulatedDisk()
+        meter = PhaseMeter(disk, JoinReport("t"), tracer=Tracer(disk=other))
+        assert meter.tracer.disk is disk

@@ -1,0 +1,115 @@
+"""Tests for the BENCH_*.json schema, validator, and emitters."""
+
+import json
+
+import pytest
+
+from repro.core.stats import JoinReport, PhaseCost
+from repro.obs import (
+    SchemaError,
+    bench_record,
+    load_bench_file,
+    validate_bench_file,
+    validate_bench_record,
+    validate_results_dir,
+    write_bench_file,
+)
+
+
+def _report():
+    report = JoinReport("PBSM", candidates=20, result_count=9)
+    report.phases.append(
+        PhaseCost("Partition", cpu_s=1.0, io_s=0.5, page_reads=7, page_writes=2, seeks=3)
+    )
+    report.phases.append(PhaseCost("Merge", cpu_s=0.5, io_s=0.25, page_reads=4))
+    return report
+
+
+class TestBenchRecord:
+    def test_record_is_schema_valid(self):
+        record = bench_record(
+            _report(), scale=0.05, buffer_mb=2.0, buffer_mb_scaled=0.19
+        )
+        validate_bench_record(record)
+        assert record["counters"] == {"page_reads": 11, "page_writes": 2, "seeks": 3}
+        assert record["total_s"] == pytest.approx(2.25)
+
+    def test_notes_carried_over(self):
+        report = _report()
+        report.notes["num_partitions"] = 4
+        record = bench_record(report, scale=0.05, buffer_mb=2.0)
+        assert record["notes"] == {"num_partitions": 4}
+        validate_bench_record(record)
+
+
+class TestValidator:
+    def test_missing_required_key(self):
+        record = bench_record(_report(), scale=0.05, buffer_mb=2.0)
+        del record["phases"]
+        with pytest.raises(SchemaError, match="phases"):
+            validate_bench_record(record)
+
+    def test_wrong_type(self):
+        record = bench_record(_report(), scale=0.05, buffer_mb=2.0)
+        record["candidates"] = "many"
+        with pytest.raises(SchemaError, match="candidates"):
+            validate_bench_record(record)
+
+    def test_negative_counter(self):
+        record = bench_record(_report(), scale=0.05, buffer_mb=2.0)
+        record["counters"]["seeks"] = -1
+        with pytest.raises(SchemaError, match="seeks"):
+            validate_bench_record(record)
+
+    def test_bad_phase_item_named_by_path(self):
+        record = bench_record(_report(), scale=0.05, buffer_mb=2.0)
+        del record["phases"][1]["io_s"]
+        with pytest.raises(SchemaError, match=r"phases\[1\]"):
+            validate_bench_record(record)
+
+    def test_bool_is_not_a_number(self):
+        record = bench_record(_report(), scale=0.05, buffer_mb=2.0)
+        record["total_s"] = True
+        with pytest.raises(SchemaError):
+            validate_bench_record(record)
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(SchemaError, match="schema_version"):
+            validate_bench_file(
+                {"schema_version": 99, "benchmark": "x", "records": []}
+            )
+
+
+class TestBenchFile:
+    def test_write_validate_load_round_trip(self, tmp_path):
+        records = [bench_record(_report(), scale=0.05, buffer_mb=mb)
+                   for mb in (2.0, 8.0, 24.0)]
+        path = write_bench_file("fig7_road_hydro", records, tmp_path)
+        assert path.name == "BENCH_fig7_road_hydro.json"
+        document = load_bench_file(path)
+        assert document["benchmark"] == "fig7_road_hydro"
+        assert len(document["records"]) == 3
+
+    def test_invalid_record_refused_at_write(self, tmp_path):
+        record = bench_record(_report(), scale=0.05, buffer_mb=2.0)
+        record["io_s"] = None
+        with pytest.raises(SchemaError):
+            write_bench_file("bad", [record], tmp_path)
+        assert not (tmp_path / "BENCH_bad.json").exists()
+
+    def test_validate_results_dir(self, tmp_path):
+        write_bench_file(
+            "ok", [bench_record(_report(), scale=0.05, buffer_mb=2.0)], tmp_path
+        )
+        assert len(validate_results_dir(tmp_path)) == 1
+        (tmp_path / "BENCH_corrupt.json").write_text(json.dumps({"nope": 1}))
+        with pytest.raises(SchemaError):
+            validate_results_dir(tmp_path)
+
+
+class TestCheckedInResults:
+    def test_repo_results_dir_is_schema_valid(self):
+        from repro.bench.harness import RESULTS_DIR
+
+        # Whatever trajectory files are committed must parse and validate.
+        validate_results_dir(RESULTS_DIR)

@@ -1,0 +1,103 @@
+"""Tests for the JSONL / metrics / chrome-trace exporters."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    report_to_dict,
+    trace_to_dicts,
+    write_chrome_trace,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.core.stats import JoinReport, PhaseCost
+from repro.storage import SimulatedDisk
+
+
+def _traced_workload():
+    disk = SimulatedDisk()
+    fid = disk.create_file()
+    for _ in range(4):
+        disk.allocate_page(fid)
+    tracer = Tracer(disk=disk)
+    with tracer.span("outer", phase="p"):
+        disk.read_page(fid, 0)
+        with tracer.span("inner"):
+            disk.read_page(fid, 1)
+    return tracer
+
+
+class TestTraceJsonl:
+    def test_parent_ids_link_the_tree(self):
+        records = trace_to_dicts(_traced_workload())
+        assert [(r["name"], r["parent_id"]) for r in records] == [
+            ("outer", None),
+            ("inner", 0),
+        ]
+
+    def test_records_carry_deltas_and_tags(self):
+        outer = trace_to_dicts(_traced_workload())[0]
+        assert outer["tags"] == {"phase": "p"}
+        assert outer["disk"]["page_reads"] == 2
+        assert outer["io_s"] > 0
+        assert outer["cpu_s"] >= 0
+        assert set(outer["pool"]) == {"hits", "misses", "evictions", "dirty_flushes"}
+
+    def test_write_jsonl_one_object_per_line(self, tmp_path):
+        path = write_trace_jsonl(_traced_workload(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["name"] for line in lines)
+
+
+class TestChromeTrace:
+    def test_events_shape(self):
+        events = chrome_trace_events(_traced_workload())
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["name"] == "outer"
+        assert events[0]["dur"] >= events[1]["dur"]
+
+    def test_worker_lane_inheritance(self):
+        tracer = Tracer()
+        with tracer.span("node", worker=2):
+            with tracer.span("child"):
+                pass
+        events = chrome_trace_events(tracer)
+        assert [e["tid"] for e in events] == [2, 2]
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = write_chrome_trace(_traced_workload(), tmp_path / "c.json")
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == 2
+
+
+class TestMetricsJson:
+    def test_write_snapshot_with_extra(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("pairs").inc(3)
+        path = write_metrics_json(reg, tmp_path / "m.json", extra={"scale": 0.01})
+        document = json.loads(path.read_text())
+        assert document["metrics"]["pairs"]["value"] == 3
+        assert document["scale"] == 0.01
+
+
+class TestReportToDict:
+    def test_round_trips_phases(self):
+        report = JoinReport("PBSM", candidates=10, result_count=4)
+        report.phases.append(
+            PhaseCost("Partition", cpu_s=1.0, io_s=0.5, page_reads=3, seeks=1)
+        )
+        d = report_to_dict(report)
+        assert d["algorithm"] == "PBSM"
+        assert d["total_s"] == 1.5
+        assert d["phases"][0] == {
+            "name": "Partition",
+            "cpu_s": 1.0,
+            "io_s": 0.5,
+            "page_reads": 3,
+            "page_writes": 0,
+            "seeks": 1,
+        }
+        json.dumps(d)  # must be JSON-serializable as-is

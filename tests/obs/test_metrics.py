@@ -1,0 +1,73 @@
+"""Tests for the metrics registry: counters, gauges, histograms, no-ops."""
+
+import pytest
+
+from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3.5)
+        reg.gauge("g").set(1.25)
+        assert reg.gauge("g").value == 1.25
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_bound(self):
+        h = Histogram("h", buckets=[1, 10, 100])
+        for v in (0, 1, 5, 10, 99, 1000):
+            h.observe(v)
+        assert [b["count"] for b in h.snapshot()["buckets"]] == [2, 2, 1, 1]
+
+    def test_stats(self):
+        h = Histogram("h", buckets=[10])
+        h.observe(2)
+        h.observe(6)
+        assert h.count == 2
+        assert h.mean == 4
+        assert h.min == 2 and h.max == 6
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[10, 1])
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("h", buckets=[1]).snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestRegistry:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(7)
+        reg.histogram("c", buckets=[1, 2]).observe(1)
+        snap = reg.snapshot()
+        assert snap["a"] == {"type": "counter", "value": 2}
+        assert snap["b"] == {"type": "gauge", "value": 7}
+        assert snap["c"]["type"] == "histogram"
+        assert list(snap) == ["a", "b", "c"]
+
+    def test_disabled_registry_is_noop(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("x").inc(100)
+        NULL_METRICS.gauge("y").set(1)
+        NULL_METRICS.histogram("z").observe(5)
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.names() == []
+
+    def test_disabled_instruments_shared(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.histogram("b")

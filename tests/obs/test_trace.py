@@ -1,0 +1,150 @@
+"""Tests for span nesting, resource deltas, and per-worker merging."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+from repro.storage import PAGE_SIZE, SimulatedDisk
+from repro.storage.buffer import BufferPool
+
+
+def _disk_with_pages(n=8):
+    disk = SimulatedDisk()
+    fid = disk.create_file()
+    for _ in range(n):
+        disk.allocate_page(fid)
+    return disk, fid
+
+
+class TestSpanNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        assert [s.name for s in tracer.roots[0].children] == ["inner_a", "inner_b"]
+
+    def test_parent_delta_includes_child_io(self):
+        disk, fid = _disk_with_pages()
+        tracer = Tracer(disk=disk)
+        with tracer.span("outer"):
+            disk.read_page(fid, 0)
+            with tracer.span("inner"):
+                disk.read_page(fid, 1)
+                disk.read_page(fid, 2)
+        outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+        assert inner.disk.page_reads == 2
+        assert outer.disk.page_reads == 3
+        assert outer.io_s(disk) > inner.io_s(disk) > 0
+
+    def test_sibling_deltas_are_disjoint(self):
+        disk, fid = _disk_with_pages()
+        tracer = Tracer(disk=disk)
+        with tracer.span("a"):
+            disk.read_page(fid, 0)
+        with tracer.span("b"):
+            disk.read_page(fid, 1)
+            disk.read_page(fid, 2)
+        assert tracer.find("a")[0].disk.page_reads == 1
+        assert tracer.find("b")[0].disk.page_reads == 2
+
+    def test_pool_counters_metered(self):
+        disk, fid = _disk_with_pages()
+        pool = BufferPool(disk, capacity_pages=2)
+        tracer = Tracer(disk=disk, pool=pool)
+        with tracer.span("work") as span:
+            pool.get_page(fid, 0)
+            pool.get_page(fid, 0)   # hit
+            pool.get_page(fid, 1)
+            pool.get_page(fid, 2)   # evicts
+        assert span.pool.hits == 1
+        assert span.pool.misses == 3
+        assert span.pool.evictions == 1
+
+    def test_dirty_flush_counted(self):
+        disk, fid = _disk_with_pages()
+        pool = BufferPool(disk, capacity_pages=4)
+        tracer = Tracer(disk=disk, pool=pool)
+        with tracer.span("flush") as span:
+            pool.get_page(fid, 0)
+            pool.mark_dirty(fid, 0)
+            pool.flush_all()
+        assert span.pool.dirty_flushes == 1
+        assert span.disk.page_writes == 1
+
+    def test_tags_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("outer", phase="merge") as span:
+            span.tag("pairs", 7)
+            with tracer.span("inner"):
+                pass
+        assert tracer.roots[0].tags == {"phase": "merge", "pairs": 7}
+        assert [s.name for s in tracer.roots[0].walk()] == ["outer", "inner"]
+        assert tracer.span_count == 2
+
+    def test_mismatched_end_raises(self):
+        tracer = Tracer()
+        a = tracer.start_span("a")
+        tracer.start_span("b")
+        with pytest.raises(RuntimeError):
+            tracer.end_span(a)
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("boom")
+        assert [s.name for s in tracer.roots] == ["boom"]
+        assert tracer.roots[0].end >= tracer.roots[0].start
+
+
+class TestAdopt:
+    def test_adopt_grafts_roots_with_tags(self):
+        worker = Tracer()
+        with worker.span("Partition"):
+            pass
+        with worker.span("Merge"):
+            with worker.span("merge_pair"):
+                pass
+        coordinator = Tracer()
+        with coordinator.span("node"):
+            coordinator.adopt(worker, worker=3)
+        node = coordinator.roots[0]
+        assert [s.name for s in node.children] == ["Partition", "Merge"]
+        assert all(s.tags["worker"] == 3 for s in node.children)
+        # Adopted spans were handed off, not copied.
+        assert worker.roots == []
+
+    def test_adopt_outside_open_span_appends_roots(self):
+        worker = Tracer()
+        with worker.span("x"):
+            pass
+        coordinator = Tracer()
+        coordinator.adopt(worker, worker=0)
+        assert [s.name for s in coordinator.roots] == ["x"]
+
+    def test_adopted_deltas_survive(self):
+        disk, fid = _disk_with_pages()
+        worker = Tracer(disk=disk)
+        with worker.span("io"):
+            disk.read_page(fid, 0)
+        coordinator = Tracer()  # no disk of its own
+        coordinator.adopt(worker, worker=1)
+        span = coordinator.roots[0]
+        assert span.disk.page_reads == 1
+        assert span.io_s() > 0  # default cost model applies
+
+
+class TestNullTracer:
+    def test_span_is_noop(self):
+        with NULL_TRACER.span("anything", tag=1) as span:
+            span.tag("more", 2)
+        assert NULL_TRACER.span_count == 0
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.find("anything") == []
+
+    def test_disabled_flag(self):
+        assert NullTracer.enabled is False
+        assert Tracer.enabled is True

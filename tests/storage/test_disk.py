@@ -121,6 +121,57 @@ class TestAccessClassification:
         disk.read_page(fid, 1)
         assert disk.stats.random_reads == 0
 
+    def test_interleaved_scans_on_two_files_stay_sequential(self):
+        # Head position is per file (modelling per-stream prefetch), so two
+        # scans in lock-step each pay only their initial seek.
+        disk = SimulatedDisk()
+        f1, f2 = disk.create_file(), disk.create_file()
+        for fid in (f1, f2):
+            for _ in range(3):
+                disk.allocate_page(fid)
+        disk.read_page(f1, 0)  # random: first touch of f1
+        disk.read_page(f2, 0)  # random: first touch of f2
+        disk.read_page(f1, 1)  # sequential within f1's stream
+        disk.read_page(f2, 1)  # sequential within f2's stream
+        disk.read_page(f1, 2)
+        disk.read_page(f2, 2)
+        assert disk.stats.page_reads == 6
+        assert disk.stats.random_reads == 2
+
+    def test_rewrite_of_just_read_page_is_random(self):
+        # The head sits *at* the page after reading it; rewriting in place
+        # is not "last + 1" and therefore pays a seek.
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.allocate_page(fid)
+        disk.allocate_page(fid)
+        disk.read_page(fid, 0)
+        disk.write_page(fid, 0, bytes(PAGE_SIZE))
+        assert disk.stats.random_writes == 1
+        disk.read_page(fid, 1)  # the run continues from the rewrite
+        assert disk.stats.random_reads == 1
+
+    def test_drop_file_clears_stream_state(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        for _ in range(2):
+            disk.allocate_page(fid)
+        disk.read_page(fid, 0)
+        disk.read_page(fid, 1)
+        disk.drop_file(fid)
+        assert fid not in disk._last_access_per_file
+
+    def test_first_access_after_drop_of_another_file_is_random(self):
+        disk = SimulatedDisk()
+        f1 = disk.create_file()
+        disk.allocate_page(f1)
+        disk.read_page(f1, 0)
+        disk.drop_file(f1)
+        f2 = disk.create_file()
+        disk.allocate_page(f2)
+        disk.read_page(f2, 0)
+        assert disk.stats.random_reads == 2
+
 
 class TestCostModel:
     def test_io_time_formula(self):

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -20,6 +22,50 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "intersecting pairs" in out
         assert "Partition road" in out
+
+    def test_demo_json(self, capsys):
+        args = ["demo", "--scale", "0.001", "--buffer-mb", "1.0", "--json"]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["algorithm"] == "PBSM"
+        assert document["scale"] == 0.001
+        assert {p["name"] for p in document["phases"]} >= {
+            "Partition road", "Partition hydro", "Merge Partitions", "Refinement"
+        }
+
+    def test_demo_seed_reproducible(self, capsys):
+        def run(seed):
+            assert main(["demo", "--scale", "0.001", "--buffer-mb", "1.0",
+                         "--json", "--seed", str(seed)]) == 0
+            return json.loads(capsys.readouterr().out)
+
+        a, b, c = run(7), run(7), run(8)
+        assert a["result_count"] == b["result_count"]
+        assert a["candidates"] == b["candidates"]
+        assert (a["result_count"], a["candidates"]) != (
+            c["result_count"], c["candidates"]
+        )
+
+    def test_trace_writes_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "trace_out"
+        args = ["trace", "--scale", "0.001", "--buffer-mb", "1.0",
+                "--out", str(out)]
+        assert main(args) == 0
+        text = capsys.readouterr().out
+        assert "spans" in text
+
+        lines = (out / "trace.jsonl").read_text().splitlines()
+        assert lines
+        names = {json.loads(line)["name"] for line in lines}
+        assert {"Partition road", "Merge Partitions", "Refinement"} <= names
+
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["algorithm"] == "PBSM"
+        assert "pbsm.num_partitions" in metrics["metrics"]
+
+        chrome = json.loads((out / "chrome_trace.json").read_text())
+        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+        assert len(chrome["traceEvents"]) == len(lines)
 
     @pytest.mark.parametrize(
         "flags, expected",
