@@ -117,7 +117,6 @@ def test_ablation_partition_skew_handling(benchmark):
         from repro.geometry import Rect
         from repro.storage import Database
 
-        universe = Rect(0.0, 0.0, 100.0, 100.0)
         corner = Rect(0.0, 95.0, 5.0, 100.0)
 
         def load(db):

@@ -6,11 +6,9 @@ build the same index using multiple inserts" — a ~7.9x ratio.  This is why
 the paper's INL and R-tree baselines always bulk load.
 """
 
-import time
 
 from repro.bench import BENCH_SCALE, ResultTable, fresh_tiger
 from repro.core.stats import JoinReport, PhaseMeter
-from repro.geometry import Rect
 from repro.index import RStarTree, bulk_load_rstar
 
 

@@ -14,7 +14,6 @@ join is best; with an index only on the smaller input PBSM is best; INL
 overtakes Rtree-1-SmallIdx as the buffer grows.
 """
 
-import pytest
 
 from repro import IndexedNestedLoopsJoin, PBSMJoin, RTreeJoin, intersects
 from repro.bench import (

@@ -8,8 +8,14 @@ Subcommands:
 * ``trace`` — run a PBSM road × hydro join under the ``repro.obs``
   observability layer and write the JSONL trace, metrics snapshot, and
   chrome-trace timeline;
+* ``parallel`` — run the road × hydro join on a parallel backend
+  (``--backend process|simulated|serial --workers N``) and report the
+  wall/critical-path numbers; ``--verify`` cross-checks the pair set
+  against the serial reference;
 * ``plan``  — show which algorithm the paper's decision table picks for a
   described scenario;
+* ``bench-compare`` — diff a fresh ``BENCH_*.json`` against a committed
+  baseline and exit non-zero if deterministic counters drifted;
 * ``info``  — package, subsystem, and experiment inventory.
 """
 
@@ -96,6 +102,84 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from . import intersects
+    from .data import tiger
+    from .parallel import parallel_join
+
+    if args.seed is None:
+        roads = list(tiger.generate_roads(args.scale))
+        hydro = list(tiger.generate_hydrography(args.scale))
+    else:
+        roads = list(tiger.generate_roads(args.scale, seed=args.seed))
+        hydro = list(tiger.generate_hydrography(args.scale, seed=args.seed + 1))
+
+    result = parallel_join(
+        roads, hydro, intersects,
+        backend=args.backend, workers=args.workers, scheme=args.scheme,
+        start_method=args.start_method,
+    )
+
+    verified = None
+    if args.verify and args.backend != "serial":
+        reference = parallel_join(roads, hydro, intersects, backend="serial")
+        verified = reference.pairs == result.pairs
+
+    if args.json:
+        document = {
+            "backend": result.backend,
+            "workers": args.workers,
+            "scale": args.scale,
+            "seed": args.seed,
+            "result_count": len(result),
+            "wall_s": round(result.wall_s, 6),
+            "critical_path_s": round(result.critical_path_s, 6),
+            "total_work_s": round(result.total_work_s, 6),
+            "speedup": round(result.speedup, 4),
+            "storage_factor_r": round(result.storage_factor_r, 4),
+            "storage_factor_s": round(result.storage_factor_s, 4),
+            "nodes": [
+                {
+                    "node_id": n.node_id,
+                    "tuples_r": n.tuples_r,
+                    "tuples_s": n.tuples_s,
+                    "local_pairs": n.local_pairs,
+                    "remote_fetches": n.remote_fetches,
+                    "seconds": round(n.sim_seconds, 6),
+                }
+                for n in result.nodes
+            ],
+            "tasks": len(result.tasks),
+        }
+        if verified is not None:
+            document["verified_against_serial"] = verified
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if verified in (None, True) else 1
+
+    print(
+        f"{len(roads)} roads x {len(hydro)} hydrography features "
+        f"(scale={args.scale}) on backend={result.backend!r}"
+    )
+    print(f"{len(result)} intersecting pairs")
+    print(
+        f"wall {result.wall_s:.3f}s; per-{'worker' if args.backend == 'process' else 'node'} "
+        f"work {result.total_work_s:.3f}s over {len(result.nodes)} "
+        f"{'workers' if args.backend == 'process' else 'nodes'} "
+        f"(critical path {result.critical_path_s:.3f}s, "
+        f"work-distribution speedup {result.speedup:.2f}x)"
+    )
+    if result.tasks:
+        costs = sorted(t.cost_estimate for t in result.tasks)
+        print(
+            f"{len(result.tasks)} partition-pair tasks, LPT cost seeds "
+            f"min/median/max = {costs[0]}/{costs[len(costs) // 2]}/{costs[-1]}"
+        )
+    if verified is not None:
+        print(f"verified against serial reference: {'OK' if verified else 'MISMATCH'}")
+        return 0 if verified else 1
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from .core.planner import choose_algorithm
     from .storage import Database
@@ -113,6 +197,24 @@ def _cmd_plan(args: argparse.Namespace) -> int:
           f"buffer={args.buffer_mb} MB")
     print(f"chosen algorithm: {plan.algorithm.upper()}")
     print(f"reason: {plan.reason}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .bench.compare import compare_files
+
+    violations = compare_files(args.baseline, args.fresh)
+    if violations:
+        print(f"bench-compare: {len(violations)} violation(s) vs {args.baseline}")
+        for violation in violations:
+            print(f"  {violation}")
+        print(
+            "If the drift is intentional, re-baseline: re-run the benchmark "
+            "at the baseline's REPRO_BENCH_SCALE and commit the fresh JSON "
+            "(see src/repro/bench/compare.py)."
+        )
+        return 1
+    print(f"bench-compare: OK ({args.fresh} matches {args.baseline})")
     return 0
 
 
@@ -156,12 +258,44 @@ def main(argv: list[str] | None = None) -> int:
                             "chrome_trace.json")
     trace.set_defaults(func=_cmd_trace)
 
+    parallel = sub.add_parser(
+        "parallel", help="run the join on a parallel backend"
+    )
+    parallel.add_argument("--backend", default="process",
+                          choices=["process", "simulated", "serial"])
+    parallel.add_argument("--workers", type=int, default=4,
+                          help="worker processes (process) or virtual nodes "
+                               "(simulated)")
+    parallel.add_argument("--scale", type=float, default=0.01)
+    parallel.add_argument("--seed", type=int, default=None,
+                          help="base seed for the data generators")
+    parallel.add_argument("--scheme", default="replicate_objects",
+                          choices=["replicate_objects", "replicate_mbrs"],
+                          help="boundary-object declustering (simulated only)")
+    parallel.add_argument("--start-method", default=None,
+                          choices=["fork", "spawn", "forkserver"],
+                          help="multiprocessing start method (process only)")
+    parallel.add_argument("--verify", action="store_true",
+                          help="cross-check the pair set against the serial "
+                               "reference; non-zero exit on mismatch")
+    parallel.add_argument("--json", action="store_true",
+                          help="emit the run summary as JSON")
+    parallel.set_defaults(func=_cmd_parallel)
+
     plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")
     plan.add_argument("--scale", type=float, default=0.005)
     plan.add_argument("--buffer-mb", type=float, default=0.5)
     plan.add_argument("--index-r", action="store_true", help="road index pre-exists")
     plan.add_argument("--index-s", action="store_true", help="hydro index pre-exists")
     plan.set_defaults(func=_cmd_plan)
+
+    bench_compare = sub.add_parser(
+        "bench-compare",
+        help="fail if a fresh BENCH_*.json drifted from a baseline",
+    )
+    bench_compare.add_argument("baseline", help="committed baseline BENCH_*.json")
+    bench_compare.add_argument("fresh", help="freshly emitted BENCH_*.json")
+    bench_compare.set_defaults(func=_cmd_bench_compare)
 
     info = sub.add_parser("info", help="package inventory")
     info.set_defaults(func=_cmd_info)

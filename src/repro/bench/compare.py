@@ -1,0 +1,127 @@
+"""Benchmark-regression gate: diff a fresh ``BENCH_*.json`` vs a baseline.
+
+The engine's cost model is deterministic: for a fixed dataset seed, scale,
+and buffer size, the page reads/writes/seeks, candidate counts, and result
+counts of a run are exact integers that must not move unless an algorithm
+change *meant* to move them.  The gate therefore:
+
+* matches records across the two files by ``(algorithm, buffer_mb)``;
+* requires **exact equality** on every deterministic quantity — the
+  ``counters`` block (``page_reads``/``page_writes``/``seeks``),
+  ``candidates``, and ``result_count``;
+* allows **10 % relative drift** on ``io_s``, the modelled I/O seconds
+  (deterministic in page counts but accumulated in floating point and
+  mildly sensitive to phase interleaving), via :data:`IO_S_TOLERANCE`;
+* ignores ``cpu_s``/``total_s`` — measured wall time is machine noise,
+  not a regression signal;
+* treats a ``scale`` mismatch, a missing record, or an extra record as a
+  violation outright: comparing runs at different scales is meaningless.
+
+Re-baselining: when a change *intentionally* shifts the counters (a new
+partitioning rule, a smarter sweep), re-emit the baseline at the CI smoke
+scale and commit it alongside the change::
+
+    REPRO_BENCH_SCALE=0.01 python -m pytest benchmarks/bench_fig7_road_hydro.py
+    cp benchmarks/results/BENCH_fig7_road_hydro.json benchmarks/baselines/
+
+``python -m repro bench-compare <baseline> <fresh>`` exits non-zero on any
+violation, printing one line per difference.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..obs.bench import load_bench_file
+
+IO_S_TOLERANCE = 0.10
+"""Allowed relative drift on modelled I/O seconds."""
+
+EXACT_FIELDS = ("candidates", "result_count")
+EXACT_COUNTERS = ("page_reads", "page_writes", "seeks")
+
+RecordKey = Tuple[str, float]
+
+
+def record_key(record: dict) -> RecordKey:
+    """Identity of one benchmark cell: (algorithm, paper buffer MB)."""
+    return (record["algorithm"], record["buffer_mb"])
+
+
+def _index(document: dict, label: str, violations: List[str]) -> Dict[RecordKey, dict]:
+    out: Dict[RecordKey, dict] = {}
+    for record in document["records"]:
+        key = record_key(record)
+        if key in out:
+            violations.append(f"{label}: duplicate record for {key}")
+        out[key] = record
+    return out
+
+
+def compare_documents(baseline: dict, fresh: dict) -> List[str]:
+    """All the ways ``fresh`` regresses from ``baseline``, as strings.
+
+    An empty list means the gate passes.
+    """
+    violations: List[str] = []
+    if baseline.get("benchmark") != fresh.get("benchmark"):
+        violations.append(
+            f"benchmark name mismatch: baseline={baseline.get('benchmark')!r} "
+            f"fresh={fresh.get('benchmark')!r}"
+        )
+    base_records = _index(baseline, "baseline", violations)
+    fresh_records = _index(fresh, "fresh", violations)
+
+    for key in sorted(set(base_records) - set(fresh_records)):
+        violations.append(f"missing record: {key} is in the baseline only")
+    for key in sorted(set(fresh_records) - set(base_records)):
+        violations.append(f"extra record: {key} is in the fresh run only")
+
+    for key in sorted(set(base_records) & set(fresh_records)):
+        violations.extend(
+            _compare_record(key, base_records[key], fresh_records[key])
+        )
+    return violations
+
+
+def _compare_record(key: RecordKey, base: dict, fresh: dict) -> List[str]:
+    out: List[str] = []
+    if base["scale"] != fresh["scale"]:
+        out.append(
+            f"{key}: scale mismatch (baseline {base['scale']} vs fresh "
+            f"{fresh['scale']}) — re-run at the baseline's scale"
+        )
+        return out  # every other number is incomparable across scales
+
+    for field in EXACT_FIELDS:
+        if base[field] != fresh[field]:
+            out.append(
+                f"{key}: {field} drifted from {base[field]} to {fresh[field]}"
+            )
+    for counter in EXACT_COUNTERS:
+        b = base["counters"].get(counter)
+        f = fresh["counters"].get(counter)
+        if b != f:
+            out.append(
+                f"{key}: counters.{counter} drifted from {b} to {f}"
+            )
+
+    base_io, fresh_io = base["io_s"], fresh["io_s"]
+    if base_io == 0.0:
+        if fresh_io != 0.0:
+            out.append(f"{key}: io_s drifted from 0 to {fresh_io:.6f}")
+    elif abs(fresh_io - base_io) / abs(base_io) > IO_S_TOLERANCE:
+        out.append(
+            f"{key}: io_s drifted {100.0 * (fresh_io - base_io) / base_io:+.1f}% "
+            f"({base_io:.4f} -> {fresh_io:.4f}; tolerance "
+            f"{IO_S_TOLERANCE:.0%})"
+        )
+    return out
+
+
+def compare_files(baseline_path: "Path | str", fresh_path: "Path | str") -> List[str]:
+    """Load (schema-validating both sides) and compare two bench files."""
+    baseline = load_bench_file(baseline_path)
+    fresh = load_bench_file(fresh_path)
+    return compare_documents(baseline, fresh)

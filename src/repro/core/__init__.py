@@ -18,7 +18,13 @@ from .partition import (
     estimate_num_partitions,
     profile_partitioning,
 )
-from .pbsm import DEFAULT_NUM_TILES, PBSMConfig, PBSMJoin, pbsm_join
+from .pbsm import (
+    DEFAULT_NUM_TILES,
+    PBSMConfig,
+    PBSMJoin,
+    merge_partition_pair,
+    pbsm_join,
+)
 from .planner import JoinPlan, choose_algorithm, plan_join
 from .predicates import (
     ContainsWithFilters,
@@ -58,6 +64,7 @@ __all__ = [
     "intersects",
     "intersects_naive",
     "pack_keypointer",
+    "merge_partition_pair",
     "pbsm_join",
     "plan_join",
     "profile_partitioning",

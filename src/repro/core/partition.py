@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set
 
 from ..geometry import Rect
 from .keypointer import KEYPTR_SIZE

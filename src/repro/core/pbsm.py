@@ -21,14 +21,14 @@ behind ``PBSMConfig.handle_partition_skew`` as a documented extension.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..geometry import Rect, sweep_join, sweep_join_interval_tree
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.buffer import BufferPool
 from ..storage.disk import PAGE_SIZE
-from ..storage.relation import OID, Relation
+from ..storage.relation import Relation
 from .keypointer import KEYPTR_SIZE, CandidateFile, KeyPointer, KeyPointerFile
 from .partition import (
     SCHEME_HASH,
@@ -42,10 +42,18 @@ from .stats import JoinReport, JoinResult, PhaseMeter
 DEFAULT_NUM_TILES = 1024
 """The tile count the paper settled on for its experiments (§4.3)."""
 
+K = TypeVar("K")
+"""Key-pointer payload: an OID in the single-node join, a feature id in the
+multiprocess backend.  The merge phase never looks inside it."""
 
-@dataclass
+
+@dataclass(frozen=True)
 class PBSMConfig:
-    """Tuning knobs for a PBSM execution."""
+    """Tuning knobs for a PBSM execution.
+
+    Frozen (and containing only plain values), so a config travels by
+    pickle to the worker processes of the multiprocess backend unchanged.
+    """
 
     num_tiles: int = DEFAULT_NUM_TILES
     scheme: str = SCHEME_HASH
@@ -56,6 +64,120 @@ class PBSMConfig:
     handle_partition_skew: bool = False
     """§3.5 extension: recursively repartition overflowing partition pairs."""
     max_repartition_depth: int = 4
+    collect_candidates: bool = False
+    """Keep the filter step's candidate OID pairs on the ``JoinResult`` —
+    needed by callers that account per-candidate costs (e.g. the parallel
+    engine's remote-fetch charging)."""
+
+
+def merge_partition_pair(
+    kps_r: Sequence[Tuple[Rect, K]],
+    kps_s: Sequence[Tuple[Rect, K]],
+    emit: Callable[[K, K], None],
+    memory: int,
+    config: Optional[PBSMConfig] = None,
+    *,
+    depth: int = 0,
+    label: str = "0",
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Plane-sweep one partition pair; the heart of PBSM's merge phase.
+
+    A module-level function over plain ``(Rect, key)`` sequences so it is
+    independently executable: :class:`PBSMJoin` drives it against key-pointer
+    files and a candidate file, while the multiprocess backend pickles the
+    surrounding task and calls it inside a worker process with feature-id
+    payloads.  §3.5 skew handling (recursive repartitioning of a pair whose
+    key-pointers exceed ``memory``) happens in here, behind
+    ``config.handle_partition_skew``.  Returns the number of emitted pairs.
+    """
+    config = config or PBSMConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
+    with tracer.span("merge_pair", pair=label, depth=depth) as span:
+        span.tag("len_r", len(kps_r))
+        span.tag("len_s", len(kps_s))
+        if not kps_r or not kps_s:
+            return 0
+
+        oversized = (len(kps_r) + len(kps_s)) * KEYPTR_SIZE > memory
+        can_recurse = (
+            config.handle_partition_skew
+            and oversized
+            and depth < config.max_repartition_depth
+        )
+        if can_recurse:
+            metrics.counter("pbsm.merge.repartitions").inc()
+            span.tag("repartitioned", True)
+            return _repartition_pair(
+                kps_r, kps_s, emit, memory, config,
+                depth=depth, label=label, tracer=tracer, metrics=metrics,
+            )
+
+        emitted = 0
+
+        def counting_emit(key_r: K, key_s: K) -> None:
+            nonlocal emitted
+            emitted += 1
+            emit(key_r, key_s)
+
+        items_r = [(rect, key) for rect, key in kps_r]
+        items_s = [(rect, key) for rect, key in kps_s]
+        if config.use_interval_tree:
+            sweep_join_interval_tree(items_r, items_s, counting_emit)
+        else:
+            sweep_join(items_r, items_s, counting_emit)
+        span.tag("candidates", emitted)
+        metrics.counter("pbsm.merge.pairs_swept").inc()
+        metrics.histogram("pbsm.merge.inputs_per_pair").observe(
+            len(kps_r) + len(kps_s)
+        )
+        metrics.histogram("pbsm.merge.candidates_per_pair").observe(emitted)
+        return emitted
+
+
+def _repartition_pair(
+    kps_r: Sequence[Tuple[Rect, K]],
+    kps_s: Sequence[Tuple[Rect, K]],
+    emit: Callable[[K, K], None],
+    memory: int,
+    config: PBSMConfig,
+    *,
+    depth: int,
+    label: str,
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+) -> int:
+    """§3.5 extension: split an overflowing pair with a finer grid."""
+    sub_universe = Rect.union_all(rect for rect, _ in kps_r).union(
+        Rect.union_all(rect for rect, _ in kps_s)
+    )
+    sub_p = max(2, estimate_num_partitions(len(kps_r), len(kps_s), memory))
+    sub = SpatialPartitioner(
+        sub_universe, sub_p, max(config.num_tiles, sub_p), config.scheme
+    )
+    buckets_r: List[List[Tuple[Rect, K]]] = [[] for _ in range(sub_p)]
+    buckets_s: List[List[Tuple[Rect, K]]] = [[] for _ in range(sub_p)]
+    for rect, key in kps_r:
+        for p in sub.partitions_for_rect(rect):
+            buckets_r[p].append((rect, key))
+    for rect, key in kps_s:
+        for p in sub.partitions_for_rect(rect):
+            buckets_s[p].append((rect, key))
+    progress = all(
+        len(br) < len(kps_r) or len(bs) < len(kps_s)
+        for br, bs in zip(buckets_r, buckets_s)
+    )
+    next_depth = depth + 1 if progress else config.max_repartition_depth
+    emitted = 0
+    for sub_index, (br, bs) in enumerate(zip(buckets_r, buckets_s)):
+        emitted += merge_partition_pair(
+            br, bs, emit, memory, config,
+            depth=next_depth, label=f"{label}.{sub_index}",
+            tracer=tracer, metrics=metrics,
+        )
+    return emitted
 
 
 class PBSMJoin:
@@ -137,7 +259,10 @@ class PBSMJoin:
                 tracer=self.tracer, metrics=self.metrics,
             )
         report.result_count = len(results)
-        return JoinResult(results, report)
+        result = JoinResult(results, report)
+        if cfg.collect_candidates:
+            result.candidate_pairs = candidates
+        return result
 
     # ------------------------------------------------------------------ #
     # filter step internals
@@ -173,78 +298,12 @@ class PBSMJoin:
         label: str = "0",
     ) -> None:
         """Plane-sweep one partition pair, spilling to recursion on skew."""
-        with self.tracer.span("merge_pair", pair=label, depth=depth) as span:
-            kps_r = part_r if isinstance(part_r, list) else part_r.read_all()
-            kps_s = part_s if isinstance(part_s, list) else part_s.read_all()
-            span.tag("len_r", len(kps_r))
-            span.tag("len_s", len(kps_s))
-            if not kps_r or not kps_s:
-                return
-
-            oversized = (len(kps_r) + len(kps_s)) * KEYPTR_SIZE > memory
-            can_recurse = (
-                self.config.handle_partition_skew
-                and oversized
-                and depth < self.config.max_repartition_depth
-            )
-            if can_recurse:
-                self.metrics.counter("pbsm.merge.repartitions").inc()
-                span.tag("repartitioned", True)
-                self._repartition_pair(kps_r, kps_s, out, memory, depth, label)
-                return
-
-            before = out.count
-            items_r = [(rect, oid) for rect, oid in kps_r]
-            items_s = [(rect, oid) for rect, oid in kps_s]
-            if self.config.use_interval_tree:
-                sweep_join_interval_tree(items_r, items_s, out.append)
-            else:
-                sweep_join(items_r, items_s, out.append)
-            emitted = out.count - before
-            span.tag("candidates", emitted)
-            self.metrics.counter("pbsm.merge.pairs_swept").inc()
-            self.metrics.histogram("pbsm.merge.inputs_per_pair").observe(
-                len(kps_r) + len(kps_s)
-            )
-            self.metrics.histogram("pbsm.merge.candidates_per_pair").observe(emitted)
-
-    def _repartition_pair(
-        self,
-        kps_r: List[KeyPointer],
-        kps_s: List[KeyPointer],
-        out: CandidateFile,
-        memory: int,
-        depth: int,
-        label: str = "0",
-    ) -> None:
-        """§3.5 extension: split an overflowing pair with a finer grid."""
-        sub_universe = Rect.union_all(rect for rect, _ in kps_r).union(
-            Rect.union_all(rect for rect, _ in kps_s)
+        kps_r = part_r if isinstance(part_r, list) else part_r.read_all()
+        kps_s = part_s if isinstance(part_s, list) else part_s.read_all()
+        merge_partition_pair(
+            kps_r, kps_s, out.append, memory, self.config,
+            depth=depth, label=label, tracer=self.tracer, metrics=self.metrics,
         )
-        sub_p = max(
-            2,
-            estimate_num_partitions(len(kps_r), len(kps_s), memory),
-        )
-        sub = SpatialPartitioner(
-            sub_universe, sub_p, max(self.config.num_tiles, sub_p), self.config.scheme
-        )
-        buckets_r: List[List[KeyPointer]] = [[] for _ in range(sub_p)]
-        buckets_s: List[List[KeyPointer]] = [[] for _ in range(sub_p)]
-        for rect, oid in kps_r:
-            for p in sub.partitions_for_rect(rect):
-                buckets_r[p].append((rect, oid))
-        for rect, oid in kps_s:
-            for p in sub.partitions_for_rect(rect):
-                buckets_s[p].append((rect, oid))
-        progress = all(
-            len(br) < len(kps_r) or len(bs) < len(kps_s)
-            for br, bs in zip(buckets_r, buckets_s)
-        )
-        next_depth = depth + 1 if progress else self.config.max_repartition_depth
-        for sub_index, (br, bs) in enumerate(zip(buckets_r, buckets_s)):
-            self._merge_pair(
-                br, bs, out, memory, next_depth, label=f"{label}.{sub_index}"
-            )
 
 
 def pbsm_join(

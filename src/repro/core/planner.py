@@ -25,7 +25,6 @@ from ..index.rstar import NODE_CAPACITY, RStarTree
 from ..joins.inl import IndexedNestedLoopsJoin
 from ..joins.rtree import RTreeJoin
 from ..storage.buffer import BufferPool
-from ..storage.disk import PAGE_SIZE
 from ..storage.relation import Relation
 from .pbsm import PBSMJoin
 from .predicates import Predicate

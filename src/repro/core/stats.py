@@ -110,6 +110,9 @@ class JoinResult:
 
     pairs: List[Tuple[OID, OID]]
     report: JoinReport
+    candidate_pairs: Optional[List[Tuple[OID, OID]]] = None
+    """The filter step's raw candidates (duplicates included); populated
+    only when the driver was asked to keep them (``collect_candidates``)."""
 
     def __len__(self) -> int:
         return len(self.pairs)

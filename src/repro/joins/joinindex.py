@@ -21,7 +21,7 @@ from ..core.predicates import Predicate
 from ..core.refine import refine
 from ..core.stats import JoinReport, JoinResult, PhaseMeter
 from ..geometry import Rect, sweep_join
-from ..index.gridfile import GridFile, build_grid_file
+from ..index.gridfile import build_grid_file
 from ..storage.buffer import BufferPool
 from ..storage.disk import PAGE_SIZE
 from ..storage.relation import OID, Relation

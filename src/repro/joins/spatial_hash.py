@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..core.keypointer import KEYPTR_SIZE, CandidateFile, KeyPointerFile
+from ..core.keypointer import CandidateFile, KeyPointerFile
 from ..core.partition import estimate_num_partitions
 from ..core.predicates import Predicate
 from ..core.refine import refine
@@ -26,7 +26,7 @@ from ..core.stats import JoinReport, JoinResult, PhaseMeter
 from ..geometry import CurveMapper, Rect, sweep_join
 from ..storage.buffer import BufferPool
 from ..storage.disk import PAGE_SIZE
-from ..storage.relation import OID, Relation
+from ..storage.relation import Relation
 
 DEFAULT_SAMPLE_SIZE = 1024
 

@@ -21,6 +21,7 @@ is off.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -64,6 +65,46 @@ class Span:
         yield self
         for child in self.children:
             yield from child.walk()
+
+    # ------------------------------------------------------------------ #
+    # cross-process wire format
+    # ------------------------------------------------------------------ #
+
+    def to_wire(self, epoch: float) -> dict:
+        """Serialize the subtree for shipping to another process.
+
+        ``time.perf_counter`` values are process-local, so timestamps go on
+        the wire *relative to the producing tracer's epoch*; the adopting
+        tracer re-anchors them (see :meth:`Tracer.adopt_wire`).
+        """
+        return {
+            "name": self.name,
+            "tags": dict(self.tags),
+            "start": self.start - epoch,
+            "end": self.end - epoch,
+            "disk": dataclasses.asdict(self.disk),
+            "pool": dataclasses.asdict(self.pool),
+            "children": [child.to_wire(epoch) for child in self.children],
+        }
+
+    @staticmethod
+    def from_wire(payload: dict, shift: float = 0.0) -> "Span":
+        """Rebuild a subtree serialized by :meth:`to_wire`.
+
+        ``shift`` is added to every timestamp, mapping the producer's
+        epoch-relative times onto the consumer's ``perf_counter`` timeline.
+        """
+        return Span(
+            name=payload["name"],
+            tags=dict(payload["tags"]),
+            start=payload["start"] + shift,
+            end=payload["end"] + shift,
+            disk=DiskStats(**payload["disk"]),
+            pool=PoolCounters(**payload["pool"]),
+            children=[
+                Span.from_wire(child, shift) for child in payload["children"]
+            ],
+        )
 
 
 class Tracer:
@@ -145,6 +186,42 @@ class Tracer:
             self._attach(root)
         other.roots = []
 
+    def export_wire(self) -> List[dict]:
+        """This tracer's finished roots as process-portable dicts.
+
+        The counterpart of :meth:`adopt_wire`: a worker process exports its
+        spans (timestamps relative to its own epoch), ships the payload back
+        with its task result, and the coordinator adopts it.
+        """
+        return [root.to_wire(self.epoch) for root in self.roots]
+
+    def adopt_wire(
+        self,
+        payload: List[dict],
+        at: Optional[float] = None,
+        **tags: object,
+    ) -> List[Span]:
+        """Graft spans exported by another process's :meth:`export_wire`.
+
+        Worker and coordinator ``perf_counter`` clocks are not comparable,
+        so the subtree is re-anchored: the latest wire timestamp is mapped
+        to ``at`` (default: now, i.e. the moment the result arrived) and
+        every span keeps its duration and relative offsets.  Tags are
+        applied to each adopted root, mirroring :meth:`adopt`.
+        """
+        if not payload:
+            return []
+        if at is None:
+            at = time.perf_counter()
+        shift = at - max(root["end"] for root in payload)
+        adopted = []
+        for root_payload in payload:
+            root = Span.from_wire(root_payload, shift)
+            root.tags.update(tags)
+            self._attach(root)
+            adopted.append(root)
+        return adopted
+
     def all_spans(self) -> Iterator[Span]:
         for root in self.roots:
             yield from root.walk()
@@ -223,6 +300,12 @@ class NullTracer:
 
     def adopt(self, other, **tags: object) -> None:
         pass
+
+    def export_wire(self) -> List[dict]:
+        return []
+
+    def adopt_wire(self, payload, at=None, **tags: object) -> List[Span]:
+        return []
 
     def all_spans(self) -> Iterator[Span]:
         return iter(())

@@ -1,0 +1,91 @@
+"""One front door for every parallel-PBSM execution backend.
+
+Three backends, one result type, byte-identical pair sets:
+
+* ``"serial"`` — the single-node reference join (one process, simulated
+  disk).  The baseline every speedup is quoted against.
+* ``"simulated"`` — §5's shared-nothing machine on virtual nodes
+  (:class:`~repro.parallel.engine.ParallelPBSM`): modelled seconds,
+  storage blow-up, and remote-fetch charges for the paper's declustering
+  trade-off experiments.
+* ``"process"`` — real worker processes with LPT partition-pair
+  scheduling (:class:`~repro.parallel.process.ProcessPBSM`): measured
+  wall-clock seconds on actual hardware.
+
+``parallel_join`` normalises them behind one signature so the CLI, the
+benchmarks, and the cross-backend equivalence tests can sweep backends
+with a string.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..core.pbsm import PBSMConfig
+from ..core.predicates import Predicate
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from ..storage.tuples import SpatialTuple
+from .engine import (
+    REPLICATE_OBJECTS,
+    NodeReport,
+    ParallelJoinResult,
+    ParallelPBSM,
+    serial_feature_pairs,
+)
+from .process import ProcessPBSM
+
+BACKEND_SERIAL = "serial"
+BACKEND_SIMULATED = "simulated"
+BACKEND_PROCESS = "process"
+BACKENDS = (BACKEND_SERIAL, BACKEND_SIMULATED, BACKEND_PROCESS)
+
+
+def parallel_join(
+    tuples_r: Sequence[SpatialTuple],
+    tuples_s: Sequence[SpatialTuple],
+    predicate: Predicate,
+    *,
+    backend: str = BACKEND_PROCESS,
+    workers: int = 4,
+    scheme: str = REPLICATE_OBJECTS,
+    num_partitions: Optional[int] = None,
+    config: Optional[PBSMConfig] = None,
+    start_method: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ParallelJoinResult:
+    """Run the join on the chosen backend; pairs are feature-id pairs.
+
+    ``workers`` is worker processes for ``"process"``, virtual nodes for
+    ``"simulated"``, and ignored for ``"serial"``.  ``scheme`` (the §5
+    replication choice) only applies to the simulated backend; the process
+    backend always ships full tuples to the partitions that need them —
+    there is no remote node to fetch from inside one machine.
+    """
+    if backend == BACKEND_SERIAL:
+        wall_start = time.perf_counter()
+        pairs, sim_seconds = serial_feature_pairs(tuples_r, tuples_s, predicate)
+        return ParallelJoinResult(
+            pairs,
+            nodes=[NodeReport(node_id=0, tuples_r=len(tuples_r),
+                              tuples_s=len(tuples_s), local_pairs=len(pairs),
+                              sim_seconds=sim_seconds)],
+            backend=BACKEND_SERIAL,
+            wall_s=time.perf_counter() - wall_start,
+        )
+    if backend == BACKEND_SIMULATED:
+        num_tiles = config.num_tiles if config is not None else 1024
+        engine = ParallelPBSM(
+            workers, scheme=scheme, num_tiles=num_tiles,
+            tracer=tracer, metrics=metrics,
+        )
+        return engine.run(tuples_r, tuples_s, predicate)
+    if backend == BACKEND_PROCESS:
+        engine = ProcessPBSM(
+            workers, num_partitions=num_partitions, config=config,
+            start_method=start_method, tracer=tracer, metrics=metrics,
+        )
+        return engine.run(tuples_r, tuples_s, predicate)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

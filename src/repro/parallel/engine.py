@@ -38,7 +38,7 @@ from ..geometry import Rect
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.database import Database
-from ..storage.relation import Relation
+from ..storage.relation import OID, Relation
 from ..storage.tuples import SpatialTuple
 
 REPLICATE_OBJECTS = "replicate_objects"
@@ -67,14 +67,40 @@ class NodeReport:
 
 
 @dataclass
+class TaskReport:
+    """One partition-pair task of the process backend, as scheduled."""
+
+    index: int
+    cost_estimate: int
+    """The LPT seed: key-pointers in the pair, known before execution."""
+    candidates: int = 0
+    results: int = 0
+    wall_s: float = 0.0
+    worker_pid: int = 0
+
+
+@dataclass
 class ParallelJoinResult:
-    """Merged result plus the §5 trade-off metrics."""
+    """Merged result plus the §5 trade-off metrics.
+
+    ``nodes`` are virtual nodes for the simulated backend and real worker
+    processes for the process backend; ``sim_seconds`` holds modelled
+    seconds for the former and measured wall seconds for the latter, so
+    ``critical_path_s``/``speedup`` read the same way for both.
+    """
 
     pairs: List[Tuple[int, int]]  # (r feature_id, s feature_id)
     nodes: List[NodeReport] = field(default_factory=list)
     scheme: str = REPLICATE_OBJECTS
     storage_factor_r: float = 1.0
     storage_factor_s: float = 1.0
+    backend: str = "simulated"
+    wall_s: float = 0.0
+    """Measured coordinator wall-clock for the whole run (partition +
+    schedule + merge); the number real-hardware speedups are quoted in."""
+    tasks: List[TaskReport] = field(default_factory=list)
+    """Process backend only: the partition-pair tasks as scheduled, with
+    their LPT cost seeds — enough to replay the schedule deterministically."""
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -108,6 +134,7 @@ class ParallelPBSM:
         num_tiles: int = 1024,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        charge_candidate_fetches: bool = False,
     ):
         if num_nodes < 1:
             raise ValueError("need at least one node")
@@ -119,6 +146,11 @@ class ParallelPBSM:
         self.num_tiles = num_tiles
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.charge_candidate_fetches = charge_candidate_fetches
+        """Under ``REPLICATE_MBRS``, charge a remote fetch for every
+        distinct foreign tuple among the *candidates* — false positives
+        included, as a real [TY95] node would pay — instead of only those
+        surviving into the result (the historical, undercounting charge)."""
 
     # ------------------------------------------------------------------ #
 
@@ -130,6 +162,7 @@ class ParallelPBSM:
     ) -> ParallelJoinResult:
         """Decluster, join per node, merge.  Result pairs are identified by
         ``feature_id`` (node-local OIDs are meaningless globally)."""
+        wall_start = time.perf_counter()
         if not tuples_r or not tuples_s:
             return ParallelJoinResult([], scheme=self.scheme)
 
@@ -173,6 +206,8 @@ class ParallelPBSM:
             scheme=self.scheme,
             storage_factor_r=placed_r / len(tuples_r),
             storage_factor_s=placed_s / len(tuples_s),
+            backend="simulated",
+            wall_s=time.perf_counter() - wall_start,
         )
 
     # ------------------------------------------------------------------ #
@@ -227,11 +262,16 @@ class ParallelPBSM:
         node_tracer = (
             Tracer(disk=db.disk, pool=db.pool) if self.tracer.enabled else None
         )
+        needs_candidates = (
+            self.scheme == REPLICATE_MBRS and self.charge_candidate_fetches
+        )
         wall_start = time.perf_counter()
         io_snapshot = db.disk.snapshot()
         result = PBSMJoin(
             db.pool,
-            PBSMConfig(num_tiles=self.num_tiles),
+            PBSMConfig(
+                num_tiles=self.num_tiles, collect_candidates=needs_candidates
+            ),
             tracer=node_tracer,
             metrics=self.metrics,
         ).run(rel_r, rel_s, predicate)
@@ -240,22 +280,41 @@ class ParallelPBSM:
         if node_tracer is not None:
             self.tracer.adopt(node_tracer, worker=node_id)
 
+        # Each result tuple is fetched exactly once; the feature ids feed
+        # both the output pairs and the remote-fetch accounting below.
+        fids_r: Dict[OID, int] = {}
+        fids_s: Dict[OID, int] = {}
+
+        def fid_of(rel: Relation, cache: Dict[OID, int], oid) -> int:
+            fid = cache.get(oid)
+            if fid is None:
+                fid = rel.fetch(oid).feature_id
+                cache[oid] = fid
+            return fid
+
         pairs: List[Tuple[int, int]] = []
+        touched: set[Tuple[str, int]] = set()
         remote = 0
         for oid_r, oid_s in result.pairs:
-            fid_r = rel_r.fetch(oid_r).feature_id
-            fid_s = rel_s.fetch(oid_s).feature_id
+            fid_r = fid_of(rel_r, fids_r, oid_r)
+            fid_s = fid_of(rel_s, fids_s, oid_s)
             pairs.append((fid_r, fid_s))
+            if self.scheme == REPLICATE_MBRS:
+                touched.add(("r", fid_r))
+                touched.add(("s", fid_s))
         if self.scheme == REPLICATE_MBRS:
             # Under MBR-only declustering the refinement must fetch foreign
-            # tuples from their home nodes.  We charge one fetch per
-            # distinct foreign tuple appearing in a *result* pair — a
-            # slight undercount (false-positive candidates also fetch) that
-            # keeps the charge deterministic.
-            touched: set[Tuple[str, int]] = set()
-            for oid_r, oid_s in dedup_sorted_pairs(sorted(result.pairs)):
-                touched.add(("r", rel_r.fetch(oid_r).feature_id))
-                touched.add(("s", rel_s.fetch(oid_s).feature_id))
+            # tuples from their home nodes.  By default the charge covers
+            # each distinct foreign tuple appearing in a *result* pair — a
+            # slight undercount, since false-positive candidates fetch too.
+            # ``charge_candidate_fetches`` extends it to every distinct
+            # foreign tuple the refinement actually examined.
+            if self.charge_candidate_fetches and result.candidate_pairs is not None:
+                for oid_r, oid_s in dedup_sorted_pairs(
+                    sorted(result.candidate_pairs)
+                ):
+                    touched.add(("r", fid_of(rel_r, fids_r, oid_r)))
+                    touched.add(("s", fid_of(rel_s, fids_s, oid_s)))
             remote = len(touched & foreign)
 
         report.local_pairs = len(pairs)

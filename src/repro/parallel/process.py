@@ -1,0 +1,260 @@
+"""True multiprocess PBSM: partition once, schedule pairs across cores.
+
+Where :class:`repro.parallel.engine.ParallelPBSM` *simulates* §5's
+shared-nothing machine on virtual nodes (modelled seconds, one process),
+this backend executes the join on real worker processes and is measured in
+real wall-clock seconds:
+
+1. **Partition** — the coordinator runs PBSM's tiled partitioning function
+   over both inputs once, spilling each partition's key-pointers and
+   tuples to files workers can read (:mod:`repro.parallel.tasks`).
+2. **Schedule** — partition-pair merge tasks are submitted to a
+   ``ProcessPoolExecutor`` in longest-processing-time-first order, seeded
+   by per-pair key-pointer counts.  LPT places the big pairs first; the
+   executor's single shared task queue then acts as the work-stealing
+   fallback — when skew makes the estimate wrong, whichever worker frees
+   up first simply pulls the next pair, so no worker idles while tasks
+   remain.
+3. **Merge** — exact per-pair results (feature-id pairs) are unioned and
+   sorted; tile replication makes boundary duplicates, the sorted-set
+   union removes them.  Each worker's spans and metrics come back in wire
+   form and are adopted into the coordinator's tracer/registry, so one
+   trace shows every process's work in its own lane.
+
+The result pair set is identical to the serial and simulated backends for
+every seed — the cross-backend equivalence tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.partition import SpatialPartitioner
+from ..core.pbsm import PBSMConfig
+from ..core.predicates import Predicate
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
+from ..storage.tuples import SpatialTuple
+from .engine import NodeReport, ParallelJoinResult, TaskReport
+from .tasks import PairTask, PairTaskResult, PartitionSpill, run_pair_task
+
+DEFAULT_TASK_MEMORY = 8 * 1024 * 1024
+"""Per-task merge memory budget (drives §3.5 recursion, when enabled)."""
+
+DEFAULT_TASKS_PER_WORKER = 4
+"""Partition count multiplier: more pairs than workers, so LPT ordering
+and queue-based stealing have room to balance skewed pairs."""
+
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+"""Environment override for the multiprocessing start method (CI uses it
+to force ``spawn`` on platforms that default to ``fork``)."""
+
+
+class ProcessPBSM:
+    """PBSM executed across real worker processes."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        num_partitions: Optional[int] = None,
+        config: Optional[PBSMConfig] = None,
+        memory_bytes: int = DEFAULT_TASK_MEMORY,
+        start_method: Optional[str] = None,
+        spill_dir: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.config = config or PBSMConfig()
+        if num_partitions is not None and num_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.num_partitions = num_partitions or workers * DEFAULT_TASKS_PER_WORKER
+        self.memory_bytes = memory_bytes
+        self.start_method = start_method or os.environ.get(START_METHOD_ENV)
+        self.spill_dir = spill_dir
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+        predicate: Predicate,
+    ) -> ParallelJoinResult:
+        """Partition, schedule, execute, merge.  Pairs are feature ids."""
+        started = time.perf_counter()
+        if not tuples_r or not tuples_s:
+            return ParallelJoinResult(
+                [], backend="process", wall_s=time.perf_counter() - started
+            )
+
+        spill_root = tempfile.mkdtemp(prefix="repro-pbsm-", dir=self.spill_dir)
+        try:
+            partitioner = self._partitioner(tuples_r, tuples_s)
+            with self.tracer.span("process.partition"):
+                spills_r, placed_r = self._partition_side(
+                    "r", tuples_r, partitioner, spill_root
+                )
+                spills_s, placed_s = self._partition_side(
+                    "s", tuples_s, partitioner, spill_root
+                )
+            tasks = self._build_tasks(spills_r, spills_s, predicate)
+            with self.tracer.span("process.execute", tasks=len(tasks)):
+                outcomes = self._execute(tasks)
+            merged = sorted(set().union(*(o.pairs for o in outcomes), set()))
+        finally:
+            shutil.rmtree(spill_root, ignore_errors=True)
+
+        result = ParallelJoinResult(
+            merged,
+            nodes=self._node_reports(outcomes),
+            storage_factor_r=placed_r / len(tuples_r),
+            storage_factor_s=placed_s / len(tuples_s),
+            backend="process",
+            wall_s=time.perf_counter() - started,
+            tasks=[
+                TaskReport(
+                    index=o.index,
+                    cost_estimate=o.count_r + o.count_s,
+                    candidates=o.candidates,
+                    results=len(o.pairs),
+                    wall_s=o.wall_s,
+                    worker_pid=o.worker_pid,
+                )
+                for o in outcomes
+            ],
+        )
+        self.metrics.gauge("parallel.process.partitions").set(self.num_partitions)
+        self.metrics.gauge("parallel.process.workers").set(self.workers)
+        self.metrics.counter("parallel.process.tasks").inc(len(outcomes))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # partitioning + spilling
+    # ------------------------------------------------------------------ #
+
+    def _partitioner(
+        self,
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+    ) -> SpatialPartitioner:
+        from ..geometry import Rect
+
+        universe = Rect.union_all(t.mbr for t in tuples_r).union(
+            Rect.union_all(t.mbr for t in tuples_s)
+        )
+        return SpatialPartitioner(
+            universe,
+            self.num_partitions,
+            max(self.config.num_tiles, self.num_partitions),
+            self.config.scheme,
+        )
+
+    def _partition_side(
+        self,
+        side: str,
+        tuples: Sequence[SpatialTuple],
+        partitioner: SpatialPartitioner,
+        spill_root: str,
+    ) -> Tuple[List[PartitionSpill], int]:
+        """Spill one input, replicated across the partitions it overlaps."""
+        spills = [
+            PartitionSpill(spill_root, side, p)
+            for p in range(self.num_partitions)
+        ]
+        placed = 0
+        for t in tuples:
+            for p in sorted(partitioner.partitions_for_rect(t.mbr)):
+                spills[p].add(t)
+                placed += 1
+        for spill in spills:
+            spill.close()
+        skew = self.metrics.histogram(f"parallel.partition.keypointers_{side}")
+        for spill in spills:
+            skew.observe(spill.count)
+        return spills, placed
+
+    def _build_tasks(
+        self,
+        spills_r: List[PartitionSpill],
+        spills_s: List[PartitionSpill],
+        predicate: Predicate,
+    ) -> List[PairTask]:
+        """One task per non-empty partition pair, in LPT order."""
+        observe = self.tracer.enabled or self.metrics.enabled
+        tasks = [
+            PairTask(
+                index=p,
+                kp_r_path=spill_r.kp_path,
+                kp_s_path=spill_s.kp_path,
+                tuples_r_path=spill_r.tuple_path,
+                tuples_s_path=spill_s.tuple_path,
+                count_r=spill_r.count,
+                count_s=spill_s.count,
+                memory_bytes=self.memory_bytes,
+                config=self.config,
+                predicate=predicate,
+                observe=observe,
+            )
+            for p, (spill_r, spill_s) in enumerate(zip(spills_r, spills_s))
+            if spill_r.count and spill_s.count
+        ]
+        # Longest processing time first, seeded by key-pointer counts; ties
+        # broken by partition index so the submission order is reproducible.
+        tasks.sort(key=lambda t: (-t.cost_estimate, t.index))
+        cost = self.metrics.histogram("parallel.task.cost_estimate")
+        for task in tasks:
+            cost.observe(task.cost_estimate)
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, tasks: List[PairTask]) -> List[PairTaskResult]:
+        """Run the tasks on the pool; adopt worker observability as results
+        arrive (the shared submission queue is what rebalances skew)."""
+        if not tasks:
+            return []
+        context = multiprocessing.get_context(self.start_method)
+        outcomes: List[PairTaskResult] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks)), mp_context=context
+        ) as pool:
+            futures = [pool.submit(run_pair_task, task) for task in tasks]
+            for future in as_completed(futures):
+                outcome = future.result()
+                outcomes.append(outcome)
+                if outcome.spans:
+                    self.tracer.adopt_wire(
+                        outcome.spans, worker=outcome.worker_pid
+                    )
+                if outcome.metrics:
+                    self.metrics.merge_snapshot(outcome.metrics)
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes
+
+    def _node_reports(self, outcomes: List[PairTaskResult]) -> List[NodeReport]:
+        """Per-worker rollups: which process did how much, for how long."""
+        by_pid: Dict[int, NodeReport] = {}
+        for outcome in outcomes:
+            report = by_pid.get(outcome.worker_pid)
+            if report is None:
+                report = NodeReport(node_id=len(by_pid))
+                by_pid[outcome.worker_pid] = report
+            report.tuples_r += outcome.count_r
+            report.tuples_s += outcome.count_s
+            report.local_pairs += len(outcome.pairs)
+            report.sim_seconds += outcome.wall_s
+        return list(by_pid.values())

@@ -1,0 +1,188 @@
+"""Partition-pair merge tasks: the picklable unit of multiprocess PBSM.
+
+The coordinator partitions both inputs once with PBSM's own tiled
+partitioning function and spills, per partition, two kinds of file a worker
+process can read back (:mod:`repro.storage.spill`):
+
+* a **key-pointer spill** — packed ``<MBR_f32, feature_id>`` records, the
+  filter step's input.  MBRs are rounded conservatively (exactly like the
+  single-node key-pointer files), so the sweep's output stays a superset
+  of the true result;
+* a **tuple spill** — the partition's full tuples (``serialize_tuple``
+  format), the refinement step's input.
+
+A :class:`PairTask` names those files plus the join configuration; it
+pickles in a few hundred bytes no matter how large the partition is.
+:func:`run_pair_task` — a module-level function so it imports cleanly
+under the ``spawn`` start method — executes merge *and* refinement for one
+partition pair and returns exact feature-id result pairs, together with
+the worker's spans and metrics in wire form for the coordinator to adopt.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..core.keypointer import _f32_down, _f32_up
+from ..core.pbsm import PBSMConfig, merge_partition_pair
+from ..core.predicates import Predicate
+from ..geometry import Rect
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
+from ..storage.spill import SpillWriter, read_spill
+from ..storage.tuples import SpatialTuple, deserialize_tuple, serialize_tuple
+
+_FIDKP = struct.Struct("<ffffI")
+"""One spilled key-pointer: conservative f32 MBR + u32 feature id."""
+
+FidKeyPointer = Tuple[Rect, int]
+
+
+def pack_fid_keypointer(rect: Rect, feature_id: int) -> bytes:
+    return _FIDKP.pack(
+        _f32_down(rect.xl), _f32_down(rect.yl),
+        _f32_up(rect.xu), _f32_up(rect.yu),
+        feature_id,
+    )
+
+
+def unpack_fid_keypointer(record: bytes) -> FidKeyPointer:
+    xl, yl, xu, yu, fid = _FIDKP.unpack(record)
+    return Rect(xl, yl, xu, yu), fid
+
+
+class PartitionSpill:
+    """Writer for one partition's key-pointer + tuple spill files."""
+
+    def __init__(self, directory: str, side: str, index: int):
+        base = os.path.join(directory, f"part{index:04d}.{side}")
+        self.kp_path = base + ".kp"
+        self.tuple_path = base + ".tup"
+        self._kp = SpillWriter(self.kp_path)
+        self._tuples = SpillWriter(self.tuple_path)
+
+    @property
+    def count(self) -> int:
+        return self._kp.count
+
+    def add(self, t: SpatialTuple) -> None:
+        self._kp.append(pack_fid_keypointer(t.mbr, t.feature_id))
+        self._tuples.append(serialize_tuple(t))
+
+    def close(self) -> None:
+        self._kp.close()
+        self._tuples.close()
+
+
+def read_keypointer_spill(path: str) -> List[FidKeyPointer]:
+    return [unpack_fid_keypointer(record) for record in read_spill(path)]
+
+
+def read_tuple_spill(path: str) -> Dict[int, SpatialTuple]:
+    """The partition's tuples keyed by feature id (refinement's lookup)."""
+    out: Dict[int, SpatialTuple] = {}
+    for record in read_spill(path):
+        t = deserialize_tuple(record)
+        out[t.feature_id] = t
+    return out
+
+
+@dataclass(frozen=True)
+class PairTask:
+    """Everything a worker needs to merge + refine one partition pair."""
+
+    index: int
+    kp_r_path: str
+    kp_s_path: str
+    tuples_r_path: str
+    tuples_s_path: str
+    count_r: int
+    count_s: int
+    memory_bytes: int
+    config: PBSMConfig
+    predicate: Predicate
+    observe: bool = False
+    """Ship wire-form spans and a metrics snapshot back with the result."""
+
+    @property
+    def cost_estimate(self) -> int:
+        """The LPT scheduling seed: total key-pointers in the pair."""
+        return self.count_r + self.count_s
+
+
+@dataclass
+class PairTaskResult:
+    """One executed partition pair, ready to merge at the coordinator."""
+
+    index: int
+    worker_pid: int
+    pairs: List[Tuple[int, int]]
+    candidates: int
+    count_r: int
+    count_s: int
+    wall_s: float
+    spans: List[dict] = field(default_factory=list)
+    metrics: Dict[str, dict] = field(default_factory=dict)
+
+
+def run_pair_task(task: PairTask) -> PairTaskResult:
+    """Execute one partition-pair task inside a worker process.
+
+    Filter: read the key-pointer spills, plane-sweep (with §3.5 recursion
+    if configured).  Refine: dedup the candidate feature-id pairs, look the
+    tuples up in the partition's tuple spills, apply the exact predicate.
+    The returned pair list is sorted and exact, so the coordinator's merge
+    is a plain sorted-set union.
+    """
+    started = time.perf_counter()
+    tracer = Tracer() if task.observe else NULL_TRACER
+    metrics = MetricsRegistry() if task.observe else NULL_METRICS
+
+    with tracer.span("worker.task", pair=task.index, pid=os.getpid()) as span:
+        with tracer.span("worker.merge", pair=task.index):
+            kps_r = read_keypointer_spill(task.kp_r_path)
+            kps_s = read_keypointer_spill(task.kp_s_path)
+            candidates: List[Tuple[int, int]] = []
+            merge_partition_pair(
+                kps_r, kps_s,
+                lambda fid_r, fid_s: candidates.append((fid_r, fid_s)),
+                task.memory_bytes, task.config,
+                label=str(task.index), tracer=tracer, metrics=metrics,
+            )
+
+        with tracer.span(
+            "worker.refine", pair=task.index, candidates=len(candidates)
+        ):
+            unique: Set[Tuple[int, int]] = set(candidates)
+            tuples_r = read_tuple_spill(task.tuples_r_path)
+            tuples_s = read_tuple_spill(task.tuples_s_path)
+            pairs = sorted(
+                (fid_r, fid_s)
+                for fid_r, fid_s in unique
+                if task.predicate(tuples_r[fid_r], tuples_s[fid_s])
+            )
+
+        span.tag("candidates", len(candidates))
+        span.tag("results", len(pairs))
+        metrics.counter("parallel.worker.candidates").inc(len(candidates))
+        metrics.counter("parallel.worker.pairs_checked").inc(len(unique))
+        metrics.counter("parallel.worker.results").inc(len(pairs))
+        metrics.histogram("parallel.worker.task_keypointers").observe(
+            task.cost_estimate
+        )
+
+    return PairTaskResult(
+        index=task.index,
+        worker_pid=os.getpid(),
+        pairs=pairs,
+        candidates=len(candidates),
+        count_r=task.count_r,
+        count_s=task.count_s,
+        wall_s=time.perf_counter() - started,
+        spans=tracer.export_wire(),
+        metrics=metrics.snapshot() if task.observe else {},
+    )

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from .disk import PAGE_SIZE, PageId, SimulatedDisk
 

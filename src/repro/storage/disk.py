@@ -14,7 +14,7 @@ reproducible and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 PAGE_SIZE = 8192

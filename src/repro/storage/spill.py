@@ -1,0 +1,87 @@
+"""Spill files: framed record files on the *real* filesystem.
+
+Everything else in ``repro.storage`` lives on the simulated disk, whose
+pages exist only inside one process.  The multiprocess PBSM backend needs
+a handoff medium that worker processes can actually open, so partitions
+are spilled to plain files of length-prefixed records::
+
+    <u32 record length> <record bytes> ...
+
+The format is deliberately dumb: sequential append on write, sequential
+scan on read, no page structure, no cost model.  Spill I/O is part of the
+real wall-clock time the process backend is measured by, not part of the
+simulated 1996 disk the single-node experiments account against.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, List
+
+_LEN = struct.Struct("<I")
+
+MAX_RECORD_BYTES = 1 << 30
+"""Sanity bound on one framed record (catches corrupt length prefixes)."""
+
+
+class SpillWriter:
+    """Append length-prefixed records to a spill file.
+
+    Usable as a context manager; ``count`` tracks records written so the
+    coordinator can seed scheduling estimates without re-reading the file.
+    """
+
+    def __init__(self, path: "Path | str"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("wb")
+        self.count = 0
+
+    def append(self, record: bytes) -> None:
+        if len(record) > MAX_RECORD_BYTES:
+            raise ValueError(f"record of {len(record)} bytes exceeds frame bound")
+        self._fh.write(_LEN.pack(len(record)))
+        self._fh.write(record)
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "SpillWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def write_spill(path: "Path | str", records: Iterable[bytes]) -> int:
+    """Write all records to ``path``; returns the record count."""
+    with SpillWriter(path) as writer:
+        for record in records:
+            writer.append(record)
+        return writer.count
+
+
+def read_spill(path: "Path | str") -> Iterator[bytes]:
+    """Yield the records of a spill file in write order."""
+    with Path(path).open("rb") as fh:
+        while True:
+            header = fh.read(_LEN.size)
+            if not header:
+                return
+            if len(header) < _LEN.size:
+                raise ValueError(f"truncated frame header in {path}")
+            (length,) = _LEN.unpack(header)
+            if length > MAX_RECORD_BYTES:
+                raise ValueError(f"corrupt frame length {length} in {path}")
+            record = fh.read(length)
+            if len(record) < length:
+                raise ValueError(f"truncated record in {path}")
+            yield record
+
+
+def read_spill_all(path: "Path | str") -> List[bytes]:
+    """Materialise a whole spill file (partitions are sized to fit)."""
+    return list(read_spill(path))

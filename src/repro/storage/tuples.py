@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Union
 
 from ..geometry import Polygon, Polyline, Rect
 

@@ -15,7 +15,6 @@ from repro.core import (
     profile_partitioning,
 )
 from repro.geometry import Rect
-from tests.conftest import rects
 
 UNIVERSE = Rect(0.0, 0.0, 100.0, 100.0)
 

@@ -1,10 +1,8 @@
 """Tests for the Rect MBR algebra."""
 
-import math
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.geometry import Rect
 from tests.conftest import rects

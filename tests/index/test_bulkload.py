@@ -12,7 +12,7 @@ from repro.index import (
     extract_keypointers,
     spatial_sort,
 )
-from repro.storage import Database, OID, SpatialTuple
+from repro.storage import OID, SpatialTuple
 
 
 def load_relation(db, n, seed=0, name="r"):
@@ -78,7 +78,7 @@ class TestBuild:
         assert sorted(tree.search(window)) == expected
 
     def test_empty_relation(self, db):
-        rel = db.create_relation("empty")
+        db.create_relation("empty")
         tree = build_from_sorted(db.pool, [])
         assert len(tree) == 0
         assert tree.search(Rect(0, 0, 1, 1)) == []

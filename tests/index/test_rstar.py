@@ -1,9 +1,6 @@
 """Tests for R*-tree insertion, search, and structural invariants."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.geometry import Rect
 from repro.index import NODE_CAPACITY, RStarTree, rstar_split
@@ -64,7 +61,6 @@ class TestGrowth:
 
     def test_three_levels(self):
         _pool, tree = make_tree()
-        n = NODE_CAPACITY * (NODE_CAPACITY // 3)
         # Too slow for full fanout^2; grow until height 3 appears.
         for rect, oid in random_rects(3000, seed=2):
             tree.insert(rect, oid)

@@ -6,7 +6,6 @@ from repro import Database, intersects
 from repro.data import make_tiger_datasets
 from repro.geometry import Rect
 from repro.joins import SpatialHashJoin
-from repro.joins.spatial_hash import DEFAULT_SAMPLE_SIZE
 
 
 @pytest.fixture(scope="module")

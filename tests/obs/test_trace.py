@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
-from repro.storage import PAGE_SIZE, SimulatedDisk
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.storage import SimulatedDisk
 from repro.storage.buffer import BufferPool
 
 

@@ -1,0 +1,139 @@
+"""Cross-process observability: span wire format and metrics merging."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+
+def _finished_tracer():
+    """A tracer with a small finished span tree carrying tags."""
+    tracer = Tracer()
+    with tracer.span("task", pair=3) as outer:
+        with tracer.span("merge"):
+            pass
+        with tracer.span("refine", candidates=7):
+            pass
+        outer.tag("results", 2)
+    return tracer
+
+
+class TestSpanWire:
+    def test_round_trip_preserves_structure(self):
+        tracer = _finished_tracer()
+        payload = tracer.export_wire()
+        assert len(payload) == 1
+
+        rebuilt = Span.from_wire(payload[0])
+        original = tracer.roots[0]
+        assert rebuilt.name == original.name
+        assert rebuilt.tags == original.tags
+        assert [c.name for c in rebuilt.children] == ["merge", "refine"]
+        assert rebuilt.children[1].tags == {"candidates": 7}
+        # Durations survive exactly; absolute times became epoch-relative.
+        assert rebuilt.cpu_s == pytest.approx(original.cpu_s)
+        assert rebuilt.end <= original.end
+
+    def test_wire_is_json_ready(self):
+        import json
+
+        payload = _finished_tracer().export_wire()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_adopt_wire_reanchors_to_at(self):
+        payload = _finished_tracer().export_wire()
+        coordinator = Tracer()
+        adopted = coordinator.adopt_wire(payload, at=100.0, worker=42)
+
+        assert len(adopted) == 1
+        root = adopted[0]
+        assert root.end == pytest.approx(100.0)
+        assert root.tags["worker"] == 42
+        # Children keep their offsets inside the re-anchored root.
+        for child in root.children:
+            assert root.start <= child.start <= child.end <= root.end
+        assert coordinator.find("task") == [root]
+
+    def test_adopt_wire_lands_under_open_span(self):
+        payload = _finished_tracer().export_wire()
+        coordinator = Tracer()
+        with coordinator.span("execute") as execute:
+            coordinator.adopt_wire(payload, worker=1)
+        assert [c.name for c in execute.children] == ["task"]
+
+    def test_adopt_empty_payload(self):
+        coordinator = Tracer()
+        assert coordinator.adopt_wire([]) == []
+        assert coordinator.roots == []
+
+    def test_null_tracer_wire_noops(self):
+        assert NULL_TRACER.export_wire() == []
+        assert NULL_TRACER.adopt_wire([{"name": "x"}]) == []
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        worker = MetricsRegistry()
+        worker.counter("results").inc(5)
+        coordinator = MetricsRegistry()
+        coordinator.counter("results").inc(2)
+        coordinator.merge_snapshot(worker.snapshot())
+        coordinator.merge_snapshot(worker.snapshot())
+        assert coordinator.counter("results").value == 12
+
+    def test_gauges_take_last_write(self):
+        worker = MetricsRegistry()
+        worker.gauge("partitions").set(16)
+        coordinator = MetricsRegistry()
+        coordinator.gauge("partitions").set(4)
+        coordinator.merge_snapshot(worker.snapshot())
+        assert coordinator.gauge("partitions").value == 16
+
+    def test_histograms_add_bucketwise(self):
+        worker_a = MetricsRegistry()
+        worker_b = MetricsRegistry()
+        for value in (1, 10, 100):
+            worker_a.histogram("sizes").observe(value)
+        worker_b.histogram("sizes").observe(1000)
+
+        coordinator = MetricsRegistry()
+        coordinator.merge_snapshot(worker_a.snapshot())
+        coordinator.merge_snapshot(worker_b.snapshot())
+
+        merged = coordinator.histogram("sizes")
+        assert merged.count == 4
+        assert merged.total == 1111
+        assert merged.min == 1
+        assert merged.max == 1000
+        # Bucket counts equal observing everything in one registry.
+        direct = MetricsRegistry()
+        for value in (1, 10, 100, 1000):
+            direct.histogram("sizes").observe(value)
+        assert merged.counts == direct.histogram("sizes").counts
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        worker = MetricsRegistry()
+        worker.histogram("sizes", buckets=(1, 2, 3)).observe(2)
+        coordinator = MetricsRegistry()
+        coordinator.histogram("sizes")  # default bounds
+        with pytest.raises(ValueError, match="bucket bounds"):
+            coordinator.merge_snapshot(worker.snapshot())
+
+    def test_unknown_kind_rejected(self):
+        coordinator = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown instrument"):
+            coordinator.merge_snapshot({"x": {"type": "sparkline"}})
+
+    def test_disabled_coordinator_ignores(self):
+        worker = MetricsRegistry()
+        worker.counter("results").inc(5)
+        coordinator = MetricsRegistry(enabled=False)
+        coordinator.merge_snapshot(worker.snapshot())  # no-op, no error
+        assert coordinator.snapshot() == {}
+
+    def test_disabled_worker_snapshot_is_harmless(self):
+        worker = MetricsRegistry(enabled=False)
+        worker.counter("results").inc(5)
+        coordinator = MetricsRegistry()
+        coordinator.merge_snapshot({"results": worker.counter("results").snapshot()})
+        assert "results" not in coordinator.snapshot()

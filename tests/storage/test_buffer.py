@@ -73,7 +73,7 @@ class TestDirtyTracking:
 
     def test_flush_all_is_idempotent(self):
         disk, pool, fid = make_pool()
-        page_no = pool.new_page(fid)
+        pool.new_page(fid)
         pool.flush_all()
         writes = disk.stats.page_writes
         pool.flush_all()

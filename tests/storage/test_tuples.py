@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.geometry import Polygon, Polyline
 from repro.storage import (

@@ -1,0 +1,163 @@
+"""The benchmark-regression gate: exact on counters, tolerant on io_s."""
+
+import copy
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.compare import IO_S_TOLERANCE, compare_documents, compare_files
+from repro.obs.schema import SCHEMA_VERSION
+
+
+def _record(algorithm="PBSM", buffer_mb=2.0, **overrides):
+    record = {
+        "algorithm": algorithm,
+        "scale": 0.01,
+        "buffer_mb": buffer_mb,
+        "total_s": 1.5,
+        "cpu_s": 0.5,
+        "io_s": 1.0,
+        "candidates": 1767,
+        "result_count": 562,
+        "phases": [],
+        "counters": {"page_reads": 325, "page_writes": 0, "seeks": 6},
+    }
+    record.update(overrides)
+    return record
+
+
+def _document(records=None):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "fig7_road_hydro",
+        "records": records if records is not None else [
+            _record("PBSM", 2.0),
+            _record("R-tree", 2.0, io_s=2.0,
+                    counters={"page_reads": 395, "page_writes": 83, "seeks": 24}),
+            _record("PBSM", 8.0),
+        ],
+    }
+
+
+class TestGatePasses:
+    def test_identical_documents(self):
+        assert compare_documents(_document(), _document()) == []
+
+    def test_wall_time_noise_is_ignored(self):
+        fresh = _document()
+        for record in fresh["records"]:
+            record["cpu_s"] *= 3.0
+            record["total_s"] *= 3.0
+        assert compare_documents(_document(), fresh) == []
+
+    def test_io_s_within_tolerance(self):
+        fresh = _document()
+        fresh["records"][0]["io_s"] *= 1.0 + IO_S_TOLERANCE * 0.9
+        assert compare_documents(_document(), fresh) == []
+
+
+class TestGateFails:
+    def test_page_reads_drift_of_one(self):
+        # The seeded perturbation: a single extra page read must trip the
+        # gate — deterministic counters get zero tolerance.
+        fresh = _document()
+        fresh["records"][0]["counters"]["page_reads"] += 1
+        violations = compare_documents(_document(), fresh)
+        assert len(violations) == 1
+        assert "counters.page_reads" in violations[0]
+        assert "325" in violations[0] and "326" in violations[0]
+
+    @pytest.mark.parametrize("field", ["candidates", "result_count"])
+    def test_exact_field_drift(self, field):
+        fresh = _document()
+        fresh["records"][1][field] -= 1
+        violations = compare_documents(_document(), fresh)
+        assert len(violations) == 1
+        assert field in violations[0]
+        assert "R-tree" in violations[0]
+
+    def test_io_s_beyond_tolerance(self):
+        fresh = _document()
+        fresh["records"][0]["io_s"] *= 1.0 + IO_S_TOLERANCE * 1.5
+        violations = compare_documents(_document(), fresh)
+        assert len(violations) == 1
+        assert "io_s" in violations[0]
+
+    def test_io_s_appearing_from_zero(self):
+        base = _document()
+        base["records"][0]["io_s"] = 0.0
+        fresh = copy.deepcopy(base)
+        fresh["records"][0]["io_s"] = 0.25
+        assert any("io_s" in v for v in compare_documents(base, fresh))
+
+    def test_scale_mismatch(self):
+        fresh = _document()
+        for record in fresh["records"]:
+            record["scale"] = 0.05
+        violations = compare_documents(_document(), fresh)
+        assert violations
+        assert all("scale mismatch" in v for v in violations)
+
+    def test_missing_and_extra_records(self):
+        base = _document()
+        fresh = _document()
+        fresh["records"] = fresh["records"][:-1] + [_record("INL", 2.0)]
+        violations = compare_documents(base, fresh)
+        assert any("missing record" in v and "8.0" in v for v in violations)
+        assert any("extra record" in v and "INL" in v for v in violations)
+
+    def test_benchmark_name_mismatch(self):
+        fresh = _document()
+        fresh["benchmark"] = "fig8_road_rail"
+        assert any(
+            "benchmark name mismatch" in v
+            for v in compare_documents(_document(), fresh)
+        )
+
+    def test_multiple_violations_all_reported(self):
+        fresh = _document()
+        fresh["records"][0]["counters"]["seeks"] += 10
+        fresh["records"][1]["result_count"] += 5
+        fresh["records"][2]["counters"]["page_writes"] += 1
+        assert len(compare_documents(_document(), fresh)) == 3
+
+
+class TestFilesAndCLI:
+    def _write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_compare_files_validates_schema(self, tmp_path):
+        good = self._write(tmp_path, "good.json", _document())
+        bad = self._write(tmp_path, "bad.json", {"records": []})
+        with pytest.raises(Exception):
+            compare_files(good, bad)
+
+    def test_cli_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _document())
+        fresh = self._write(tmp_path, "fresh.json", _document())
+        assert main(["bench-compare", str(base), str(fresh)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cli_fail_on_perturbation(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _document())
+        perturbed = _document()
+        perturbed["records"][0]["counters"]["page_reads"] += 7
+        fresh = self._write(tmp_path, "fresh.json", perturbed)
+        assert main(["bench-compare", str(base), str(fresh)]) == 1
+        out = capsys.readouterr().out
+        assert "page_reads" in out
+        assert "re-baseline" in out.lower()
+
+    def test_gate_passes_on_committed_baseline(self):
+        # The baseline in the repo must agree with itself — guards against
+        # committing a baseline the CI gate immediately rejects.
+        from repro.bench.harness import RESULTS_DIR
+
+        baseline = (
+            RESULTS_DIR.parent / "baselines" / "BENCH_fig7_road_hydro.json"
+        )
+        assert baseline.exists()
+        assert compare_files(baseline, baseline) == []

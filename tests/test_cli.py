@@ -80,3 +80,36 @@ class TestCLI:
         assert main(["plan", "--scale", "0.005", "--buffer-mb", "0.25", *flags]) == 0
         out = capsys.readouterr().out
         assert f"chosen algorithm: {expected}" in out
+
+
+class TestParallelCLI:
+    @pytest.mark.parametrize("backend", ["serial", "simulated", "process"])
+    def test_backends_agree_via_cli(self, capsys, backend):
+        args = ["parallel", "--backend", backend, "--workers", "2",
+                "--scale", "0.002", "--json"]
+        if backend != "serial":
+            args.append("--verify")
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["backend"] == backend
+        assert document["result_count"] > 0
+        assert document["wall_s"] > 0
+        if backend != "serial":
+            assert document["verified_against_serial"] is True
+
+    def test_process_reports_tasks(self, capsys):
+        assert main(["parallel", "--backend", "process", "--workers", "2",
+                     "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "partition-pair tasks" in out
+        assert "intersecting pairs" in out
+
+    def test_seed_changes_workload(self, capsys):
+        def run(seed):
+            assert main(["parallel", "--backend", "serial", "--scale", "0.002",
+                         "--seed", str(seed), "--json"]) == 0
+            return json.loads(capsys.readouterr().out)
+
+        a, b, c = run(7), run(7), run(8)
+        assert a["result_count"] == b["result_count"]
+        assert a["result_count"] != c["result_count"]
