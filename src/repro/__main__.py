@@ -12,6 +12,10 @@ Subcommands:
   (``--backend process|simulated|serial --workers N``) and report the
   wall/critical-path numbers; ``--verify`` cross-checks the pair set
   against the serial reference;
+* ``chaos`` — run the road × hydro join on the process backend under a
+  named (or JSON-file) fault plan, verify the pair set against the serial
+  reference, and report the fault/recovery tallies; non-zero exit when the
+  join did not survive;
 * ``plan``  — show which algorithm the paper's decision table picks for a
   described scenario;
 * ``bench-compare`` — diff a fresh ``BENCH_*.json`` against a committed
@@ -180,6 +184,123 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from . import intersects
+    from .data import tiger
+    from .faults import load_plan
+    from .parallel import parallel_join
+
+    try:
+        plan = load_plan(
+            args.plan, seed=args.seed, num_pairs=args.partitions,
+            hang_s=args.hang_s,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    if plan.max_hang_s > 0 and plan.max_hang_s <= args.timeout:
+        print(
+            f"chaos: plan hangs for {plan.max_hang_s}s but the task timeout "
+            f"is {args.timeout}s; hangs would never trip it "
+            "(raise --hang-s or lower --timeout)",
+            file=sys.stderr,
+        )
+        return 2
+
+    roads = list(tiger.generate_roads(args.scale))
+    hydro = list(tiger.generate_hydrography(args.scale))
+    reference = parallel_join(roads, hydro, intersects, backend="serial")
+    result = parallel_join(
+        roads, hydro, intersects,
+        backend="process", workers=args.workers,
+        num_partitions=args.partitions, start_method=args.start_method,
+        fault_plan=plan, task_timeout_s=args.timeout,
+        max_task_retries=args.retries,
+    )
+    survived = result.pairs == reference.pairs
+
+    summary = dict(result.fault_summary)
+    faults_block = {
+        "injected": sum(
+            v for k, v in summary.items() if k.startswith("injected_")
+        ),
+        "retries": summary.get("retries", 0),
+        "timeouts": summary.get("timeouts", 0),
+        "quarantined": summary.get("quarantined", 0),
+        "degraded": summary.get("degraded", 0),
+        "pool_respawns": summary.get("pool_respawns", 0),
+        "survived": survived,
+        "plan": plan.to_dict(),
+    }
+
+    plan_label = Path(args.plan).stem if args.plan.endswith(".json") else args.plan
+    if args.bench_out:
+        from .obs.schema import SCHEMA_VERSION, validate_bench_file
+
+        record = {
+            "algorithm": "PBSM-process",
+            "scale": args.scale,
+            "buffer_mb": 0.0,
+            "total_s": round(result.wall_s, 6),
+            "cpu_s": 0.0,
+            "io_s": 0.0,
+            "candidates": sum(t.candidates for t in result.tasks),
+            "result_count": len(result),
+            "phases": [],
+            "counters": {"page_reads": 0, "page_writes": 0, "seeks": 0},
+            "notes": {"workers": args.workers, "partitions": args.partitions},
+            "faults": faults_block,
+        }
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": f"chaos_{plan_label}",
+            "records": [record],
+        }
+        validate_bench_file(document)
+        out = Path(args.bench_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    if args.json:
+        document = {
+            "plan": plan_label,
+            "scale": args.scale,
+            "workers": args.workers,
+            "partitions": args.partitions,
+            "result_count": len(result),
+            "reference_count": len(reference),
+            "wall_s": round(result.wall_s, 6),
+            "degraded_pairs": result.degraded_pairs,
+            "fault_summary": summary,
+            "faults": faults_block,
+            "survived": survived,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if survived else 1
+
+    print(
+        f"chaos plan {plan_label!r} (seed={plan.seed}, "
+        f"{plan.spec.total_faults} fault(s)) over {args.workers} workers x "
+        f"{args.partitions} partition pairs at scale {args.scale}"
+    )
+    if summary:
+        tallies = ", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+        print(f"fault/recovery events: {tallies}")
+    else:
+        print("fault/recovery events: none")
+    if result.degraded_pairs:
+        print(f"degraded pairs (coordinator rebuilt serially): "
+              f"{result.degraded_pairs}")
+    print(
+        f"{len(result)} pairs vs {len(reference)} serial reference pairs "
+        f"in {result.wall_s:.3f}s"
+    )
+    print(f"survived: {'OK — pair set identical to fault-free serial run' if survived else 'MISMATCH'}")
+    return 0 if survived else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from .core.planner import choose_algorithm
     from .storage import Database
@@ -281,6 +402,35 @@ def main(argv: list[str] | None = None) -> int:
     parallel.add_argument("--json", action="store_true",
                           help="emit the run summary as JSON")
     parallel.set_defaults(func=_cmd_parallel)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the join under a fault plan and verify it survives",
+    )
+    chaos.add_argument("--plan", default="combined",
+                       help="named fault plan (none, disk_error, torn_frame, "
+                            "worker_crash, hang, slow, combined) or a path to "
+                            "a plan JSON file")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan compilation seed (named plans only)")
+    chaos.add_argument("--scale", type=float, default=0.002)
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--partitions", type=int, default=8,
+                       help="partition-pair count = the fault domain size")
+    chaos.add_argument("--timeout", type=float, default=2.0,
+                       help="per-task timeout in seconds")
+    chaos.add_argument("--retries", type=int, default=3,
+                       help="retry budget per partition pair")
+    chaos.add_argument("--hang-s", type=float, default=6.0,
+                       help="injected hang duration; must exceed --timeout")
+    chaos.add_argument("--start-method", default=None,
+                       choices=["fork", "spawn", "forkserver"])
+    chaos.add_argument("--bench-out", default=None,
+                       help="also write a schema-valid BENCH_*.json with the "
+                            "faults block to this path")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the chaos report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")
     plan.add_argument("--scale", type=float, default=0.005)

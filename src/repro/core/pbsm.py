@@ -114,6 +114,13 @@ def merge_partition_pair(
                 kps_r, kps_s, emit, memory, config,
                 depth=depth, label=label, tracer=tracer, metrics=metrics,
             )
+        if config.handle_partition_skew and oversized:
+            # §3.5 gave up: the depth budget is spent (or was declared spent
+            # by the no-progress fast-path below) and the pair still exceeds
+            # memory, so this sweep runs over-budget.  Count it — it is the
+            # skew-handling failure mode operators need to see.
+            metrics.counter("pbsm.merge.repartition_exhausted").inc()
+            span.tag("repartition_exhausted", True)
 
         emitted = 0
 
@@ -169,6 +176,12 @@ def _repartition_pair(
         len(br) < len(kps_r) or len(bs) < len(kps_s)
         for br, bs in zip(buckets_r, buckets_s)
     )
+    if not progress and metrics is not None:
+        # Every input landed in some single sub-bucket whole (e.g. identical
+        # rectangles): a finer grid cannot split this pair, so recursing
+        # further would only re-run the same partitioning.  Jump straight to
+        # the depth cap so the children sweep instead of recursing.
+        metrics.counter("pbsm.merge.repartition_no_progress").inc()
     next_depth = depth + 1 if progress else config.max_repartition_depth
     emitted = 0
     for sub_index, (br, bs) in enumerate(zip(buckets_r, buckets_s)):

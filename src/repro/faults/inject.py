@@ -1,0 +1,136 @@
+"""The injectors: code that *makes* the planned faults happen.
+
+Worker-side faults (:func:`apply_worker_faults`) run inside the worker
+process at the top of a partition-pair task, keyed purely by the attempt
+number stamped on the task — no shared state, so they behave identically
+under ``fork`` and ``spawn``.  Coordinator-side faults are a one-shot
+write-error gate (:class:`WriteErrorInjector`) threaded through the
+partitioning scan, and :func:`tear_frame`, which flips a byte inside an
+already-written spill frame so the CRC path has something real to catch.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from pathlib import Path
+from typing import Optional, Set, Tuple
+
+from ..storage.spill import FRAME_HEADER_SIZE
+from .plan import FaultPlan, WorkerFaults
+
+_HEADER = struct.Struct("<II")
+
+WORKER_CRASH_EXIT_CODE = 87
+"""Distinctive exit code for injected crashes (eases log forensics)."""
+
+
+class InjectedFaultError(IOError):
+    """A deliberately injected, transient I/O failure.
+
+    Subclasses ``IOError`` because that is what the fault models: a disk
+    read or write that would have raised ``OSError`` in the wild.  The
+    retry machinery treats it like any other task failure.
+    """
+
+    def __init__(self, message: str, *, kind: str = "disk_error"):
+        super().__init__(message)
+        self.kind = kind
+
+    def __reduce__(self):
+        return (_rebuild_injected, (self.args[0] if self.args else "", self.kind))
+
+
+def _rebuild_injected(message: str, kind: str) -> "InjectedFaultError":
+    return InjectedFaultError(message, kind=kind)
+
+
+def apply_worker_faults(
+    faults: Optional[WorkerFaults], pair: int, attempt: int
+) -> None:
+    """Fire this (pair, attempt)'s planned worker faults, if any.
+
+    Order matters and is fixed: a crash pre-empts everything (the process
+    dies), a hang or straggler sleep happens next (the task is *stuck*,
+    not failed), and a read error raises last — modelling the first spill
+    read of the task blowing up.
+    """
+    if faults is None:
+        return
+    if attempt in faults.crash_attempts:
+        # A real crash: no exception, no cleanup, the process is simply
+        # gone.  The coordinator sees BrokenProcessPool.
+        os._exit(WORKER_CRASH_EXIT_CODE)
+    if attempt in faults.hang_attempts:
+        time.sleep(faults.hang_s)
+    if attempt in faults.slow_attempts:
+        time.sleep(faults.slow_s)
+    if attempt in faults.read_error_attempts:
+        raise InjectedFaultError(
+            f"injected spill read error (pair {pair}, attempt {attempt})",
+            kind="disk_read_error",
+        )
+
+
+class WriteErrorInjector:
+    """One-shot spill-write failures for the coordinator's partition scan.
+
+    The coordinator calls :meth:`check` once per record it appends while
+    spilling a side; when the planned ordinal is crossed the injector
+    raises — exactly once per planned fault, so the coordinator's rewrite
+    of that side succeeds on retry.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self._pending: Set[Tuple[str, int]] = (
+            {(w.side, w.ordinal) for w in plan.write_errors} if plan else set()
+        )
+        self.fired = 0
+
+    def arm_side(self, side: str, records_in_side: int) -> None:
+        """Clamp this side's planned ordinals into the records it will
+        actually write, so small inputs cannot dodge the fault."""
+        if not records_in_side:
+            return
+        for key in list(self._pending):
+            if key[0] == side and key[1] >= records_in_side:
+                self._pending.discard(key)
+                self._pending.add((side, key[1] % records_in_side))
+
+    def check(self, side: str, ordinal: int) -> None:
+        key = (side, ordinal)
+        if key in self._pending:
+            self._pending.discard(key)
+            self.fired += 1
+            raise InjectedFaultError(
+                f"injected spill write error (side {side!r}, record {ordinal})",
+                kind="disk_write_error",
+            )
+
+
+def tear_frame(path: "Path | str", frame: int) -> int:
+    """Corrupt one frame of a spill file in place; returns the frame torn.
+
+    ``frame`` is taken modulo the file's record count.  The first payload
+    byte of the chosen frame is XOR-flipped (for an empty payload, the
+    stored CRC is flipped instead), which the reader's CRC32 check must
+    report as a :class:`~repro.storage.errors.SpillCorruptionError` at
+    exactly that frame.  Returns -1 for an empty file (nothing to tear).
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    offsets = []
+    cursor = 0
+    while cursor + FRAME_HEADER_SIZE <= len(data):
+        length, _ = _HEADER.unpack_from(data, cursor)
+        offsets.append((cursor, length))
+        cursor += FRAME_HEADER_SIZE + length
+    if not offsets:
+        return -1
+    target = frame % len(offsets)
+    offset, length = offsets[target]
+    flip_at = offset + FRAME_HEADER_SIZE if length else offset + 4
+    data[flip_at] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return target

@@ -38,11 +38,15 @@ def bench_record(
     buffer_mb: float,
     buffer_mb_scaled: Optional[float] = None,
     algorithm: Optional[str] = None,
+    faults: Optional[dict] = None,
 ) -> dict:
     """Build one schema-conforming record from a ``JoinReport``.
 
     ``buffer_mb`` is the *paper* buffer size the cell models (2/8/24);
-    ``buffer_mb_scaled`` the actual pool the scaled run used.
+    ``buffer_mb_scaled`` the actual pool the scaled run used.  ``faults``
+    attaches a chaos block (see ``BENCH_FAULTS_SCHEMA``) when the run
+    executed under a fault plan; leave it ``None`` for fault-free runs so
+    baselines stay byte-comparable.
     """
     base = report_to_dict(report)
     record = {
@@ -65,6 +69,8 @@ def bench_record(
         record["buffer_mb_scaled"] = buffer_mb_scaled
     if base["notes"]:
         record["notes"] = base["notes"]
+    if faults is not None:
+        record["faults"] = faults
     return record
 
 

@@ -21,6 +21,14 @@ from typing import Dict, List, Optional, Sequence
 DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
 """Power-of-two-ish upper bounds; wide enough for tuple and page counts."""
 
+LATENCY_BUCKETS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+"""Seconds-scale bounds for latency histograms (retry backoff, task wall
+times) — ``DEFAULT_BUCKETS`` starts at 1, which would fold every
+sub-second observation into a single bucket."""
+
 
 class Counter:
     """Monotonically increasing count."""

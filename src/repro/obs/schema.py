@@ -33,6 +33,24 @@ BENCH_PHASE_SCHEMA = {
     },
 }
 
+BENCH_FAULTS_SCHEMA = {
+    "type": "object",
+    "required": ["injected", "retries", "quarantined", "degraded", "survived"],
+    "properties": {
+        "injected": {"type": "integer", "minimum": 0},
+        "retries": {"type": "integer", "minimum": 0},
+        "timeouts": {"type": "integer", "minimum": 0},
+        "quarantined": {"type": "integer", "minimum": 0},
+        "degraded": {"type": "integer", "minimum": 0},
+        "pool_respawns": {"type": "integer", "minimum": 0},
+        "survived": {"type": "boolean"},
+        "plan": {"type": "object"},
+    },
+}
+"""The chaos block: what a run injected and what it cost to survive.
+Optional on every record — absent means the run was fault-free by
+construction, present means a fault plan was active."""
+
 BENCH_RECORD_SCHEMA = {
     "type": "object",
     "required": [
@@ -68,6 +86,7 @@ BENCH_RECORD_SCHEMA = {
             },
         },
         "notes": {"type": "object"},
+        "faults": BENCH_FAULTS_SCHEMA,
     },
 }
 

@@ -29,7 +29,7 @@ from .engine import (
     serial_feature_pairs,
 )
 from .process import ProcessPBSM
-from .tasks import PairTask, PairTaskResult, run_pair_task
+from .tasks import PairTask, PairTaskResult, WorkerTaskError, run_pair_task
 
 __all__ = [
     "BACKENDS",
@@ -47,6 +47,7 @@ __all__ = [
     "REPLICATE_OBJECTS",
     "SCHEMES",
     "TaskReport",
+    "WorkerTaskError",
     "parallel_join",
     "run_pair_task",
     "serial_feature_pairs",

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from ..core.pbsm import PBSMConfig
 from ..core.predicates import Predicate
+from ..faults.plan import FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from ..storage.tuples import SpatialTuple
@@ -55,6 +56,9 @@ def parallel_join(
     start_method: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    task_timeout_s: Optional[float] = None,
+    max_task_retries: Optional[int] = None,
 ) -> ParallelJoinResult:
     """Run the join on the chosen backend; pairs are feature-id pairs.
 
@@ -63,7 +67,14 @@ def parallel_join(
     replication choice) only applies to the simulated backend; the process
     backend always ships full tuples to the partitions that need them —
     there is no remote node to fetch from inside one machine.
+    ``fault_plan``/``task_timeout_s``/``max_task_retries`` configure the
+    process backend's chaos + recovery machinery (see :mod:`repro.faults`)
+    and are rejected for backends that have no real processes to hurt.
     """
+    if backend != BACKEND_PROCESS and fault_plan is not None:
+        raise ValueError(
+            f"fault injection requires the process backend, not {backend!r}"
+        )
     if backend == BACKEND_SERIAL:
         wall_start = time.perf_counter()
         pairs, sim_seconds = serial_feature_pairs(tuples_r, tuples_s, predicate)
@@ -83,9 +94,14 @@ def parallel_join(
         )
         return engine.run(tuples_r, tuples_s, predicate)
     if backend == BACKEND_PROCESS:
+        extra = {}
+        if max_task_retries is not None:
+            extra["max_task_retries"] = max_task_retries
         engine = ProcessPBSM(
             workers, num_partitions=num_partitions, config=config,
             start_method=start_method, tracer=tracer, metrics=metrics,
+            fault_plan=fault_plan, task_timeout_s=task_timeout_s,
+            **extra,
         )
         return engine.run(tuples_r, tuples_s, predicate)
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -77,6 +77,11 @@ class TaskReport:
     results: int = 0
     wall_s: float = 0.0
     worker_pid: int = 0
+    attempts: int = 1
+    """Dispatches this pair took (1 = first try succeeded)."""
+    degraded: bool = False
+    """True when the coordinator rebuilt this pair serially after the
+    process path exhausted its retries or quarantined its spill."""
 
 
 @dataclass
@@ -101,6 +106,12 @@ class ParallelJoinResult:
     tasks: List[TaskReport] = field(default_factory=list)
     """Process backend only: the partition-pair tasks as scheduled, with
     their LPT cost seeds — enough to replay the schedule deterministically."""
+    degraded_pairs: List[int] = field(default_factory=list)
+    """Partition pairs the coordinator rebuilt serially after the process
+    path gave up on them (empty on a clean run)."""
+    fault_summary: Dict[str, int] = field(default_factory=dict)
+    """Fault/recovery event tallies (injected_*, retries, timeouts,
+    quarantined, degraded, pool_respawns); empty on a clean run."""
 
     def __len__(self) -> int:
         return len(self.pairs)

@@ -21,28 +21,55 @@ real wall-clock seconds:
    form and are adopted into the coordinator's tracer/registry, so one
    trace shows every process's work in its own lane.
 
-The result pair set is identical to the serial and simulated backends for
-every seed — the cross-backend equivalence tests assert exactly that.
+The scheduler is **crash-recovering**.  A failed partition-pair task (a
+worker exception, a killed process, a task past its timeout) is retried
+with exponential backoff up to ``max_task_retries`` times, re-dispatched
+to whatever workers survive; a ``BrokenProcessPool`` is healed by
+respawning the pool and resubmitting every in-flight pair.  A spill file
+that fails its CRC is *quarantined* — retrying a corrupt file cannot
+help — and when a pair exhausts its retry budget or loses its spill to
+corruption, the coordinator **degrades gracefully**: it rebuilds that
+partition from the base relations it still holds and merges it serially
+in-process.  Degraded or not, the result pair set is identical to the
+serial and simulated backends for every seed — the cross-backend
+equivalence tests and the fault-matrix suite assert exactly that.
+
+Deterministic fault injection plugs in via ``fault_plan=`` (see
+:mod:`repro.faults`); every recovery action is counted in the
+``faults.*`` metrics and summarised on the result.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import Counter as TallyCounter
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.partition import SpatialPartitioner
 from ..core.pbsm import PBSMConfig
 from ..core.predicates import Predicate
-from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..faults.inject import InjectedFaultError, WriteErrorInjector, tear_frame
+from ..faults.plan import FaultPlan
+from ..obs.metrics import LATENCY_BUCKETS_S, NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.tuples import SpatialTuple
 from .engine import NodeReport, ParallelJoinResult, TaskReport
-from .tasks import PairTask, PairTaskResult, PartitionSpill, run_pair_task
+from .tasks import (
+    PairTask,
+    PairTaskResult,
+    PartitionSpill,
+    WorkerTaskError,
+    fid_keypointer,
+    merge_refine_pair,
+    run_pair_task,
+)
 
 DEFAULT_TASK_MEMORY = 8 * 1024 * 1024
 """Per-task merge memory budget (drives §3.5 recursion, when enabled)."""
@@ -55,9 +82,21 @@ START_METHOD_ENV = "REPRO_MP_START_METHOD"
 """Environment override for the multiprocessing start method (CI uses it
 to force ``spawn`` on platforms that default to ``fork``)."""
 
+DEFAULT_MAX_TASK_RETRIES = 2
+"""Retry budget per partition pair before the coordinator degrades it."""
+
+DEFAULT_RETRY_BACKOFF_S = 0.05
+"""Base of the exponential backoff between retries of one pair."""
+
+PARTITION_WRITE_RETRIES = 3
+"""Bounded rewrites of one side's spill pass on a write error."""
+
+_POLL_S = 0.25
+"""Executor wait slice when task deadlines are armed."""
+
 
 class ProcessPBSM:
-    """PBSM executed across real worker processes."""
+    """PBSM executed across real worker processes, surviving their faults."""
 
     def __init__(
         self,
@@ -70,6 +109,11 @@ class ProcessPBSM:
         spill_dir: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        task_timeout_s: Optional[float] = None,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        degrade_on_failure: bool = True,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -83,6 +127,16 @@ class ProcessPBSM:
         self.spill_dir = spill_dir
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.fault_plan = fault_plan
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task timeout must be positive")
+        self.task_timeout_s = task_timeout_s
+        if max_task_retries < 0:
+            raise ValueError("retry budget cannot be negative")
+        self.max_task_retries = max_task_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.degrade_on_failure = degrade_on_failure
+        self._faults: TallyCounter = TallyCounter()
 
     # ------------------------------------------------------------------ #
 
@@ -92,8 +146,11 @@ class ProcessPBSM:
         tuples_s: Sequence[SpatialTuple],
         predicate: Predicate,
     ) -> ParallelJoinResult:
-        """Partition, schedule, execute, merge.  Pairs are feature ids."""
+        """Partition, schedule, execute, recover, merge.  Pairs are feature
+        ids; the set is identical to the serial reference even when the
+        run degrades partitions after faults."""
         started = time.perf_counter()
+        self._faults = TallyCounter()
         if not tuples_r or not tuples_s:
             return ParallelJoinResult(
                 [], backend="process", wall_s=time.perf_counter() - started
@@ -102,16 +159,28 @@ class ProcessPBSM:
         spill_root = tempfile.mkdtemp(prefix="repro-pbsm-", dir=self.spill_dir)
         try:
             partitioner = self._partitioner(tuples_r, tuples_s)
+            injector = WriteErrorInjector(self.fault_plan)
             with self.tracer.span("process.partition"):
-                spills_r, placed_r = self._partition_side(
-                    "r", tuples_r, partitioner, spill_root
+                spills_r, placed_r = self._partition_side_resilient(
+                    "r", tuples_r, partitioner, spill_root, injector
                 )
-                spills_s, placed_s = self._partition_side(
-                    "s", tuples_s, partitioner, spill_root
+                spills_s, placed_s = self._partition_side_resilient(
+                    "s", tuples_s, partitioner, spill_root, injector
                 )
+            if self.fault_plan and self.fault_plan.torn_frames:
+                self._apply_torn_frames(spills_r, spills_s)
             tasks = self._build_tasks(spills_r, spills_s, predicate)
             with self.tracer.span("process.execute", tasks=len(tasks)):
-                outcomes = self._execute(tasks)
+                outcomes, exhausted, quarantined = self._execute(tasks)
+            failed = set(exhausted) | quarantined
+            if failed:
+                outcomes.extend(
+                    self._degrade_pairs(
+                        failed, exhausted, quarantined,
+                        tuples_r, tuples_s, partitioner, predicate,
+                    )
+                )
+                outcomes.sort(key=lambda o: o.index)
             merged = sorted(set().union(*(o.pairs for o in outcomes), set()))
         finally:
             shutil.rmtree(spill_root, ignore_errors=True)
@@ -131,14 +200,25 @@ class ProcessPBSM:
                     results=len(o.pairs),
                     wall_s=o.wall_s,
                     worker_pid=o.worker_pid,
+                    attempts=o.attempt + 1,
+                    degraded=o.degraded,
                 )
                 for o in outcomes
             ],
+            degraded_pairs=sorted(
+                o.index for o in outcomes if o.degraded
+            ),
+            fault_summary=dict(self._faults),
         )
         self.metrics.gauge("parallel.process.partitions").set(self.num_partitions)
         self.metrics.gauge("parallel.process.workers").set(self.workers)
         self.metrics.counter("parallel.process.tasks").inc(len(outcomes))
         return result
+
+    def _count(self, what: str, amount: int = 1) -> None:
+        """One fault/recovery event: tallied on the run *and* in metrics."""
+        self._faults[what] += amount
+        self.metrics.counter(f"faults.{what}").inc(amount)
 
     # ------------------------------------------------------------------ #
     # partitioning + spilling
@@ -161,12 +241,40 @@ class ProcessPBSM:
             self.config.scheme,
         )
 
+    def _partition_side_resilient(
+        self,
+        side: str,
+        tuples: Sequence[SpatialTuple],
+        partitioner: SpatialPartitioner,
+        spill_root: str,
+        injector: WriteErrorInjector,
+    ) -> Tuple[List[PartitionSpill], int]:
+        """Spill one side, rewriting the whole pass on a disk write error.
+
+        Spill paths are deterministic and the writer truncates, so a retry
+        simply starts the side over; the injector is one-shot, so planned
+        write errors cannot starve the bounded retry loop."""
+        injector.arm_side(side, len(tuples))
+        last: Optional[Exception] = None
+        for _ in range(PARTITION_WRITE_RETRIES + 1):
+            try:
+                return self._partition_side(
+                    side, tuples, partitioner, spill_root, injector
+                )
+            except InjectedFaultError as exc:
+                last = exc
+                self._count("injected_write_errors")
+                self._count("partition_retries")
+        assert last is not None
+        raise last
+
     def _partition_side(
         self,
         side: str,
         tuples: Sequence[SpatialTuple],
         partitioner: SpatialPartitioner,
         spill_root: str,
+        injector: WriteErrorInjector,
     ) -> Tuple[List[PartitionSpill], int]:
         """Spill one input, replicated across the partitions it overlaps."""
         spills = [
@@ -174,16 +282,49 @@ class ProcessPBSM:
             for p in range(self.num_partitions)
         ]
         placed = 0
-        for t in tuples:
-            for p in sorted(partitioner.partitions_for_rect(t.mbr)):
-                spills[p].add(t)
-                placed += 1
+        try:
+            for ordinal, t in enumerate(tuples):
+                injector.check(side, ordinal)
+                for p in sorted(partitioner.partitions_for_rect(t.mbr)):
+                    spills[p].add(t)
+                    placed += 1
+        except BaseException:
+            for spill in spills:
+                spill.remove()
+            raise
         for spill in spills:
             spill.close()
         skew = self.metrics.histogram(f"parallel.partition.keypointers_{side}")
         for spill in spills:
             skew.observe(spill.count)
         return spills, placed
+
+    def _apply_torn_frames(
+        self,
+        spills_r: List[PartitionSpill],
+        spills_s: List[PartitionSpill],
+    ) -> None:
+        """Corrupt the planned spill frames on disk, post-write.
+
+        A torn frame in a partition that never becomes a task would go
+        unread, so plans targeting an inactive pair are redirected onto an
+        active one deterministically — the fault always has a victim."""
+        assert self.fault_plan is not None
+        active = [
+            p
+            for p, (spill_r, spill_s) in enumerate(zip(spills_r, spills_s))
+            if spill_r.count and spill_s.count
+        ]
+        if not active:
+            return
+        active_set = set(active)
+        for torn in self.fault_plan.torn_frames:
+            partition = torn.partition % self.num_partitions
+            if partition not in active_set:
+                partition = active[torn.partition % len(active)]
+            spill = (spills_r if torn.side == "r" else spills_s)[partition]
+            if tear_frame(spill.kp_path, torn.frame) >= 0:
+                self._count("injected_torn_frames")
 
     def _build_tasks(
         self,
@@ -193,6 +334,7 @@ class ProcessPBSM:
     ) -> List[PairTask]:
         """One task per non-empty partition pair, in LPT order."""
         observe = self.tracer.enabled or self.metrics.enabled
+        plan = self.fault_plan
         tasks = [
             PairTask(
                 index=p,
@@ -206,6 +348,7 @@ class ProcessPBSM:
                 config=self.config,
                 predicate=predicate,
                 observe=observe,
+                faults=plan.faults_for_pair(p) if plan else None,
             )
             for p, (spill_r, spill_s) in enumerate(zip(spills_r, spills_s))
             if spill_r.count and spill_s.count
@@ -216,34 +359,266 @@ class ProcessPBSM:
         cost = self.metrics.histogram("parallel.task.cost_estimate")
         for task in tasks:
             cost.observe(task.cost_estimate)
+        planned = sum(t.faults.total_points for t in tasks if t.faults)
+        if planned:
+            self._count("injected_worker_faults", planned)
         return tasks
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
 
-    def _execute(self, tasks: List[PairTask]) -> List[PairTaskResult]:
-        """Run the tasks on the pool; adopt worker observability as results
-        arrive (the shared submission queue is what rebalances skew)."""
+    def _execute(
+        self, tasks: List[PairTask]
+    ) -> Tuple[List[PairTaskResult], Dict[int, WorkerTaskError], Set[int]]:
+        """Run the tasks on the pool, recovering from task and pool faults.
+
+        Returns ``(outcomes, exhausted, quarantined)``: completed results,
+        pairs whose retry budget ran out (with their last error), and pairs
+        whose spill files failed integrity checks.  The shared submission
+        queue is what rebalances skew; retries simply re-enter it, so a
+        re-dispatched pair lands on whichever worker survives and frees up
+        first.
+        """
         if not tasks:
-            return []
+            return [], {}, set()
         context = multiprocessing.get_context(self.start_method)
+        max_workers = min(self.workers, len(tasks))
+        by_index = {task.index: task for task in tasks}
+        attempts: Dict[int, int] = {task.index: 0 for task in tasks}
+        to_submit: List[int] = [task.index for task in tasks]  # LPT order
         outcomes: List[PairTaskResult] = []
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(tasks)), mp_context=context
-        ) as pool:
-            futures = [pool.submit(run_pair_task, task) for task in tasks]
-            for future in as_completed(futures):
-                outcome = future.result()
-                outcomes.append(outcome)
-                if outcome.spans:
-                    self.tracer.adopt_wire(
-                        outcome.spans, worker=outcome.worker_pid
+        exhausted: Dict[int, WorkerTaskError] = {}
+        quarantined: Set[int] = set()
+        pool: Optional[ProcessPoolExecutor] = None
+        inflight: Dict[Future, int] = {}
+        deadlines: Dict[Future, float] = {}
+        backoff_hist = self.metrics.histogram(
+            "faults.retry_backoff_s", LATENCY_BUCKETS_S
+        )
+
+        def abandon_pool() -> None:
+            """Drop a broken or wedged pool; in-flight work is requeued by
+            the caller.  ``wait=False`` matters: a hung worker must not
+            hold the coordinator hostage."""
+            nonlocal pool
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+            inflight.clear()
+            deadlines.clear()
+            self._count("pool_respawns")
+
+        def on_failure(index: int, error: WorkerTaskError) -> None:
+            """Charge one attempt; requeue within budget, else give up."""
+            self._count("task_failures")
+            if error.corruption:
+                # The file is wrong on disk — no retry can fix it.
+                quarantined.add(index)
+                self._count("quarantined")
+                return
+            attempt = attempts[index] = attempts[index] + 1
+            if attempt > self.max_task_retries:
+                exhausted[index] = error
+                self._count("retry_exhausted")
+                return
+            self._count("retries")
+            backoff = self.retry_backoff_s * (2 ** (attempt - 1))
+            backoff_hist.observe(backoff)
+            if backoff > 0:
+                time.sleep(backoff)
+            to_submit.append(index)
+
+        try:
+            while to_submit or inflight:
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=max_workers, mp_context=context
                     )
-                if outcome.metrics:
-                    self.metrics.merge_snapshot(outcome.metrics)
+                while to_submit:
+                    index = to_submit.pop(0)
+                    task = dataclasses.replace(
+                        by_index[index], attempt=attempts[index]
+                    )
+                    try:
+                        future = pool.submit(run_pair_task, task)
+                    except BrokenProcessPool:
+                        # The pool died between batches; heal and resubmit
+                        # everything (no attempt charged — the task never
+                        # reached a worker).
+                        to_submit.insert(0, index)
+                        to_submit.extend(inflight.values())
+                        abandon_pool()
+                        break
+                    inflight[future] = index
+                    if self.task_timeout_s is not None:
+                        deadlines[future] = (
+                            time.monotonic() + self.task_timeout_s
+                        )
+                if pool is None or not inflight:
+                    continue
+
+                wait(
+                    set(inflight),
+                    timeout=_POLL_S if deadlines else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                # Harvest everything that finished, well or badly.
+                pool_broke = False
+                for future in [f for f in inflight if f.done()]:
+                    index = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        outcome = future.result()
+                    except WorkerTaskError as error:
+                        on_failure(index, error)
+                    except BrokenProcessPool:
+                        pool_broke = True
+                        on_failure(
+                            index,
+                            WorkerTaskError(
+                                index, attempts[index], 0,
+                                "BrokenProcessPool",
+                                "worker process died mid-task",
+                            ),
+                        )
+                    else:
+                        outcomes.append(outcome)
+                        if outcome.spans:
+                            self.tracer.adopt_wire(
+                                outcome.spans, worker=outcome.worker_pid
+                            )
+                        if outcome.metrics:
+                            self.metrics.merge_snapshot(outcome.metrics)
+                if pool_broke:
+                    # Every surviving in-flight future is doomed with the
+                    # pool; charge them the shared crash and requeue.
+                    for future, index in list(inflight.items()):
+                        on_failure(
+                            index,
+                            WorkerTaskError(
+                                index, attempts[index], 0,
+                                "BrokenProcessPool",
+                                "pool broke while task was in flight",
+                            ),
+                        )
+                    abandon_pool()
+                    continue
+
+                # Enforce task deadlines: a wedged worker cannot be killed
+                # inside ProcessPoolExecutor without breaking the pool, so
+                # the pool is abandoned wholesale and unfinished innocents
+                # are resubmitted uncharged.
+                if deadlines and not any(f.done() for f in inflight):
+                    # (any completed-but-unharvested future postpones this
+                    # to the next round, so results are never dropped)
+                    now = time.monotonic()
+                    timed_out = {
+                        inflight[f]
+                        for f, deadline in deadlines.items()
+                        if now > deadline
+                    }
+                    if timed_out:
+                        for index in list(inflight.values()):
+                            if index in timed_out:
+                                self._count("timeouts")
+                                on_failure(
+                                    index,
+                                    WorkerTaskError(
+                                        index, attempts[index], 0,
+                                        "TaskTimeout",
+                                        f"no result within "
+                                        f"{self.task_timeout_s}s",
+                                    ),
+                                )
+                            else:
+                                to_submit.append(index)
+                        abandon_pool()
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         outcomes.sort(key=lambda o: o.index)
-        return outcomes
+        return outcomes, exhausted, quarantined
+
+    # ------------------------------------------------------------------ #
+    # graceful degradation
+    # ------------------------------------------------------------------ #
+
+    def _degrade_pairs(
+        self,
+        failed: Set[int],
+        exhausted: Dict[int, WorkerTaskError],
+        quarantined: Set[int],
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+        partitioner: SpatialPartitioner,
+        predicate: Predicate,
+    ) -> List[PairTaskResult]:
+        """Rebuild the pairs the process path gave up on, serially.
+
+        The coordinator still holds the base relations, so a partition
+        whose spill files are corrupt or whose task kept dying is simply
+        re-derived from source tuples and merged in-process — slower, but
+        exact.  With ``degrade_on_failure=False`` the first exhausted
+        pair's error (pair id, attempt, worker context attached) is raised
+        instead.
+        """
+        if not self.degrade_on_failure:
+            index = min(failed)
+            error = exhausted.get(index)
+            if error is None:
+                error = WorkerTaskError(
+                    index, 0, 0,
+                    "SpillCorruptionError",
+                    "partition spill quarantined by integrity check",
+                    corruption=True,
+                )
+            raise error
+        results = []
+        for index in sorted(failed):
+            reason = "corrupt_spill" if index in quarantined else "retry_exhausted"
+            results.append(
+                self._degraded_pair(
+                    index, reason, tuples_r, tuples_s, partitioner, predicate
+                )
+            )
+            self._count("degraded")
+        return results
+
+    def _degraded_pair(
+        self,
+        index: int,
+        reason: str,
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+        partitioner: SpatialPartitioner,
+        predicate: Predicate,
+    ) -> PairTaskResult:
+        """Serially merge one partition pair from the base relations."""
+        started = time.perf_counter()
+        with self.tracer.span("process.degraded_pair", pair=index) as span:
+            span.tag("degraded", True)
+            span.tag("reason", reason)
+            kps_r, lookup_r = _rebuild_partition(tuples_r, partitioner, index)
+            kps_s, lookup_s = _rebuild_partition(tuples_s, partitioner, index)
+            pairs, candidates = merge_refine_pair(
+                kps_r, kps_s, lookup_r, lookup_s,
+                predicate, self.memory_bytes, self.config,
+                label=f"degraded.{index}",
+                tracer=self.tracer, metrics=self.metrics,
+            )
+            span.tag("results", len(pairs))
+        return PairTaskResult(
+            index=index,
+            worker_pid=os.getpid(),
+            pairs=pairs,
+            candidates=candidates,
+            count_r=len(kps_r),
+            count_s=len(kps_s),
+            wall_s=time.perf_counter() - started,
+            degraded=True,
+            degraded_reason=reason,
+        )
 
     def _node_reports(self, outcomes: List[PairTaskResult]) -> List[NodeReport]:
         """Per-worker rollups: which process did how much, for how long."""
@@ -258,3 +633,23 @@ class ProcessPBSM:
             report.local_pairs += len(outcome.pairs)
             report.sim_seconds += outcome.wall_s
         return list(by_pid.values())
+
+
+def _rebuild_partition(
+    tuples: Sequence[SpatialTuple],
+    partitioner: SpatialPartitioner,
+    index: int,
+) -> Tuple[list, dict]:
+    """Re-derive one partition's key-pointers and tuple lookup from source.
+
+    Uses the same pack/unpack rounding as the spill path
+    (:func:`~repro.parallel.tasks.fid_keypointer`), so the degraded merge
+    sees bit-identical MBRs to what the worker would have read.
+    """
+    kps = []
+    lookup = {}
+    for t in tuples:
+        if index in partitioner.partitions_for_rect(t.mbr):
+            kps.append(fid_keypointer(t))
+            lookup[t.feature_id] = t
+    return kps, lookup

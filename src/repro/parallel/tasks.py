@@ -17,6 +17,15 @@ pickles in a few hundred bytes no matter how large the partition is.
 under the ``spawn`` start method — executes merge *and* refinement for one
 partition pair and returns exact feature-id result pairs, together with
 the worker's spans and metrics in wire form for the coordinator to adopt.
+
+Failure contract: any exception inside a worker is re-raised as
+:class:`WorkerTaskError` carrying the pair index, the attempt number, the
+worker pid, and the formatted cause — never a bare traceback with no clue
+which partition pair died.  Spill corruption is flagged on the error so
+the coordinator can quarantine the partition instead of burning retries on
+a file that will never read clean.  Tasks may also carry a
+:class:`~repro.faults.plan.WorkerFaults` slice of a fault plan, fired at
+the top of the task by attempt number.
 """
 
 from __future__ import annotations
@@ -24,15 +33,19 @@ from __future__ import annotations
 import os
 import struct
 import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.keypointer import _f32_down, _f32_up
 from ..core.pbsm import PBSMConfig, merge_partition_pair
 from ..core.predicates import Predicate
+from ..faults.inject import apply_worker_faults
+from ..faults.plan import WorkerFaults
 from ..geometry import Rect
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
+from ..storage.errors import SpillCorruptionError
 from ..storage.spill import SpillWriter, read_spill
 from ..storage.tuples import SpatialTuple, deserialize_tuple, serialize_tuple
 
@@ -53,6 +66,59 @@ def pack_fid_keypointer(rect: Rect, feature_id: int) -> bytes:
 def unpack_fid_keypointer(record: bytes) -> FidKeyPointer:
     xl, yl, xu, yu, fid = _FIDKP.unpack(record)
     return Rect(xl, yl, xu, yu), fid
+
+
+def fid_keypointer(t: SpatialTuple) -> FidKeyPointer:
+    """The key-pointer a tuple spills to, with identical f32 rounding.
+
+    The coordinator's degraded path rebuilds a partition from base tuples;
+    routing through the pack/unpack pair guarantees the rebuilt MBRs are
+    bit-identical to what a worker would have read from the spill file.
+    """
+    return unpack_fid_keypointer(pack_fid_keypointer(t.mbr, t.feature_id))
+
+
+class WorkerTaskError(RuntimeError):
+    """A partition-pair task failed, with enough context to act on it.
+
+    Carries the pair index, attempt number, and worker pid (``0`` when the
+    failure happened before a worker could report), plus the formatted
+    cause.  ``corruption`` marks spill-file damage: retrying cannot help,
+    the coordinator must quarantine and rebuild.
+    """
+
+    def __init__(
+        self,
+        pair_index: int,
+        attempt: int,
+        worker_pid: int,
+        cause_type: str,
+        cause_message: str,
+        traceback_text: str = "",
+        corruption: bool = False,
+    ):
+        super().__init__(
+            f"partition pair {pair_index} failed on attempt {attempt} "
+            f"in worker {worker_pid or '<unknown>'}: "
+            f"{cause_type}: {cause_message}"
+        )
+        self.pair_index = pair_index
+        self.attempt = attempt
+        self.worker_pid = worker_pid
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+        self.traceback_text = traceback_text
+        self.corruption = corruption
+
+    def __reduce__(self):
+        return (
+            WorkerTaskError,
+            (
+                self.pair_index, self.attempt, self.worker_pid,
+                self.cause_type, self.cause_message, self.traceback_text,
+                self.corruption,
+            ),
+        )
 
 
 class PartitionSpill:
@@ -76,6 +142,15 @@ class PartitionSpill:
     def close(self) -> None:
         self._kp.close()
         self._tuples.close()
+
+    def remove(self) -> None:
+        """Delete the files (a failed partitioning pass starts over)."""
+        self.close()
+        for path in (self.kp_path, self.tuple_path):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
 
 
 def read_keypointer_spill(path: str) -> List[FidKeyPointer]:
@@ -107,6 +182,11 @@ class PairTask:
     predicate: Predicate
     observe: bool = False
     """Ship wire-form spans and a metrics snapshot back with the result."""
+    attempt: int = 0
+    """Which dispatch of this pair this is (0 = first); stamps results,
+    errors, and fault-injection decisions."""
+    faults: Optional[WorkerFaults] = None
+    """This pair's slice of the active fault plan, if any."""
 
     @property
     def cost_estimate(self) -> int:
@@ -125,8 +205,77 @@ class PairTaskResult:
     count_r: int
     count_s: int
     wall_s: float
+    attempt: int = 0
+    degraded: bool = False
+    """True when the coordinator rebuilt this pair serially after the
+    process path gave up on it (retry exhaustion or quarantined spill)."""
+    degraded_reason: str = ""
     spans: List[dict] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
+
+
+def sweep_pair(
+    kps_r: Sequence[FidKeyPointer],
+    kps_s: Sequence[FidKeyPointer],
+    memory_bytes: int,
+    config: PBSMConfig,
+    *,
+    label: str,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> List[Tuple[int, int]]:
+    """The filter step for one in-memory pair: candidate feature-id pairs."""
+    candidates: List[Tuple[int, int]] = []
+    merge_partition_pair(
+        kps_r, kps_s,
+        lambda fid_r, fid_s: candidates.append((fid_r, fid_s)),
+        memory_bytes, config,
+        label=label, tracer=tracer, metrics=metrics,
+    )
+    return candidates
+
+
+def refine_pair(
+    candidates: Sequence[Tuple[int, int]],
+    tuples_r: Dict[int, SpatialTuple],
+    tuples_s: Dict[int, SpatialTuple],
+    predicate: Predicate,
+) -> List[Tuple[int, int]]:
+    """Dedup + exact predicate: the refinement step for one pair."""
+    unique: Set[Tuple[int, int]] = set(candidates)
+    return sorted(
+        (fid_r, fid_s)
+        for fid_r, fid_s in unique
+        if predicate(tuples_r[fid_r], tuples_s[fid_s])
+    )
+
+
+def merge_refine_pair(
+    kps_r: Sequence[FidKeyPointer],
+    kps_s: Sequence[FidKeyPointer],
+    tuples_r: Dict[int, SpatialTuple],
+    tuples_s: Dict[int, SpatialTuple],
+    predicate: Predicate,
+    memory_bytes: int,
+    config: PBSMConfig,
+    *,
+    label: str,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Merge + refine one in-memory partition pair; the shared heart of the
+    worker task and the coordinator's degraded rebuild.
+
+    Returns ``(sorted exact feature-id pairs, candidate count)``.  Both
+    callers feeding it identical inputs get identical output, which is what
+    makes graceful degradation invisible in the final pair set.
+    """
+    candidates = sweep_pair(
+        kps_r, kps_s, memory_bytes, config,
+        label=label, tracer=tracer, metrics=metrics,
+    )
+    pairs = refine_pair(candidates, tuples_r, tuples_s, predicate)
+    return pairs, len(candidates)
 
 
 def run_pair_task(task: PairTask) -> PairTaskResult:
@@ -137,39 +286,56 @@ def run_pair_task(task: PairTask) -> PairTaskResult:
     tuples up in the partition's tuple spills, apply the exact predicate.
     The returned pair list is sorted and exact, so the coordinator's merge
     is a plain sorted-set union.
+
+    Any failure is re-raised as :class:`WorkerTaskError` with the pair
+    index, attempt, and pid attached (corruption flagged); planned faults
+    fire first, keyed by the task's attempt number.
     """
+    try:
+        apply_worker_faults(task.faults, task.index, task.attempt)
+        return _run_pair_task(task)
+    except WorkerTaskError:
+        raise
+    except SpillCorruptionError as exc:
+        raise WorkerTaskError(
+            task.index, task.attempt, os.getpid(),
+            type(exc).__name__, str(exc), traceback.format_exc(),
+            corruption=True,
+        ) from exc
+    except Exception as exc:
+        raise WorkerTaskError(
+            task.index, task.attempt, os.getpid(),
+            type(exc).__name__, str(exc), traceback.format_exc(),
+        ) from exc
+
+
+def _run_pair_task(task: PairTask) -> PairTaskResult:
     started = time.perf_counter()
     tracer = Tracer() if task.observe else NULL_TRACER
     metrics = MetricsRegistry() if task.observe else NULL_METRICS
 
-    with tracer.span("worker.task", pair=task.index, pid=os.getpid()) as span:
+    with tracer.span(
+        "worker.task", pair=task.index, pid=os.getpid(), attempt=task.attempt
+    ) as span:
         with tracer.span("worker.merge", pair=task.index):
             kps_r = read_keypointer_spill(task.kp_r_path)
             kps_s = read_keypointer_spill(task.kp_s_path)
-            candidates: List[Tuple[int, int]] = []
-            merge_partition_pair(
-                kps_r, kps_s,
-                lambda fid_r, fid_s: candidates.append((fid_r, fid_s)),
-                task.memory_bytes, task.config,
+            candidates = sweep_pair(
+                kps_r, kps_s, task.memory_bytes, task.config,
                 label=str(task.index), tracer=tracer, metrics=metrics,
             )
 
         with tracer.span(
             "worker.refine", pair=task.index, candidates=len(candidates)
         ):
-            unique: Set[Tuple[int, int]] = set(candidates)
             tuples_r = read_tuple_spill(task.tuples_r_path)
             tuples_s = read_tuple_spill(task.tuples_s_path)
-            pairs = sorted(
-                (fid_r, fid_s)
-                for fid_r, fid_s in unique
-                if task.predicate(tuples_r[fid_r], tuples_s[fid_s])
-            )
+            pairs = refine_pair(candidates, tuples_r, tuples_s, task.predicate)
 
         span.tag("candidates", len(candidates))
         span.tag("results", len(pairs))
         metrics.counter("parallel.worker.candidates").inc(len(candidates))
-        metrics.counter("parallel.worker.pairs_checked").inc(len(unique))
+        metrics.counter("parallel.worker.pairs_checked").inc(len(set(candidates)))
         metrics.counter("parallel.worker.results").inc(len(pairs))
         metrics.histogram("parallel.worker.task_keypointers").observe(
             task.cost_estimate
@@ -183,6 +349,7 @@ def run_pair_task(task: PairTask) -> PairTaskResult:
         count_r=task.count_r,
         count_s=task.count_s,
         wall_s=time.perf_counter() - started,
+        attempt=task.attempt,
         spans=tracer.export_wire(),
         metrics=metrics.snapshot() if task.observe else {},
     )

@@ -3,6 +3,13 @@
 from .buffer import BufferPool, BufferPoolError, pages_for_megabytes
 from .database import Database
 from .disk import PAGE_SIZE, DiskStats, IOCostModel, SimulatedDisk
+from .errors import (
+    PageSizeError,
+    SpillCorruptionError,
+    StorageError,
+    UnallocatedPageError,
+    UnknownFileError,
+)
 from .heapfile import MAX_RECORD_SIZE, RID, HeapFile, HeapFileError
 from .relation import OID, CatalogEntry, Relation
 from .tuples import (
@@ -25,9 +32,14 @@ __all__ = [
     "HeapFile",
     "HeapFileError",
     "IOCostModel",
+    "PageSizeError",
     "Relation",
     "SimulatedDisk",
     "SpatialTuple",
+    "SpillCorruptionError",
+    "StorageError",
+    "UnallocatedPageError",
+    "UnknownFileError",
     "deserialize_tuple",
     "pages_for_megabytes",
     "serialize_tuple",

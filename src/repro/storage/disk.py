@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from .errors import PageSizeError, UnallocatedPageError, UnknownFileError
+
 PAGE_SIZE = 8192
 """Bytes per page, matching SHORE's default."""
 
@@ -98,6 +100,8 @@ class SimulatedDisk:
         return fid
 
     def drop_file(self, file_id: int) -> None:
+        if file_id not in self._file_lengths:
+            raise UnknownFileError(f"drop of unknown file {file_id}")
         npages = self._file_lengths.pop(file_id)
         for page_no in range(npages):
             self._pages.pop((file_id, page_no), None)
@@ -105,6 +109,8 @@ class SimulatedDisk:
 
     def file_length(self, file_id: int) -> int:
         """Number of pages allocated to the file."""
+        if file_id not in self._file_lengths:
+            raise UnknownFileError(f"length of unknown file {file_id}")
         return self._file_lengths[file_id]
 
     def file_ids(self) -> List[int]:
@@ -136,7 +142,7 @@ class SimulatedDisk:
     def read_page(self, file_id: int, page_no: int) -> bytes:
         pid = (file_id, page_no)
         if pid not in self._pages:
-            raise KeyError(f"read of unallocated page {pid}")
+            raise UnallocatedPageError(f"read of unallocated page {pid}")
         self.stats.page_reads += 1
         if not self._is_sequential(pid):
             self.stats.random_reads += 1
@@ -145,10 +151,10 @@ class SimulatedDisk:
 
     def write_page(self, file_id: int, page_no: int, data: bytes) -> None:
         if len(data) != PAGE_SIZE:
-            raise ValueError(f"page must be exactly {PAGE_SIZE} bytes")
+            raise PageSizeError(f"page must be exactly {PAGE_SIZE} bytes")
         pid = (file_id, page_no)
         if pid not in self._pages:
-            raise KeyError(f"write of unallocated page {pid}")
+            raise UnallocatedPageError(f"write of unallocated page {pid}")
         self.stats.page_writes += 1
         if not self._is_sequential(pid):
             self.stats.random_writes += 1

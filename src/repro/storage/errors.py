@@ -1,0 +1,85 @@
+"""Typed storage exceptions: corruption vs programmer error, distinguishable.
+
+Every storage-layer failure used to surface as a bare ``ValueError`` or
+``KeyError``, which forced callers into string matching to tell "a spill
+frame is torn on disk" apart from "you passed a short page buffer".  The
+hierarchy here fixes that:
+
+* :class:`StorageError` — root; catch it to mean "the storage layer failed".
+* :class:`SpillCorruptionError` — a spill file's on-disk bytes are wrong
+  (torn frame header, truncated record, CRC mismatch).  Carries the path,
+  the frame index, and the byte offset of the damage, so a coordinator can
+  quarantine exactly the file that is lying.
+* :class:`UnallocatedPageError` — page I/O against a page that was never
+  allocated.
+* :class:`PageSizeError` — a page buffer of the wrong length.
+* :class:`UnknownFileError` — an operation against a file id the simulated
+  disk does not know.
+
+The leaf classes double-inherit from the builtin exceptions they replaced
+(``ValueError`` / ``KeyError``), so pre-hierarchy callers and tests that
+catch the builtins keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Root of the storage-layer exception hierarchy."""
+
+
+class SpillCorruptionError(StorageError, ValueError):
+    """A spill file's framing or checksum is wrong on disk.
+
+    ``path``/``frame_index``/``offset`` locate the damage: the file, the
+    zero-based frame whose header or payload failed, and the byte offset
+    of that frame's header within the file.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str = "",
+        frame_index: int = -1,
+        offset: int = -1,
+    ):
+        super().__init__(message)
+        self.path = str(path)
+        self.frame_index = frame_index
+        self.offset = offset
+
+    def __reduce__(self):
+        # Keyword-only attributes need an explicit recipe to survive the
+        # pickle round trip from a worker process to the coordinator.
+        return (
+            _rebuild_spill_corruption,
+            (self.args[0] if self.args else "", self.path, self.frame_index, self.offset),
+        )
+
+
+def _rebuild_spill_corruption(
+    message: str, path: str, frame_index: int, offset: int
+) -> SpillCorruptionError:
+    return SpillCorruptionError(
+        message, path=path, frame_index=frame_index, offset=offset
+    )
+
+
+class UnallocatedPageError(StorageError, KeyError):
+    """Read or write of a page that was never allocated."""
+
+    def __str__(self) -> str:
+        # KeyError repr-quotes its message; keep the plain text readable.
+        return self.args[0] if self.args else ""
+
+
+class PageSizeError(StorageError, ValueError):
+    """A page buffer whose length is not exactly ``PAGE_SIZE``."""
+
+
+class UnknownFileError(StorageError, KeyError):
+    """An operation against a file id the disk has no record of."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""

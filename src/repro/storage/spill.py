@@ -1,32 +1,45 @@
-"""Spill files: framed record files on the *real* filesystem.
+"""Spill files: integrity-checked framed record files on the *real* filesystem.
 
 Everything else in ``repro.storage`` lives on the simulated disk, whose
 pages exist only inside one process.  The multiprocess PBSM backend needs
 a handoff medium that worker processes can actually open, so partitions
-are spilled to plain files of length-prefixed records::
+are spilled to plain files of length-prefixed, checksummed records::
 
-    <u32 record length> <record bytes> ...
+    <u32 record length> <u32 crc32(record)> <record bytes> ...
 
 The format is deliberately dumb: sequential append on write, sequential
 scan on read, no page structure, no cost model.  Spill I/O is part of the
 real wall-clock time the process backend is measured by, not part of the
 simulated 1996 disk the single-node experiments account against.
+
+The per-frame CRC32 is what makes a *torn* spill frame — a partial write,
+a flipped bit, a truncated tail — detectable instead of silently joining
+garbage: every framing violation raises
+:class:`~repro.storage.errors.SpillCorruptionError` carrying the path, the
+frame index, and the byte offset of the damaged frame, so the coordinator
+can quarantine exactly the partition whose file is lying.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from pathlib import Path
 from typing import Iterable, Iterator, List
 
-_LEN = struct.Struct("<I")
+from .errors import SpillCorruptionError
+
+_HEADER = struct.Struct("<II")
+"""Frame header: record length + CRC32 of the record bytes."""
+
+FRAME_HEADER_SIZE = _HEADER.size
 
 MAX_RECORD_BYTES = 1 << 30
 """Sanity bound on one framed record (catches corrupt length prefixes)."""
 
 
 class SpillWriter:
-    """Append length-prefixed records to a spill file.
+    """Append length-prefixed, checksummed records to a spill file.
 
     Usable as a context manager; ``count`` tracks records written so the
     coordinator can seed scheduling estimates without re-reading the file.
@@ -41,7 +54,7 @@ class SpillWriter:
     def append(self, record: bytes) -> None:
         if len(record) > MAX_RECORD_BYTES:
             raise ValueError(f"record of {len(record)} bytes exceeds frame bound")
-        self._fh.write(_LEN.pack(len(record)))
+        self._fh.write(_HEADER.pack(len(record), zlib.crc32(record)))
         self._fh.write(record)
         self.count += 1
 
@@ -65,21 +78,51 @@ def write_spill(path: "Path | str", records: Iterable[bytes]) -> int:
 
 
 def read_spill(path: "Path | str") -> Iterator[bytes]:
-    """Yield the records of a spill file in write order."""
-    with Path(path).open("rb") as fh:
+    """Yield the records of a spill file in write order.
+
+    Raises :class:`SpillCorruptionError` on any framing violation: a torn
+    header, an implausible length, a truncated record, or a CRC mismatch.
+    """
+    path = Path(path)
+    with path.open("rb") as fh:
+        frame_index = 0
+        offset = 0
         while True:
-            header = fh.read(_LEN.size)
+            header = fh.read(FRAME_HEADER_SIZE)
             if not header:
                 return
-            if len(header) < _LEN.size:
-                raise ValueError(f"truncated frame header in {path}")
-            (length,) = _LEN.unpack(header)
+            if len(header) < FRAME_HEADER_SIZE:
+                raise SpillCorruptionError(
+                    f"torn frame header in {path} "
+                    f"(frame {frame_index} at byte {offset})",
+                    path=str(path), frame_index=frame_index, offset=offset,
+                )
+            length, expected_crc = _HEADER.unpack(header)
             if length > MAX_RECORD_BYTES:
-                raise ValueError(f"corrupt frame length {length} in {path}")
+                raise SpillCorruptionError(
+                    f"corrupt frame length {length} in {path} "
+                    f"(frame {frame_index} at byte {offset})",
+                    path=str(path), frame_index=frame_index, offset=offset,
+                )
             record = fh.read(length)
             if len(record) < length:
-                raise ValueError(f"truncated record in {path}")
+                raise SpillCorruptionError(
+                    f"truncated record in {path} "
+                    f"(frame {frame_index} at byte {offset}: "
+                    f"{len(record)} of {length} bytes)",
+                    path=str(path), frame_index=frame_index, offset=offset,
+                )
+            actual_crc = zlib.crc32(record)
+            if actual_crc != expected_crc:
+                raise SpillCorruptionError(
+                    f"checksum mismatch in {path} "
+                    f"(frame {frame_index} at byte {offset}: "
+                    f"crc32 {actual_crc:#010x} != stored {expected_crc:#010x})",
+                    path=str(path), frame_index=frame_index, offset=offset,
+                )
             yield record
+            frame_index += 1
+            offset += FRAME_HEADER_SIZE + length
 
 
 def read_spill_all(path: "Path | str") -> List[bytes]:

@@ -1,0 +1,119 @@
+"""§3.5 repartitioning at its limits: depth exhaustion and the no-progress
+fast path.
+
+``merge_partition_pair`` recursively repartitions an overflowing pair —
+but two things can stop it: the depth budget runs out, or a finer grid
+fails to split anything (every input lands in some sub-bucket whole, e.g.
+identical rectangles).  Both must fall back to an over-budget sweep that
+still produces the exact answer, and both must be observable.
+"""
+
+from repro.core.keypointer import KEYPTR_SIZE
+from repro.core.pbsm import PBSMConfig, merge_partition_pair
+from repro.geometry import Rect
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sweep_all(kps_r, kps_s, memory, config, metrics=None):
+    out = []
+    emitted = merge_partition_pair(
+        kps_r, kps_s, lambda a, b: out.append((a, b)),
+        memory, config, metrics=metrics,
+    )
+    assert emitted == len(out)
+    return out
+
+
+def _expected_pairs(kps_r, kps_s):
+    return {
+        (key_r, key_s)
+        for rect_r, key_r in kps_r
+        for rect_s, key_s in kps_s
+        if rect_r.intersects(rect_s)
+    }
+
+
+SKEW = PBSMConfig(handle_partition_skew=True, max_repartition_depth=3)
+
+
+class TestNoProgressFastPath:
+    def test_identical_rects_jump_to_the_depth_cap(self):
+        # Twenty copies of one rectangle on each side: no grid can split
+        # them, so recursion must stop after ONE repartition attempt (the
+        # fast path jumps depth straight to the cap) instead of burning
+        # every level re-partitioning the same inputs.
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        kps_r = [(rect, i) for i in range(20)]
+        kps_s = [(rect, 100 + i) for i in range(20)]
+        memory = 4 * KEYPTR_SIZE  # hopelessly oversized on purpose
+        metrics = MetricsRegistry()
+
+        out = _sweep_all(kps_r, kps_s, memory, SKEW, metrics)
+        assert set(out) == _expected_pairs(kps_r, kps_s)
+        assert len(_expected_pairs(kps_r, kps_s)) == 400
+
+        snapshot = metrics.snapshot()
+        assert snapshot["pbsm.merge.repartitions"]["value"] == 1
+        assert snapshot["pbsm.merge.repartition_no_progress"]["value"] == 1
+        # The unsplittable bucket(s) swept over budget at the cap.
+        assert snapshot["pbsm.merge.repartition_exhausted"]["value"] >= 1
+
+    def test_no_progress_result_matches_plain_sweep(self):
+        rect = Rect(2.0, 2.0, 3.0, 3.0)
+        kps_r = [(rect, i) for i in range(8)]
+        kps_s = [(rect, 50 + i) for i in range(8)]
+        relaxed = _sweep_all(kps_r, kps_s, 1 << 30, PBSMConfig())
+        skewed = _sweep_all(kps_r, kps_s, 2 * KEYPTR_SIZE, SKEW)
+        assert set(skewed) == set(relaxed)
+
+
+class TestDepthExhaustion:
+    def _diagonal_workload(self, n=24):
+        # Distinct but chained rectangles: each overlaps its neighbours,
+        # so repartitioning makes progress — until the depth cap.
+        kps_r = [
+            (Rect(i * 0.5, 0.0, i * 0.5 + 1.0, 1.0), i) for i in range(n)
+        ]
+        kps_s = [
+            (Rect(i * 0.5 + 0.25, 0.0, i * 0.5 + 1.25, 1.0), 1000 + i)
+            for i in range(n)
+        ]
+        return kps_r, kps_s
+
+    def test_depth_cap_forces_an_over_budget_sweep(self):
+        kps_r, kps_s = self._diagonal_workload()
+        # Any non-empty pair is "oversized" at one key-pointer of memory:
+        # recursion descends until the cap, then must sweep anyway.
+        memory = KEYPTR_SIZE
+        metrics = MetricsRegistry()
+        out = _sweep_all(kps_r, kps_s, memory, SKEW, metrics)
+        assert set(out) == _expected_pairs(kps_r, kps_s)
+
+        snapshot = metrics.snapshot()
+        assert snapshot["pbsm.merge.repartitions"]["value"] >= 1
+        assert snapshot["pbsm.merge.repartition_exhausted"]["value"] >= 1
+
+    def test_depth_cap_zero_disables_recursion_entirely(self):
+        kps_r, kps_s = self._diagonal_workload(8)
+        config = PBSMConfig(handle_partition_skew=True, max_repartition_depth=0)
+        metrics = MetricsRegistry()
+        out = _sweep_all(kps_r, kps_s, KEYPTR_SIZE, config, metrics)
+        assert set(out) == _expected_pairs(kps_r, kps_s)
+        snapshot = metrics.snapshot()
+        assert "pbsm.merge.repartitions" not in snapshot
+        assert snapshot["pbsm.merge.repartition_exhausted"]["value"] == 1
+
+    def test_equivalence_with_recursion_disabled(self):
+        kps_r, kps_s = self._diagonal_workload()
+        plain = _sweep_all(kps_r, kps_s, 1 << 30, PBSMConfig())
+        skewed = _sweep_all(kps_r, kps_s, KEYPTR_SIZE, SKEW)
+        assert set(skewed) == set(plain)
+
+    def test_within_budget_pairs_never_recurse(self):
+        kps_r, kps_s = self._diagonal_workload(8)
+        metrics = MetricsRegistry()
+        out = _sweep_all(kps_r, kps_s, 1 << 30, SKEW, metrics)
+        assert set(out) == _expected_pairs(kps_r, kps_s)
+        snapshot = metrics.snapshot()
+        assert "pbsm.merge.repartitions" not in snapshot
+        assert "pbsm.merge.repartition_exhausted" not in snapshot

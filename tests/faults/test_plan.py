@@ -1,0 +1,110 @@
+"""Fault plans: deterministic compilation, stacking, and (de)serialisation."""
+
+import pytest
+
+from repro.faults import (
+    NAMED_SPECS,
+    FaultPlan,
+    FaultSpec,
+    WorkerFaults,
+    load_plan,
+)
+
+
+class TestCompilation:
+    def test_same_inputs_compile_identically(self):
+        spec = NAMED_SPECS["combined"]
+        a = FaultPlan.compile(spec, seed=42, num_pairs=8)
+        b = FaultPlan.compile(spec, seed=42, num_pairs=8)
+        assert a == b
+        assert a.worker_faults == b.worker_faults
+        assert a.torn_frames == b.torn_frames
+        assert a.write_errors == b.write_errors
+
+    def test_seed_varies_the_schedule(self):
+        spec = FaultSpec(disk_read_errors=5, worker_crashes=2, torn_frames=2)
+        plans = [
+            FaultPlan.compile(spec, seed=s, num_pairs=16) for s in range(20)
+        ]
+        # 20 seeds over a 16-pair domain cannot all collide.
+        assert any(plan != plans[0] for plan in plans[1:])
+
+    def test_attempts_stack_per_pair(self):
+        # Five read errors on a one-pair domain must land on attempts
+        # 0..4 of pair 0 — attempt 0 first, so a bounded retry budget
+        # always clears the plan.
+        plan = FaultPlan.compile(
+            FaultSpec(disk_read_errors=5), seed=3, num_pairs=1
+        )
+        assert plan.faults_for_pair(0).read_error_attempts == (0, 1, 2, 3, 4)
+        assert plan.faults_for_pair(1) is None
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.compile(FaultSpec(), seed=0, num_pairs=0)
+
+    def test_total_faults(self):
+        assert FaultSpec().total_faults == 0
+        assert NAMED_SPECS["combined"].total_faults == 6
+
+    def test_max_hang_s(self):
+        quiet = FaultPlan.compile(FaultSpec(slow_tasks=1), seed=0, num_pairs=4)
+        assert quiet.max_hang_s == 0.0
+        hangy = FaultPlan.compile(
+            FaultSpec(hangs=1, hang_s=9.5), seed=0, num_pairs=4
+        )
+        assert hangy.max_hang_s == 9.5
+
+
+class TestSerialisation:
+    def test_dict_round_trip_recompiles_equal(self):
+        plan = FaultPlan.compile(NAMED_SPECS["combined"], seed=11, num_pairs=6)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = FaultPlan.compile(NAMED_SPECS["disk_error"], seed=4, num_pairs=8)
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_spec_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"disk_read_errors": 1, "cosmic_rays": 3})
+
+
+class TestLoadPlan:
+    def test_named_plans_resolve(self):
+        for name in NAMED_SPECS:
+            plan = load_plan(name, seed=1, num_pairs=4)
+            assert plan.spec == NAMED_SPECS[name]
+            assert plan.num_pairs == 4
+
+    def test_unknown_name_lists_the_choices(self):
+        with pytest.raises(ValueError, match="combined"):
+            load_plan("thermonuclear")
+
+    def test_json_file_ignores_cli_seed(self, tmp_path):
+        committed = FaultPlan.compile(
+            NAMED_SPECS["worker_crash"], seed=99, num_pairs=12
+        )
+        path = committed.save(tmp_path / "p.json")
+        loaded = load_plan(str(path), seed=0, num_pairs=4)
+        assert loaded == committed
+
+    def test_hang_s_override_recompiles(self, tmp_path):
+        path = FaultPlan.compile(
+            NAMED_SPECS["hang"], seed=2, num_pairs=8
+        ).save(tmp_path / "hang.json")
+        fast = load_plan(str(path), hang_s=1.25)
+        assert fast.spec.hangs == 1
+        assert fast.max_hang_s == 1.25
+        # Only the durations changed; the schedule (which pair, which
+        # attempt) is pinned by the seed alone.
+        slow = load_plan(str(path))
+        assert set(fast.worker_faults) == set(slow.worker_faults)
+
+    def test_worker_faults_are_picklable(self):
+        import pickle
+
+        wf = WorkerFaults(read_error_attempts=(0, 1), crash_attempts=(2,))
+        assert pickle.loads(pickle.dumps(wf)) == wf
+        assert wf.total_points == 3

@@ -1,0 +1,145 @@
+"""Recovery mechanics: retries, exhaustion, quarantine, degraded rebuilds."""
+
+import pickle
+
+import pytest
+
+from repro import intersects
+from repro.data import generate_hydrography, generate_roads
+from repro.faults import FaultPlan, FaultSpec, TornFrame, WorkerFaults
+from repro.parallel import ProcessPBSM, WorkerTaskError, parallel_join, serial_feature_pairs
+
+SCALE = 0.001
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tuples_r = list(generate_roads(scale=SCALE))
+    tuples_s = list(generate_hydrography(scale=SCALE))
+    expected, _ = serial_feature_pairs(tuples_r, tuples_s, intersects)
+    return tuples_r, tuples_s, expected
+
+
+def _always_failing_plan():
+    # Read errors on attempts 0..3 of the only pair: a retry budget of 3
+    # (four dispatches) can never clear them, forcing the degraded path.
+    return FaultPlan(
+        seed=0,
+        num_pairs=1,
+        spec=FaultSpec(disk_read_errors=4),
+        worker_faults={0: WorkerFaults(read_error_attempts=(0, 1, 2, 3))},
+    )
+
+
+class TestRetryExhaustion:
+    def test_degraded_rebuild_preserves_the_answer(self, workload):
+        tuples_r, tuples_s, expected = workload
+        result = ProcessPBSM(
+            2, num_partitions=1,
+            fault_plan=_always_failing_plan(), max_task_retries=3,
+        ).run(tuples_r, tuples_s, intersects)
+        assert result.pairs == expected
+        assert result.degraded_pairs == [0]
+        summary = result.fault_summary
+        assert summary["task_failures"] == 4
+        assert summary["retries"] == 3
+        assert summary["retry_exhausted"] == 1
+        assert summary["degraded"] == 1
+        assert result.tasks[0].degraded is True
+
+    def test_without_degradation_the_error_carries_context(self, workload):
+        tuples_r, tuples_s, _ = workload
+        engine = ProcessPBSM(
+            2, num_partitions=1,
+            fault_plan=_always_failing_plan(), max_task_retries=1,
+            degrade_on_failure=False,
+        )
+        with pytest.raises(WorkerTaskError) as info:
+            engine.run(tuples_r, tuples_s, intersects)
+        err = info.value
+        assert err.pair_index == 0
+        assert err.corruption is False
+        assert err.cause_type == "InjectedFaultError"
+        assert "partition pair 0" in str(err)
+        assert "attempt" in str(err)
+
+
+class TestQuarantine:
+    def test_corruption_skips_retries_and_degrades(self, workload):
+        tuples_r, tuples_s, expected = workload
+        plan = FaultPlan(
+            seed=0,
+            num_pairs=4,
+            spec=FaultSpec(torn_frames=1),
+            torn_frames=(TornFrame(side="r", partition=2, frame=0),),
+        )
+        result = ProcessPBSM(
+            2, num_partitions=4, fault_plan=plan, max_task_retries=3,
+        ).run(tuples_r, tuples_s, intersects)
+        assert result.pairs == expected
+        summary = result.fault_summary
+        assert summary["quarantined"] == 1
+        assert summary["degraded"] == 1
+        # Corruption is not transient: no retry may be burned on it.
+        assert "retries" not in summary
+        assert len(result.degraded_pairs) == 1
+
+    def test_quarantine_without_degradation_raises_corruption(self, workload):
+        tuples_r, tuples_s, _ = workload
+        plan = FaultPlan(
+            seed=0,
+            num_pairs=4,
+            spec=FaultSpec(torn_frames=1),
+            torn_frames=(TornFrame(side="s", partition=1, frame=3),),
+        )
+        engine = ProcessPBSM(
+            2, num_partitions=4, fault_plan=plan, degrade_on_failure=False,
+        )
+        with pytest.raises(WorkerTaskError) as info:
+            engine.run(tuples_r, tuples_s, intersects)
+        assert info.value.corruption is True
+
+
+class TestWorkerTaskError:
+    def test_pickle_round_trip(self):
+        err = WorkerTaskError(
+            pair_index=5, attempt=2, worker_pid=4242,
+            cause_type="InjectedFaultError", cause_message="injected",
+            traceback_text="Traceback ...", corruption=True,
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, WorkerTaskError)
+        assert clone.pair_index == 5
+        assert clone.attempt == 2
+        assert clone.worker_pid == 4242
+        assert clone.corruption is True
+        assert clone.traceback_text == "Traceback ..."
+        assert str(clone) == str(err)
+
+    def test_message_names_pair_attempt_and_worker(self):
+        err = WorkerTaskError(
+            pair_index=3, attempt=1, worker_pid=0,
+            cause_type="OSError", cause_message="disk on fire",
+        )
+        text = str(err)
+        assert "partition pair 3" in text
+        assert "attempt 1" in text
+        assert "<unknown>" in text  # pid 0 = failure before a worker reported
+        assert "disk on fire" in text
+
+
+class TestConfiguration:
+    def test_fault_plan_requires_the_process_backend(self):
+        plan = FaultPlan(seed=0, num_pairs=1, spec=FaultSpec())
+        for backend in ("serial", "simulated"):
+            with pytest.raises(ValueError, match="process backend"):
+                parallel_join([], [], intersects, backend=backend,
+                              fault_plan=plan)
+
+    def test_recovery_knobs_validated(self):
+        with pytest.raises(ValueError):
+            ProcessPBSM(2, task_timeout_s=0)
+        with pytest.raises(ValueError):
+            ProcessPBSM(2, task_timeout_s=-1.5)
+        with pytest.raises(ValueError):
+            ProcessPBSM(2, max_task_retries=-1)

@@ -1,0 +1,79 @@
+"""The typed storage-error hierarchy and its backward compatibility."""
+
+import pytest
+
+from repro.storage import (
+    PageSizeError,
+    SpillCorruptionError,
+    StorageError,
+    UnallocatedPageError,
+    UnknownFileError,
+)
+from repro.storage.disk import PAGE_SIZE, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk()
+
+
+class TestDiskErrors:
+    def test_read_of_unallocated_page(self, disk):
+        fid = disk.create_file()
+        with pytest.raises(UnallocatedPageError):
+            disk.read_page(fid, 0)
+
+    def test_write_of_unallocated_page(self, disk):
+        fid = disk.create_file()
+        with pytest.raises(UnallocatedPageError):
+            disk.write_page(fid, 3, b"\x00" * PAGE_SIZE)
+
+    def test_wrong_page_size(self, disk):
+        fid = disk.create_file()
+        page = disk.allocate_page(fid)
+        with pytest.raises(PageSizeError):
+            disk.write_page(fid, page, b"short")
+
+    def test_unknown_file(self, disk):
+        with pytest.raises(UnknownFileError):
+            disk.drop_file(999)
+        with pytest.raises(UnknownFileError):
+            disk.file_length(999)
+
+
+class TestHierarchy:
+    def test_everything_is_a_storage_error(self, disk):
+        fid = disk.create_file()
+        with pytest.raises(StorageError):
+            disk.read_page(fid, 0)
+        with pytest.raises(StorageError):
+            disk.drop_file(12345)
+        page = disk.allocate_page(fid)
+        with pytest.raises(StorageError):
+            disk.write_page(fid, page, b"")
+
+    def test_builtin_compatibility_is_preserved(self, disk):
+        # Pre-hierarchy callers caught KeyError / ValueError; the typed
+        # replacements must keep satisfying those handlers.
+        fid = disk.create_file()
+        with pytest.raises(KeyError):
+            disk.read_page(fid, 0)
+        with pytest.raises(KeyError):
+            disk.file_length(31337)
+        page = disk.allocate_page(fid)
+        with pytest.raises(ValueError):
+            disk.write_page(fid, page, b"x")
+        assert issubclass(SpillCorruptionError, ValueError)
+        assert issubclass(UnallocatedPageError, KeyError)
+
+    def test_key_errors_print_readably(self, disk):
+        # KeyError repr-quotes str(); the typed subclasses undo that so
+        # logs show the message, not a quoted blob.
+        fid = disk.create_file()
+        try:
+            disk.read_page(fid, 7)
+        except UnallocatedPageError as exc:
+            assert "'" not in str(exc)[:1]
+            assert "7" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected UnallocatedPageError")

@@ -113,3 +113,61 @@ class TestParallelCLI:
         a, b, c = run(7), run(7), run(8)
         assert a["result_count"] == b["result_count"]
         assert a["result_count"] != c["result_count"]
+
+
+class TestChaosCLI:
+    def test_none_plan_is_a_clean_survival(self, capsys):
+        args = ["chaos", "--plan", "none", "--scale", "0.001",
+                "--workers", "2", "--json"]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["survived"] is True
+        assert document["fault_summary"] == {}
+        assert document["faults"]["injected"] == 0
+        assert document["result_count"] == document["reference_count"]
+
+    def test_torn_frame_plan_survives_with_tallies(self, capsys):
+        args = ["chaos", "--plan", "torn_frame", "--scale", "0.001",
+                "--workers", "2", "--json"]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["survived"] is True
+        assert document["faults"]["injected"] >= 1
+        assert document["faults"]["quarantined"] == 1
+        assert document["faults"]["degraded"] == 1
+
+    def test_unknown_plan_exits_2(self, capsys):
+        assert main(["chaos", "--plan", "thermonuclear"]) == 2
+        assert "chaos:" in capsys.readouterr().err
+
+    def test_hang_timeout_mismatch_exits_2(self, capsys):
+        args = ["chaos", "--plan", "hang", "--timeout", "5.0",
+                "--hang-s", "1.0"]
+        assert main(args) == 2
+        assert "never trip" in capsys.readouterr().err
+
+    def test_bench_out_writes_schema_valid_faults_block(self, capsys, tmp_path):
+        from repro.obs.bench import load_bench_file
+
+        out = tmp_path / "BENCH_chaos.json"
+        args = ["chaos", "--plan", "disk_error", "--scale", "0.001",
+                "--workers", "2", "--json", "--bench-out", str(out)]
+        assert main(args) == 0
+        capsys.readouterr()
+        document = load_bench_file(out)  # re-validates against the schema
+        faults = document["records"][0]["faults"]
+        assert faults["survived"] is True
+        assert faults["injected"] >= 1
+        assert faults["plan"]["spec"]["disk_read_errors"] == 2
+
+    def test_committed_plan_file_resolves(self, capsys):
+        from pathlib import Path
+
+        plan_path = (Path(__file__).resolve().parents[1]
+                     / "benchmarks" / "faultplans" / "combined.json")
+        args = ["chaos", "--plan", str(plan_path),
+                "--scale", "0.001", "--workers", "2", "--json"]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["survived"] is True
+        assert document["plan"] == "combined"
