@@ -11,11 +11,17 @@ Subcommands:
 * ``parallel`` — run the road × hydro join on a parallel backend
   (``--backend process|simulated|serial --workers N``) and report the
   wall/critical-path numbers; ``--verify`` cross-checks the pair set
-  against the serial reference;
+  against the serial reference; ``--checkpoint-dir D`` makes the
+  coordinator's state durable and ``--resume`` continues an interrupted
+  checkpointed run;
 * ``chaos`` — run the road × hydro join on the process backend under a
   named (or JSON-file) fault plan, verify the pair set against the serial
   reference, and report the fault/recovery tallies; non-zero exit when the
-  join did not survive;
+  join did not survive; ``--kill-coordinator-after N`` kills the
+  coordinator after checkpoint ordinal N (soft kill auto-resumes in the
+  same invocation; ``--kill-hard`` sends real SIGKILL for a CI resume);
+* ``checkpoints`` — list, inspect, or garbage-collect the join manifests
+  under a checkpoint directory;
 * ``plan``  — show which algorithm the paper's decision table picks for a
   described scenario;
 * ``bench-compare`` — diff a fresh ``BENCH_*.json`` against a committed
@@ -108,8 +114,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_parallel(args: argparse.Namespace) -> int:
     from . import intersects
+    from .checkpoint import CheckpointMismatchError
     from .data import tiger
     from .parallel import parallel_join
+
+    if args.resume and not args.checkpoint_dir:
+        print("parallel: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir and args.backend != "process":
+        print("parallel: --checkpoint-dir requires --backend process",
+              file=sys.stderr)
+        return 2
 
     if args.seed is None:
         roads = list(tiger.generate_roads(args.scale))
@@ -118,11 +133,16 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         roads = list(tiger.generate_roads(args.scale, seed=args.seed))
         hydro = list(tiger.generate_hydrography(args.scale, seed=args.seed + 1))
 
-    result = parallel_join(
-        roads, hydro, intersects,
-        backend=args.backend, workers=args.workers, scheme=args.scheme,
-        start_method=args.start_method,
-    )
+    try:
+        result = parallel_join(
+            roads, hydro, intersects,
+            backend=args.backend, workers=args.workers, scheme=args.scheme,
+            start_method=args.start_method,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        )
+    except CheckpointMismatchError as exc:
+        print(f"parallel: {exc}", file=sys.stderr)
+        return 2
 
     verified = None
     if args.verify and args.backend != "serial":
@@ -155,6 +175,9 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             ],
             "tasks": len(result.tasks),
         }
+        if args.checkpoint_dir:
+            document["checkpoint_run_id"] = result.checkpoint_run_id
+            document["resumed_pairs"] = result.resumed_pairs
         if verified is not None:
             document["verified_against_serial"] = verified
         print(json.dumps(document, indent=2, sort_keys=True))
@@ -178,6 +201,11 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             f"{len(result.tasks)} partition-pair tasks, LPT cost seeds "
             f"min/median/max = {costs[0]}/{costs[len(costs) // 2]}/{costs[-1]}"
         )
+    if args.checkpoint_dir:
+        line = f"checkpoint run {result.checkpoint_run_id} under {args.checkpoint_dir}"
+        if args.resume:
+            line += f"; resumed {len(result.resumed_pairs)} committed pair(s)"
+        print(line)
     if verified is not None:
         print(f"verified against serial reference: {'OK' if verified else 'MISMATCH'}")
         return 0 if verified else 1
@@ -188,9 +216,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from . import intersects
+    from .checkpoint import CheckpointMismatchError
     from .data import tiger
-    from .faults import load_plan
-    from .parallel import parallel_join
+    from .faults import CoordinatorKilledError, load_plan
+    from .parallel import ProcessPBSM, parallel_join
 
     try:
         plan = load_plan(
@@ -208,17 +237,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    wants_checkpoint_faults = bool(
+        plan.coordinator_kill_ordinals or plan.torn_manifest_ordinals
+    )
+    if args.kill_coordinator_after is not None and args.kill_coordinator_after < 1:
+        print("chaos: --kill-coordinator-after must be >= 1", file=sys.stderr)
+        return 2
+    if (args.kill_coordinator_after is not None or wants_checkpoint_faults) \
+            and not args.checkpoint_dir:
+        print(
+            "chaos: coordinator kills / torn manifests need --checkpoint-dir "
+            "(there is no durable state to recover without one)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("chaos: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
 
     roads = list(tiger.generate_roads(args.scale))
     hydro = list(tiger.generate_hydrography(args.scale))
     reference = parallel_join(roads, hydro, intersects, backend="serial")
-    result = parallel_join(
-        roads, hydro, intersects,
-        backend="process", workers=args.workers,
-        num_partitions=args.partitions, start_method=args.start_method,
-        fault_plan=plan, task_timeout_s=args.timeout,
-        max_task_retries=args.retries,
+    engine = ProcessPBSM(
+        args.workers, num_partitions=args.partitions,
+        start_method=args.start_method, fault_plan=plan,
+        task_timeout_s=args.timeout, max_task_retries=args.retries,
+        checkpoint_dir=args.checkpoint_dir,
+        kill_coordinator_after=args.kill_coordinator_after,
+        kill_hard=args.kill_hard,
     )
+    killed_at = None
+    try:
+        if args.resume:
+            result = engine.resume(roads, hydro, intersects)
+        else:
+            result = engine.run(roads, hydro, intersects)
+    except CheckpointMismatchError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    except CoordinatorKilledError as exc:
+        # Soft kill: the coordinator "died" after a durable checkpoint op.
+        # Resume from the same checkpoint directory in this process, which
+        # is the whole point — everything committed before the kill must
+        # carry the rest of the join.
+        killed_at = exc.ordinal
+        if not args.json:
+            print(
+                f"coordinator killed after checkpoint ordinal {exc.ordinal}; "
+                f"resuming from {args.checkpoint_dir} ..."
+            )
+        # Disarm the explicit kill or the recovery run would die at the
+        # same ordinal forever.
+        engine.kill_coordinator_after = None
+        result = engine.resume(roads, hydro, intersects)
     survived = result.pairs == reference.pairs
 
     summary = dict(result.fault_summary)
@@ -234,6 +305,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "survived": survived,
         "plan": plan.to_dict(),
     }
+    if killed_at is not None or args.resume or args.checkpoint_dir:
+        faults_block["coordinator_killed_at"] = killed_at
+        faults_block["resumed_pairs"] = len(result.resumed_pairs)
 
     plan_label = Path(args.plan).stem if args.plan.endswith(".json") else args.plan
     if args.bench_out:
@@ -277,6 +351,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "faults": faults_block,
             "survived": survived,
         }
+        if args.checkpoint_dir:
+            document["checkpoint_run_id"] = result.checkpoint_run_id
+            document["coordinator_killed_at"] = killed_at
+            document["resumed_pairs"] = result.resumed_pairs
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0 if survived else 1
 
@@ -293,12 +371,98 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if result.degraded_pairs:
         print(f"degraded pairs (coordinator rebuilt serially): "
               f"{result.degraded_pairs}")
+    if args.checkpoint_dir:
+        line = f"checkpoint run {result.checkpoint_run_id}"
+        if killed_at is not None:
+            line += f"; coordinator killed after ordinal {killed_at}"
+        if result.resumed_pairs:
+            line += (f"; resumed {len(result.resumed_pairs)} committed "
+                     f"pair(s): {result.resumed_pairs}")
+        print(line)
     print(
         f"{len(result)} pairs vs {len(reference)} serial reference pairs "
         f"in {result.wall_s:.3f}s"
     )
     print(f"survived: {'OK — pair set identical to fault-free serial run' if survived else 'MISMATCH'}")
     return 0 if survived else 1
+
+
+def _cmd_checkpoints(args: argparse.Namespace) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from .checkpoint import gc_checkpoint_dir, inspect_checkpoint_dir
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"checkpoints: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    infos = inspect_checkpoint_dir(root)
+    by_id = {info.run_id: info for info in infos}
+
+    if args.action == "gc":
+        if args.run_id is not None and args.run_id not in by_id:
+            print(f"checkpoints: unknown run id {args.run_id!r} in {root}",
+                  file=sys.stderr)
+            return 2
+        report = gc_checkpoint_dir(root, run_id=args.run_id,
+                                   all_runs=args.all_runs)
+        if args.json:
+            print(json.dumps(
+                {"removed": report.removed, "kept": report.kept,
+                 "bytes_freed": report.bytes_freed},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        print(f"removed {len(report.removed)} run(s), "
+              f"freed {report.bytes_freed} bytes")
+        for run_id in report.removed:
+            print(f"  removed {run_id}")
+        for run_id in report.kept:
+            print(f"  kept    {run_id}  (resumable; gc it by name or --all)")
+        return 0
+
+    if args.action == "inspect":
+        if args.run_id is None:
+            print("checkpoints: inspect needs a run id", file=sys.stderr)
+            return 2
+        info = by_id.get(args.run_id)
+        if info is None:
+            print(f"checkpoints: unknown run id {args.run_id!r} in {root}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(info.to_dict(), indent=2, sort_keys=True))
+            return 0
+        total = "?" if info.pairs_total is None else info.pairs_total
+        print(f"run:         {info.run_id}")
+        print(f"path:        {info.path}")
+        print(f"state:       {info.state}")
+        print(f"pairs:       {info.pairs_done}/{total} committed")
+        print(f"artifacts:   {info.bytes_total} bytes on disk")
+        print(f"age:         {_time.time() - info.mtime:.0f}s since last "
+              "durable write")
+        if info.error:
+            print(f"error:       {info.error}")
+        return 0
+
+    # list
+    if args.json:
+        print(json.dumps([info.to_dict() for info in infos],
+                         indent=2, sort_keys=True))
+        return 0
+    if not infos:
+        print(f"no checkpointed runs under {root}")
+        return 0
+    for info in infos:
+        total = "?" if info.pairs_total is None else info.pairs_total
+        age = _time.time() - info.mtime
+        note = f"  [{info.error}]" if info.error else ""
+        print(f"{info.run_id}  {info.state:<12} "
+              f"{info.pairs_done}/{total} pairs  "
+              f"{info.bytes_total} bytes  {age:.0f}s old{note}")
+    return 0
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -399,6 +563,12 @@ def main(argv: list[str] | None = None) -> int:
     parallel.add_argument("--verify", action="store_true",
                           help="cross-check the pair set against the serial "
                                "reference; non-zero exit on mismatch")
+    parallel.add_argument("--checkpoint-dir", default=None,
+                          help="make coordinator state durable under this "
+                               "directory (process backend only)")
+    parallel.add_argument("--resume", action="store_true",
+                          help="continue a checkpointed run instead of "
+                               "starting over")
     parallel.add_argument("--json", action="store_true",
                           help="emit the run summary as JSON")
     parallel.set_defaults(func=_cmd_parallel)
@@ -425,12 +595,44 @@ def main(argv: list[str] | None = None) -> int:
                        help="injected hang duration; must exceed --timeout")
     chaos.add_argument("--start-method", default=None,
                        choices=["fork", "spawn", "forkserver"])
+    chaos.add_argument("--checkpoint-dir", default=None,
+                       help="durable coordinator state; required for "
+                            "coordinator-kill / torn-manifest faults")
+    chaos.add_argument("--resume", action="store_true",
+                       help="continue a checkpointed chaos run (checkpoint "
+                            "faults are not re-armed on resume)")
+    chaos.add_argument("--kill-coordinator-after", type=int, default=None,
+                       metavar="N",
+                       help="kill the coordinator after checkpoint ordinal N "
+                            "(soft kill auto-resumes in this invocation)")
+    chaos.add_argument("--kill-hard", action="store_true",
+                       help="kill with real SIGKILL instead of the soft "
+                            "in-process kill; the invocation dies and a "
+                            "second one must --resume")
     chaos.add_argument("--bench-out", default=None,
                        help="also write a schema-valid BENCH_*.json with the "
                             "faults block to this path")
     chaos.add_argument("--json", action="store_true",
                        help="emit the chaos report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    checkpoints = sub.add_parser(
+        "checkpoints",
+        help="list/inspect/gc durable join manifests in a checkpoint dir",
+    )
+    checkpoints.add_argument("action", choices=["list", "inspect", "gc"],
+                             help="list all runs, inspect one run, or "
+                                  "garbage-collect finished runs")
+    checkpoints.add_argument("run_id", nargs="?", default=None,
+                             help="run directory name (run-<fingerprint>); "
+                                  "required for inspect, optional for gc")
+    checkpoints.add_argument("--dir", required=True,
+                             help="the checkpoint directory to operate on")
+    checkpoints.add_argument("--all", action="store_true", dest="all_runs",
+                             help="gc every run, including resumable ones")
+    checkpoints.add_argument("--json", action="store_true",
+                             help="emit machine-readable output")
+    checkpoints.set_defaults(func=_cmd_checkpoints)
 
     plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")
     plan.add_argument("--scale", type=float, default=0.005)

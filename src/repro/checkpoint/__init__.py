@@ -1,0 +1,75 @@
+"""Durable checkpoint/resume: crash-safe coordinator state for PBSM joins.
+
+The multiprocess backend's coordinator can die — a crashed host, an OOM
+kill, an operator's ctrl-C — and before this package existed, everything
+it had already paid for (partitioning both inputs, every merged partition
+pair) died with it.  ``repro.checkpoint`` makes that work durable:
+
+* :class:`~repro.checkpoint.manifest.RunFingerprint` — the join's identity
+  (input CRCs, predicate, grid, config), so state can never be resumed
+  into a *different* join;
+* :class:`~repro.checkpoint.manifest.JoinManifest` — a framed,
+  checksummed event log recording the lifecycle of every artifact, only
+  ever replaced via the atomic temp-write/fsync/rename protocol;
+* :class:`~repro.checkpoint.resultlog.ResultLog` — append-only committed
+  pair results, fsynced per commit;
+* :class:`~repro.checkpoint.store.CheckpointStore` — the run directory
+  and the *checkpoint ordinal* clock that the fault layer keys
+  coordinator-kill and torn-manifest injections to.
+
+The invariant the whole package serves: for any kill point and any fault
+plan within budget, **kill + resume produces byte-identical join results
+to an uninterrupted run** — the resumed coordinator re-merges only the
+pairs that never committed.
+"""
+
+from .manifest import (
+    EVENT_TYPES,
+    MANIFEST_VERSION,
+    STATE_COMPLETE,
+    STATE_CREATED,
+    STATE_MERGING,
+    STATE_PARTITIONED,
+    STATES,
+    JoinManifest,
+    RunFingerprint,
+)
+from .resultlog import ResultLog, replay_result_log, result_from_wire, result_to_wire
+from .store import (
+    MANIFEST_FILENAME,
+    RESULTS_FILENAME,
+    RUN_DIR_PREFIX,
+    SPILL_DIRNAME,
+    CheckpointInfo,
+    CheckpointMismatchError,
+    CheckpointStore,
+    GCReport,
+    gc_checkpoint_dir,
+    inspect_checkpoint_dir,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "MANIFEST_FILENAME",
+    "MANIFEST_VERSION",
+    "RESULTS_FILENAME",
+    "RUN_DIR_PREFIX",
+    "SPILL_DIRNAME",
+    "STATES",
+    "STATE_COMPLETE",
+    "STATE_CREATED",
+    "STATE_MERGING",
+    "STATE_PARTITIONED",
+    "CheckpointInfo",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "GCReport",
+    "JoinManifest",
+    "ResultLog",
+    "RunFingerprint",
+    "gc_checkpoint_dir",
+    "inspect_checkpoint_dir",
+    "replay_result_log",
+    "result_from_wire",
+    "result_to_wire",
+]

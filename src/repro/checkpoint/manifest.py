@@ -1,0 +1,306 @@
+"""The join manifest: one run's durable identity and artifact lifecycle.
+
+A :class:`JoinManifest` is an append-only event log with a header:
+
+* **frame 0 — the header**: the manifest format version plus the run's
+  :class:`RunFingerprint` — everything that determines the join's answer
+  (input cardinalities and content CRCs, the predicate, the partitioning
+  grid, the full PBSM config).  Two runs with the same fingerprint are
+  the same join, so their partition spills and committed pair results are
+  interchangeable; a resume against a different fingerprint must refuse.
+* **frames 1..n — events**: ``spills_sealed`` (one side's partition spill
+  files hit disk, with per-file sizes and record counts), ``phase`` (the
+  coordinator advanced its state machine), ``complete`` (the join
+  finished, with its result count).
+
+On disk every frame uses the spill format's ``<len><crc32>payload``
+framing, and the whole file is only ever replaced through the atomic
+write-ahead protocol (:func:`repro.storage.disk.atomic_write_bytes`), so
+a crash leaves either the previous manifest or the new one — and if
+something *does* tear the bytes (a fault injector, a dying disk), the
+loader's contract is strict: it returns a manifest built from an intact
+**prefix** of the event log, or raises
+:class:`~repro.storage.errors.ManifestCorruptionError`.  It never returns
+wrong state — the Hypothesis corruption suite flips every byte to hold it
+to that.
+
+The derived state machine (``created → partitioned → merging →
+complete``) is never stored; it is recomputed from the events, so there
+is no second copy to disagree with the log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.pbsm import PBSMConfig
+from ..core.predicates import Predicate
+from ..storage.errors import ManifestCorruptionError, SpillCorruptionError
+from ..storage.spill import TORN_TAIL_TRUNCATE, pack_frame, read_frames_bytes
+from ..storage.tuples import SpatialTuple, serialize_tuple
+
+MANIFEST_VERSION = 1
+
+HEADER_TYPE = "pbsm-join-manifest"
+
+EVENT_TYPES = ("spills_sealed", "phase", "complete")
+"""Every event kind the loader will accept; anything else is corruption."""
+
+STATE_CREATED = "created"
+STATE_PARTITIONED = "partitioned"
+STATE_MERGING = "merging"
+STATE_COMPLETE = "complete"
+
+STATES = (STATE_CREATED, STATE_PARTITIONED, STATE_MERGING, STATE_COMPLETE)
+
+
+@dataclass(frozen=True)
+class RunFingerprint:
+    """Everything that determines a join's answer, hashed for identity.
+
+    Worker count, retry budgets, and timeouts are deliberately *excluded*:
+    they change how fast the answer arrives, never what it is, so a run
+    checkpointed with 2 workers can resume with 8.
+    """
+
+    count_r: int
+    count_s: int
+    crc_r: int
+    crc_s: int
+    predicate: str
+    num_partitions: int
+    config: Dict[str, object]
+
+    @classmethod
+    def compute(
+        cls,
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+        predicate: Predicate,
+        num_partitions: int,
+        config: PBSMConfig,
+    ) -> "RunFingerprint":
+        return cls(
+            count_r=len(tuples_r),
+            count_s=len(tuples_s),
+            crc_r=_crc_side(tuples_r),
+            crc_s=_crc_side(tuples_s),
+            predicate=getattr(predicate, "__name__", repr(predicate)),
+            num_partitions=num_partitions,
+            config=dataclasses.asdict(config),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count_r": self.count_r,
+            "count_s": self.count_s,
+            "crc_r": self.crc_r,
+            "crc_s": self.crc_s,
+            "predicate": self.predicate,
+            "num_partitions": self.num_partitions,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunFingerprint":
+        return cls(
+            count_r=int(data["count_r"]),
+            count_s=int(data["count_s"]),
+            crc_r=int(data["crc_r"]),
+            crc_s=int(data["crc_s"]),
+            predicate=str(data["predicate"]),
+            num_partitions=int(data["num_partitions"]),
+            config=dict(data["config"]),
+        )
+
+    @property
+    def digest(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    @property
+    def run_id(self) -> str:
+        """The checkpoint directory name: stable, collision-resistant."""
+        return f"run-{self.digest[:12]}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RunFingerprint) and self.to_dict() == other.to_dict()
+        )
+
+
+def _crc_side(tuples: Sequence[SpatialTuple]) -> int:
+    """Order-sensitive CRC32 over one input's serialized tuples."""
+    crc = 0
+    for t in tuples:
+        crc = zlib.crc32(serialize_tuple(t), crc)
+    return crc
+
+
+class JoinManifest:
+    """Header + event log; all state is derived from the events."""
+
+    def __init__(
+        self,
+        fingerprint: RunFingerprint,
+        events: Optional[Sequence[dict]] = None,
+    ):
+        self.fingerprint = fingerprint
+        self.events: List[dict] = [dict(e) for e in (events or [])]
+        self.recovered_torn_tail = False
+        """Set by the loader when a torn tail was truncated away."""
+
+    # ------------------------------------------------------------------ #
+    # derived state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        state = STATE_CREATED
+        sealed = set()
+        for event in self.events:
+            kind = event["type"]
+            if kind == "complete":
+                return STATE_COMPLETE
+            if kind == "phase":
+                state = event["state"]
+            elif kind == "spills_sealed":
+                sealed.add(event["side"])
+                if sealed >= {"r", "s"} and state == STATE_CREATED:
+                    state = STATE_PARTITIONED
+        return state
+
+    def sealed(self, side: str) -> Optional[dict]:
+        """The latest seal event for one side (a re-partition supersedes)."""
+        found = None
+        for event in self.events:
+            if event["type"] == "spills_sealed" and event["side"] == side:
+                found = event
+        return found
+
+    @property
+    def pairs_total(self) -> Optional[int]:
+        """Partition-pair task count, known once merging began."""
+        for event in reversed(self.events):
+            if event["type"] == "phase" and event["state"] == STATE_MERGING:
+                return event.get("pairs_total")
+        return None
+
+    @property
+    def result_count(self) -> Optional[int]:
+        for event in reversed(self.events):
+            if event["type"] == "complete":
+                return event.get("result_count")
+        return None
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def apply(self, event: dict) -> dict:
+        if event.get("type") not in EVENT_TYPES:
+            raise ValueError(f"unknown manifest event type {event.get('type')!r}")
+        self.events.append(dict(event))
+        return event
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        header = {
+            "type": HEADER_TYPE,
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint.to_dict(),
+        }
+        frames = [pack_frame(_encode(header))]
+        frames.extend(pack_frame(_encode(event)) for event in self.events)
+        return b"".join(frames)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, *, label: str = "manifest") -> "JoinManifest":
+        """Load a manifest: an intact event-log prefix, or a typed error.
+
+        A framing violation whose damage reaches the end of the bytes is a
+        torn tail (the atomic protocol was interrupted by something that
+        bypassed it): the events before it are the manifest.  A violation
+        mid-log, a damaged header, or a CRC-valid frame that is not a
+        well-formed event mean the bytes cannot be trusted at all —
+        :class:`ManifestCorruptionError`.
+        """
+        torn: List[SpillCorruptionError] = []
+        try:
+            records = list(
+                read_frames_bytes(
+                    data,
+                    label=label,
+                    torn_tail=TORN_TAIL_TRUNCATE,
+                    on_torn_tail=torn.append,
+                )
+            )
+        except SpillCorruptionError as exc:
+            raise ManifestCorruptionError(
+                f"manifest framing corrupt mid-log: {exc}",
+                path=label, frame_index=exc.frame_index,
+            ) from exc
+        if not records:
+            raise ManifestCorruptionError(
+                "manifest has no intact header frame", path=label, frame_index=0
+            )
+        header = _decode(records[0], label, 0)
+        if (
+            header.get("type") != HEADER_TYPE
+            or header.get("version") != MANIFEST_VERSION
+            or not isinstance(header.get("fingerprint"), dict)
+        ):
+            raise ManifestCorruptionError(
+                f"manifest header is not a version-{MANIFEST_VERSION} "
+                f"{HEADER_TYPE} record",
+                path=label, frame_index=0,
+            )
+        try:
+            fingerprint = RunFingerprint.from_dict(header["fingerprint"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestCorruptionError(
+                f"manifest fingerprint is malformed: {exc}",
+                path=label, frame_index=0,
+            ) from exc
+        events = []
+        for index, record in enumerate(records[1:], start=1):
+            event = _decode(record, label, index)
+            if event.get("type") not in EVENT_TYPES:
+                raise ManifestCorruptionError(
+                    f"manifest frame {index} has unknown event type "
+                    f"{event.get('type')!r}",
+                    path=label, frame_index=index,
+                )
+            events.append(event)
+        manifest = cls(fingerprint, events)
+        manifest.recovered_torn_tail = bool(torn)
+        return manifest
+
+
+def _encode(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _decode(record: bytes, label: str, frame_index: int) -> dict:
+    """A CRC-valid frame must still be a JSON object to be believed."""
+    try:
+        payload = json.loads(record.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ManifestCorruptionError(
+            f"manifest frame {frame_index} is not JSON: {exc}",
+            path=label, frame_index=frame_index,
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ManifestCorruptionError(
+            f"manifest frame {frame_index} is not an object",
+            path=label, frame_index=frame_index,
+        )
+    return payload

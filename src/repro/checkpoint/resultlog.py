@@ -1,0 +1,152 @@
+"""The per-pair result log: committed merge work, append-only and framed.
+
+The manifest records *lifecycle*; this log records *output*.  Every time a
+partition-pair merge+refine completes at the coordinator — whether a
+worker returned it, a retry salvaged it, or the degraded path rebuilt it —
+its :class:`~repro.parallel.tasks.PairTaskResult` is appended here as one
+framed, checksummed JSON record and fsynced before the coordinator
+considers the pair *committed*.  A resume replays the log to learn which
+pairs never need merging again, and re-adopts their spans and metrics so
+the observability story of a resumed run covers the whole join.
+
+Unlike the manifest, this file is never rewritten: appends are cheap and a
+torn final frame (the coordinator died mid-append) is exactly the torn-tail
+case the spill framing already recovers — the pair whose append tore was
+never committed, so dropping it is correct, not lossy.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, BinaryIO, Callable, Dict, List, Optional, Tuple
+
+from ..storage.errors import ManifestCorruptionError, SpillCorruptionError
+from ..storage.spill import TORN_TAIL_TRUNCATE, pack_frame, read_spill
+
+from .manifest import _decode, _encode
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..parallel.tasks import PairTaskResult
+
+RESULT_RECORD_TYPE = "pair_result"
+
+
+def result_to_wire(result: "PairTaskResult") -> dict:
+    """A committed pair result as one JSON-safe log record."""
+    return {
+        "type": RESULT_RECORD_TYPE,
+        "index": result.index,
+        "worker_pid": result.worker_pid,
+        "pairs": [list(p) for p in result.pairs],
+        "candidates": result.candidates,
+        "count_r": result.count_r,
+        "count_s": result.count_s,
+        "wall_s": result.wall_s,
+        "attempt": result.attempt,
+        "degraded": result.degraded,
+        "degraded_reason": result.degraded_reason,
+        "spans": result.spans,
+        "metrics": result.metrics,
+    }
+
+
+def result_from_wire(payload: dict) -> "PairTaskResult":
+    from ..parallel.tasks import PairTaskResult
+
+    if payload.get("type") != RESULT_RECORD_TYPE:
+        raise ValueError(
+            f"result-log record has type {payload.get('type')!r}, "
+            f"expected {RESULT_RECORD_TYPE!r}"
+        )
+    return PairTaskResult(
+        index=int(payload["index"]),
+        worker_pid=int(payload["worker_pid"]),
+        pairs=[(int(a), int(b)) for a, b in payload["pairs"]],
+        candidates=int(payload["candidates"]),
+        count_r=int(payload["count_r"]),
+        count_s=int(payload["count_s"]),
+        wall_s=float(payload["wall_s"]),
+        attempt=int(payload["attempt"]),
+        degraded=bool(payload["degraded"]),
+        degraded_reason=str(payload["degraded_reason"]),
+        spans=list(payload.get("spans", [])),
+        metrics=dict(payload.get("metrics", {})),
+    )
+
+
+class ResultLog:
+    """Append-only writer for the result log; one fsync per commit."""
+
+    def __init__(self, path: "Path | str"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[BinaryIO] = self.path.open("ab")
+
+    def append(self, result: "PairTaskResult", *, fsync: bool = True) -> int:
+        """Durably commit one pair result; returns the bytes appended."""
+        assert self._fh is not None, "result log is closed"
+        frame = pack_frame(_encode(result_to_wire(result)))
+        self._fh.write(frame)
+        self._fh.flush()
+        if fsync:
+            os.fsync(self._fh.fileno())
+        return len(frame)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            fh, self._fh = self._fh, None
+            fh.close()
+
+    def __enter__(self) -> "ResultLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def replay_result_log(
+    path: "Path | str",
+    *,
+    on_torn_tail: Optional[Callable[[SpillCorruptionError], None]] = None,
+) -> Tuple[Dict[int, "PairTaskResult"], bool]:
+    """Read back the committed pair results, keyed by pair index.
+
+    A torn final frame is a clean end of log (the interrupted append never
+    committed); ``on_torn_tail`` observes it and the second return value
+    reports it.  Mid-log damage or a CRC-valid record that is not a
+    well-formed result means the log cannot be trusted and raises
+    :class:`ManifestCorruptionError` — the caller discards the log and
+    requeues every pair, trading redone work for a guaranteed-correct
+    answer.  Duplicate indexes keep the first occurrence: the first append
+    is the one whose commit the coordinator acted on.
+    """
+    path = Path(path)
+    committed: Dict[int, PairTaskResult] = {}
+    torn: List[SpillCorruptionError] = []
+    if not path.exists():
+        return committed, False
+    label = str(path)
+    try:
+        records = list(
+            read_spill(path, torn_tail=TORN_TAIL_TRUNCATE, on_torn_tail=torn.append)
+        )
+    except SpillCorruptionError as exc:
+        raise ManifestCorruptionError(
+            f"result log corrupt mid-file: {exc}",
+            path=label, frame_index=exc.frame_index,
+        ) from exc
+    for index, record in enumerate(records):
+        payload = _decode(record, label, index)
+        try:
+            result = result_from_wire(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestCorruptionError(
+                f"result log frame {index} is not a pair result: {exc}",
+                path=label, frame_index=index,
+            ) from exc
+        committed.setdefault(result.index, result)
+    if torn and on_torn_tail is not None:
+        for error in torn:
+            on_torn_tail(error)
+    return committed, bool(torn)

@@ -1,0 +1,342 @@
+"""The checkpoint store: one run's durable files, and the ordinal clock.
+
+A :class:`CheckpointStore` owns the on-disk layout of one fingerprinted
+run under the user's checkpoint directory::
+
+    <checkpoint_dir>/
+      run-<sha256[:12]>/          one directory per distinct join
+        manifest.bin              framed event log, atomically rewritten
+        results.log               framed pair results, append + fsync
+        spills/                   partition spill files (adoptable)
+
+Every **durable operation** — a manifest rewrite or a result-log append —
+ticks the store's *checkpoint ordinal*.  That clock is what makes crash
+testing deterministic: the fault layer's coordinator-kill and torn-manifest
+injection points are keyed by ordinal ("die after durable op 4"), so a
+test can kill the coordinator at every distinct recovery state the
+protocol can be in, not at whatever wall-clock moment a signal lands.
+
+The store deliberately knows nothing about fault plans; it only reports
+each durable op to an ``on_durable(ordinal, path, kind)`` callback, which
+the coordinator wires to the fault gate (and could equally wire to a
+progress bar).  It also charges an optional :class:`SimulatedDisk` for
+each durable write, so checkpointed experiments see durability in their
+modeled I/O time.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..storage.disk import SimulatedDisk, atomic_write_bytes
+from ..storage.errors import ManifestCorruptionError, SpillCorruptionError
+from ..storage.spill import sweep_orphan_spills
+
+from .manifest import STATE_COMPLETE, JoinManifest, RunFingerprint
+from .resultlog import ResultLog, replay_result_log
+
+if TYPE_CHECKING:  # imported only for typing to avoid a package cycle
+    from ..parallel.tasks import PairTaskResult
+
+MANIFEST_FILENAME = "manifest.bin"
+RESULTS_FILENAME = "results.log"
+SPILL_DIRNAME = "spills"
+
+RUN_DIR_PREFIX = "run-"
+
+DURABLE_MANIFEST = "manifest"
+DURABLE_RESULT = "result"
+
+OnDurable = Callable[[int, str, str], None]
+"""(checkpoint ordinal, path written, kind) — observed *after* the op."""
+
+
+class CheckpointMismatchError(RuntimeError):
+    """``--resume`` pointed at checkpoints for a *different* join.
+
+    Raised when the checkpoint directory holds run state but none of it
+    matches the current inputs/config fingerprint.  Resuming anyway would
+    silently join the wrong data, so this is an error, not a fresh start —
+    the caller must either fix their inputs or pick a new directory.
+    """
+
+    def __init__(self, run_id: str, found: List[str]):
+        super().__init__(
+            f"checkpoint directory has no state for {run_id} "
+            f"(found: {', '.join(found) or 'nothing'}); refusing to resume a "
+            f"different join's checkpoints"
+        )
+        self.run_id = run_id
+        self.found = found
+
+
+class CheckpointStore:
+    """Durable file manager for one fingerprinted run."""
+
+    def __init__(
+        self,
+        root: "Path | str",
+        fingerprint: RunFingerprint,
+        *,
+        disk: Optional[SimulatedDisk] = None,
+        on_durable: Optional[OnDurable] = None,
+    ):
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.disk = disk
+        self.on_durable = on_durable
+        self.run_dir = self.root / fingerprint.run_id
+        self.manifest_path = self.run_dir / MANIFEST_FILENAME
+        self.results_path = self.run_dir / RESULTS_FILENAME
+        self.spill_dir = self.run_dir / SPILL_DIRNAME
+        self.manifest: Optional[JoinManifest] = None
+        self.ordinal = 0
+        """Durable operations completed by *this* coordinator process."""
+        self._results: Optional[ResultLog] = None
+
+    # ------------------------------------------------------------------ #
+    # the ordinal clock
+    # ------------------------------------------------------------------ #
+
+    def _durable(self, path: Path, kind: str, nbytes: int) -> int:
+        self.ordinal += 1
+        if self.disk is not None:
+            self.disk.charge_durable_write(nbytes)
+        if self.on_durable is not None:
+            self.on_durable(self.ordinal, str(path), kind)
+        return self.ordinal
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+
+    def load(self) -> Optional[JoinManifest]:
+        """Read the manifest back, or ``None`` when this run has none.
+
+        Propagates :class:`ManifestCorruptionError`; a torn tail is
+        recovered silently (``manifest.recovered_torn_tail`` reports it).
+        """
+        if not self.manifest_path.exists():
+            return None
+        data = self.manifest_path.read_bytes()
+        manifest = JoinManifest.from_bytes(data, label=str(self.manifest_path))
+        self.manifest = manifest
+        return manifest
+
+    def begin(self, manifest: JoinManifest) -> None:
+        """Adopt ``manifest`` as this run's state and persist it (durable)."""
+        self.manifest = manifest
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self._rewrite_manifest()
+
+    def append_event(self, event: dict) -> dict:
+        """Apply one event to the manifest and atomically persist (durable)."""
+        assert self.manifest is not None, "store has no manifest; call begin()"
+        applied = self.manifest.apply(event)
+        self._rewrite_manifest()
+        return applied
+
+    def _rewrite_manifest(self) -> None:
+        assert self.manifest is not None
+        data = self.manifest.to_bytes()
+        # The disk charge is folded into _durable; atomic_write_bytes only
+        # performs the real-filesystem protocol here.
+        atomic_write_bytes(self.manifest_path, data)
+        self._durable(self.manifest_path, DURABLE_MANIFEST, len(data))
+
+    # ------------------------------------------------------------------ #
+    # result log
+    # ------------------------------------------------------------------ #
+
+    def append_result(self, result: "PairTaskResult") -> None:
+        """Durably commit one pair result (append + fsync; durable)."""
+        if self._results is None:
+            self._results = ResultLog(self.results_path)
+        nbytes = self._results.append(result)
+        self._durable(self.results_path, DURABLE_RESULT, nbytes)
+
+    def replay_results(
+        self,
+        *,
+        on_torn_tail: Optional[Callable[[SpillCorruptionError], None]] = None,
+    ) -> Tuple[Dict[int, "PairTaskResult"], bool]:
+        """Committed results keyed by pair index (see
+        :func:`~repro.checkpoint.resultlog.replay_result_log`)."""
+        return replay_result_log(self.results_path, on_torn_tail=on_torn_tail)
+
+    def discard_results(self) -> None:
+        """Drop an untrustworthy result log: every pair gets requeued."""
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+        try:
+            self.results_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # housekeeping
+    # ------------------------------------------------------------------ #
+
+    def sweep_orphans(self) -> List[str]:
+        """Collect unsealed ``*.tmp`` files a dead writer left in this run."""
+        return sweep_orphan_spills(self.run_dir)
+
+    def sibling_run_ids(self) -> List[str]:
+        """Other runs' ids present in the same checkpoint directory."""
+        return [
+            p.name
+            for p in sorted(self.root.glob(f"{RUN_DIR_PREFIX}*"))
+            if p.is_dir() and p.name != self.fingerprint.run_id
+        ]
+
+    def close(self) -> None:
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# directory-level inspection (the `repro checkpoints` subcommand)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class CheckpointInfo:
+    """One run directory's summary, as listed by ``repro checkpoints``."""
+
+    run_id: str
+    path: str
+    state: str
+    pairs_done: int
+    pairs_total: Optional[int]
+    result_count: Optional[int]
+    bytes_total: int
+    mtime: float
+    error: str = ""
+    """Non-empty when the manifest (or result log) could not be trusted."""
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "path": self.path,
+            "state": self.state,
+            "pairs_done": self.pairs_done,
+            "pairs_total": self.pairs_total,
+            "result_count": self.result_count,
+            "bytes_total": self.bytes_total,
+            "mtime": self.mtime,
+            "error": self.error,
+        }
+
+    @property
+    def complete(self) -> bool:
+        return self.state == STATE_COMPLETE
+
+
+@dataclass
+class GCReport:
+    removed: List[str] = field(default_factory=list)
+    kept: List[str] = field(default_factory=list)
+    bytes_freed: int = 0
+
+
+def _dir_bytes(path: Path) -> int:
+    total = 0
+    for child in path.rglob("*"):
+        if child.is_file():
+            try:
+                total += child.stat().st_size
+            except OSError:
+                continue
+    return total
+
+
+def inspect_checkpoint_dir(root: "Path | str") -> List[CheckpointInfo]:
+    """Summarise every run directory under ``root`` (corrupt ones included)."""
+    root = Path(root)
+    infos: List[CheckpointInfo] = []
+    for run_dir in sorted(root.glob(f"{RUN_DIR_PREFIX}*")):
+        if not run_dir.is_dir():
+            continue
+        manifest_path = run_dir / MANIFEST_FILENAME
+        state = "unknown"
+        pairs_total: Optional[int] = None
+        result_count: Optional[int] = None
+        error = ""
+        try:
+            mtime = manifest_path.stat().st_mtime
+        except OSError:
+            mtime = run_dir.stat().st_mtime
+        if manifest_path.exists():
+            try:
+                manifest = JoinManifest.from_bytes(
+                    manifest_path.read_bytes(), label=str(manifest_path)
+                )
+                state = manifest.state
+                pairs_total = manifest.pairs_total
+                result_count = manifest.result_count
+            except ManifestCorruptionError as exc:
+                state = "corrupt"
+                error = str(exc)
+        else:
+            state = "missing-manifest"
+            error = "no manifest.bin in run directory"
+        pairs_done = 0
+        try:
+            committed, _torn = replay_result_log(run_dir / RESULTS_FILENAME)
+            pairs_done = len(committed)
+        except ManifestCorruptionError as exc:
+            error = error or f"result log untrustworthy: {exc}"
+        infos.append(
+            CheckpointInfo(
+                run_id=run_dir.name,
+                path=str(run_dir),
+                state=state,
+                pairs_done=pairs_done,
+                pairs_total=pairs_total,
+                result_count=result_count,
+                bytes_total=_dir_bytes(run_dir),
+                mtime=mtime,
+                error=error,
+            )
+        )
+    return infos
+
+
+def gc_checkpoint_dir(
+    root: "Path | str",
+    *,
+    run_id: Optional[str] = None,
+    all_runs: bool = False,
+) -> GCReport:
+    """Delete run directories that are finished with (or named explicitly).
+
+    By default only ``complete`` runs are collected — an interrupted run's
+    checkpoints are exactly what a resume needs, so they are kept unless
+    the caller names the run or passes ``all_runs=True``.
+    """
+    report = GCReport()
+    for info in inspect_checkpoint_dir(root):
+        if run_id is not None:
+            collect = info.run_id == run_id
+        elif all_runs:
+            collect = True
+        else:
+            collect = info.complete
+        if collect:
+            shutil.rmtree(info.path, ignore_errors=True)
+            report.removed.append(info.run_id)
+            report.bytes_freed += info.bytes_total
+        else:
+            report.kept.append(info.run_id)
+    return report

@@ -21,10 +21,13 @@ and reports survival.
 
 from .inject import (
     WORKER_CRASH_EXIT_CODE,
+    CheckpointFaultGate,
+    CoordinatorKilledError,
     InjectedFaultError,
     WriteErrorInjector,
     apply_worker_faults,
     tear_frame,
+    tear_tail,
 )
 from .plan import (
     DEFAULT_HANG_S,
@@ -41,6 +44,8 @@ from .plan import (
 __all__ = [
     "DEFAULT_HANG_S",
     "DEFAULT_SLOW_S",
+    "CheckpointFaultGate",
+    "CoordinatorKilledError",
     "FaultPlan",
     "FaultSpec",
     "InjectedFaultError",
@@ -53,4 +58,5 @@ __all__ = [
     "apply_worker_faults",
     "load_plan",
     "tear_frame",
+    "tear_tail",
 ]

@@ -12,10 +12,11 @@ already-written spill frame so the CRC path has something real to catch.
 from __future__ import annotations
 
 import os
+import signal
 import struct
 import time
 from pathlib import Path
-from typing import Optional, Set, Tuple
+from typing import Callable, Optional, Set, Tuple
 
 from ..storage.spill import FRAME_HEADER_SIZE
 from .plan import FaultPlan, WorkerFaults
@@ -107,6 +108,108 @@ class WriteErrorInjector:
                 f"injected spill write error (side {side!r}, record {ordinal})",
                 kind="disk_write_error",
             )
+
+
+class CoordinatorKilledError(RuntimeError):
+    """The coordinator was (softly) killed by an injected checkpoint fault.
+
+    The soft kill mode raises this instead of sending ``SIGKILL`` so tests
+    and the chaos CLI can observe the death, then resume, inside one
+    process.  ``ordinal`` is the checkpoint ordinal the kill fired after —
+    everything durable up to and including that op must survive.
+    """
+
+    def __init__(self, ordinal: int):
+        super().__init__(
+            f"coordinator killed by fault injection after checkpoint "
+            f"ordinal {ordinal}"
+        )
+        self.ordinal = ordinal
+
+
+class CheckpointFaultGate:
+    """Fires checkpoint-ordinal faults as the store reports durable ops.
+
+    The coordinator wires :meth:`after_durable` into its
+    :class:`~repro.checkpoint.store.CheckpointStore`'s ``on_durable``
+    callback.  After durable op N completes, the gate tears the manifest's
+    tail if N is a planned torn-manifest ordinal, then kills the
+    coordinator if N is a planned kill ordinal — tear first, so a plan
+    combining both at one ordinal leaves torn state behind for the resume
+    to recover.  Each point is one-shot.
+
+    ``hard=True`` kills with ``SIGKILL`` (no cleanup, no exception — what
+    the CI chaos job does to prove recovery against a real process death);
+    the default soft kill raises :class:`CoordinatorKilledError`.
+    ``on_event(kind)`` observes each fired fault (``"coordinator_kill"`` /
+    ``"torn_manifest"``) for the coordinator's fault tally.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan],
+        *,
+        hard: bool = False,
+        on_event: Optional[Callable[[str], None]] = None,
+        extra_kills: Tuple[int, ...] = (),
+    ):
+        self._kills: Set[int] = (
+            set(plan.coordinator_kill_ordinals) if plan else set()
+        )
+        self._kills.update(extra_kills)
+        self._tears: Set[int] = (
+            set(plan.torn_manifest_ordinals) if plan else set()
+        )
+        self.hard = hard
+        self.on_event = on_event
+        self.fired_kills = 0
+        self.fired_tears = 0
+        self._manifest_path: Optional[str] = None
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._kills or self._tears)
+
+    def _emit(self, kind: str) -> None:
+        if self.on_event is not None:
+            self.on_event(kind)
+
+    def after_durable(self, ordinal: int, path: str, kind: str) -> None:
+        if kind == "manifest":
+            self._manifest_path = path
+        if ordinal in self._tears:
+            self._tears.discard(ordinal)
+            if self._manifest_path is not None:
+                tear_tail(self._manifest_path)
+                self.fired_tears += 1
+                self._emit("torn_manifest")
+        if ordinal in self._kills:
+            self._kills.discard(ordinal)
+            self.fired_kills += 1
+            self._emit("coordinator_kill")
+            if self.hard:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise CoordinatorKilledError(ordinal)
+
+
+def tear_tail(path: "Path | str") -> bool:
+    """Damage a file's final byte in place (a torn-tail write, simulated).
+
+    This models durability loss *past* the atomic protocol — firmware
+    lying about fsync, a medium error — so resume's prefix-recovery path
+    has something real to recover from.  Returns False for an empty or
+    missing file (nothing to tear).
+    """
+    path = Path(path)
+    try:
+        data = bytearray(path.read_bytes())
+    except FileNotFoundError:
+        return False
+    if not data:
+        return False
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return True
 
 
 def tear_frame(path: "Path | str", frame: int) -> int:

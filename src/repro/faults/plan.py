@@ -16,6 +16,12 @@ an exact, replayable point:
 * **torn frames** name a ``(side, partition, frame)`` whose spill file the
   coordinator corrupts *after* writing it — exercising the CRC path and
   the quarantine/degrade machinery rather than the retry path.
+* **coordinator kills** and **torn manifests** are keyed by *checkpoint
+  ordinal* — the count of durable checkpoint operations (manifest rewrites
+  and result-log appends) the coordinator has completed.  A kill stops the
+  coordinator dead right after durable op N; a torn manifest damages the
+  manifest's tail at that point.  Both exist to exercise the
+  checkpoint/resume path and need a ``checkpoint_dir`` to be survivable.
 
 Two compilations from the same ``(spec, seed, num_pairs)`` are equal, which
 is the determinism contract the fault-matrix suite is built on: replaying a
@@ -54,6 +60,12 @@ class FaultSpec:
     """Tasks that sleep past the task timeout."""
     slow_tasks: int = 0
     """Stragglers: tasks that sleep but finish inside the timeout."""
+    coordinator_kills: int = 0
+    """Coordinator deaths keyed by checkpoint ordinal (needs a checkpoint
+    dir to be survivable — the resume path is what they exercise)."""
+    torn_manifests: int = 0
+    """Manifest files damaged at the tail after a durable write, so resume
+    must exercise prefix recovery."""
     hang_s: float = DEFAULT_HANG_S
     slow_s: float = DEFAULT_SLOW_S
 
@@ -62,6 +74,7 @@ class FaultSpec:
         return (
             self.disk_read_errors + self.disk_write_errors + self.torn_frames
             + self.worker_crashes + self.hangs + self.slow_tasks
+            + self.coordinator_kills + self.torn_manifests
         )
 
     def to_dict(self) -> dict:
@@ -132,6 +145,11 @@ class FaultPlan:
     worker_faults: Mapping[int, WorkerFaults] = field(default_factory=dict)
     torn_frames: Tuple[TornFrame, ...] = ()
     write_errors: Tuple[WriteError, ...] = ()
+    coordinator_kill_ordinals: Tuple[int, ...] = ()
+    """Checkpoint ordinals after which the coordinator dies (see
+    :class:`repro.faults.inject.CheckpointFaultGate`)."""
+    torn_manifest_ordinals: Tuple[int, ...] = ()
+    """Checkpoint ordinals after which the manifest's tail is damaged."""
 
     # ------------------------------------------------------------------ #
 
@@ -186,6 +204,18 @@ class FaultPlan:
             WriteError(side=rng.choice("rs"), ordinal=rng.randrange(1 << 10))
             for _ in range(spec.disk_write_errors)
         )
+        # Checkpoint-ordinal faults.  A fresh run's durable ops are:
+        # 1 = manifest init, 2/3 = spill seals, 4 = merging phase, then one
+        # per committed pair.  Kills draw from [2, 5) — after real work
+        # exists to preserve, before the worker pool spawns, so a hard
+        # SIGKILL cannot orphan workers.  Manifest tears draw from [1, 5):
+        # any manifest rewrite's tail is fair game.
+        kills = tuple(
+            sorted(rng.randrange(2, 5) for _ in range(spec.coordinator_kills))
+        )
+        manifest_tears = tuple(
+            sorted(rng.randrange(1, 5) for _ in range(spec.torn_manifests))
+        )
         return cls(
             seed=seed,
             num_pairs=num_pairs,
@@ -193,6 +223,8 @@ class FaultPlan:
             worker_faults=worker_faults,
             torn_frames=torn,
             write_errors=writes,
+            coordinator_kill_ordinals=kills,
+            torn_manifest_ordinals=manifest_tears,
         )
 
     # ------------------------------------------------------------------ #
@@ -243,6 +275,8 @@ NAMED_SPECS: Dict[str, FaultSpec] = {
     "worker_crash": FaultSpec(worker_crashes=1),
     "hang": FaultSpec(hangs=1),
     "slow": FaultSpec(slow_tasks=2),
+    "coordinator_kill": FaultSpec(coordinator_kills=1),
+    "torn_manifest": FaultSpec(torn_manifests=1),
     "combined": FaultSpec(
         disk_read_errors=1,
         disk_write_errors=1,

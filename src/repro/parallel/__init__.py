@@ -29,7 +29,14 @@ from .engine import (
     serial_feature_pairs,
 )
 from .process import ProcessPBSM
-from .tasks import PairTask, PairTaskResult, WorkerTaskError, run_pair_task
+from .tasks import (
+    PairTask,
+    PairTaskResult,
+    PartitionSpill,
+    SpillHandle,
+    WorkerTaskError,
+    run_pair_task,
+)
 
 __all__ = [
     "BACKENDS",
@@ -41,7 +48,9 @@ __all__ = [
     "PairTaskResult",
     "ParallelJoinResult",
     "ParallelPBSM",
+    "PartitionSpill",
     "ProcessPBSM",
+    "SpillHandle",
     "REMOTE_FETCH_SECONDS",
     "REPLICATE_MBRS",
     "REPLICATE_OBJECTS",

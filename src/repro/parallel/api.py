@@ -59,6 +59,8 @@ def parallel_join(
     fault_plan: Optional[FaultPlan] = None,
     task_timeout_s: Optional[float] = None,
     max_task_retries: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ParallelJoinResult:
     """Run the join on the chosen backend; pairs are feature-id pairs.
 
@@ -70,11 +72,21 @@ def parallel_join(
     ``fault_plan``/``task_timeout_s``/``max_task_retries`` configure the
     process backend's chaos + recovery machinery (see :mod:`repro.faults`)
     and are rejected for backends that have no real processes to hurt.
+    ``checkpoint_dir`` makes the process coordinator's state durable
+    (:mod:`repro.checkpoint`); ``resume=True`` continues a checkpointed
+    run instead of starting over.  Both are process-backend-only: the
+    other backends have no coordinator that can die mid-join.
     """
     if backend != BACKEND_PROCESS and fault_plan is not None:
         raise ValueError(
             f"fault injection requires the process backend, not {backend!r}"
         )
+    if backend != BACKEND_PROCESS and (checkpoint_dir is not None or resume):
+        raise ValueError(
+            f"checkpoint/resume requires the process backend, not {backend!r}"
+        )
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
     if backend == BACKEND_SERIAL:
         wall_start = time.perf_counter()
         pairs, sim_seconds = serial_feature_pairs(tuples_r, tuples_s, predicate)
@@ -101,7 +113,10 @@ def parallel_join(
             workers, num_partitions=num_partitions, config=config,
             start_method=start_method, tracer=tracer, metrics=metrics,
             fault_plan=fault_plan, task_timeout_s=task_timeout_s,
+            checkpoint_dir=checkpoint_dir,
             **extra,
         )
+        if resume:
+            return engine.resume(tuples_r, tuples_s, predicate)
         return engine.run(tuples_r, tuples_s, predicate)
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -82,6 +82,9 @@ class TaskReport:
     degraded: bool = False
     """True when the coordinator rebuilt this pair serially after the
     process path exhausted its retries or quarantined its spill."""
+    resumed: bool = False
+    """True when this pair's result was replayed from a checkpoint's
+    result log instead of being merged by this run."""
 
 
 @dataclass
@@ -112,6 +115,12 @@ class ParallelJoinResult:
     fault_summary: Dict[str, int] = field(default_factory=dict)
     """Fault/recovery event tallies (injected_*, retries, timeouts,
     quarantined, degraded, pool_respawns); empty on a clean run."""
+    resumed_pairs: List[int] = field(default_factory=list)
+    """Partition pairs whose results were adopted from a checkpoint's
+    result log rather than merged by this run (empty unless resuming)."""
+    checkpoint_run_id: str = ""
+    """The checkpoint run directory this run wrote (or resumed), when
+    checkpointing was enabled."""
 
     def __len__(self) -> int:
         return len(self.pairs)

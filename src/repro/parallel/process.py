@@ -37,6 +37,15 @@ equivalence tests and the fault-matrix suite assert exactly that.
 Deterministic fault injection plugs in via ``fault_plan=`` (see
 :mod:`repro.faults`); every recovery action is counted in the
 ``faults.*`` metrics and summarised on the result.
+
+The coordinator itself is made killable by ``checkpoint_dir=``
+(:mod:`repro.checkpoint`): the run writes a durable join manifest and a
+per-pair result log, and :meth:`ProcessPBSM.resume` rebuilds the run from
+them — re-adopting intact partition spills, replaying committed pairs'
+results, metrics, and spans, and re-merging only the pairs that never
+committed.  Kill + resume produces the byte-identical pair set of an
+uninterrupted run; the kill-matrix suite asserts it at every checkpoint
+ordinal.
 """
 
 from __future__ import annotations
@@ -50,26 +59,43 @@ import time
 from collections import Counter as TallyCounter
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..checkpoint.manifest import (
+    STATE_COMPLETE,
+    STATE_MERGING,
+    JoinManifest,
+    RunFingerprint,
+)
+from ..checkpoint.store import CheckpointMismatchError, CheckpointStore
 from ..core.partition import SpatialPartitioner
 from ..core.pbsm import PBSMConfig
 from ..core.predicates import Predicate
-from ..faults.inject import InjectedFaultError, WriteErrorInjector, tear_frame
+from ..faults.inject import (
+    CheckpointFaultGate,
+    InjectedFaultError,
+    WriteErrorInjector,
+    tear_frame,
+)
 from ..faults.plan import FaultPlan
 from ..obs.metrics import LATENCY_BUCKETS_S, NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
+from ..storage.errors import ManifestCorruptionError
 from ..storage.tuples import SpatialTuple
 from .engine import NodeReport, ParallelJoinResult, TaskReport
 from .tasks import (
     PairTask,
     PairTaskResult,
     PartitionSpill,
+    SpillHandle,
     WorkerTaskError,
     fid_keypointer,
     merge_refine_pair,
     run_pair_task,
 )
+
+SideSpills = List[Union[PartitionSpill, SpillHandle]]
+"""One side's per-partition spills: freshly written or checkpoint-adopted."""
 
 DEFAULT_TASK_MEMORY = 8 * 1024 * 1024
 """Per-task merge memory budget (drives §3.5 recursion, when enabled)."""
@@ -114,6 +140,9 @@ class ProcessPBSM:
         max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
         degrade_on_failure: bool = True,
+        checkpoint_dir: Optional[str] = None,
+        kill_coordinator_after: Optional[int] = None,
+        kill_hard: bool = False,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -136,6 +165,19 @@ class ProcessPBSM:
         self.max_task_retries = max_task_retries
         self.retry_backoff_s = retry_backoff_s
         self.degrade_on_failure = degrade_on_failure
+        self.checkpoint_dir = checkpoint_dir
+        """Directory for durable run state (manifest, result log, spills);
+        ``None`` disables checkpointing and keeps spills in a tempdir."""
+        if kill_coordinator_after is not None:
+            if checkpoint_dir is None:
+                raise ValueError(
+                    "kill_coordinator_after requires checkpoint_dir: an "
+                    "unchecked coordinator kill just loses the run"
+                )
+            if kill_coordinator_after < 1:
+                raise ValueError("kill ordinal must be >= 1")
+        self.kill_coordinator_after = kill_coordinator_after
+        self.kill_hard = kill_hard
         self._faults: TallyCounter = TallyCounter()
 
     # ------------------------------------------------------------------ #
@@ -148,7 +190,45 @@ class ProcessPBSM:
     ) -> ParallelJoinResult:
         """Partition, schedule, execute, recover, merge.  Pairs are feature
         ids; the set is identical to the serial reference even when the
-        run degrades partitions after faults."""
+        run degrades partitions after faults.
+
+        With ``checkpoint_dir`` set, every durable step (manifest updates
+        and per-pair result commits) is written through the atomic
+        protocol first, so a died coordinator can be picked up by
+        :meth:`resume`.  Existing checkpoint state for the same join is
+        *discarded* — ``run()`` means start over; only ``resume()``
+        adopts."""
+        return self._run(tuples_r, tuples_s, predicate, resuming=False)
+
+    def resume(
+        self,
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+        predicate: Predicate,
+    ) -> ParallelJoinResult:
+        """Continue a checkpointed run from its durable state.
+
+        Validates the run fingerprint (inputs, predicate, grid, config)
+        against the checkpoint directory, re-adopts partition spills that
+        are intact, replays committed pairs from the result log (their
+        metrics and spans are merged into this run's observability), and
+        re-merges only the pairs that never committed.  Raises
+        :class:`~repro.checkpoint.store.CheckpointMismatchError` when the
+        directory holds a *different* join's state; a missing or torn
+        manifest degrades to a fresh (but still checkpointed) run.
+        """
+        if self.checkpoint_dir is None:
+            raise ValueError("resume() requires checkpoint_dir")
+        return self._run(tuples_r, tuples_s, predicate, resuming=True)
+
+    def _run(
+        self,
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+        predicate: Predicate,
+        *,
+        resuming: bool,
+    ) -> ParallelJoinResult:
         started = time.perf_counter()
         self._faults = TallyCounter()
         if not tuples_r or not tuples_s:
@@ -156,34 +236,116 @@ class ProcessPBSM:
                 [], backend="process", wall_s=time.perf_counter() - started
             )
 
-        spill_root = tempfile.mkdtemp(prefix="repro-pbsm-", dir=self.spill_dir)
+        store: Optional[CheckpointStore] = None
+        manifest: Optional[JoinManifest] = None
+        committed: Dict[int, PairTaskResult] = {}
+        run_id = ""
+        if self.checkpoint_dir is not None:
+            fingerprint = RunFingerprint.compute(
+                tuples_r, tuples_s, predicate, self.num_partitions, self.config
+            )
+            run_id = fingerprint.run_id
+            # A resume is the recovery run: the plan's coordinator-kill and
+            # torn-manifest points already fired (or are waived) — re-arming
+            # them would make recovery unrecoverable.  An *explicit*
+            # kill_coordinator_after still applies (killing the recovery
+            # coordinator too is a legitimate test), so callers that
+            # auto-resume must clear it first.
+            gate = CheckpointFaultGate(
+                None if resuming else self.fault_plan,
+                hard=self.kill_hard,
+                on_event=self._gate_event,
+                extra_kills=(
+                    ()
+                    if self.kill_coordinator_after is None
+                    else (self.kill_coordinator_after,)
+                ),
+            )
+            store = CheckpointStore(
+                self.checkpoint_dir, fingerprint, on_durable=gate.after_durable
+            )
+            store.run_dir.mkdir(parents=True, exist_ok=True)
+            swept = store.sweep_orphans()
+            if swept:
+                self._count("orphan_spills_swept", len(swept))
+            manifest, committed = self._recover_state(store, resuming)
+            store.begin(manifest)
+            spill_root = str(store.spill_dir)
+        else:
+            spill_root = tempfile.mkdtemp(
+                prefix="repro-pbsm-", dir=self.spill_dir
+            )
+
         try:
             partitioner = self._partitioner(tuples_r, tuples_s)
             injector = WriteErrorInjector(self.fault_plan)
+            fresh_sides: Set[str] = set()
             with self.tracer.span("process.partition"):
-                spills_r, placed_r = self._partition_side_resilient(
-                    "r", tuples_r, partitioner, spill_root, injector
+                spills_r, placed_r = self._obtain_side(
+                    "r", tuples_r, partitioner, spill_root, injector,
+                    store, fresh_sides,
                 )
-                spills_s, placed_s = self._partition_side_resilient(
-                    "s", tuples_s, partitioner, spill_root, injector
+                spills_s, placed_s = self._obtain_side(
+                    "s", tuples_s, partitioner, spill_root, injector,
+                    store, fresh_sides,
                 )
-            if self.fault_plan and self.fault_plan.torn_frames:
-                self._apply_torn_frames(spills_r, spills_s)
-            tasks = self._build_tasks(spills_r, spills_s, predicate)
+            if self.fault_plan and self.fault_plan.torn_frames and fresh_sides:
+                # Only freshly written sides: re-tearing an adopted spill
+                # would XOR the same byte back to clean — and the fault
+                # already happened in the run that wrote it.
+                self._apply_torn_frames(spills_r, spills_s, fresh_sides)
+            all_tasks = self._build_tasks(spills_r, spills_s, predicate)
+            tasks = [t for t in all_tasks if t.index not in committed]
+            for index in sorted(committed):
+                prior = committed[index]
+                if prior.spans:
+                    self.tracer.adopt_wire(prior.spans, worker=prior.worker_pid)
+                if prior.metrics:
+                    self.metrics.merge_snapshot(prior.metrics)
+            on_result: Optional[Callable[[PairTaskResult], None]] = None
+            if store is not None:
+                assert manifest is not None
+                if (
+                    manifest.pairs_total is None
+                    and manifest.state != STATE_COMPLETE
+                ):
+                    store.append_event(
+                        {
+                            "type": "phase",
+                            "state": STATE_MERGING,
+                            "pairs_total": len(all_tasks),
+                        }
+                    )
+                on_result = store.append_result
             with self.tracer.span("process.execute", tasks=len(tasks)):
-                outcomes, exhausted, quarantined = self._execute(tasks)
+                outcomes, exhausted, quarantined = self._execute(
+                    tasks, on_result=on_result
+                )
             failed = set(exhausted) | quarantined
             if failed:
-                outcomes.extend(
-                    self._degrade_pairs(
-                        failed, exhausted, quarantined,
-                        tuples_r, tuples_s, partitioner, predicate,
-                    )
+                degraded = self._degrade_pairs(
+                    failed, exhausted, quarantined,
+                    tuples_r, tuples_s, partitioner, predicate,
                 )
-                outcomes.sort(key=lambda o: o.index)
+                if store is not None:
+                    for outcome in degraded:
+                        store.append_result(outcome)
+                outcomes.extend(degraded)
+            outcomes.extend(committed[index] for index in sorted(committed))
+            outcomes.sort(key=lambda o: o.index)
             merged = sorted(set().union(*(o.pairs for o in outcomes), set()))
+            if store is not None:
+                assert manifest is not None
+                if manifest.state != STATE_COMPLETE:
+                    store.append_event(
+                        {"type": "complete", "result_count": len(merged)}
+                    )
         finally:
-            shutil.rmtree(spill_root, ignore_errors=True)
+            if store is not None:
+                store.sweep_orphans()
+                store.close()
+            else:
+                shutil.rmtree(spill_root, ignore_errors=True)
 
         result = ParallelJoinResult(
             merged,
@@ -202,6 +364,7 @@ class ProcessPBSM:
                     worker_pid=o.worker_pid,
                     attempts=o.attempt + 1,
                     degraded=o.degraded,
+                    resumed=o.index in committed,
                 )
                 for o in outcomes
             ],
@@ -209,11 +372,143 @@ class ProcessPBSM:
                 o.index for o in outcomes if o.degraded
             ),
             fault_summary=dict(self._faults),
+            resumed_pairs=sorted(committed),
+            checkpoint_run_id=run_id,
         )
         self.metrics.gauge("parallel.process.partitions").set(self.num_partitions)
         self.metrics.gauge("parallel.process.workers").set(self.workers)
         self.metrics.counter("parallel.process.tasks").inc(len(outcomes))
         return result
+
+    # ------------------------------------------------------------------ #
+    # checkpoint recovery
+    # ------------------------------------------------------------------ #
+
+    def _gate_event(self, kind: str) -> None:
+        if kind == "coordinator_kill":
+            self._count("injected_coordinator_kills")
+        elif kind == "torn_manifest":
+            self._count("injected_torn_manifests")
+
+    def _recover_state(
+        self, store: CheckpointStore, resuming: bool
+    ) -> Tuple[JoinManifest, Dict[int, PairTaskResult]]:
+        """Decide what durable state this run starts from.
+
+        ``run()`` (not resuming) owns its directory outright: same-
+        fingerprint leftovers are discarded.  ``resume()`` loads the
+        manifest — a torn tail recovers to its intact prefix, a corrupt
+        manifest (or one for a directory holding only *other* joins) is
+        handled per the contract in :meth:`resume` — and replays the
+        result log into the committed-pair map; an untrustworthy log is
+        discarded wholesale, requeueing every pair.
+        """
+        if not resuming:
+            store.discard_results()
+            return JoinManifest(store.fingerprint), {}
+        try:
+            manifest = store.load()
+        except ManifestCorruptionError:
+            self._count("manifest_discarded")
+            store.discard_results()
+            return JoinManifest(store.fingerprint), {}
+        if manifest is None:
+            siblings = store.sibling_run_ids()
+            if siblings:
+                raise CheckpointMismatchError(
+                    store.fingerprint.run_id, siblings
+                )
+            return JoinManifest(store.fingerprint), {}
+        if manifest.recovered_torn_tail:
+            self._count("torn_tail_recovered")
+        committed: Dict[int, PairTaskResult] = {}
+        try:
+            committed, torn = store.replay_results()
+            if torn:
+                self._count("torn_tail_recovered")
+        except ManifestCorruptionError:
+            self._count("result_log_discarded")
+            store.discard_results()
+            committed = {}
+        if committed:
+            self._count("resumed_pairs", len(committed))
+        return manifest, committed
+
+    def _obtain_side(
+        self,
+        side: str,
+        tuples: Sequence[SpatialTuple],
+        partitioner: SpatialPartitioner,
+        spill_root: str,
+        injector: WriteErrorInjector,
+        store: Optional[CheckpointStore],
+        fresh_sides: Set[str],
+    ) -> Tuple[SideSpills, int]:
+        """Adopt one side's sealed spills from the checkpoint, else spill it.
+
+        Adoption requires every recorded file to exist at its recorded
+        size; anything less re-partitions the side from the base relation
+        and appends a superseding seal event (last seal per side wins)."""
+        manifest = store.manifest if store is not None else None
+        if manifest is not None:
+            seal = manifest.sealed(side)
+            if seal is not None:
+                handles = self._adopt_spills(seal, spill_root)
+                if handles is not None:
+                    self._count("spill_sides_adopted")
+                    return handles, int(seal["placed"])
+                self._count("spill_sides_rebuilt")
+        spills, placed = self._partition_side_resilient(
+            side, tuples, partitioner, spill_root, injector,
+            atomic=store is not None,
+        )
+        fresh_sides.add(side)
+        if store is not None:
+            store.append_event(
+                {
+                    "type": "spills_sealed",
+                    "side": side,
+                    "placed": placed,
+                    "files": [
+                        {
+                            "partition": p,
+                            "kp": os.path.basename(s.kp_path),
+                            "tup": os.path.basename(s.tuple_path),
+                            "kp_bytes": os.path.getsize(s.kp_path),
+                            "tup_bytes": os.path.getsize(s.tuple_path),
+                            "count": s.count,
+                        }
+                        for p, s in enumerate(spills)
+                    ],
+                }
+            )
+        return list(spills), placed
+
+    def _adopt_spills(
+        self, seal: dict, spill_root: str
+    ) -> Optional[SideSpills]:
+        """Re-validate one seal event against the disk; ``None`` = rebuild."""
+        files = seal.get("files", [])
+        if len(files) != self.num_partitions:
+            return None
+        handles: SideSpills = []
+        for entry in files:
+            kp = os.path.join(spill_root, entry["kp"])
+            tup = os.path.join(spill_root, entry["tup"])
+            try:
+                if (
+                    os.path.getsize(kp) != entry["kp_bytes"]
+                    or os.path.getsize(tup) != entry["tup_bytes"]
+                ):
+                    return None
+            except OSError:
+                return None
+            handles.append(
+                SpillHandle(
+                    kp_path=kp, tuple_path=tup, count=int(entry["count"])
+                )
+            )
+        return handles
 
     def _count(self, what: str, amount: int = 1) -> None:
         """One fault/recovery event: tallied on the run *and* in metrics."""
@@ -248,6 +543,7 @@ class ProcessPBSM:
         partitioner: SpatialPartitioner,
         spill_root: str,
         injector: WriteErrorInjector,
+        atomic: bool = False,
     ) -> Tuple[List[PartitionSpill], int]:
         """Spill one side, rewriting the whole pass on a disk write error.
 
@@ -259,7 +555,7 @@ class ProcessPBSM:
         for _ in range(PARTITION_WRITE_RETRIES + 1):
             try:
                 return self._partition_side(
-                    side, tuples, partitioner, spill_root, injector
+                    side, tuples, partitioner, spill_root, injector, atomic
                 )
             except InjectedFaultError as exc:
                 last = exc
@@ -275,10 +571,15 @@ class ProcessPBSM:
         partitioner: SpatialPartitioner,
         spill_root: str,
         injector: WriteErrorInjector,
+        atomic: bool = False,
     ) -> Tuple[List[PartitionSpill], int]:
-        """Spill one input, replicated across the partitions it overlaps."""
+        """Spill one input, replicated across the partitions it overlaps.
+
+        With ``atomic=True`` (checkpointed runs) each spill stages through
+        ``*.tmp`` and only reaches its final name sealed, so a resume can
+        trust any spill file that exists under the run directory."""
         spills = [
-            PartitionSpill(spill_root, side, p)
+            PartitionSpill(spill_root, side, p, atomic=atomic)
             for p in range(self.num_partitions)
         ]
         placed = 0
@@ -289,8 +590,10 @@ class ProcessPBSM:
                     spills[p].add(t)
                     placed += 1
         except BaseException:
+            # Abort, not remove: discard in-progress temp files *and* any
+            # sealed output, leaving no spill litter on the failure path.
             for spill in spills:
-                spill.remove()
+                spill.abort()
             raise
         for spill in spills:
             spill.close()
@@ -301,14 +604,17 @@ class ProcessPBSM:
 
     def _apply_torn_frames(
         self,
-        spills_r: List[PartitionSpill],
-        spills_s: List[PartitionSpill],
+        spills_r: SideSpills,
+        spills_s: SideSpills,
+        sides: Optional[Set[str]] = None,
     ) -> None:
         """Corrupt the planned spill frames on disk, post-write.
 
         A torn frame in a partition that never becomes a task would go
         unread, so plans targeting an inactive pair are redirected onto an
-        active one deterministically — the fault always has a victim."""
+        active one deterministically — the fault always has a victim.
+        ``sides`` (when given) restricts tearing to those sides: a resumed
+        run tears only what it freshly wrote, never adopted spills."""
         assert self.fault_plan is not None
         active = [
             p
@@ -319,6 +625,8 @@ class ProcessPBSM:
             return
         active_set = set(active)
         for torn in self.fault_plan.torn_frames:
+            if sides is not None and torn.side not in sides:
+                continue
             partition = torn.partition % self.num_partitions
             if partition not in active_set:
                 partition = active[torn.partition % len(active)]
@@ -328,8 +636,8 @@ class ProcessPBSM:
 
     def _build_tasks(
         self,
-        spills_r: List[PartitionSpill],
-        spills_s: List[PartitionSpill],
+        spills_r: SideSpills,
+        spills_s: SideSpills,
         predicate: Predicate,
     ) -> List[PairTask]:
         """One task per non-empty partition pair, in LPT order."""
@@ -369,7 +677,9 @@ class ProcessPBSM:
     # ------------------------------------------------------------------ #
 
     def _execute(
-        self, tasks: List[PairTask]
+        self,
+        tasks: List[PairTask],
+        on_result: Optional[Callable[[PairTaskResult], None]] = None,
     ) -> Tuple[List[PairTaskResult], Dict[int, WorkerTaskError], Set[int]]:
         """Run the tasks on the pool, recovering from task and pool faults.
 
@@ -379,6 +689,10 @@ class ProcessPBSM:
         queue is what rebalances skew; retries simply re-enter it, so a
         re-dispatched pair lands on whichever worker survives and frees up
         first.
+
+        ``on_result`` observes each harvested result *before* its spans and
+        metrics are adopted — the checkpoint layer commits the pair there,
+        so a kill mid-harvest loses at most the one uncommitted result.
         """
         if not tasks:
             return [], {}, set()
@@ -484,6 +798,8 @@ class ProcessPBSM:
                         )
                     else:
                         outcomes.append(outcome)
+                        if on_result is not None:
+                            on_result(outcome)
                         if outcome.spans:
                             self.tracer.adopt_wire(
                                 outcome.spans, worker=outcome.worker_pid

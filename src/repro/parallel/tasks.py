@@ -122,14 +122,24 @@ class WorkerTaskError(RuntimeError):
 
 
 class PartitionSpill:
-    """Writer for one partition's key-pointer + tuple spill files."""
+    """Writer for one partition's key-pointer + tuple spill files.
 
-    def __init__(self, directory: str, side: str, index: int):
+    A context manager with writer semantics: a clean ``with`` exit seals
+    both files, an exception aborts them (partial files are deleted, so a
+    failed partitioning pass cannot leak ``.kp``/``.tup`` litter).  With
+    ``atomic=True`` both files stage through ``*.tmp`` and only appear
+    under their final names once complete — what checkpointed runs need so
+    a resume can trust any spill file that *exists*.
+    """
+
+    def __init__(
+        self, directory: str, side: str, index: int, *, atomic: bool = False
+    ):
         base = os.path.join(directory, f"part{index:04d}.{side}")
         self.kp_path = base + ".kp"
         self.tuple_path = base + ".tup"
-        self._kp = SpillWriter(self.kp_path)
-        self._tuples = SpillWriter(self.tuple_path)
+        self._kp = SpillWriter(self.kp_path, atomic=atomic)
+        self._tuples = SpillWriter(self.tuple_path, atomic=atomic)
 
     @property
     def count(self) -> int:
@@ -143,6 +153,11 @@ class PartitionSpill:
         self._kp.close()
         self._tuples.close()
 
+    def abort(self) -> None:
+        """Discard both writes, deleting whatever reached the disk."""
+        self._kp.abort()
+        self._tuples.abort()
+
     def remove(self) -> None:
         """Delete the files (a failed partitioning pass starts over)."""
         self.close()
@@ -151,6 +166,30 @@ class PartitionSpill:
                 os.unlink(path)
             except FileNotFoundError:
                 pass
+
+    def __enter__(self) -> "PartitionSpill":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+@dataclass(frozen=True)
+class SpillHandle:
+    """A sealed partition spill adopted from a checkpoint, read-only.
+
+    Duck-compatible with :class:`PartitionSpill` where the coordinator
+    builds tasks (``kp_path`` / ``tuple_path`` / ``count``): a resumed run
+    mixes adopted handles and freshly written spills without caring which
+    is which.
+    """
+
+    kp_path: str
+    tuple_path: str
+    count: int
 
 
 def read_keypointer_spill(path: str) -> List[FidKeyPointer]:

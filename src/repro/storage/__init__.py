@@ -2,8 +2,15 @@
 
 from .buffer import BufferPool, BufferPoolError, pages_for_megabytes
 from .database import Database
-from .disk import PAGE_SIZE, DiskStats, IOCostModel, SimulatedDisk
+from .disk import (
+    PAGE_SIZE,
+    DiskStats,
+    IOCostModel,
+    SimulatedDisk,
+    atomic_write_bytes,
+)
 from .errors import (
+    ManifestCorruptionError,
     PageSizeError,
     SpillCorruptionError,
     StorageError,
@@ -32,6 +39,7 @@ __all__ = [
     "HeapFile",
     "HeapFileError",
     "IOCostModel",
+    "ManifestCorruptionError",
     "PageSizeError",
     "Relation",
     "SimulatedDisk",
@@ -40,6 +48,7 @@ __all__ = [
     "StorageError",
     "UnallocatedPageError",
     "UnknownFileError",
+    "atomic_write_bytes",
     "deserialize_tuple",
     "pages_for_megabytes",
     "serialize_tuple",

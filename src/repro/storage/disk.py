@@ -10,12 +10,23 @@ on the same device) or random (requires a seek).  Simulated I/O time is then
 All page traffic in the repository goes through here, so buffer-pool-size
 experiments and the paper's I/O-contribution breakdowns (Table 4) are
 reproducible and deterministic.
+
+This module also owns the **atomic write-ahead protocol** the checkpoint
+subsystem persists join manifests with: :func:`atomic_write_bytes` writes
+a temp file, fsyncs it, and renames it over the target, so a reader only
+ever sees the old bytes or the new bytes — never a tear.  The simulated
+disk models the same protocol's price (:meth:`SimulatedDisk.fsync` and
+:meth:`SimulatedDisk.charge_durable_write`, charged at
+:attr:`IOCostModel.fsync_time`), so experiments that checkpoint can
+account for durability like any other I/O.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 from .errors import PageSizeError, UnallocatedPageError, UnknownFileError
 
@@ -31,11 +42,13 @@ class IOCostModel:
     """Charges for the simulated disk, in seconds.
 
     Defaults model a mid-90s SCSI disk: ~10 ms average seek + rotational
-    delay, ~5 MB/s transfer (an 8 KB page in ~1.6 ms).
+    delay, ~5 MB/s transfer (an 8 KB page in ~1.6 ms).  An fsync forces
+    the write cache out and waits for the platter — charged like a seek.
     """
 
     seek_time: float = 0.010
     transfer_time: float = 0.0016
+    fsync_time: float = 0.010
 
 
 @dataclass
@@ -47,6 +60,7 @@ class DiskStats:
     random_reads: int = 0
     random_writes: int = 0
     pages_allocated: int = 0
+    fsyncs: int = 0
 
     def copy(self) -> "DiskStats":
         return DiskStats(
@@ -55,6 +69,7 @@ class DiskStats:
             self.random_reads,
             self.random_writes,
             self.pages_allocated,
+            self.fsyncs,
         )
 
     def minus(self, earlier: "DiskStats") -> "DiskStats":
@@ -64,6 +79,7 @@ class DiskStats:
             self.random_reads - earlier.random_reads,
             self.random_writes - earlier.random_writes,
             self.pages_allocated - earlier.pages_allocated,
+            self.fsyncs - earlier.fsyncs,
         )
 
     @property
@@ -75,7 +91,11 @@ class DiskStats:
         return self.random_reads + self.random_writes
 
     def io_time(self, cost: IOCostModel) -> float:
-        return self.seeks * cost.seek_time + self.total_ios * cost.transfer_time
+        return (
+            self.seeks * cost.seek_time
+            + self.total_ios * cost.transfer_time
+            + self.fsyncs * cost.fsync_time
+        )
 
 
 class SimulatedDisk:
@@ -162,6 +182,31 @@ class SimulatedDisk:
         self._pages[pid] = bytes(data)
 
     # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+
+    def fsync(self, file_id: int) -> None:
+        """Force one file's writes to stable storage (cost-model only:
+        the in-memory page store is always 'durable')."""
+        if file_id not in self._file_lengths:
+            raise UnknownFileError(f"fsync of unknown file {file_id}")
+        self.stats.fsyncs += 1
+
+    def charge_durable_write(self, nbytes: int) -> None:
+        """Charge the atomic write-ahead protocol for ``nbytes`` of state.
+
+        Models what :func:`atomic_write_bytes` does on a real disk: seek
+        to the temp file (one random write), stream the payload (page-
+        sized sequential writes), fsync the data, then fsync the directory
+        so the rename is durable.  Checkpointing code calls this so the
+        simulated cost model sees durability as I/O, not as magic.
+        """
+        pages = max(1, -(-int(nbytes) // PAGE_SIZE))
+        self.stats.page_writes += pages
+        self.stats.random_writes += 1
+        self.stats.fsyncs += 2
+
+    # ------------------------------------------------------------------ #
     # metering helpers
     # ------------------------------------------------------------------ #
 
@@ -170,3 +215,50 @@ class SimulatedDisk:
 
     def io_time_since(self, snapshot: DiskStats) -> float:
         return self.stats.minus(snapshot).io_time(self.cost_model)
+
+
+# ---------------------------------------------------------------------- #
+# the atomic write-ahead protocol (real filesystem)
+# ---------------------------------------------------------------------- #
+
+ATOMIC_TMP_SUFFIX = ".tmp"
+"""Suffix of the not-yet-renamed temp file an atomic write stages into."""
+
+
+def atomic_write_bytes(
+    path: "Path | str",
+    data: bytes,
+    *,
+    fsync: bool = True,
+    disk: Optional[SimulatedDisk] = None,
+) -> Path:
+    """Crash-safely replace ``path`` with ``data``: write temp, fsync, rename.
+
+    A reader concurrent with (or resumed after) a crash sees either the
+    complete old bytes or the complete new bytes under ``path`` — the
+    half-written state only ever exists under ``<path>.tmp``, which orphan
+    sweeps collect.  ``disk`` (optional) charges the protocol's modeled
+    cost on a :class:`SimulatedDisk` via :meth:`~SimulatedDisk.charge_durable_write`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ATOMIC_TMP_SUFFIX)
+    with tmp.open("wb") as fh:
+        fh.write(data)
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:
+            dir_fd = -1  # platform without directory fds: best effort
+        if dir_fd >= 0:
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+    if disk is not None:
+        disk.charge_durable_write(len(data))
+    return path

@@ -10,6 +10,9 @@ hierarchy here fixes that:
   (torn frame header, truncated record, CRC mismatch).  Carries the path,
   the frame index, and the byte offset of the damage, so a coordinator can
   quarantine exactly the file that is lying.
+* :class:`ManifestCorruptionError` — a join-checkpoint manifest cannot be
+  loaded as a trustworthy prefix of its event log (damaged header frame,
+  mid-log framing break, or a CRC-valid frame holding a malformed event).
 * :class:`UnallocatedPageError` — page I/O against a page that was never
   allocated.
 * :class:`PageSizeError` — a page buffer of the wrong length.
@@ -64,6 +67,23 @@ def _rebuild_spill_corruption(
     return SpillCorruptionError(
         message, path=path, frame_index=frame_index, offset=offset
     )
+
+
+class ManifestCorruptionError(StorageError, ValueError):
+    """A join manifest's bytes cannot be trusted.
+
+    Raised by the checkpoint loader when the manifest's header frame is
+    damaged, a CRC-valid frame carries something that is not a well-formed
+    event, or the framing is broken in the middle of the log (a torn
+    *tail* is not corruption — the loader truncates it to the last intact
+    event instead).  The loader's contract is: return a strict prefix of
+    the true event log, or raise this — never wrong state.
+    """
+
+    def __init__(self, message: str, *, path: str = "", frame_index: int = -1):
+        super().__init__(message)
+        self.path = str(path)
+        self.frame_index = frame_index
 
 
 class UnallocatedPageError(StorageError, KeyError):

@@ -18,14 +18,29 @@ garbage: every framing violation raises
 :class:`~repro.storage.errors.SpillCorruptionError` carrying the path, the
 frame index, and the byte offset of the damaged frame, so the coordinator
 can quarantine exactly the partition whose file is lying.
+
+Crash recovery reads the same files with ``torn_tail="truncate"``: a
+violation whose damage reaches the end of the file is what a died-mid-
+append writer leaves behind, so the reader treats it as a clean end of
+log and yields the intact prefix.  Damage *followed by* more bytes is
+still corruption and still raises — a torn tail cannot have a successor
+frame.
+
+Writers can be atomic (``SpillWriter(path, atomic=True)``): records go to
+``<path>.tmp`` and the file is fsynced and renamed into place on close,
+so a reader never observes a half-written spill under its final name and
+an abandoned write leaves only a ``*.tmp`` orphan for
+:func:`sweep_orphan_spills` to collect.
 """
 
 from __future__ import annotations
 
+import io
+import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterable, Iterator, List
+from typing import BinaryIO, Callable, Iterable, Iterator, List, Optional
 
 from .errors import SpillCorruptionError
 
@@ -37,36 +52,83 @@ FRAME_HEADER_SIZE = _HEADER.size
 MAX_RECORD_BYTES = 1 << 30
 """Sanity bound on one framed record (catches corrupt length prefixes)."""
 
+TORN_TAIL_ERROR = "error"
+"""Any framing violation raises, even at the end of the file."""
+
+TORN_TAIL_TRUNCATE = "truncate"
+"""A violation whose damage reaches EOF ends the log cleanly instead."""
+
+TMP_SUFFIX = ".tmp"
+"""Suffix of unsealed (atomic, not yet renamed) spill files."""
+
+
+def pack_frame(record: bytes) -> bytes:
+    """One framed record: length + CRC32 header, then the payload."""
+    if len(record) > MAX_RECORD_BYTES:
+        raise ValueError(f"record of {len(record)} bytes exceeds frame bound")
+    return _HEADER.pack(len(record), zlib.crc32(record)) + record
+
 
 class SpillWriter:
     """Append length-prefixed, checksummed records to a spill file.
 
-    Usable as a context manager; ``count`` tracks records written so the
-    coordinator can seed scheduling estimates without re-reading the file.
+    Usable as a context manager: a clean exit seals the file, an exception
+    aborts it (the partial file is deleted — an abandoned partition must
+    not leave its frames on disk).  With ``atomic=True`` records are
+    written to ``<path>.tmp`` and fsync+renamed into place on close, so
+    the final path only ever holds a completely written spill.  ``count``
+    tracks records written so the coordinator can seed scheduling
+    estimates without re-reading the file.
     """
 
-    def __init__(self, path: "Path | str"):
+    def __init__(self, path: "Path | str", *, atomic: bool = False):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("wb")
+        self.atomic = atomic
+        self._write_path = (
+            self.path.with_name(self.path.name + TMP_SUFFIX)
+            if atomic
+            else self.path
+        )
+        self._fh: Optional[BinaryIO] = self._write_path.open("wb")
         self.count = 0
 
     def append(self, record: bytes) -> None:
-        if len(record) > MAX_RECORD_BYTES:
-            raise ValueError(f"record of {len(record)} bytes exceeds frame bound")
-        self._fh.write(_HEADER.pack(len(record), zlib.crc32(record)))
-        self._fh.write(record)
+        assert self._fh is not None, "writer is closed"
+        self._fh.write(pack_frame(record))
         self.count += 1
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        """Seal the file: flush (and, when atomic, fsync + rename)."""
+        if self._fh is None:
+            return
+        fh, self._fh = self._fh, None
+        if self.atomic:
+            fh.flush()
+            os.fsync(fh.fileno())
+        fh.close()
+        if self.atomic:
+            os.replace(self._write_path, self.path)
+
+    def abort(self) -> None:
+        """Discard the write: close and delete whatever hit the disk."""
+        if self._fh is not None:
+            fh, self._fh = self._fh, None
+            fh.close()
+        for path in {self._write_path, self.path}:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
 
     def __enter__(self) -> "SpillWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 def write_spill(path: "Path | str", records: Iterable[bytes]) -> int:
@@ -77,54 +139,132 @@ def write_spill(path: "Path | str", records: Iterable[bytes]) -> int:
         return writer.count
 
 
-def read_spill(path: "Path | str") -> Iterator[bytes]:
+def sweep_orphan_spills(directory: "Path | str") -> List[str]:
+    """Delete every unsealed ``*.tmp`` file under ``directory``.
+
+    Atomic writers that died before their rename leave these behind; the
+    coordinator calls this on its failure paths (and before a resume) so
+    an abandoned partitioning pass cannot leak its frames forever.
+    Returns the paths removed.
+    """
+    directory = Path(directory)
+    removed: List[str] = []
+    if not directory.is_dir():
+        return removed
+    for path in sorted(directory.rglob(f"*{TMP_SUFFIX}")):
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            continue
+        removed.append(str(path))
+    return removed
+
+
+def _read_frames(
+    fh: BinaryIO,
+    size: int,
+    label: str,
+    torn_tail: str,
+    on_torn_tail: Optional[Callable[[SpillCorruptionError], None]],
+) -> Iterator[bytes]:
+    """The framing scanner shared by file and in-memory readers.
+
+    ``torn_tail`` picks the policy for a framing violation whose damaged
+    region reaches the end of the input: :data:`TORN_TAIL_ERROR` raises,
+    :data:`TORN_TAIL_TRUNCATE` calls ``on_torn_tail`` (if given) with the
+    would-be error and ends the iteration — the intact prefix is the log.
+    A violation with bytes *after* the damaged frame always raises: that
+    is mid-file corruption, not a torn append.
+    """
+    if torn_tail not in (TORN_TAIL_ERROR, TORN_TAIL_TRUNCATE):
+        raise ValueError(f"unknown torn-tail policy {torn_tail!r}")
+    frame_index = 0
+    offset = 0
+    while True:
+        header = fh.read(FRAME_HEADER_SIZE)
+        if not header:
+            return
+
+        def violation(message: str, *, at_tail: bool) -> SpillCorruptionError:
+            error = SpillCorruptionError(
+                f"{message} in {label} (frame {frame_index} at byte {offset})",
+                path=label, frame_index=frame_index, offset=offset,
+            )
+            if at_tail and torn_tail == TORN_TAIL_TRUNCATE:
+                if on_torn_tail is not None:
+                    on_torn_tail(error)
+                return None  # type: ignore[return-value]  # sentinel: stop
+            raise error
+
+        if len(header) < FRAME_HEADER_SIZE:
+            # A short header read necessarily touches EOF.
+            violation("torn frame header", at_tail=True)
+            return
+        length, expected_crc = _HEADER.unpack(header)
+        frame_end = offset + FRAME_HEADER_SIZE + length
+        if length > MAX_RECORD_BYTES:
+            # The length prefix is garbage; framing cannot resync past it,
+            # so it only counts as a tail when nothing could follow it.
+            violation("corrupt frame length", at_tail=frame_end >= size)
+            return
+        record = fh.read(length)
+        if len(record) < length:
+            violation(
+                f"truncated record ({len(record)} of {length} bytes)",
+                at_tail=True,
+            )
+            return
+        actual_crc = zlib.crc32(record)
+        if actual_crc != expected_crc:
+            violation(
+                f"checksum mismatch (crc32 {actual_crc:#010x} != stored "
+                f"{expected_crc:#010x})",
+                at_tail=frame_end >= size,
+            )
+            return
+        yield record
+        frame_index += 1
+        offset = frame_end
+
+
+def read_spill(
+    path: "Path | str",
+    *,
+    torn_tail: str = TORN_TAIL_ERROR,
+    on_torn_tail: Optional[Callable[[SpillCorruptionError], None]] = None,
+) -> Iterator[bytes]:
     """Yield the records of a spill file in write order.
 
     Raises :class:`SpillCorruptionError` on any framing violation: a torn
     header, an implausible length, a truncated record, or a CRC mismatch.
+    With ``torn_tail="truncate"`` a violation at the end of the file — what
+    a writer that died mid-append leaves — is a clean end-of-log instead;
+    ``on_torn_tail`` (if given) observes the recovered damage.
     """
     path = Path(path)
+    size = os.path.getsize(path)
     with path.open("rb") as fh:
-        frame_index = 0
-        offset = 0
-        while True:
-            header = fh.read(FRAME_HEADER_SIZE)
-            if not header:
-                return
-            if len(header) < FRAME_HEADER_SIZE:
-                raise SpillCorruptionError(
-                    f"torn frame header in {path} "
-                    f"(frame {frame_index} at byte {offset})",
-                    path=str(path), frame_index=frame_index, offset=offset,
-                )
-            length, expected_crc = _HEADER.unpack(header)
-            if length > MAX_RECORD_BYTES:
-                raise SpillCorruptionError(
-                    f"corrupt frame length {length} in {path} "
-                    f"(frame {frame_index} at byte {offset})",
-                    path=str(path), frame_index=frame_index, offset=offset,
-                )
-            record = fh.read(length)
-            if len(record) < length:
-                raise SpillCorruptionError(
-                    f"truncated record in {path} "
-                    f"(frame {frame_index} at byte {offset}: "
-                    f"{len(record)} of {length} bytes)",
-                    path=str(path), frame_index=frame_index, offset=offset,
-                )
-            actual_crc = zlib.crc32(record)
-            if actual_crc != expected_crc:
-                raise SpillCorruptionError(
-                    f"checksum mismatch in {path} "
-                    f"(frame {frame_index} at byte {offset}: "
-                    f"crc32 {actual_crc:#010x} != stored {expected_crc:#010x})",
-                    path=str(path), frame_index=frame_index, offset=offset,
-                )
-            yield record
-            frame_index += 1
-            offset += FRAME_HEADER_SIZE + length
+        yield from _read_frames(fh, size, str(path), torn_tail, on_torn_tail)
 
 
-def read_spill_all(path: "Path | str") -> List[bytes]:
+def read_frames_bytes(
+    data: bytes,
+    *,
+    label: str = "<bytes>",
+    torn_tail: str = TORN_TAIL_ERROR,
+    on_torn_tail: Optional[Callable[[SpillCorruptionError], None]] = None,
+) -> Iterator[bytes]:
+    """:func:`read_spill` over an in-memory byte string (manifest loading)."""
+    yield from _read_frames(
+        io.BytesIO(data), len(data), label, torn_tail, on_torn_tail
+    )
+
+
+def read_spill_all(
+    path: "Path | str",
+    *,
+    torn_tail: str = TORN_TAIL_ERROR,
+    on_torn_tail: Optional[Callable[[SpillCorruptionError], None]] = None,
+) -> List[bytes]:
     """Materialise a whole spill file (partitions are sized to fit)."""
-    return list(read_spill(path))
+    return list(read_spill(path, torn_tail=torn_tail, on_torn_tail=on_torn_tail))

@@ -137,3 +137,103 @@ class TestErrorType:
             "/tmp/p.spill", 7, 123
         )
         assert str(clone) == "boom"
+
+
+class TestTornTailTruncate:
+    """Resume-side read mode: damage at EOF ends the log, mid-log raises."""
+
+    def test_torn_tail_yields_the_intact_prefix(self, tmp_path):
+        from repro.faults import tear_tail
+        from repro.storage.spill import TORN_TAIL_TRUNCATE
+
+        path = tmp_path / "t.spill"
+        write_spill(path, RECORDS)
+        assert tear_tail(path)
+        seen = []
+        records = read_spill_all(
+            path, torn_tail=TORN_TAIL_TRUNCATE, on_torn_tail=seen.append
+        )
+        assert records == RECORDS[:-1]
+        assert len(seen) == 1 and isinstance(seen[0], SpillCorruptionError)
+
+    def test_truncated_file_yields_the_intact_prefix(self, tmp_path):
+        from repro.storage.spill import TORN_TAIL_TRUNCATE
+
+        path = tmp_path / "t.spill"
+        write_spill(path, RECORDS)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        records = read_spill_all(path, torn_tail=TORN_TAIL_TRUNCATE)
+        assert records == RECORDS[:-1]
+
+    def test_mid_log_damage_still_raises(self, tmp_path):
+        from repro.storage.spill import TORN_TAIL_TRUNCATE
+
+        path = tmp_path / "t.spill"
+        write_spill(path, RECORDS)
+        tear_frame(path, 0)  # later intact frames: not a torn tail
+        with pytest.raises(SpillCorruptionError):
+            read_spill_all(path, torn_tail=TORN_TAIL_TRUNCATE)
+
+    def test_default_mode_raises_even_at_the_tail(self, tmp_path):
+        from repro.faults import tear_tail
+
+        path = tmp_path / "t.spill"
+        write_spill(path, RECORDS)
+        tear_tail(path)
+        with pytest.raises(SpillCorruptionError):
+            read_spill_all(path)
+
+    def test_unknown_mode_is_rejected(self, tmp_path):
+        path = tmp_path / "t.spill"
+        write_spill(path, RECORDS)
+        with pytest.raises(ValueError):
+            read_spill_all(path, torn_tail="maybe")
+
+
+class TestAtomicWriter:
+    def test_atomic_writer_stages_then_renames(self, tmp_path):
+        path = tmp_path / "part.spill"
+        writer = SpillWriter(path, atomic=True)
+        writer.append(b"alpha")
+        assert not path.exists()
+        assert path.with_name("part.spill.tmp").exists()
+        writer.close()
+        assert path.exists()
+        assert not path.with_name("part.spill.tmp").exists()
+        assert read_spill_all(path) == [b"alpha"]
+
+    def test_context_manager_exception_aborts(self, tmp_path):
+        path = tmp_path / "part.spill"
+        with pytest.raises(RuntimeError):
+            with SpillWriter(path, atomic=True) as writer:
+                writer.append(b"alpha")
+                raise RuntimeError("partitioning failed")
+        assert not path.exists()
+        assert not path.with_name("part.spill.tmp").exists()
+
+    def test_abort_removes_non_atomic_partial_too(self, tmp_path):
+        path = tmp_path / "part.spill"
+        writer = SpillWriter(path)
+        writer.append(b"alpha")
+        writer.abort()
+        assert not path.exists()
+
+    def test_sweep_orphan_spills(self, tmp_path):
+        from repro.storage.spill import sweep_orphan_spills
+
+        sealed = tmp_path / "spills" / "r_0.kp"
+        write_spill(sealed, [b"keep me"])
+        orphan = tmp_path / "spills" / "r_1.kp.tmp"
+        orphan.write_bytes(b"half")
+        nested = tmp_path / "spills" / "deep" / "s_2.tup.tmp"
+        nested.parent.mkdir()
+        nested.write_bytes(b"half")
+        removed = sweep_orphan_spills(tmp_path)
+        assert set(removed) == {str(orphan), str(nested)}
+        assert sealed.exists() and not orphan.exists() and not nested.exists()
+
+    def test_sweep_of_missing_directory_is_empty(self, tmp_path):
+        from repro.storage.spill import sweep_orphan_spills
+
+        assert sweep_orphan_spills(tmp_path / "nope") == []

@@ -204,3 +204,64 @@ class TestCostModel:
         stats = DiskStats(page_reads=4, page_writes=6, random_reads=1, random_writes=2)
         assert stats.total_ios == 10
         assert stats.seeks == 3
+
+
+class TestDurability:
+    def test_fsync_counts_and_validates_the_file(self):
+        disk = SimulatedDisk()
+        fid = disk.create_file()
+        disk.fsync(fid)
+        assert disk.stats.fsyncs == 1
+        from repro.storage.disk import UnknownFileError
+
+        with pytest.raises(UnknownFileError):
+            disk.fsync(fid + 1)
+
+    def test_fsync_time_enters_the_cost_model(self):
+        cost = IOCostModel(seek_time=0.0, transfer_time=0.0)
+        assert cost.fsync_time > 0
+        stats = DiskStats(fsyncs=3)
+        assert stats.io_time(cost) == pytest.approx(3 * cost.fsync_time)
+
+    def test_charge_durable_write_models_the_atomic_protocol(self):
+        disk = SimulatedDisk()
+        disk.charge_durable_write(1)  # under a page still pays one page
+        assert disk.stats.page_writes == 1
+        assert disk.stats.random_writes == 1
+        assert disk.stats.fsyncs == 2  # data fsync + directory fsync
+        disk.charge_durable_write(PAGE_SIZE * 2 + 1)
+        assert disk.stats.page_writes == 1 + 3
+
+    def test_stats_copy_and_diff_carry_fsyncs(self):
+        disk = SimulatedDisk()
+        snap = disk.snapshot()
+        disk.charge_durable_write(10)
+        assert snap.fsyncs == 0
+        assert disk.stats.minus(snap).fsyncs == 2
+
+
+class TestAtomicWriteBytes:
+    def test_replaces_the_file_and_cleans_the_temp(self, tmp_path):
+        from repro.storage.disk import ATOMIC_TMP_SUFFIX, atomic_write_bytes
+
+        path = tmp_path / "state.bin"
+        atomic_write_bytes(path, b"v1")
+        atomic_write_bytes(path, b"v2-longer")
+        assert path.read_bytes() == b"v2-longer"
+        assert not path.with_name(path.name + ATOMIC_TMP_SUFFIX).exists()
+
+    def test_creates_parent_directories(self, tmp_path):
+        from repro.storage.disk import atomic_write_bytes
+
+        path = tmp_path / "a" / "b" / "state.bin"
+        atomic_write_bytes(path, b"deep")
+        assert path.read_bytes() == b"deep"
+
+    def test_charges_the_simulated_disk_when_given(self, tmp_path):
+        from repro.storage.disk import atomic_write_bytes
+
+        disk = SimulatedDisk()
+        atomic_write_bytes(tmp_path / "s.bin", b"x" * (PAGE_SIZE + 1),
+                           disk=disk)
+        assert disk.stats.page_writes == 2
+        assert disk.stats.fsyncs == 2

@@ -171,3 +171,147 @@ class TestChaosCLI:
         document = json.loads(capsys.readouterr().out)
         assert document["survived"] is True
         assert document["plan"] == "combined"
+
+
+class TestCheckpointCLI:
+    def test_parallel_resume_without_dir_exits_2(self, capsys):
+        assert main(["parallel", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_parallel_checkpoint_needs_process_backend(self, capsys):
+        assert main(["parallel", "--backend", "serial",
+                     "--checkpoint-dir", "x"]) == 2
+        assert "process" in capsys.readouterr().err
+
+    def test_parallel_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        base = ["parallel", "--backend", "process", "--workers", "2",
+                "--scale", "0.001", "--checkpoint-dir", ckpt,
+                "--verify", "--json"]
+        assert main(base) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["verified_against_serial"] is True
+        assert first["checkpoint_run_id"].startswith("run-")
+        assert first["resumed_pairs"] == []
+
+        assert main(base + ["--resume"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["verified_against_serial"] is True
+        assert second["checkpoint_run_id"] == first["checkpoint_run_id"]
+        assert len(second["resumed_pairs"]) == second["tasks"]
+
+    def test_chaos_kill_without_dir_exits_2(self, capsys):
+        assert main(["chaos", "--plan", "none",
+                     "--kill-coordinator-after", "3"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_chaos_checkpoint_plan_without_dir_exits_2(self, capsys):
+        assert main(["chaos", "--plan", "coordinator_kill", "--seed", "3"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_chaos_bad_kill_ordinal_exits_2(self, capsys):
+        assert main(["chaos", "--plan", "none", "--checkpoint-dir", "x",
+                     "--kill-coordinator-after", "0"]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_chaos_soft_kill_auto_resumes_in_one_invocation(
+        self, capsys, tmp_path
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        args = ["chaos", "--plan", "none", "--scale", "0.001",
+                "--workers", "2", "--checkpoint-dir", ckpt,
+                "--kill-coordinator-after", "6", "--json"]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["survived"] is True
+        assert document["coordinator_killed_at"] == 6
+        # Ordinals 5 and 6 committed two results before the kill; the
+        # auto-resume adopted exactly those.
+        assert len(document["resumed_pairs"]) == 2
+        assert document["faults"]["coordinator_killed_at"] == 6
+        assert document["faults"]["resumed_pairs"] == 2
+
+    def test_chaos_coordinator_kill_plan_auto_resumes(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        args = ["chaos", "--plan", "coordinator_kill", "--seed", "3",
+                "--scale", "0.001", "--workers", "2",
+                "--checkpoint-dir", ckpt, "--json"]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["survived"] is True
+        assert document["coordinator_killed_at"] is not None
+
+    def test_checkpoints_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["checkpoints", "list",
+                     "--dir", str(tmp_path / "nope")]) == 2
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_checkpoints_unknown_run_exits_2(self, capsys, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        for action in ("inspect", "gc"):
+            assert main(["checkpoints", action, "run-ffffffffffff",
+                         "--dir", str(tmp_path)]) == 2
+            assert "unknown run id" in capsys.readouterr().err
+
+    def test_checkpoints_inspect_needs_run_id(self, capsys, tmp_path):
+        assert main(["checkpoints", "inspect", "--dir", str(tmp_path)]) == 2
+        assert "needs a run id" in capsys.readouterr().err
+
+    def test_checkpoints_list_inspect_gc_lifecycle(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        assert main(["parallel", "--backend", "process", "--workers", "2",
+                     "--scale", "0.001", "--checkpoint-dir", str(ckpt),
+                     "--json"]) == 0
+        run_id = json.loads(capsys.readouterr().out)["checkpoint_run_id"]
+
+        assert main(["checkpoints", "list", "--dir", str(ckpt),
+                     "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert [i["run_id"] for i in listed] == [run_id]
+        assert listed[0]["state"] == "complete"
+
+        assert main(["checkpoints", "inspect", run_id,
+                     "--dir", str(ckpt), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["pairs_done"] == info["pairs_total"]
+        assert info["bytes_total"] > 0
+
+        assert main(["checkpoints", "gc", "--dir", str(ckpt), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed"] == [run_id]
+        assert report["bytes_freed"] > 0
+
+        assert main(["checkpoints", "list", "--dir", str(ckpt)]) == 0
+        assert "no checkpointed runs" in capsys.readouterr().out
+
+    def test_checkpoints_gc_keeps_resumable_runs_by_default(
+        self, capsys, tmp_path
+    ):
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        ckpt = tmp_path / "ckpt"
+        # Interrupt a run (real SIGKILL, in a subprocess) so its
+        # checkpoints stay resumable.
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [_sys.executable, "-m", "repro", "chaos", "--plan", "none",
+             "--scale", "0.001", "--workers", "2",
+             "--checkpoint-dir", str(ckpt),
+             "--kill-coordinator-after", "4", "--kill-hard"],
+            capture_output=True, env=env,
+        )
+        assert proc.returncode == -9  # SIGKILL: a real coordinator death
+
+        assert main(["checkpoints", "gc", "--dir", str(ckpt), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed"] == [] and len(report["kept"]) == 1
+
+        assert main(["checkpoints", "gc", "--dir", str(ckpt), "--all",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["removed"]) == 1
