@@ -9,7 +9,15 @@ fetches blow up.
 """
 
 from repro import IndexedNestedLoopsJoin, PBSMJoin, RTreeJoin, intersects
-from repro.bench import BENCH_SCALE, PAPER_BUFFER_MB, ResultTable, fresh_tiger
+from repro.bench import (
+    BENCH_SCALE,
+    PAPER_BUFFER_MB,
+    ResultTable,
+    fresh_tiger,
+    scaled_buffer_mb,
+)
+from repro.bench.harness import RESULTS_DIR
+from repro.obs.bench import bench_record, write_bench_file
 
 
 def test_table4_io_breakdown(benchmark):
@@ -49,6 +57,21 @@ def test_table4_io_breakdown(benchmark):
                     cells.append(f"{tot:8.2f}/{io:7.2f}/{pct:4.1f}")
                 table.add(name, comp, *cells)
         table.emit("table4_io_breakdown.txt")
+        write_bench_file(
+            "table4_io_breakdown",
+            [
+                bench_record(
+                    reports[(name, mb)],
+                    scale=BENCH_SCALE,
+                    buffer_mb=mb,
+                    buffer_mb_scaled=scaled_buffer_mb(mb, BENCH_SCALE),
+                    algorithm=name,
+                )
+                for mb in sorted(PAPER_BUFFER_MB)
+                for name in algos
+            ],
+            RESULTS_DIR,
+        )
         return reports
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)

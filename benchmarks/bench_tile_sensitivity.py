@@ -7,7 +7,9 @@ on 1024 tiles.)
 """
 
 from repro import PBSMConfig, PBSMJoin, intersects
-from repro.bench import BENCH_SCALE, ResultTable, fresh_tiger
+from repro.bench import BENCH_SCALE, ResultTable, fresh_tiger, scaled_buffer_mb
+from repro.bench.harness import RESULTS_DIR
+from repro.obs.bench import bench_record, write_bench_file
 
 TILE_SWEEP = (256, 1024, 4096)
 BUFFER = 8.0
@@ -17,12 +19,22 @@ def test_tile_count_sensitivity(benchmark):
     def run():
         times = {}
         counts = set()
+        records = []
         for tiles in TILE_SWEEP:
             db, rels = fresh_tiger(BUFFER, include=("road", "hydro"))
             cfg = PBSMConfig(num_tiles=tiles)
             res = PBSMJoin(db.pool, cfg).run(rels["road"], rels["hydro"], intersects)
             times[tiles] = res.report.total_s
             counts.add(len(res.pairs))
+            record = bench_record(
+                res.report,
+                scale=BENCH_SCALE,
+                buffer_mb=BUFFER,
+                buffer_mb_scaled=scaled_buffer_mb(BUFFER, BENCH_SCALE),
+                algorithm=f"PBSM/tiles={tiles}",
+            )
+            record.setdefault("notes", {})["num_tiles"] = tiles
+            records.append(record)
         table = ResultTable(
             f"PBSM total time vs number of tiles (scale={BENCH_SCALE})",
             ["tiles", "sim seconds"],
@@ -30,6 +42,7 @@ def test_tile_count_sensitivity(benchmark):
         for tiles in TILE_SWEEP:
             table.add(tiles, times[tiles])
         table.emit("tile_sensitivity.txt")
+        write_bench_file("tile_sensitivity", records, RESULTS_DIR)
         assert len(counts) == 1  # identical results at every tile count
         return times
 

@@ -13,13 +13,22 @@ Subcommands:
   wall/critical-path numbers; ``--verify`` cross-checks the pair set
   against the serial reference; ``--checkpoint-dir D`` makes the
   coordinator's state durable and ``--resume`` continues an interrupted
-  checkpointed run;
+  checkpointed run; ``--out DIR`` records the run journal and ``--live``
+  streams in-flight progress from worker heartbeats;
 * ``chaos`` — run the road × hydro join on the process backend under a
   named (or JSON-file) fault plan, verify the pair set against the serial
   reference, and report the fault/recovery tallies; non-zero exit when the
-  join did not survive; ``--kill-coordinator-after N`` kills the
-  coordinator after checkpoint ordinal N (soft kill auto-resumes in the
-  same invocation; ``--kill-hard`` sends real SIGKILL for a CI resume);
+  join did not survive; writes the flight-recorder artifacts
+  (``journal.jsonl``, ``trace.jsonl``, ``chrome_trace.json``,
+  ``metrics.json``) to ``--out`` (default ``run_out``) for ``repro
+  report``; ``--kill-coordinator-after N`` kills the coordinator after
+  checkpoint ordinal N (soft kill auto-resumes in the same invocation;
+  ``--kill-hard`` sends real SIGKILL for a CI resume);
+* ``report`` — analyze a recorded run directory (journal + optional
+  trace) and render the markdown run report: partition skew (the Figure 4
+  CoV statistic), LPT critical path, straggler ranking, and the
+  fault/retry timeline; ``--timings`` appends the measured
+  (non-deterministic) sections;
 * ``checkpoints`` — list, inspect, or garbage-collect the join manifests
   under a checkpoint directory;
 * ``plan``  — show which algorithm the paper's decision table picks for a
@@ -112,10 +121,67 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_renderer(stream):
+    """Journal ``on_event`` hook: one progress line per interesting event.
+
+    This is the whole ``parallel --live`` implementation — the journal
+    already sees every dispatch, heartbeat, completion, and fault as it
+    happens, so live progress is just a callback that prints them.
+    """
+    state = {"done": 0, "total": None}
+
+    def on_event(record: dict) -> None:
+        kind = record.get("type")
+        line = None
+        if kind == "run_started":
+            line = (f"run started: backend={record.get('backend')} "
+                    f"workers={record.get('workers')} "
+                    f"partitions={record.get('partitions')}")
+        elif kind == "schedule":
+            state["total"] = len(record.get("order", []))
+            line = f"{state['total']} partition-pair tasks scheduled (LPT order)"
+        elif kind == "task_dispatched":
+            line = f"-> pair {record.get('pair')} attempt {record.get('attempt')}"
+        elif kind == "worker_heartbeat":
+            line = (f"   worker {record.get('pid')} pair {record.get('pair')} "
+                    f"{record.get('phase')}")
+        elif kind in ("task_finished", "task_replayed"):
+            state["done"] += 1
+            total = state["total"] if state["total"] is not None else "?"
+            verb = "replayed" if kind == "task_replayed" else "done"
+            line = (f"<- pair {record.get('pair')} {verb} "
+                    f"({state['done']}/{total}, "
+                    f"{record.get('results', 0)} results)")
+        elif kind == "node_finished":
+            line = (f"<- node {record.get('node')} finished "
+                    f"({record.get('local_pairs', 0)} local pairs)")
+        elif kind == "fault_injected":
+            line = f"!! fault {record.get('kind')} pair {record.get('pair')}"
+        elif kind == "retry":
+            line = (f"!! retry pair {record.get('pair')} "
+                    f"attempt {record.get('attempt')} "
+                    f"(cause {record.get('cause')})")
+        elif kind == "pool_respawn":
+            line = "!! worker pool respawned"
+        elif kind == "run_finished":
+            line = f"run finished: {record.get('results')} result pairs"
+        if line is not None and not state.get("dead"):
+            # A dead stream (e.g. the output piped to a pager that quit)
+            # must not kill the join: stop rendering, keep flying.
+            try:
+                stream.write(f"[live] {line}\n")
+                stream.flush()
+            except (OSError, ValueError):
+                state["dead"] = True
+
+    return on_event
+
+
 def _cmd_parallel(args: argparse.Namespace) -> int:
     from . import intersects
     from .checkpoint import CheckpointMismatchError
     from .data import tiger
+    from .obs import RunJournal, journal_path
     from .parallel import parallel_join
 
     if args.resume and not args.checkpoint_dir:
@@ -125,6 +191,18 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         print("parallel: --checkpoint-dir requires --backend process",
               file=sys.stderr)
         return 2
+    if (args.live or args.out) and args.backend == "serial":
+        print("parallel: --live/--out need a scheduled backend "
+              "(process or simulated); the serial reference has no "
+              "journal to record", file=sys.stderr)
+        return 2
+
+    journal = None
+    if args.live or args.out:
+        journal = RunJournal(
+            journal_path(args.out) if args.out else None,
+            on_event=_live_renderer(sys.stdout) if args.live else None,
+        )
 
     if args.seed is None:
         roads = list(tiger.generate_roads(args.scale))
@@ -137,12 +215,15 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         result = parallel_join(
             roads, hydro, intersects,
             backend=args.backend, workers=args.workers, scheme=args.scheme,
-            start_method=args.start_method,
+            start_method=args.start_method, journal=journal,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         )
     except CheckpointMismatchError as exc:
         print(f"parallel: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if journal is not None:
+            journal.close()
 
     verified = None
     if args.verify and args.backend != "serial":
@@ -178,6 +259,8 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         if args.checkpoint_dir:
             document["checkpoint_run_id"] = result.checkpoint_run_id
             document["resumed_pairs"] = result.resumed_pairs
+        if args.out:
+            document["journal"] = str(journal.path)
         if verified is not None:
             document["verified_against_serial"] = verified
         print(json.dumps(document, indent=2, sort_keys=True))
@@ -206,6 +289,9 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         if args.resume:
             line += f"; resumed {len(result.resumed_pairs)} committed pair(s)"
         print(line)
+    if args.out:
+        print(f"run journal: {journal.path}  "
+              f"(analyze with `python -m repro report {args.out}`)")
     if verified is not None:
         print(f"verified against serial reference: {'OK' if verified else 'MISMATCH'}")
         return 0 if verified else 1
@@ -258,6 +344,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     roads = list(tiger.generate_roads(args.scale))
     hydro = list(tiger.generate_hydrography(args.scale))
     reference = parallel_join(roads, hydro, intersects, backend="serial")
+
+    # Flight recorder: every chaos run leaves a run directory that
+    # `python -m repro report` can diagnose without re-running anything.
+    out_dir = Path(args.out) if args.out else None
+    journal = tracer = metrics = None
+    recorder = {}
+    if out_dir is not None:
+        from .obs import (
+            MetricsRegistry,
+            RunJournal,
+            Tracer,
+            journal_path,
+        )
+
+        journal = RunJournal(journal_path(out_dir))
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        recorder = {"journal": journal, "tracer": tracer, "metrics": metrics}
+
     engine = ProcessPBSM(
         args.workers, num_partitions=args.partitions,
         start_method=args.start_method, fault_plan=plan,
@@ -265,31 +370,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         kill_coordinator_after=args.kill_coordinator_after,
         kill_hard=args.kill_hard,
+        **recorder,
     )
     killed_at = None
     try:
-        if args.resume:
+        try:
+            if args.resume:
+                result = engine.resume(roads, hydro, intersects)
+            else:
+                result = engine.run(roads, hydro, intersects)
+        except CheckpointMismatchError as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 2
+        except CoordinatorKilledError as exc:
+            # Soft kill: the coordinator "died" after a durable checkpoint
+            # op.  Resume from the same checkpoint directory in this
+            # process, which is the whole point — everything committed
+            # before the kill must carry the rest of the join.
+            killed_at = exc.ordinal
+            if not args.json:
+                print(
+                    f"coordinator killed after checkpoint ordinal "
+                    f"{exc.ordinal}; resuming from {args.checkpoint_dir} ..."
+                )
+            # Disarm the explicit kill or the recovery run would die at
+            # the same ordinal forever.
+            engine.kill_coordinator_after = None
             result = engine.resume(roads, hydro, intersects)
-        else:
-            result = engine.run(roads, hydro, intersects)
-    except CheckpointMismatchError as exc:
-        print(f"chaos: {exc}", file=sys.stderr)
-        return 2
-    except CoordinatorKilledError as exc:
-        # Soft kill: the coordinator "died" after a durable checkpoint op.
-        # Resume from the same checkpoint directory in this process, which
-        # is the whole point — everything committed before the kill must
-        # carry the rest of the join.
-        killed_at = exc.ordinal
-        if not args.json:
-            print(
-                f"coordinator killed after checkpoint ordinal {exc.ordinal}; "
-                f"resuming from {args.checkpoint_dir} ..."
-            )
-        # Disarm the explicit kill or the recovery run would die at the
-        # same ordinal forever.
-        engine.kill_coordinator_after = None
-        result = engine.resume(roads, hydro, intersects)
+    finally:
+        if journal is not None:
+            journal.close()
+    if out_dir is not None:
+        from .obs import write_chrome_trace, write_metrics_json, write_trace_jsonl
+
+        write_trace_jsonl(tracer, out_dir / "trace.jsonl")
+        write_metrics_json(
+            metrics, out_dir / "metrics.json",
+            extra={"plan": plan.to_dict(), "scale": args.scale,
+                   "workers": args.workers, "partitions": args.partitions},
+        )
+        write_chrome_trace(tracer, out_dir / "chrome_trace.json",
+                           journal_events=journal.records)
     survived = result.pairs == reference.pairs
 
     summary = dict(result.fault_summary)
@@ -355,6 +476,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             document["checkpoint_run_id"] = result.checkpoint_run_id
             document["coordinator_killed_at"] = killed_at
             document["resumed_pairs"] = result.resumed_pairs
+        if out_dir is not None:
+            document["run_dir"] = str(out_dir)
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0 if survived else 1
 
@@ -379,12 +502,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             line += (f"; resumed {len(result.resumed_pairs)} committed "
                      f"pair(s): {result.resumed_pairs}")
         print(line)
+    if out_dir is not None:
+        print(f"flight recorder: {out_dir}/  "
+              f"(analyze with `python -m repro report {out_dir}`)")
     print(
         f"{len(result)} pairs vs {len(reference)} serial reference pairs "
         f"in {result.wall_s:.3f}s"
     )
     print(f"survived: {'OK — pair set identical to fault-free serial run' if survived else 'MISMATCH'}")
     return 0 if survived else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs import analyze_run, render_report
+
+    try:
+        analysis = analyze_run(args.run_dir)
+    except FileNotFoundError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(render_report(analysis, timings=args.timings), end="")
+    return 0
 
 
 def _cmd_checkpoints(args: argparse.Namespace) -> int:
@@ -569,6 +710,13 @@ def main(argv: list[str] | None = None) -> int:
     parallel.add_argument("--resume", action="store_true",
                           help="continue a checkpointed run instead of "
                                "starting over")
+    parallel.add_argument("--out", default=None, metavar="DIR",
+                          help="record the run journal to DIR/journal.jsonl "
+                               "for `repro report`")
+    parallel.add_argument("--live", action="store_true",
+                          help="stream in-flight progress (dispatches, "
+                               "worker heartbeats, completions) as the "
+                               "journal sees it")
     parallel.add_argument("--json", action="store_true",
                           help="emit the run summary as JSON")
     parallel.set_defaults(func=_cmd_parallel)
@@ -612,9 +760,28 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--bench-out", default=None,
                        help="also write a schema-valid BENCH_*.json with the "
                             "faults block to this path")
+    chaos.add_argument("--out", default="run_out", metavar="DIR",
+                       help="flight-recorder run directory (journal.jsonl, "
+                            "trace.jsonl, chrome_trace.json, metrics.json); "
+                            "'' disables recording")
     chaos.add_argument("--json", action="store_true",
                        help="emit the chaos report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    report = sub.add_parser(
+        "report",
+        help="analyze a recorded run directory and render the run report",
+    )
+    report.add_argument("run_dir", nargs="?", default="run_out",
+                        help="directory holding journal.jsonl (and optionally "
+                             "trace.jsonl); chaos writes one by default")
+    report.add_argument("--timings", action="store_true",
+                        help="append the measured (non-deterministic) "
+                             "sections: wall-clock stragglers, backoff, "
+                             "phase cpu/io, event tallies")
+    report.add_argument("--json", action="store_true",
+                        help="emit the full analysis as JSON")
+    report.set_defaults(func=_cmd_report)
 
     checkpoints = sub.add_parser(
         "checkpoints",

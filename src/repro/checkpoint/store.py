@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from ..obs.journal import EVENT_CHECKPOINT_COMMIT, NULL_JOURNAL
 from ..storage.disk import SimulatedDisk, atomic_write_bytes
 from ..storage.errors import ManifestCorruptionError, SpillCorruptionError
 from ..storage.spill import sweep_orphan_spills
@@ -83,11 +84,17 @@ class CheckpointStore:
         *,
         disk: Optional[SimulatedDisk] = None,
         on_durable: Optional[OnDurable] = None,
+        journal=NULL_JOURNAL,
     ):
         self.root = Path(root)
         self.fingerprint = fingerprint
         self.disk = disk
         self.on_durable = on_durable
+        self.journal = journal
+        """Flight recorder for ``checkpoint_commit`` events; the journal
+        entry lands *before* ``on_durable`` runs, so a fault gate that
+        kills the coordinator at this ordinal leaves the commit on
+        record — the post-mortem sees exactly how far durability got."""
         self.run_dir = self.root / fingerprint.run_id
         self.manifest_path = self.run_dir / MANIFEST_FILENAME
         self.results_path = self.run_dir / RESULTS_FILENAME
@@ -105,6 +112,10 @@ class CheckpointStore:
         self.ordinal += 1
         if self.disk is not None:
             self.disk.charge_durable_write(nbytes)
+        self.journal.emit(
+            EVENT_CHECKPOINT_COMMIT,
+            ordinal=self.ordinal, kind=kind, file=path.name, bytes=nbytes,
+        )
         if self.on_durable is not None:
             self.on_durable(self.ordinal, str(path), kind)
         return self.ordinal

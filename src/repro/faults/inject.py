@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 from typing import Callable, Optional, Set, Tuple
 
+from ..obs.journal import EVENT_FAULT_INJECTED, NULL_JOURNAL
 from ..storage.spill import FRAME_HEADER_SIZE
 from .plan import FaultPlan, WorkerFaults
 
@@ -83,11 +84,12 @@ class WriteErrorInjector:
     of that side succeeds on retry.
     """
 
-    def __init__(self, plan: Optional[FaultPlan]):
+    def __init__(self, plan: Optional[FaultPlan], *, journal=NULL_JOURNAL):
         self._pending: Set[Tuple[str, int]] = (
             {(w.side, w.ordinal) for w in plan.write_errors} if plan else set()
         )
         self.fired = 0
+        self.journal = journal
 
     def arm_side(self, side: str, records_in_side: int) -> None:
         """Clamp this side's planned ordinals into the records it will
@@ -104,6 +106,10 @@ class WriteErrorInjector:
         if key in self._pending:
             self._pending.discard(key)
             self.fired += 1
+            self.journal.emit(
+                EVENT_FAULT_INJECTED,
+                kind="disk_write_error", side=side, ordinal=ordinal,
+            )
             raise InjectedFaultError(
                 f"injected spill write error (side {side!r}, record {ordinal})",
                 kind="disk_write_error",
@@ -152,6 +158,7 @@ class CheckpointFaultGate:
         hard: bool = False,
         on_event: Optional[Callable[[str], None]] = None,
         extra_kills: Tuple[int, ...] = (),
+        journal=NULL_JOURNAL,
     ):
         self._kills: Set[int] = (
             set(plan.coordinator_kill_ordinals) if plan else set()
@@ -162,6 +169,7 @@ class CheckpointFaultGate:
         )
         self.hard = hard
         self.on_event = on_event
+        self.journal = journal
         self.fired_kills = 0
         self.fired_tears = 0
         self._manifest_path: Optional[str] = None
@@ -170,7 +178,8 @@ class CheckpointFaultGate:
     def armed(self) -> bool:
         return bool(self._kills or self._tears)
 
-    def _emit(self, kind: str) -> None:
+    def _emit(self, kind: str, ordinal: int) -> None:
+        self.journal.emit(EVENT_FAULT_INJECTED, kind=kind, ordinal=ordinal)
         if self.on_event is not None:
             self.on_event(kind)
 
@@ -182,11 +191,11 @@ class CheckpointFaultGate:
             if self._manifest_path is not None:
                 tear_tail(self._manifest_path)
                 self.fired_tears += 1
-                self._emit("torn_manifest")
+                self._emit("torn_manifest", ordinal)
         if ordinal in self._kills:
             self._kills.discard(ordinal)
             self.fired_kills += 1
-            self._emit("coordinator_kill")
+            self._emit("coordinator_kill", ordinal)
             if self.hard:
                 os.kill(os.getpid(), signal.SIGKILL)
             raise CoordinatorKilledError(ordinal)

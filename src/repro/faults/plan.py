@@ -277,6 +277,9 @@ NAMED_SPECS: Dict[str, FaultSpec] = {
     "slow": FaultSpec(slow_tasks=2),
     "coordinator_kill": FaultSpec(coordinator_kills=1),
     "torn_manifest": FaultSpec(torn_manifests=1),
+    "worker_faults": FaultSpec(
+        disk_read_errors=2, worker_crashes=1, slow_tasks=1
+    ),
     "combined": FaultSpec(
         disk_read_errors=1,
         disk_write_errors=1,

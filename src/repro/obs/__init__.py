@@ -10,7 +10,13 @@ The observability layer under every cost number this repository reports:
 * :mod:`repro.obs.export` — JSONL trace dump, JSON metrics snapshot,
   chrome-trace timeline, and ``JoinReport`` serialization;
 * :mod:`repro.obs.bench` + :mod:`repro.obs.schema` — schema-validated
-  ``BENCH_*.json`` perf-trajectory records for the benchmarks.
+  ``BENCH_*.json`` perf-trajectory records for the benchmarks;
+* :mod:`repro.obs.journal` — the flight recorder: an append-only JSONL
+  run journal with a typed event vocabulary, fed by the parallel
+  coordinator, the fault injectors, and the checkpoint store;
+* :mod:`repro.obs.analyze` — the post-run analyzer behind
+  ``python -m repro report``: skew, stragglers, critical path, and the
+  fault/retry timeline, rendered as deterministic markdown.
 
 ``repro.core.stats.PhaseMeter`` is a thin adapter over :class:`Tracer`, so
 every existing join driver already produces spans; pass an enabled tracer
@@ -18,6 +24,16 @@ and metrics registry to a driver (or use ``python -m repro trace``) to get
 the full picture.
 """
 
+from .analyze import (
+    LaneReplay,
+    PairStats,
+    RunAnalysis,
+    SkewStats,
+    analyze_events,
+    analyze_run,
+    lpt_replay,
+    render_report,
+)
 from .bench import (
     bench_file_name,
     bench_record,
@@ -26,12 +42,23 @@ from .bench import (
     write_bench_file,
 )
 from .export import (
+    chrome_instant_events,
     chrome_trace_events,
     report_to_dict,
     trace_to_dicts,
     write_chrome_trace,
     write_metrics_json,
     write_trace_jsonl,
+)
+from .journal import (
+    EVENT_TYPES,
+    FAULT_TIMELINE_TYPES,
+    JOURNAL_FILENAME,
+    NULL_JOURNAL,
+    NullJournal,
+    RunJournal,
+    journal_path,
+    read_journal,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -57,20 +84,37 @@ __all__ = [
     "BENCH_RECORD_SCHEMA",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENT_TYPES",
+    "FAULT_TIMELINE_TYPES",
     "Gauge",
     "Histogram",
+    "JOURNAL_FILENAME",
+    "LaneReplay",
     "MetricsRegistry",
+    "NULL_JOURNAL",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NullJournal",
     "NullTracer",
+    "PairStats",
+    "RunAnalysis",
+    "RunJournal",
     "SCHEMA_VERSION",
     "SchemaError",
+    "SkewStats",
     "Span",
     "Tracer",
+    "analyze_events",
+    "analyze_run",
     "bench_file_name",
     "bench_record",
+    "chrome_instant_events",
     "chrome_trace_events",
+    "journal_path",
     "load_bench_file",
+    "lpt_replay",
+    "read_journal",
+    "render_report",
     "report_to_dict",
     "trace_to_dicts",
     "validate",

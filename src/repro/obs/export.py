@@ -23,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .journal import FAULT_TIMELINE_TYPES
 from .metrics import MetricsRegistry
 from .trace import Span, Tracer
 
@@ -135,10 +136,52 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
     return events
 
 
-def write_chrome_trace(tracer: Tracer, path: "Path | str") -> Path:
+def chrome_instant_events(journal_events: List[dict]) -> List[dict]:
+    """Instant ("ph": "i") markers for the run's fault/recovery moments.
+
+    Renders the journal's fault timeline —
+    :data:`~repro.obs.journal.FAULT_TIMELINE_TYPES` plus checkpoint
+    commits — as global-scope instants, so fault injections, retries, and
+    respawns appear as vertical ticks across the span flame chart.  Other
+    journal event types are skipped: the lifecycle ones already exist as
+    spans, and heartbeats/samples would drown the timeline.
+    """
+    marked = FAULT_TIMELINE_TYPES | {"checkpoint_commit"}
+    events: List[dict] = []
+    for record in journal_events:
+        if record.get("type") not in marked:
+            continue
+        args = {
+            k: v
+            for k, v in record.items()
+            if k not in ("type", "t", "seq")
+        }
+        events.append(
+            {
+                "name": record["type"],
+                "cat": "fault",
+                "ph": "i",
+                "s": "g",
+                "ts": float(record.get("t", 0.0)) * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: "Path | str",
+    journal_events: Optional[List[dict]] = None,
+) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps({"traceEvents": chrome_trace_events(tracer)}))
+    events = chrome_trace_events(tracer)
+    if journal_events:
+        events.extend(chrome_instant_events(journal_events))
+    path.write_text(json.dumps({"traceEvents": events}))
     return path
 
 

@@ -96,6 +96,53 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observations.
+
+        Prometheus-style: find the bucket holding the target rank, then
+        interpolate linearly inside it.  The estimate is clamped into
+        ``[min, max]``, so the extremes are exact (and a single-sample
+        histogram returns its one value for every q).  Returns ``None``
+        for an empty histogram — there is no such thing as the median of
+        nothing, and 0.0 would silently read as a real observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        cumulative = 0
+        lower = self.min
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            upper = self.bounds[i] if i < len(self.bounds) else self.max
+            if cumulative + n >= target:
+                fraction = (target - cumulative) / n
+                value = lower + (upper - lower) * max(0.0, fraction)
+                return min(max(value, self.min), self.max)
+            cumulative += n
+            lower = upper
+        return self.max
+
+    def summary(self) -> dict:
+        """Count/sum/mean/extremes plus the working quantiles, one dict.
+
+        The shape the analyzer's straggler ranking and backoff reporting
+        print from; ``None`` quantiles mean the histogram is empty.
+        """
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
@@ -129,6 +176,12 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {}
 
     def snapshot(self) -> dict:
         return {}

@@ -56,6 +56,7 @@ def parallel_join(
     start_method: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    journal=None,
     fault_plan: Optional[FaultPlan] = None,
     task_timeout_s: Optional[float] = None,
     max_task_retries: Optional[int] = None,
@@ -76,6 +77,9 @@ def parallel_join(
     (:mod:`repro.checkpoint`); ``resume=True`` continues a checkpointed
     run instead of starting over.  Both are process-backend-only: the
     other backends have no coordinator that can die mid-join.
+    ``journal`` attaches a flight recorder
+    (:class:`~repro.obs.journal.RunJournal`) to the simulated and process
+    backends; the serial reference has no scheduler to record.
     """
     if backend != BACKEND_PROCESS and fault_plan is not None:
         raise ValueError(
@@ -100,15 +104,21 @@ def parallel_join(
         )
     if backend == BACKEND_SIMULATED:
         num_tiles = config.num_tiles if config is not None else 1024
+        extra = {}
+        if journal is not None:
+            extra["journal"] = journal
         engine = ParallelPBSM(
             workers, scheme=scheme, num_tiles=num_tiles,
             tracer=tracer, metrics=metrics,
+            **extra,
         )
         return engine.run(tuples_r, tuples_s, predicate)
     if backend == BACKEND_PROCESS:
         extra = {}
         if max_task_retries is not None:
             extra["max_task_retries"] = max_task_retries
+        if journal is not None:
+            extra["journal"] = journal
         engine = ProcessPBSM(
             workers, num_partitions=num_partitions, config=config,
             start_method=start_method, tracer=tracer, metrics=metrics,

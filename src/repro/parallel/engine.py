@@ -35,6 +35,13 @@ from ..core.pbsm import PBSMConfig, PBSMJoin
 from ..core.predicates import Predicate
 from ..core.refine import dedup_sorted_pairs
 from ..geometry import Rect
+from ..obs.journal import (
+    EVENT_NODE_FINISHED,
+    EVENT_PARTITION_SEALED,
+    EVENT_RUN_FINISHED,
+    EVENT_RUN_STARTED,
+    NULL_JOURNAL,
+)
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.database import Database
@@ -154,6 +161,7 @@ class ParallelPBSM:
         num_tiles: int = 1024,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        journal=NULL_JOURNAL,
         charge_candidate_fetches: bool = False,
     ):
         if num_nodes < 1:
@@ -166,6 +174,7 @@ class ParallelPBSM:
         self.num_tiles = num_tiles
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.journal = journal
         self.charge_candidate_fetches = charge_candidate_fetches
         """Under ``REPLICATE_MBRS``, charge a remote fetch for every
         distinct foreign tuple among the *candidates* — false positives
@@ -183,7 +192,17 @@ class ParallelPBSM:
         """Decluster, join per node, merge.  Result pairs are identified by
         ``feature_id`` (node-local OIDs are meaningless globally)."""
         wall_start = time.perf_counter()
+        self.journal.emit(
+            EVENT_RUN_STARTED,
+            backend="simulated",
+            workers=self.num_nodes,
+            scheme=self.scheme,
+            tuples_r=len(tuples_r),
+            tuples_s=len(tuples_s),
+            resuming=False,
+        )
         if not tuples_r or not tuples_s:
+            self.journal.emit(EVENT_RUN_FINISHED, results=0, degraded_pairs=[])
             return ParallelJoinResult([], scheme=self.scheme)
 
         universe = Rect.union_all(t.mbr for t in tuples_r).union(
@@ -204,6 +223,14 @@ class ParallelPBSM:
         for node_id in range(self.num_nodes):
             skew_r.observe(len(frag_r[node_id]))
             skew_s.observe(len(frag_s[node_id]))
+        self.journal.emit(
+            EVENT_PARTITION_SEALED, side="r", placed=placed_r,
+            counts=[len(f) for f in frag_r], adopted=False,
+        )
+        self.journal.emit(
+            EVENT_PARTITION_SEALED, side="s", placed=placed_s,
+            counts=[len(f) for f in frag_s], adopted=False,
+        )
 
         reports: List[NodeReport] = []
         all_pairs: List[Tuple[int, int]] = []
@@ -218,8 +245,20 @@ class ParallelPBSM:
             reports.append(report)
             all_pairs.extend(pairs)
             self.metrics.counter("parallel.remote_fetches").inc(report.remote_fetches)
+            self.journal.emit(
+                EVENT_NODE_FINISHED,
+                node=node_id,
+                tuples_r=report.tuples_r,
+                tuples_s=report.tuples_s,
+                local_pairs=report.local_pairs,
+                remote_fetches=report.remote_fetches,
+                sim_seconds=round(report.sim_seconds, 6),
+            )
 
         merged = dedup_sorted_pairs(sorted(all_pairs))
+        self.journal.emit(
+            EVENT_RUN_FINISHED, results=len(merged), degraded_pairs=[]
+        )
         return ParallelJoinResult(
             merged,
             nodes=reports,

@@ -78,6 +78,24 @@ from ..faults.inject import (
     tear_frame,
 )
 from ..faults.plan import FaultPlan
+from ..obs.journal import (
+    EVENT_DEGRADED,
+    EVENT_FAULT_INJECTED,
+    EVENT_PARTITION_SEALED,
+    EVENT_POOL_RESPAWN,
+    EVENT_QUARANTINED,
+    EVENT_RETRY,
+    EVENT_RUN_FINISHED,
+    EVENT_RUN_STARTED,
+    EVENT_SAMPLE,
+    EVENT_SCHEDULE,
+    EVENT_TASK_DISPATCHED,
+    EVENT_TASK_FINISHED,
+    EVENT_TASK_REPLAYED,
+    EVENT_TIMEOUT,
+    EVENT_WORKER_HEARTBEAT,
+    NULL_JOURNAL,
+)
 from ..obs.metrics import LATENCY_BUCKETS_S, NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..storage.errors import ManifestCorruptionError
@@ -90,6 +108,7 @@ from .tasks import (
     SpillHandle,
     WorkerTaskError,
     fid_keypointer,
+    init_worker_heartbeats,
     merge_refine_pair,
     run_pair_task,
 )
@@ -120,6 +139,10 @@ PARTITION_WRITE_RETRIES = 3
 _POLL_S = 0.25
 """Executor wait slice when task deadlines are armed."""
 
+DEFAULT_SAMPLE_INTERVAL_S = 0.5
+"""Coordinator sampler cadence: how often a journaling run records its
+queue depth / inflight / utilization timeseries."""
+
 
 class ProcessPBSM:
     """PBSM executed across real worker processes, surviving their faults."""
@@ -135,6 +158,8 @@ class ProcessPBSM:
         spill_dir: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        journal=NULL_JOURNAL,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
         fault_plan: Optional[FaultPlan] = None,
         task_timeout_s: Optional[float] = None,
         max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
@@ -156,6 +181,14 @@ class ProcessPBSM:
         self.spill_dir = spill_dir
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.journal = journal
+        """Flight recorder (:class:`repro.obs.journal.RunJournal`); the
+        default :data:`NULL_JOURNAL` records nothing.  When enabled, the
+        coordinator also opens a heartbeat side channel to the workers and
+        samples its own scheduling state every ``sample_interval_s``."""
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sample_interval_s = sample_interval_s
         self.fault_plan = fault_plan
         if task_timeout_s is not None and task_timeout_s <= 0:
             raise ValueError("task timeout must be positive")
@@ -231,7 +264,17 @@ class ProcessPBSM:
     ) -> ParallelJoinResult:
         started = time.perf_counter()
         self._faults = TallyCounter()
+        self.journal.emit(
+            EVENT_RUN_STARTED,
+            backend="process",
+            workers=self.workers,
+            partitions=self.num_partitions,
+            tuples_r=len(tuples_r),
+            tuples_s=len(tuples_s),
+            resuming=resuming,
+        )
         if not tuples_r or not tuples_s:
+            self.journal.emit(EVENT_RUN_FINISHED, results=0, degraded_pairs=[])
             return ParallelJoinResult(
                 [], backend="process", wall_s=time.perf_counter() - started
             )
@@ -260,9 +303,11 @@ class ProcessPBSM:
                     if self.kill_coordinator_after is None
                     else (self.kill_coordinator_after,)
                 ),
+                journal=self.journal,
             )
             store = CheckpointStore(
-                self.checkpoint_dir, fingerprint, on_durable=gate.after_durable
+                self.checkpoint_dir, fingerprint,
+                on_durable=gate.after_durable, journal=self.journal,
             )
             store.run_dir.mkdir(parents=True, exist_ok=True)
             swept = store.sweep_orphans()
@@ -278,7 +323,7 @@ class ProcessPBSM:
 
         try:
             partitioner = self._partitioner(tuples_r, tuples_s)
-            injector = WriteErrorInjector(self.fault_plan)
+            injector = WriteErrorInjector(self.fault_plan, journal=self.journal)
             fresh_sides: Set[str] = set()
             with self.tracer.span("process.partition"):
                 spills_r, placed_r = self._obtain_side(
@@ -296,10 +341,24 @@ class ProcessPBSM:
                 self._apply_torn_frames(spills_r, spills_s, fresh_sides)
             all_tasks = self._build_tasks(spills_r, spills_s, predicate)
             tasks = [t for t in all_tasks if t.index not in committed]
+            self.journal.emit(
+                EVENT_SCHEDULE,
+                order=[
+                    {"pair": t.index, "cost": t.cost_estimate} for t in tasks
+                ],
+            )
             for index in sorted(committed):
                 prior = committed[index]
+                self.journal.emit(
+                    EVENT_TASK_REPLAYED,
+                    pair=index,
+                    candidates=prior.candidates,
+                    results=len(prior.pairs),
+                )
                 if prior.spans:
-                    self.tracer.adopt_wire(prior.spans, worker=prior.worker_pid)
+                    self.tracer.adopt_wire(
+                        prior.spans, worker=prior.worker_pid, replayed=True
+                    )
                 if prior.metrics:
                     self.metrics.merge_snapshot(prior.metrics)
             on_result: Optional[Callable[[PairTaskResult], None]] = None
@@ -340,6 +399,12 @@ class ProcessPBSM:
                     store.append_event(
                         {"type": "complete", "result_count": len(merged)}
                     )
+            self.journal.emit(
+                EVENT_RUN_FINISHED,
+                results=len(merged),
+                degraded_pairs=sorted(o.index for o in outcomes if o.degraded),
+                replayed_pairs=sorted(committed),
+            )
         finally:
             if store is not None:
                 store.sweep_orphans()
@@ -456,6 +521,13 @@ class ProcessPBSM:
                 handles = self._adopt_spills(seal, spill_root)
                 if handles is not None:
                     self._count("spill_sides_adopted")
+                    self.journal.emit(
+                        EVENT_PARTITION_SEALED,
+                        side=side,
+                        placed=int(seal["placed"]),
+                        counts=[h.count for h in handles],
+                        adopted=True,
+                    )
                     return handles, int(seal["placed"])
                 self._count("spill_sides_rebuilt")
         spills, placed = self._partition_side_resilient(
@@ -463,6 +535,13 @@ class ProcessPBSM:
             atomic=store is not None,
         )
         fresh_sides.add(side)
+        self.journal.emit(
+            EVENT_PARTITION_SEALED,
+            side=side,
+            placed=placed,
+            counts=[s.count for s in spills],
+            adopted=False,
+        )
         if store is not None:
             store.append_event(
                 {
@@ -633,6 +712,10 @@ class ProcessPBSM:
             spill = (spills_r if torn.side == "r" else spills_s)[partition]
             if tear_frame(spill.kp_path, torn.frame) >= 0:
                 self._count("injected_torn_frames")
+                self.journal.emit(
+                    EVENT_FAULT_INJECTED,
+                    kind="torn_frame", side=torn.side, pair=partition,
+                )
 
     def _build_tasks(
         self,
@@ -641,7 +724,10 @@ class ProcessPBSM:
         predicate: Predicate,
     ) -> List[PairTask]:
         """One task per non-empty partition pair, in LPT order."""
-        observe = self.tracer.enabled or self.metrics.enabled
+        observe = (
+            self.tracer.enabled or self.metrics.enabled
+            or self.journal.enabled
+        )
         plan = self.fault_plan
         tasks = [
             PairTask(
@@ -710,6 +796,70 @@ class ProcessPBSM:
         backoff_hist = self.metrics.histogram(
             "faults.retry_backoff_s", LATENCY_BUCKETS_S
         )
+        journal = self.journal
+        # The heartbeat side channel: an mp queue handed to every worker
+        # via the pool initializer (initargs travel as process-constructor
+        # arguments, which is the one spawn-safe way to inherit a queue).
+        # Only a journaling run pays for it.
+        heartbeats = context.Queue() if journal.enabled else None
+        worker_phase: Dict[int, dict] = {}
+        next_sample = time.monotonic() + self.sample_interval_s
+
+        def planned_kinds(index: int, attempt: int) -> List[str]:
+            """The fault kinds the plan pinned to this (pair, attempt) that
+            will actually fire, in injection order — how the coordinator
+            tells *injected* trouble apart from collateral damage (innocent
+            pairs requeued by a BrokenProcessPool).  Attribution happens at
+            dispatch, not at failure or harvest: a dispatched attempt
+            always executes its planned injection, so the emitted set is a
+            pure function of the plan — harvest-time detection would race
+            against whichever unrelated crash broke the pool first."""
+            faults = by_index[index].faults
+            if faults is None:
+                return []
+            if attempt in faults.crash_attempts:
+                # A crash pre-empts the rest of the attempt's faults.
+                return ["worker_crash"]
+            kinds = []
+            if attempt in faults.hang_attempts:
+                kinds.append("hang")
+            if attempt in faults.slow_attempts:
+                kinds.append("slow_task")
+            if attempt in faults.read_error_attempts:
+                kinds.append("disk_read_error")
+            return kinds
+
+        def drain_heartbeats() -> None:
+            if heartbeats is None:
+                return
+            while True:
+                try:
+                    ping = heartbeats.get_nowait()
+                except Exception:
+                    return
+                worker_phase[ping["pid"]] = ping
+                journal.emit(
+                    EVENT_WORKER_HEARTBEAT,
+                    pid=ping["pid"], pair=ping["pair"],
+                    attempt=ping["attempt"], phase=ping["phase"],
+                )
+
+        def maybe_sample() -> None:
+            nonlocal next_sample
+            if not journal.enabled or time.monotonic() < next_sample:
+                return
+            next_sample = time.monotonic() + self.sample_interval_s
+            journal.emit(
+                EVENT_SAMPLE,
+                queued=len(to_submit),
+                inflight=sorted(inflight.values()),
+                done=len(outcomes),
+                total=len(tasks),
+                workers={
+                    str(pid): ping["phase"]
+                    for pid, ping in sorted(worker_phase.items())
+                },
+            )
 
         def abandon_pool() -> None:
             """Drop a broken or wedged pool; in-flight work is requeued by
@@ -722,14 +872,19 @@ class ProcessPBSM:
             inflight.clear()
             deadlines.clear()
             self._count("pool_respawns")
+            journal.emit(EVENT_POOL_RESPAWN, queued=len(to_submit))
 
         def on_failure(index: int, error: WorkerTaskError) -> None:
             """Charge one attempt; requeue within budget, else give up."""
             self._count("task_failures")
+            failed_attempt = attempts[index]
             if error.corruption:
                 # The file is wrong on disk — no retry can fix it.
                 quarantined.add(index)
                 self._count("quarantined")
+                journal.emit(
+                    EVENT_QUARANTINED, pair=index, attempt=failed_attempt
+                )
                 return
             attempt = attempts[index] = attempts[index] + 1
             if attempt > self.max_task_retries:
@@ -739,16 +894,43 @@ class ProcessPBSM:
             self._count("retries")
             backoff = self.retry_backoff_s * (2 ** (attempt - 1))
             backoff_hist.observe(backoff)
+            journal.emit(
+                EVENT_RETRY,
+                pair=index, attempt=attempt,
+                backoff_s=round(backoff, 6), cause=error.cause_type,
+            )
             if backoff > 0:
                 time.sleep(backoff)
             to_submit.append(index)
 
+        def harvest(index: int, outcome: PairTaskResult) -> None:
+            """Journal one harvested result: the worker's wire events are
+            re-emitted with their producer-relative clock as ``worker_t``
+            (worker and coordinator clocks are not comparable)."""
+            if not journal.enabled:
+                return
+            for event in outcome.events:
+                fields = {
+                    k: v for k, v in event.items() if k not in ("type", "t")
+                }
+                fields["worker_t"] = event["t"]
+                if event["type"] == EVENT_TASK_FINISHED:
+                    fields["wall_s"] = round(outcome.wall_s, 6)
+                journal.emit(event["type"], **fields)
+
         try:
             while to_submit or inflight:
                 if pool is None:
-                    pool = ProcessPoolExecutor(
-                        max_workers=max_workers, mp_context=context
-                    )
+                    if heartbeats is not None:
+                        pool = ProcessPoolExecutor(
+                            max_workers=max_workers, mp_context=context,
+                            initializer=init_worker_heartbeats,
+                            initargs=(heartbeats,),
+                        )
+                    else:
+                        pool = ProcessPoolExecutor(
+                            max_workers=max_workers, mp_context=context
+                        )
                 while to_submit:
                     index = to_submit.pop(0)
                     task = dataclasses.replace(
@@ -765,6 +947,16 @@ class ProcessPBSM:
                         abandon_pool()
                         break
                     inflight[future] = index
+                    journal.emit(
+                        EVENT_TASK_DISPATCHED,
+                        pair=index, attempt=task.attempt,
+                        cost=task.cost_estimate,
+                    )
+                    for kind in planned_kinds(index, task.attempt):
+                        journal.emit(
+                            EVENT_FAULT_INJECTED,
+                            kind=kind, pair=index, attempt=task.attempt,
+                        )
                     if self.task_timeout_s is not None:
                         deadlines[future] = (
                             time.monotonic() + self.task_timeout_s
@@ -772,11 +964,18 @@ class ProcessPBSM:
                 if pool is None or not inflight:
                     continue
 
+                # A journaling run polls so heartbeats and sampler ticks
+                # keep flowing while tasks are quiet; otherwise the wait
+                # only needs a slice when deadlines must be enforced.
                 wait(
                     set(inflight),
-                    timeout=_POLL_S if deadlines else None,
+                    timeout=(
+                        _POLL_S if (deadlines or journal.enabled) else None
+                    ),
                     return_when=FIRST_COMPLETED,
                 )
+                drain_heartbeats()
+                maybe_sample()
                 # Harvest everything that finished, well or badly.
                 pool_broke = False
                 for future in [f for f in inflight if f.done()]:
@@ -798,6 +997,7 @@ class ProcessPBSM:
                         )
                     else:
                         outcomes.append(outcome)
+                        harvest(index, outcome)
                         if on_result is not None:
                             on_result(outcome)
                         if outcome.spans:
@@ -838,6 +1038,12 @@ class ProcessPBSM:
                         for index in list(inflight.values()):
                             if index in timed_out:
                                 self._count("timeouts")
+                                journal.emit(
+                                    EVENT_TIMEOUT,
+                                    pair=index,
+                                    attempt=attempts[index],
+                                    timeout_s=self.task_timeout_s,
+                                )
                                 on_failure(
                                     index,
                                     WorkerTaskError(
@@ -853,6 +1059,10 @@ class ProcessPBSM:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+            drain_heartbeats()
+            if heartbeats is not None:
+                heartbeats.close()
+                heartbeats.join_thread()
         outcomes.sort(key=lambda o: o.index)
         return outcomes, exhausted, quarantined
 
@@ -899,6 +1109,7 @@ class ProcessPBSM:
                 )
             )
             self._count("degraded")
+            self.journal.emit(EVENT_DEGRADED, pair=index, reason=reason)
         return results
 
     def _degraded_pair(

@@ -26,6 +26,15 @@ the coordinator can quarantine the partition instead of burning retries on
 a file that will never read clean.  Tasks may also carry a
 :class:`~repro.faults.plan.WorkerFaults` slice of a fault plan, fired at
 the top of the task by attempt number.
+
+Flight-recorder hooks: when the coordinator runs a journal
+(:mod:`repro.obs.journal`), workers ship their task-lifecycle events
+(``task_started``/``task_finished``) back on the result wire alongside
+spans and metrics, and ping a **heartbeat queue** — installed in each
+pool worker by :func:`init_worker_heartbeats` — at every phase boundary.
+The queue is the only channel that outlives a worker crash: a result
+wire from a dead process never arrives, but its last heartbeat already
+did, which is exactly what the live view and the post-mortem need.
 """
 
 from __future__ import annotations
@@ -53,6 +62,37 @@ _FIDKP = struct.Struct("<ffffI")
 """One spilled key-pointer: conservative f32 MBR + u32 feature id."""
 
 FidKeyPointer = Tuple[Rect, int]
+
+_HEARTBEAT_QUEUE = None
+"""Worker-process global: the coordinator's heartbeat queue, installed by
+:func:`init_worker_heartbeats` when the pool is spawned with a journal.
+``None`` (the default) keeps the hot path ping-free."""
+
+
+def init_worker_heartbeats(queue) -> None:
+    """Pool initializer: arm this worker's heartbeat channel.
+
+    Passed as ``initializer=init_worker_heartbeats, initargs=(queue,)``
+    to ``ProcessPoolExecutor`` — multiprocessing queues survive that trip
+    under every start method because they are process-constructor
+    arguments, not task payloads.
+    """
+    global _HEARTBEAT_QUEUE
+    _HEARTBEAT_QUEUE = queue
+
+
+def _heartbeat(pair: int, attempt: int, phase: str) -> None:
+    """Best-effort liveness ping; a sick queue must never fail the task."""
+    queue = _HEARTBEAT_QUEUE
+    if queue is None:
+        return
+    try:
+        queue.put_nowait(
+            {"pid": os.getpid(), "pair": pair, "attempt": attempt,
+             "phase": phase}
+        )
+    except Exception:
+        pass
 
 
 def pack_fid_keypointer(rect: Rect, feature_id: int) -> bytes:
@@ -251,6 +291,10 @@ class PairTaskResult:
     degraded_reason: str = ""
     spans: List[dict] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
+    events: List[dict] = field(default_factory=list)
+    """Worker-side journal events (task_started/task_finished) with
+    worker-relative ``t`` timestamps, shipped on the wire like spans; the
+    coordinator re-emits them into its journal as ``worker_t``."""
 
 
 def sweep_pair(
@@ -352,7 +396,19 @@ def _run_pair_task(task: PairTask) -> PairTaskResult:
     started = time.perf_counter()
     tracer = Tracer() if task.observe else NULL_TRACER
     metrics = MetricsRegistry() if task.observe else NULL_METRICS
+    events: List[dict] = []
 
+    def event(event_type: str, **fields) -> None:
+        if task.observe:
+            events.append(
+                {"type": event_type,
+                 "t": round(time.perf_counter() - started, 6),
+                 "pair": task.index, "attempt": task.attempt,
+                 "pid": os.getpid(), **fields}
+            )
+
+    event("task_started")
+    _heartbeat(task.index, task.attempt, "merge")
     with tracer.span(
         "worker.task", pair=task.index, pid=os.getpid(), attempt=task.attempt
     ) as span:
@@ -364,6 +420,7 @@ def _run_pair_task(task: PairTask) -> PairTaskResult:
                 label=str(task.index), tracer=tracer, metrics=metrics,
             )
 
+        _heartbeat(task.index, task.attempt, "refine")
         with tracer.span(
             "worker.refine", pair=task.index, candidates=len(candidates)
         ):
@@ -380,6 +437,8 @@ def _run_pair_task(task: PairTask) -> PairTaskResult:
             task.cost_estimate
         )
 
+    event("task_finished", candidates=len(candidates), results=len(pairs))
+    _heartbeat(task.index, task.attempt, "done")
     return PairTaskResult(
         index=task.index,
         worker_pid=os.getpid(),
@@ -391,4 +450,5 @@ def _run_pair_task(task: PairTask) -> PairTaskResult:
         attempt=task.attempt,
         spans=tracer.export_wire(),
         metrics=metrics.snapshot() if task.observe else {},
+        events=events,
     )

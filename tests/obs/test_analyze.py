@@ -1,0 +1,222 @@
+"""Tests for the post-run analyzer: skew, LPT replay, ledger, rendering."""
+
+import pytest
+
+from repro.obs.analyze import (
+    SkewStats,
+    analyze_events,
+    analyze_run,
+    lpt_replay,
+    render_report,
+)
+
+
+def _journal(*events):
+    """Minimal journal records: (type, fields) tuples with fake seq/t."""
+    return [
+        {"seq": i + 1, "t": 0.001 * i, "type": event_type, **fields}
+        for i, (event_type, fields) in enumerate(events)
+    ]
+
+
+BASE_RUN = _journal(
+    ("run_started", {"backend": "process", "workers": 2, "partitions": 4,
+                     "tuples_r": 100, "tuples_s": 50, "resuming": False}),
+    ("partition_sealed", {"side": "r", "counts": [30, 20, 30, 20]}),
+    ("partition_sealed", {"side": "s", "counts": [20, 10, 10, 10]}),
+    ("schedule", {"order": [{"pair": 2, "cost": 40}, {"pair": 0, "cost": 30},
+                            {"pair": 1, "cost": 20}, {"pair": 3, "cost": 10}]}),
+    ("task_finished", {"pair": 2, "attempt": 0, "candidates": 12,
+                       "results": 6, "wall_s": 0.04}),
+    ("task_finished", {"pair": 0, "attempt": 0, "candidates": 9,
+                       "results": 4, "wall_s": 0.03}),
+    ("task_finished", {"pair": 1, "attempt": 0, "candidates": 5,
+                       "results": 2, "wall_s": 0.02}),
+    ("task_finished", {"pair": 3, "attempt": 0, "candidates": 2,
+                       "results": 1, "wall_s": 0.01}),
+    ("run_finished", {"results": 13, "degraded_pairs": []}),
+)
+
+
+class TestSkewStats:
+    def test_empty(self):
+        s = SkewStats.from_values([])
+        assert s.count == 0 and s.cov == 0.0
+
+    def test_uniform_values_have_zero_cov(self):
+        s = SkewStats.from_values([5, 5, 5, 5])
+        assert s.cov == 0.0
+        assert s.mean == 5 and s.total == 20
+
+    def test_skewed_values_raise_cov(self):
+        even = SkewStats.from_values([10, 10, 10, 10]).cov
+        skewed = SkewStats.from_values([37, 1, 1, 1]).cov
+        assert skewed > even
+        assert skewed > 1.0  # one partition holds nearly everything
+
+
+class TestLptReplay:
+    def test_round_robin_over_two_lanes(self):
+        order = [{"pair": 0, "cost": 4}, {"pair": 1, "cost": 3},
+                 {"pair": 2, "cost": 2}, {"pair": 3, "cost": 1}]
+        replay = lpt_replay(order, workers=2)
+        # earliest-free-lane: 0->lane0, 1->lane1, 2->lane1(3<4), 3->lane0(4<5)
+        assert replay.lanes == [[0, 3], [1, 2]]
+        assert replay.lane_costs == [5, 5]
+        assert replay.makespan_cost == 5
+        assert replay.balance == 1.0
+
+    def test_critical_lane_is_the_heaviest(self):
+        order = [{"pair": 0, "cost": 10}, {"pair": 1, "cost": 1},
+                 {"pair": 2, "cost": 1}]
+        replay = lpt_replay(order, workers=2)
+        assert replay.critical_lane == 0
+        assert replay.critical_pairs == [0]
+        assert replay.makespan_cost == 10
+        assert replay.balance == pytest.approx(12 / 20)
+
+    def test_single_lane_degenerate(self):
+        replay = lpt_replay([{"pair": 0, "cost": 7}], workers=1)
+        assert replay.critical_pairs == [0]
+        assert replay.balance == 1.0
+
+    def test_empty_schedule(self):
+        replay = lpt_replay([], workers=4)
+        assert replay.makespan_cost == 0
+        assert replay.critical_pairs == []
+
+
+class TestAnalyzeEvents:
+    def test_base_run_shape(self):
+        analysis = analyze_events(BASE_RUN)
+        assert analysis.backend == "process"
+        assert analysis.workers == 2
+        assert analysis.results == 13
+        assert analysis.partition_skew["r"].total == 100
+        assert [p.pair for p in analysis.executed_pairs] == [0, 1, 2, 3]
+        assert analysis.pairs[2].wall_s == pytest.approx(0.04)
+
+    def test_straggler_ranking_is_by_cost_seed(self):
+        analysis = analyze_events(BASE_RUN)
+        assert [p.pair for p in analysis.stragglers_by_cost()] == [2, 0, 1, 3]
+        assert [p.pair for p in analysis.stragglers_by_wall()] == [2, 0, 1, 3]
+
+    def test_fault_ledger_dedupes_refired_injections(self):
+        # A pool break can redispatch an uncharged attempt, re-firing the
+        # same planned injection: identity must be recorded exactly once.
+        records = BASE_RUN + _journal(
+            ("fault_injected", {"kind": "worker_crash", "pair": 3, "attempt": 0}),
+            ("fault_injected", {"kind": "worker_crash", "pair": 3, "attempt": 0}),
+            ("fault_injected", {"kind": "slow_task", "pair": 1, "attempt": 0}),
+        )
+        analysis = analyze_events(records)
+        assert [(r["pair"], r["kind"]) for r in analysis.fault_ledger] == [
+            (1, "slow_task"),
+            (3, "worker_crash"),
+        ]
+
+    def test_replayed_pairs_excluded_from_analysis(self):
+        records = BASE_RUN + _journal(
+            ("task_replayed", {"pair": 9, "candidates": 99, "results": 40}),
+        )
+        analysis = analyze_events(records)
+        assert analysis.replayed_pairs == [9]
+        assert 9 not in [p.pair for p in analysis.executed_pairs]
+        assert 9 not in [p.pair for p in analysis.stragglers_by_cost()]
+
+    def test_quarantine_degrade_checkpoint_accounting(self):
+        records = BASE_RUN + _journal(
+            ("corruption_quarantined", {"pair": 1, "attempt": 0}),
+            ("degraded_rebuild", {"pair": 1, "reason": "retries_exhausted"}),
+            ("checkpoint_commit", {"ordinal": 1, "kind": "manifest", "file": "m"}),
+            ("checkpoint_commit", {"ordinal": 2, "kind": "pair", "file": "p0"}),
+            ("checkpoint_commit", {"ordinal": 3, "kind": "pair", "file": "p1"}),
+        )
+        analysis = analyze_events(records)
+        assert analysis.quarantined_pairs == [1]
+        assert analysis.degraded_pairs == [1]
+        assert analysis.pairs[1].degraded is True
+        assert analysis.checkpoint_commits == {"manifest": 1, "pair": 2}
+
+
+class TestRenderReport:
+    def test_default_body_has_no_measured_quantities(self):
+        report = render_report(analyze_events(BASE_RUN))
+        assert "# Run report" in report
+        assert "wall_s" not in report
+        assert "Measured timings" not in report
+        # But the deterministic diagnosis is all there.
+        assert "critical path" in report
+        assert "Figure 4" in report
+
+    def test_timings_section_is_opt_in(self):
+        report = render_report(analyze_events(BASE_RUN), timings=True)
+        assert "Measured timings (not deterministic)" in report
+        assert "wall_s" in report
+
+    def test_render_is_a_pure_function_of_deterministic_fields(self):
+        # Same events with different seq/t noise -> identical report body.
+        noisy = [dict(r, t=r["t"] * 7 + 0.123) for r in BASE_RUN]
+        assert render_report(analyze_events(BASE_RUN)) == render_report(
+            analyze_events(noisy)
+        )
+
+    def test_report_names_fault_pairs(self):
+        records = BASE_RUN + _journal(
+            ("fault_injected", {"kind": "disk_read_error", "pair": 0,
+                                "attempt": 0}),
+        )
+        report = render_report(analyze_events(records))
+        assert "`disk_read_error` (pair 0, attempt 0)" in report
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        analysis = analyze_events(BASE_RUN)
+        document = analysis.to_dict()
+        json.dumps(document)
+        assert document["backend"] == "process"
+        assert document["critical_path"]["makespan_cost"] == 50
+
+
+class TestAnalyzeRun:
+    def test_missing_journal_raises_helpfully(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="journal.jsonl"):
+            analyze_run(tmp_path)
+
+    def test_reads_journal_from_run_dir(self, tmp_path):
+        import json
+
+        path = tmp_path / "journal.jsonl"
+        with path.open("w") as fh:
+            for record in BASE_RUN:
+                fh.write(json.dumps(record) + "\n")
+        analysis = analyze_run(tmp_path)
+        assert analysis.results == 13
+        assert analysis.run_dir == str(tmp_path)
+
+    def test_trace_file_adds_phase_breakdown(self, tmp_path):
+        import json
+
+        path = tmp_path / "journal.jsonl"
+        with path.open("w") as fh:
+            for record in BASE_RUN:
+                fh.write(json.dumps(record) + "\n")
+        spans = [
+            {"id": 0, "parent_id": None, "name": "pair", "cpu_s": 0.5,
+             "io_s": 0.1, "tags": {}},
+            {"id": 1, "parent_id": 0, "name": "merge", "cpu_s": 0.4,
+             "io_s": 0.1, "tags": {}},
+            # A replayed root and its child: both excluded.
+            {"id": 2, "parent_id": None, "name": "pair", "cpu_s": 9.0,
+             "io_s": 9.0, "tags": {"replayed": True}},
+            {"id": 3, "parent_id": 2, "name": "merge", "cpu_s": 9.0,
+             "io_s": 9.0, "tags": {}},
+        ]
+        with (tmp_path / "trace.jsonl").open("w") as fh:
+            for span in spans:
+                fh.write(json.dumps(span) + "\n")
+        analysis = analyze_run(tmp_path)
+        assert analysis.phase_breakdown == [
+            {"name": "pair", "cpu_s": 0.5, "io_s": 0.1, "spans": 1}
+        ]

@@ -5,6 +5,7 @@ import json
 from repro.obs import (
     MetricsRegistry,
     Tracer,
+    chrome_instant_events,
     chrome_trace_events,
     report_to_dict,
     trace_to_dicts,
@@ -71,6 +72,62 @@ class TestChromeTrace:
         path = write_chrome_trace(_traced_workload(), tmp_path / "c.json")
         document = json.loads(path.read_text())
         assert len(document["traceEvents"]) == 2
+
+
+class TestChromeInstantEvents:
+    JOURNAL = [
+        {"seq": 1, "t": 0.0, "type": "run_started", "backend": "process",
+         "workers": 2},
+        {"seq": 2, "t": 0.25, "type": "fault_injected",
+         "kind": "worker_crash", "pair": 7, "attempt": 0},
+        {"seq": 3, "t": 0.5, "type": "retry", "pair": 7, "attempt": 0,
+         "backoff_s": 0.05, "cause": "WorkerCrashError"},
+        {"seq": 4, "t": 0.75, "type": "pool_respawn", "queued": 3},
+        {"seq": 5, "t": 1.0, "type": "checkpoint_commit", "ordinal": 1,
+         "kind": "pair", "file": "pair-7.json"},
+        {"seq": 6, "t": 1.5, "type": "worker_heartbeat", "pid": 9,
+         "pair": 7, "phase": "merge"},
+        {"seq": 7, "t": 2.0, "type": "task_finished", "pair": 7,
+         "attempt": 1, "results": 4},
+    ]
+
+    def test_golden_shape(self):
+        # The exact event shape Perfetto consumes — a golden test so the
+        # exporter cannot silently drift.
+        assert chrome_instant_events(self.JOURNAL) == [
+            {"name": "fault_injected", "cat": "fault", "ph": "i", "s": "g",
+             "ts": 250000.0, "pid": 0, "tid": 0,
+             "args": {"kind": "worker_crash", "pair": 7, "attempt": 0}},
+            {"name": "retry", "cat": "fault", "ph": "i", "s": "g",
+             "ts": 500000.0, "pid": 0, "tid": 0,
+             "args": {"pair": 7, "attempt": 0, "backoff_s": 0.05,
+                      "cause": "WorkerCrashError"}},
+            {"name": "pool_respawn", "cat": "fault", "ph": "i", "s": "g",
+             "ts": 750000.0, "pid": 0, "tid": 0, "args": {"queued": 3}},
+            {"name": "checkpoint_commit", "cat": "fault", "ph": "i",
+             "s": "g", "ts": 1000000.0, "pid": 0, "tid": 0,
+             "args": {"ordinal": 1, "kind": "pair", "file": "pair-7.json"}},
+        ]
+
+    def test_lifecycle_and_heartbeat_events_are_skipped(self):
+        names = {e["name"] for e in chrome_instant_events(self.JOURNAL)}
+        assert "run_started" not in names
+        assert "worker_heartbeat" not in names
+        assert "task_finished" not in names
+
+    def test_write_chrome_trace_appends_instants(self, tmp_path):
+        path = write_chrome_trace(
+            _traced_workload(), tmp_path / "c.json",
+            journal_events=self.JOURNAL,
+        )
+        events = json.loads(path.read_text())["traceEvents"]
+        assert [e["ph"] for e in events] == ["X", "X", "i", "i", "i", "i"]
+        json.dumps(events)  # Perfetto-loadable as-is
+
+    def test_no_journal_means_spans_only(self, tmp_path):
+        path = write_chrome_trace(_traced_workload(), tmp_path / "c.json")
+        events = json.loads(path.read_text())["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
 
 
 class TestMetricsJson:

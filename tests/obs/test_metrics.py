@@ -48,6 +48,71 @@ class TestHistogram:
         assert snap["min"] is None and snap["max"] is None
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("h", buckets=[1, 10])
+        assert h.quantile(0.5) is None
+        assert h.summary() == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": None, "max": None,
+            "p50": None, "p90": None, "p99": None,
+        }
+
+    def test_single_sample_returns_it_for_every_q(self):
+        h = Histogram("h", buckets=[1, 10, 100])
+        h.observe(7)
+        assert h.quantile(0.0) == 7
+        assert h.quantile(0.5) == 7
+        assert h.quantile(1.0) == 7
+
+    def test_interpolates_inside_a_bucket(self):
+        h = Histogram("h", buckets=[0, 100])
+        for v in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+            h.observe(v)
+        # All ten samples land in the (0, 100] bucket; linear interpolation
+        # over the bucket span puts the median near the middle of it.
+        p50 = h.quantile(0.5)
+        assert 40 <= p50 <= 60
+
+    def test_clamped_to_observed_extremes(self):
+        h = Histogram("h", buckets=[1000])
+        h.observe(40)
+        h.observe(60)
+        # The bucket spans (min, 1000] but nothing above 60 was observed:
+        # estimates must never leave [min, max].
+        assert h.quantile(0.99) <= 60
+        assert h.quantile(0.01) >= 40
+
+    def test_quantile_ordering_is_monotone(self):
+        h = Histogram("h", buckets=[1, 2, 4, 8, 16, 32])
+        for v in range(1, 30):
+            h.observe(v)
+        qs = [h.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+        assert qs[0] == 1 and qs[-1] == 29
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("h")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_summary_shape(self):
+        h = Histogram("h", buckets=[1, 10, 100])
+        for v in (1, 5, 50):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3 and s["sum"] == 56
+        assert s["min"] == 1 and s["max"] == 50
+        assert s["p50"] is not None and s["p90"] is not None
+
+    def test_disabled_instrument_quantiles(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.histogram("h").quantile(0.5) is None
+        assert reg.histogram("h").summary() == {}
+
+
 class TestRegistry:
     def test_snapshot_shape(self):
         reg = MetricsRegistry()

@@ -1,6 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -171,6 +172,101 @@ class TestChaosCLI:
         document = json.loads(capsys.readouterr().out)
         assert document["survived"] is True
         assert document["plan"] == "combined"
+
+
+class TestFlightRecorderCLI:
+    def _chaos_run(self, tmp_path, name="run"):
+        out = str(tmp_path / name)
+        args = ["chaos", "--plan", "worker_faults", "--seed", "42",
+                "--scale", "0.001", "--workers", "2", "--out", out]
+        assert main(args) == 0
+        return out
+
+    def test_chaos_out_writes_all_artifacts(self, capsys, tmp_path):
+        out = Path(self._chaos_run(tmp_path))
+        assert "flight recorder" in capsys.readouterr().out
+        for name in ("journal.jsonl", "trace.jsonl", "chrome_trace.json",
+                     "metrics.json"):
+            assert (out / name).exists(), name
+        events = json.loads((out / "chrome_trace.json").read_text())
+        phases = {e["ph"] for e in events["traceEvents"]}
+        assert "i" in phases  # fault instants alongside the X spans
+
+    def test_chaos_then_report_names_fault_pairs(self, capsys, tmp_path):
+        out = self._chaos_run(tmp_path)
+        capsys.readouterr()
+        assert main(["report", out]) == 0
+        report = capsys.readouterr().out
+        assert "# Run report" in report
+        # worker_faults @ seed 42 / 8 pairs: the planned injection points.
+        assert "`disk_read_error` (pair 0, attempt 0)" in report
+        assert "`slow_task` (pair 4, attempt 0)" in report
+        assert "`worker_crash` (pair 7, attempt 0)" in report
+        assert "Stragglers" in report
+
+    def test_two_same_seed_reports_are_byte_identical(self, capsys, tmp_path):
+        def render(name):
+            out = self._chaos_run(tmp_path, name)
+            capsys.readouterr()
+            assert main(["report", out]) == 0
+            return capsys.readouterr().out
+
+        assert render("a") == render("b")
+
+    def test_report_timings_sections_are_opt_in(self, capsys, tmp_path):
+        out = self._chaos_run(tmp_path)
+        capsys.readouterr()
+        assert main(["report", out]) == 0
+        default = capsys.readouterr().out
+        assert main(["report", out, "--timings"]) == 0
+        timed = capsys.readouterr().out
+        assert "Measured timings" not in default
+        assert "Measured timings (not deterministic)" in timed
+        assert timed.startswith(default.rstrip("\n"))
+
+    def test_report_json(self, capsys, tmp_path):
+        out = self._chaos_run(tmp_path)
+        capsys.readouterr()
+        assert main(["report", out, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["backend"] == "process"
+        assert {r["kind"] for r in document["fault_ledger"]} == {
+            "disk_read_error", "slow_task", "worker_crash"
+        }
+
+    def test_report_missing_journal_exits_2(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "journal.jsonl" in capsys.readouterr().err
+
+    def test_parallel_out_writes_journal(self, capsys, tmp_path):
+        out = str(tmp_path / "prun")
+        assert main(["parallel", "--workers", "2", "--scale", "0.002",
+                     "--out", out]) == 0
+        assert "run journal" in capsys.readouterr().out
+        lines = (Path(out) / "journal.jsonl").read_text().splitlines()
+        types = [json.loads(line)["type"] for line in lines]
+        assert types[0] == "run_started" and types[-1] == "run_finished"
+        assert "task_finished" in types
+
+    def test_parallel_live_streams_progress(self, capsys):
+        assert main(["parallel", "--workers", "2", "--scale", "0.002",
+                     "--live"]) == 0
+        out = capsys.readouterr().out
+        assert "[live]" in out
+        assert "tasks scheduled" in out
+        assert "done (" in out
+
+    def test_live_rejected_for_serial_backend(self, capsys):
+        assert main(["parallel", "--backend", "serial", "--live"]) == 2
+        assert "scheduled backend" in capsys.readouterr().err
+
+    def test_simulated_backend_journals_nodes(self, capsys, tmp_path):
+        out = str(tmp_path / "sim")
+        assert main(["parallel", "--backend", "simulated", "--workers", "3",
+                     "--scale", "0.002", "--out", out]) == 0
+        lines = (Path(out) / "journal.jsonl").read_text().splitlines()
+        types = [json.loads(line)["type"] for line in lines]
+        assert types.count("node_finished") == 3
 
 
 class TestCheckpointCLI:
