@@ -1,0 +1,116 @@
+"""End-to-end smoke for the serving tier: real server process, real client.
+
+Spawns ``python -m repro serve`` as a subprocess, fires ~20 mixed queries
+at it through :class:`repro.serve.ServeClient`, and verifies the three
+properties CI cares about:
+
+* the cache works — the mix repeats queries, so the hit rate must be > 0;
+* every served answer is **byte-identical** to a one-shot
+  ``parallel_join`` of the same spec (and all responses for the same spec
+  agree with each other, hit or miss);
+* SIGTERM drains cleanly — exit status 0, the "drained" summary printed,
+  and the journals in the out directory intact for artifact upload.
+
+Run it locally with ``PYTHONPATH=src python benchmarks/serve_smoke.py``;
+CI runs it in the ``serve-smoke`` job and uploads the out directory.
+"""
+
+import json
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.parallel import parallel_join
+from repro.serve import (
+    QuerySpec,
+    ServeClient,
+    read_port_file,
+    result_digest,
+    wait_for_server,
+)
+
+N_QUERIES = 20
+MIX_SEED = 96
+
+QUERY_MIX = [
+    {"dataset": "road_hydro", "scale": 0.006, "predicate": "intersects"},
+    {"dataset": "road_rail", "scale": 0.006, "predicate": "intersects"},
+    {"dataset": "landuse_island", "scale": 0.004, "predicate": "contains"},
+    {"dataset": "road_hydro", "scale": 0.004, "predicate": "intersects"},
+]
+
+
+def main(out_dir: str = "serve-out") -> int:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    port_file = out / "port.txt"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--cache-dir", str(out / "cache"),
+            "--out", str(out),
+            "--port-file", str(port_file),
+            "--workers", "2",
+            "--max-inflight", "2",
+            "--max-queue", "8",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = read_port_file(port_file, timeout_s=60.0)
+        wait_for_server("127.0.0.1", port, timeout_s=60.0)
+
+        rng = random.Random(MIX_SEED)
+        responses = []
+        with ServeClient("127.0.0.1", port, timeout=300.0) as client:
+            for _ in range(N_QUERIES):
+                fields = dict(rng.choice(QUERY_MIX), workers=2)
+                response = client.join(**fields)
+                assert response.get("ok"), response
+                response["_spec"] = json.dumps(fields, sort_keys=True)
+                responses.append(response)
+            stats = client.stats()["stats"]
+
+        hits = [r for r in responses if r["source"] in ("hit", "coalesced")]
+        assert hits, "no cache hits across the mixed queries"
+
+        by_spec = {}
+        for r in responses:
+            by_spec.setdefault(r["_spec"], set()).add(r["result_sha256"])
+        for key, seen in sorted(by_spec.items()):
+            assert len(seen) == 1, f"{key} served {len(seen)} digests"
+            spec = QuerySpec(**json.loads(key))
+            tuples_r, tuples_s = spec.generate()
+            one_shot = parallel_join(
+                tuples_r, tuples_s, spec.predicate_fn,
+                backend="process", workers=spec.workers,
+            )
+            assert result_digest(one_shot.pairs) == next(iter(seen)), (
+                f"served result for {key} != one-shot parallel run"
+            )
+
+        proc.send_signal(signal.SIGTERM)
+        output, _ = proc.communicate(timeout=120.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    print(output)
+    assert proc.returncode == 0, f"server exited {proc.returncode}"
+    assert "drained" in output, "clean-shutdown summary missing"
+    print(
+        f"serve smoke ok: {len(responses)} queries, {len(hits)} hits "
+        f"({len(hits) / len(responses):.0%}), {len(by_spec)} distinct joins, "
+        f"server stats: admitted={stats['admitted']} "
+        f"completed={stats['completed']} rejected={stats['rejected']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

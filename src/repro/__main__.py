@@ -30,7 +30,15 @@ Subcommands:
   fault/retry timeline; ``--timings`` appends the measured
   (non-deterministic) sections;
 * ``checkpoints`` — list, inspect, or garbage-collect the join manifests
-  under a checkpoint directory;
+  under a checkpoint directory (``gc --max-bytes N`` prunes
+  least-recently-used runs to a size budget — the serve cache's policy);
+* ``serve`` — run the resident join service: a long-lived coordinator on
+  a local TCP socket multiplexing queries onto one shared process pool,
+  with admission control (bounded in-flight + queue, explicit rejects)
+  and a fingerprint-keyed artifact cache that answers repeated queries
+  from their committed result logs and resumes half-finished ones;
+* ``query`` — one-shot client for a running server (``--op
+  join|ping|stats|shutdown``);
 * ``plan``  — show which algorithm the paper's decision table picks for a
   described scenario;
 * ``bench-compare`` — diff a fresh ``BENCH_*.json`` against a committed
@@ -547,8 +555,15 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
             print(f"checkpoints: unknown run id {args.run_id!r} in {root}",
                   file=sys.stderr)
             return 2
+        if args.max_bytes is not None and (
+            args.run_id is not None or args.all_runs
+        ):
+            print("checkpoints: --max-bytes is its own policy; drop the "
+                  "run id / --all", file=sys.stderr)
+            return 2
         report = gc_checkpoint_dir(root, run_id=args.run_id,
-                                   all_runs=args.all_runs)
+                                   all_runs=args.all_runs,
+                                   max_bytes=args.max_bytes)
         if args.json:
             print(json.dumps(
                 {"removed": report.removed, "kept": report.kept,
@@ -606,6 +621,94 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+    from pathlib import Path
+
+    from .serve import JoinServer
+
+    plan = None
+    if args.faults:
+        from .faults import load_plan
+
+        plan = load_plan(
+            args.faults, seed=args.fault_seed, num_pairs=args.fault_pairs
+        )
+    server = JoinServer(
+        args.cache_dir,
+        args.out,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_cache_bytes=args.max_cache_bytes,
+        start_method=args.start_method,
+        fault_plan=plan,
+        kill_coordinator_after=args.kill_coordinator_after,
+    )
+    host, port = server.start()
+    if args.port_file:
+        port_path = Path(args.port_file)
+        port_path.parent.mkdir(parents=True, exist_ok=True)
+        port_path.write_text(f"{port}\n")
+    print(f"serving on {host}:{port}  "
+          f"(cache {server.cache.root}, journals {server.out_dir})",
+          flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    # Wake periodically: either a signal landed or a client sent the
+    # shutdown op (which stops the server from its own thread).
+    while not stop.is_set() and not server.stopped.is_set():
+        stop.wait(0.2)
+    server.shutdown(drain=True)
+    stats = server.stats()
+    print(f"drained: {stats['completed']} completed, "
+          f"{stats['rejected']} rejected, "
+          f"{stats['hits']} cache hits / {stats['misses']} misses")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, read_port_file
+
+    port = args.port
+    if port is None and args.port_file:
+        port = read_port_file(args.port_file)
+    if port is None:
+        print("query: need --port or --port-file", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(args.host, port, timeout=args.timeout) as client:
+            if args.op == "ping":
+                response = client.ping()
+            elif args.op == "stats":
+                response = client.stats()
+            elif args.op == "shutdown":
+                response = client.shutdown()
+            else:
+                response = client.join(
+                    dataset=args.dataset,
+                    scale=args.scale,
+                    seed=args.seed,
+                    predicate=args.predicate,
+                    workers=args.workers,
+                    include_pairs=args.pairs,
+                )
+    except (OSError, TimeoutError) as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from .core.planner import choose_algorithm
     from .storage import Database
@@ -651,7 +754,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
           "(Patel & DeWitt, SIGMOD 1996)")
     print(__doc__)
     print("subsystems: repro.geometry, repro.storage, repro.index, "
-          "repro.core, repro.joins, repro.exec, repro.data, repro.bench")
+          "repro.core, repro.joins, repro.exec, repro.data, repro.bench, "
+          "repro.parallel, repro.checkpoint, repro.serve")
     print("reproduce the paper: pytest benchmarks/ --benchmark-only")
     return 0
 
@@ -797,9 +901,76 @@ def main(argv: list[str] | None = None) -> int:
                              help="the checkpoint directory to operate on")
     checkpoints.add_argument("--all", action="store_true", dest="all_runs",
                              help="gc every run, including resumable ones")
+    checkpoints.add_argument("--max-bytes", type=int, default=None,
+                             metavar="N",
+                             help="gc: prune least-recently-used runs until "
+                                  "the directory fits N bytes (the serve "
+                                  "cache's eviction policy)")
     checkpoints.add_argument("--json", action="store_true",
                              help="emit machine-readable output")
     checkpoints.set_defaults(func=_cmd_checkpoints)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident join service (local TCP, JSON lines)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port to bind (0 picks a free one)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port here once listening")
+    serve.add_argument("--cache-dir", required=True,
+                       help="artifact cache root (a checkpoint directory; "
+                            "one-shot --checkpoint-dir runs interoperate)")
+    serve.add_argument("--out", default="serve_out",
+                       help="journal root: serve.jsonl plus one query-NNNN/ "
+                            "run dir per served query (for `repro report`)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="size of the single shared worker pool")
+    serve.add_argument("--max-inflight", type=int, default=2,
+                       help="queries executing at once")
+    serve.add_argument("--max-queue", type=int, default=8,
+                       help="queries allowed to wait; beyond this, "
+                            "reject with error=queue_full")
+    serve.add_argument("--max-cache-bytes", type=int, default=None,
+                       metavar="N",
+                       help="LRU-evict unpinned cache entries to fit N bytes")
+    serve.add_argument("--start-method", default=None,
+                       choices=["fork", "forkserver", "spawn"])
+    serve.add_argument("--faults", default=None, metavar="PLAN",
+                       help="named fault plan or plan JSON applied to every "
+                            "executed (non-cached) query")
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument("--fault-pairs", type=int, default=8,
+                       help="pair count the named fault plan compiles against")
+    serve.add_argument("--kill-coordinator-after", type=int, default=None,
+                       metavar="N",
+                       help="drill: soft-kill the next executed query after "
+                            "checkpoint ordinal N, then recover it by "
+                            "resuming the cache entry")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="one-shot client for a running join server"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=None)
+    query.add_argument("--port-file", default=None,
+                       help="read the port a `repro serve --port-file` wrote")
+    query.add_argument("--op", default="join",
+                       choices=["join", "ping", "stats", "shutdown"])
+    query.add_argument("--dataset", default="road_hydro")
+    query.add_argument("--scale", type=float, default=0.01)
+    query.add_argument("--seed", type=int, default=0,
+                       help="generator seed (0 = generator defaults, like "
+                            "`parallel` without --seed)")
+    query.add_argument("--predicate", default="intersects")
+    query.add_argument("--workers", type=int, default=2)
+    query.add_argument("--pairs", action="store_true",
+                       help="include the full result pair list")
+    query.add_argument("--timeout", type=float, default=None,
+                       help="socket timeout in seconds (default: block)")
+    query.set_defaults(func=_cmd_query)
 
     plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")
     plan.add_argument("--scale", type=float, default=0.005)

@@ -46,6 +46,7 @@ from .store import (
     GCReport,
     gc_checkpoint_dir,
     inspect_checkpoint_dir,
+    select_lru_victims,
 )
 
 __all__ = [
@@ -72,4 +73,5 @@ __all__ = [
     "replay_result_log",
     "result_from_wire",
     "result_to_wire",
+    "select_lru_victims",
 ]

@@ -261,6 +261,46 @@ class GCReport:
     bytes_freed: int = 0
 
 
+def select_lru_victims(
+    infos: List[CheckpointInfo],
+    max_bytes: int,
+    *,
+    pinned: "frozenset[str] | set[str]" = frozenset(),
+    recency: Optional[Dict[str, int]] = None,
+) -> List[CheckpointInfo]:
+    """The one LRU-by-bytes eviction policy for run directories.
+
+    Both ``repro checkpoints gc --max-bytes`` and the serving tier's
+    artifact cache (:mod:`repro.serve.cache`) call this, so CLI pruning
+    and service eviction can never disagree about who dies first.
+
+    Victims are chosen least-recently-used first until the total size of
+    the surviving runs fits ``max_bytes``.  ``recency`` maps run ids to a
+    logical use clock (the serve cache's touch counter); runs absent from
+    it fall back to manifest mtime and always evict before any touched
+    run.  Runs named in ``pinned`` are never selected — an in-use entry
+    must survive even if the budget stays blown.
+    """
+    if max_bytes < 0:
+        raise ValueError("max_bytes cannot be negative")
+    total = sum(info.bytes_total for info in infos)
+
+    def age_key(info: CheckpointInfo):
+        if recency is not None and info.run_id in recency:
+            return (1, recency[info.run_id], info.run_id)
+        return (0, info.mtime, info.run_id)
+
+    victims: List[CheckpointInfo] = []
+    for info in sorted(infos, key=age_key):
+        if total <= max_bytes:
+            break
+        if info.run_id in pinned:
+            continue
+        victims.append(info)
+        total -= info.bytes_total
+    return victims
+
+
 def _dir_bytes(path: Path) -> int:
     total = 0
     for child in path.rglob("*"):
@@ -329,16 +369,35 @@ def gc_checkpoint_dir(
     *,
     run_id: Optional[str] = None,
     all_runs: bool = False,
+    max_bytes: Optional[int] = None,
 ) -> GCReport:
     """Delete run directories that are finished with (or named explicitly).
 
     By default only ``complete`` runs are collected — an interrupted run's
     checkpoints are exactly what a resume needs, so they are kept unless
     the caller names the run or passes ``all_runs=True``.
+
+    ``max_bytes`` switches to size-based pruning instead: runs are evicted
+    least-recently-used first (by manifest mtime) until the directory fits
+    the budget, complete or not — the same policy, via the same
+    :func:`select_lru_victims`, that the serving tier's artifact cache
+    applies between queries.
     """
     report = GCReport()
-    for info in inspect_checkpoint_dir(root):
-        if run_id is not None:
+    infos = inspect_checkpoint_dir(root)
+    if max_bytes is not None:
+        if run_id is not None or all_runs:
+            raise ValueError(
+                "--max-bytes is its own policy; combine it with neither a "
+                "run id nor --all"
+            )
+        victims = {v.run_id for v in select_lru_victims(infos, max_bytes)}
+    else:
+        victims = None
+    for info in infos:
+        if victims is not None:
+            collect = info.run_id in victims
+        elif run_id is not None:
             collect = info.run_id == run_id
         elif all_runs:
             collect = True

@@ -165,6 +165,9 @@ class RunAnalysis:
     degraded_pairs: List[int] = field(default_factory=list)
     replayed_pairs: List[int] = field(default_factory=list)
     checkpoint_commits: Dict[str, int] = field(default_factory=dict)
+    serve: Dict[str, object] = field(default_factory=dict)
+    """Serving-tier context when the journal came from a served query
+    (``repro serve``): query id, cache disposition, coalescing."""
     phase_breakdown: List[dict] = field(default_factory=list)
     """Per-phase cpu/io sums from ``trace.jsonl`` (measured; timings only)."""
     event_counts: Dict[str, int] = field(default_factory=dict)
@@ -260,6 +263,7 @@ class RunAnalysis:
             "degraded_pairs": self.degraded_pairs,
             "replayed_pairs": self.replayed_pairs,
             "checkpoint_commits": self.checkpoint_commits,
+            "serve": self.serve,
             "phase_breakdown": self.phase_breakdown,
             "event_counts": self.event_counts,
         }
@@ -370,6 +374,23 @@ def analyze_events(
         elif kind == "retry":
             if record.get("backoff_s") is not None:
                 analysis.backoff_hist.observe(float(record["backoff_s"]))
+        elif kind == "query_received":
+            # A serving-tier journal (repro serve): the query's identity
+            # frames everything below it, cache hits included.
+            analysis.serve["query"] = record.get("query")
+            for key in ("dataset", "scale", "seed", "predicate"):
+                if key in record:
+                    analysis.serve[key] = record[key]
+        elif kind == "cache_hit":
+            analysis.serve["cache_hit"] = True
+            analysis.serve["coalesced"] = bool(record.get("coalesced", False))
+        elif kind == "query_done":
+            analysis.serve["source"] = record.get("source")
+            analysis.serve["run_id"] = record.get("run_id")
+            if not analysis.results:
+                # A pure cache hit never emits run_finished; the served
+                # result count is the only total there is.
+                analysis.results = int(record.get("result_count", 0) or 0)
     analysis.fault_ledger = [ledger[key] for key in sorted(ledger)]
     analysis.quarantined_pairs = sorted(set(analysis.quarantined_pairs))
     analysis.degraded_pairs = sorted(set(analysis.degraded_pairs))
@@ -477,6 +498,12 @@ def render_report(analysis: RunAnalysis, *, timings: bool = False) -> str:
         out(f"- partitions: {analysis.partitions}")
     out(f"- input tuples: {analysis.tuples_r} (R) x {analysis.tuples_s} (S)")
     out(f"- resumed run: {'yes' if analysis.resuming else 'no'}")
+    if analysis.serve:
+        query = analysis.serve.get("query") or "?"
+        source = analysis.serve.get("source") or "?"
+        run_id = analysis.serve.get("run_id") or "?"
+        out(f"- served query: {query} — source `{source}`, cache entry "
+            f"`{run_id}`")
     out(f"- result pairs: {analysis.results}")
     out("")
 

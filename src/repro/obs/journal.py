@@ -36,6 +36,7 @@ never arrives — which is exactly when you want its last heartbeat.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -90,6 +91,18 @@ the run's utilization timeseries."""
 EVENT_NODE_FINISHED = "node_finished"
 """Simulated backend: one virtual node's work summary."""
 
+EVENT_QUERY_RECEIVED = "query_received"
+"""Serving tier: a join query was admitted (query ordinal, run id, spec)."""
+EVENT_CACHE_HIT = "cache_hit"
+"""Serving tier: a query was answered by replaying its cached result log
+(or by adopting a warm run's spills) instead of a cold run."""
+EVENT_CACHE_EVICT = "cache_evict"
+"""Serving tier: the artifact cache evicted a run directory to fit its
+byte budget (run id, bytes freed)."""
+EVENT_QUERY_DONE = "query_done"
+"""Serving tier: a query finished (query ordinal, cache disposition,
+result count, wall seconds)."""
+
 EVENT_TYPES = frozenset(
     {
         EVENT_RUN_STARTED,
@@ -110,6 +123,10 @@ EVENT_TYPES = frozenset(
         EVENT_TIMEOUT,
         EVENT_SAMPLE,
         EVENT_NODE_FINISHED,
+        EVENT_QUERY_RECEIVED,
+        EVENT_CACHE_HIT,
+        EVENT_CACHE_EVICT,
+        EVENT_QUERY_DONE,
     }
 )
 """Every type :meth:`RunJournal.emit` accepts; a typo'd type is a bug in
@@ -211,6 +228,44 @@ class NullJournal:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         pass
+
+
+class ThreadSafeJournal:
+    """Lock-wrapped journal for multi-threaded emitters.
+
+    A :class:`RunJournal` assumes one writer — the coordinator's
+    scheduling loop.  The serving tier has many (every query thread plus
+    the cache), so it wraps its service-level journal in this: same
+    interface, one mutex around ``emit``/``close``.  Per-query journals
+    stay unwrapped; each belongs to exactly one thread.
+    """
+
+    def __init__(self, journal: RunJournal):
+        self._journal = journal
+        self._lock = threading.Lock()
+        self.enabled = journal.enabled
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._journal.path
+
+    @property
+    def records(self) -> List[dict]:
+        return self._journal.records
+
+    def emit(self, event_type: str, **fields: object) -> dict:
+        with self._lock:
+            return self._journal.emit(event_type, **fields)
+
+    def close(self) -> None:
+        with self._lock:
+            self._journal.close()
+
+    def __enter__(self) -> "ThreadSafeJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 NULL_JOURNAL = NullJournal()

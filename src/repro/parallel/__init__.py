@@ -28,7 +28,7 @@ from .engine import (
     TaskReport,
     serial_feature_pairs,
 )
-from .process import ProcessPBSM
+from .process import ProcessPBSM, RunPoolProvider
 from .tasks import (
     PairTask,
     PairTaskResult,
@@ -50,6 +50,7 @@ __all__ = [
     "ParallelPBSM",
     "PartitionSpill",
     "ProcessPBSM",
+    "RunPoolProvider",
     "SpillHandle",
     "REMOTE_FETCH_SECONDS",
     "REPLICATE_MBRS",

@@ -57,7 +57,13 @@ import shutil
 import tempfile
 import time
 from collections import Counter as TallyCounter
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -144,6 +150,46 @@ DEFAULT_SAMPLE_INTERVAL_S = 0.5
 queue depth / inflight / utilization timeseries."""
 
 
+class RunPoolProvider:
+    """Per-run executor ownership: the default pool lifecycle.
+
+    The coordinator's scheduling loop never creates or destroys a
+    ``ProcessPoolExecutor`` directly; it asks its provider.  This default
+    provider reproduces the historical behaviour — a fresh pool per
+    acquire, torn down when the run abandons or finishes it — while the
+    serving tier substitutes :class:`repro.serve.pool.SharedPoolProvider`
+    to multiplex many concurrent queries onto one resident pool.
+
+    ``shared`` tells the coordinator whether it may install per-pool
+    worker state (the heartbeat initializer): only a private pool can
+    carry one run's heartbeat queue.
+    """
+
+    shared = False
+
+    def acquire(
+        self,
+        max_workers: int,
+        context,
+        initializer=None,
+        initargs: tuple = (),
+    ) -> ProcessPoolExecutor:
+        if initializer is not None:
+            return ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context,
+                initializer=initializer, initargs=initargs,
+            )
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
+    def discard(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken or wedged pool without waiting on its workers."""
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def release(self, pool: ProcessPoolExecutor) -> None:
+        """The run is done with a healthy pool."""
+        pool.shutdown(wait=True)
+
+
 class ProcessPBSM:
     """PBSM executed across real worker processes, surviving their faults."""
 
@@ -168,6 +214,7 @@ class ProcessPBSM:
         checkpoint_dir: Optional[str] = None,
         kill_coordinator_after: Optional[int] = None,
         kill_hard: bool = False,
+        pool_provider: Optional[RunPoolProvider] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -211,6 +258,11 @@ class ProcessPBSM:
                 raise ValueError("kill ordinal must be >= 1")
         self.kill_coordinator_after = kill_coordinator_after
         self.kill_hard = kill_hard
+        self.pool_provider = pool_provider or RunPoolProvider()
+        """Executor lifecycle hooks.  The default owns a fresh pool per
+        run; a shared provider (the serve tier) hands every run the same
+        resident pool, ignores ``release``, and heals ``discard`` by
+        swapping in a new generation for everyone."""
         self._faults: TallyCounter = TallyCounter()
 
     # ------------------------------------------------------------------ #
@@ -797,11 +849,18 @@ class ProcessPBSM:
             "faults.retry_backoff_s", LATENCY_BUCKETS_S
         )
         journal = self.journal
+        provider = self.pool_provider
         # The heartbeat side channel: an mp queue handed to every worker
         # via the pool initializer (initargs travel as process-constructor
         # arguments, which is the one spawn-safe way to inherit a queue).
-        # Only a journaling run pays for it.
-        heartbeats = context.Queue() if journal.enabled else None
+        # Only a journaling run with a *private* pool pays for it — a
+        # shared pool serves many runs at once and cannot carry one run's
+        # initializer state.
+        heartbeats = (
+            context.Queue()
+            if journal.enabled and not provider.shared
+            else None
+        )
         worker_phase: Dict[int, dict] = {}
         next_sample = time.monotonic() + self.sample_interval_s
 
@@ -863,11 +922,11 @@ class ProcessPBSM:
 
         def abandon_pool() -> None:
             """Drop a broken or wedged pool; in-flight work is requeued by
-            the caller.  ``wait=False`` matters: a hung worker must not
-            hold the coordinator hostage."""
+            the caller.  The provider disposes without waiting: a hung
+            worker must not hold the coordinator hostage."""
             nonlocal pool
             if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+                provider.discard(pool)
                 pool = None
             inflight.clear()
             deadlines.clear()
@@ -922,15 +981,13 @@ class ProcessPBSM:
             while to_submit or inflight:
                 if pool is None:
                     if heartbeats is not None:
-                        pool = ProcessPoolExecutor(
-                            max_workers=max_workers, mp_context=context,
+                        pool = provider.acquire(
+                            max_workers, context,
                             initializer=init_worker_heartbeats,
                             initargs=(heartbeats,),
                         )
                     else:
-                        pool = ProcessPoolExecutor(
-                            max_workers=max_workers, mp_context=context
-                        )
+                        pool = provider.acquire(max_workers, context)
                 while to_submit:
                     index = to_submit.pop(0)
                     task = dataclasses.replace(
@@ -938,10 +995,12 @@ class ProcessPBSM:
                     )
                     try:
                         future = pool.submit(run_pair_task, task)
-                    except BrokenProcessPool:
-                        # The pool died between batches; heal and resubmit
-                        # everything (no attempt charged — the task never
-                        # reached a worker).
+                    except RuntimeError:
+                        # BrokenProcessPool, or (shared pool) a co-tenant
+                        # already discarded this generation and submit
+                        # raises "cannot schedule new futures"; heal and
+                        # resubmit everything (no attempt charged — the
+                        # task never reached a worker).
                         to_submit.insert(0, index)
                         to_submit.extend(inflight.values())
                         abandon_pool()
@@ -985,7 +1044,10 @@ class ProcessPBSM:
                         outcome = future.result()
                     except WorkerTaskError as error:
                         on_failure(index, error)
-                    except BrokenProcessPool:
+                    except (BrokenProcessPool, CancelledError):
+                        # CancelledError reaches here only on a shared
+                        # pool: a co-tenant's discard cancelled our queued
+                        # future — same recovery as a pool death.
                         pool_broke = True
                         on_failure(
                             index,
@@ -1058,7 +1120,7 @@ class ProcessPBSM:
                         abandon_pool()
         finally:
             if pool is not None:
-                pool.shutdown(wait=True)
+                provider.release(pool)
             drain_heartbeats()
             if heartbeats is not None:
                 heartbeats.close()

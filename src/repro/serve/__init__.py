@@ -1,0 +1,59 @@
+"""The serving tier: a resident join service over the PBSM engine.
+
+One long-lived coordinator (:mod:`repro.serve.server`) accepts join
+queries over a local TCP socket, multiplexes them onto a single shared
+process pool (:mod:`repro.serve.pool`), and answers repeats from a
+fingerprint-keyed artifact cache (:mod:`repro.serve.cache`) built on the
+checkpoint store — a completed query's durable result log *is* its
+cache entry, and a half-finished one resumes instead of restarting.
+Admission control keeps the service honest under load: bounded
+in-flight queries, a bounded queue, and explicit rejects past both.
+
+``python -m repro serve`` runs it; :mod:`repro.serve.client` talks to
+it; ``benchmarks/bench_serve_throughput.py`` measures it.
+"""
+
+from .cache import LOOKUP_HIT, LOOKUP_MISS, LOOKUP_WARM, ArtifactCache
+from .client import ServeClient, read_port_file, wait_for_server
+from .pool import SharedPoolProvider
+from .query import (
+    DATASETS,
+    PREDICATES,
+    QueryError,
+    QuerySpec,
+    result_digest,
+)
+from .server import (
+    DEFAULT_HOST,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTTING_DOWN,
+    SOURCE_COALESCED,
+    SOURCE_HIT,
+    SOURCE_MISS,
+    SOURCE_WARM,
+    JoinServer,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "DATASETS",
+    "DEFAULT_HOST",
+    "JoinServer",
+    "LOOKUP_HIT",
+    "LOOKUP_MISS",
+    "LOOKUP_WARM",
+    "PREDICATES",
+    "QueryError",
+    "QuerySpec",
+    "REJECT_QUEUE_FULL",
+    "REJECT_SHUTTING_DOWN",
+    "SOURCE_COALESCED",
+    "SOURCE_HIT",
+    "SOURCE_MISS",
+    "SOURCE_WARM",
+    "ServeClient",
+    "SharedPoolProvider",
+    "read_port_file",
+    "result_digest",
+    "wait_for_server",
+]

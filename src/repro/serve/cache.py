@@ -1,0 +1,225 @@
+"""The artifact cache: checkpoint run directories as a serving cache.
+
+PR 4's checkpoint store already makes every join's partition spills and
+committed pair results durable, fingerprinted, and replayable — built as
+crash-recovery machinery, but shaped exactly like a cache entry.  An
+:class:`ArtifactCache` manages a checkpoint root as one:
+
+* **lookup** classifies a fingerprint's run directory as a *hit* (the
+  manifest says ``complete`` and the result log replays clean — answer
+  the query by unioning the committed pairs, no processes spawned), a
+  *warm* entry (partitioned but unfinished — resume it, adopting the
+  spill files and merging only uncommitted pairs), or a *miss* (run cold
+  with ``checkpoint_dir`` pointed here, which **is** the fill);
+* **pinning** marks entries queries are actively reading or writing;
+* **eviction** prunes least-recently-used runs until the directory fits
+  ``max_bytes``, via the same
+  :func:`~repro.checkpoint.store.select_lru_victims` policy that
+  ``repro checkpoints gc --max-bytes`` applies from the CLI — and never
+  evicts a pinned entry, however blown the budget.
+
+Recency is a logical touch counter, not wall clock: entries this server
+process has served are younger than anything it has not, and ties among
+cold entries fall back to manifest mtime.  All state mutations take the
+cache lock; the server's query threads share one instance.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..checkpoint.manifest import JoinManifest, RunFingerprint
+from ..checkpoint.resultlog import replay_result_log
+from ..checkpoint.store import (
+    MANIFEST_FILENAME,
+    RESULTS_FILENAME,
+    STATE_COMPLETE,
+    inspect_checkpoint_dir,
+    select_lru_victims,
+)
+from ..obs.journal import EVENT_CACHE_EVICT, NULL_JOURNAL
+from ..obs.metrics import NULL_METRICS
+from ..storage.errors import ManifestCorruptionError
+
+LOOKUP_HIT = "hit"
+LOOKUP_WARM = "warm"
+LOOKUP_MISS = "miss"
+
+
+class ArtifactCache:
+    """Fingerprint-keyed cache of checkpoint run directories."""
+
+    def __init__(
+        self,
+        root: "Path | str",
+        *,
+        max_bytes: Optional[int] = None,
+        journal=NULL_JOURNAL,
+        metrics=NULL_METRICS,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes cannot be negative")
+        self.max_bytes = max_bytes
+        self.journal = journal
+        self.metrics = metrics
+        self._lock = threading.RLock()
+        self._pins: Dict[str, int] = {}
+        self._recency: Dict[str, int] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------ #
+    # pinning
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def pinned(self, run_id: str):
+        """Hold ``run_id`` unevictable for the duration of the block."""
+        self.pin(run_id)
+        try:
+            yield
+        finally:
+            self.unpin(run_id)
+
+    def pin(self, run_id: str) -> None:
+        with self._lock:
+            self._pins[run_id] = self._pins.get(run_id, 0) + 1
+
+    def unpin(self, run_id: str) -> None:
+        with self._lock:
+            count = self._pins.get(run_id, 0) - 1
+            if count <= 0:
+                self._pins.pop(run_id, None)
+            else:
+                self._pins[run_id] = count
+
+    def pinned_ids(self) -> Set[str]:
+        with self._lock:
+            return set(self._pins)
+
+    def touch(self, run_id: str) -> None:
+        """Mark ``run_id`` most-recently-used."""
+        with self._lock:
+            self._clock += 1
+            self._recency[run_id] = self._clock
+
+    # ------------------------------------------------------------------ #
+    # lookup + replay
+    # ------------------------------------------------------------------ #
+
+    def run_dir(self, fingerprint: RunFingerprint) -> Path:
+        return self.root / fingerprint.run_id
+
+    def lookup(self, fingerprint: RunFingerprint) -> str:
+        """Classify this fingerprint's cache state (no side effects).
+
+        Anything unreadable — missing manifest, corrupt framing, a
+        fingerprint that does not match its directory name — is a miss;
+        the cold run's ``run()`` discards and rewrites the directory.
+        """
+        run_dir = self.run_dir(fingerprint)
+        manifest_path = run_dir / MANIFEST_FILENAME
+        if not manifest_path.exists():
+            return LOOKUP_MISS
+        try:
+            manifest = JoinManifest.from_bytes(
+                manifest_path.read_bytes(), label=str(manifest_path)
+            )
+        except ManifestCorruptionError:
+            return LOOKUP_MISS
+        if manifest.fingerprint != fingerprint:
+            return LOOKUP_MISS
+        if manifest.state == STATE_COMPLETE:
+            return LOOKUP_HIT
+        return LOOKUP_WARM
+
+    def replay(
+        self, fingerprint: RunFingerprint
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Answer a complete run from its committed result log.
+
+        Returns the sorted, deduplicated feature-id pair set — byte-equal
+        to what the run that wrote the log returned — or ``None`` when
+        the entry cannot be trusted after all (the caller falls back to
+        the miss path).  The ``complete`` manifest event records the
+        result count, and the replayed union must reproduce it exactly;
+        anything else means the directory is lying and is not served.
+        """
+        run_dir = self.run_dir(fingerprint)
+        manifest_path = run_dir / MANIFEST_FILENAME
+        try:
+            manifest = JoinManifest.from_bytes(
+                manifest_path.read_bytes(), label=str(manifest_path)
+            )
+        except (OSError, ManifestCorruptionError):
+            return None
+        if (
+            manifest.fingerprint != fingerprint
+            or manifest.state != STATE_COMPLETE
+        ):
+            return None
+        try:
+            committed, _torn = replay_result_log(run_dir / RESULTS_FILENAME)
+        except ManifestCorruptionError:
+            return None
+        merged = sorted(
+            set().union(*(r.pairs for r in committed.values()), set())
+        )
+        if manifest.result_count != len(merged):
+            return None
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # eviction
+    # ------------------------------------------------------------------ #
+
+    def bytes_total(self) -> int:
+        return sum(
+            info.bytes_total for info in inspect_checkpoint_dir(self.root)
+        )
+
+    def ensure_budget(self) -> List[str]:
+        """Evict LRU entries until the cache fits ``max_bytes``.
+
+        Pinned entries are skipped unconditionally; the budget may stay
+        blown while queries hold their entries, and the next call picks
+        the survivors up.  Returns the evicted run ids.
+        """
+        if self.max_bytes is None:
+            return []
+        with self._lock:
+            infos = inspect_checkpoint_dir(self.root)
+            victims = select_lru_victims(
+                infos,
+                self.max_bytes,
+                pinned=set(self._pins),
+                recency=dict(self._recency),
+            )
+            evicted = []
+            for info in victims:
+                shutil.rmtree(info.path, ignore_errors=True)
+                self._recency.pop(info.run_id, None)
+                evicted.append(info.run_id)
+                self.journal.emit(
+                    EVENT_CACHE_EVICT,
+                    run_id=info.run_id, bytes=info.bytes_total,
+                )
+                self.metrics.counter("serve.cache.evictions").inc()
+            return evicted
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        with self._lock:
+            infos = inspect_checkpoint_dir(self.root)
+            return {
+                "entries": len(infos),
+                "bytes_total": sum(i.bytes_total for i in infos),
+                "max_bytes": self.max_bytes,
+                "pinned": sorted(self._pins),
+            }

@@ -1,0 +1,115 @@
+"""Blocking client for the join service's line protocol.
+
+One :class:`ServeClient` is one TCP connection; requests go out as one
+JSON object per line and block until the matching response line comes
+back.  The protocol is strictly request/response in order, so a client
+is as simple as a socket, two buffered file wrappers, and ``json`` —
+deliberately free of engine imports, a benchmark or test harness can
+hammer a server from threads with one client each.
+
+All methods return the server's response dict verbatim (``ok`` tells
+you whether it worked; ``error`` carries ``queue_full`` /
+``shutting_down`` / ``bad_request`` / ``internal`` when it did not).
+Transport failures raise ``ConnectionError``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Optional
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.JoinServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._wfile = self._sock.makefile("w", encoding="utf-8", newline="\n")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, block for its one response line."""
+        self._wfile.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._wfile.flush()
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection mid-request")
+        return json.loads(line)
+
+    def join(self, **spec_fields) -> dict:
+        """Submit a join query; keywords are QuerySpec wire fields."""
+        payload = {"op": "join"}
+        payload.update(spec_fields)
+        return self.request(payload)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop (replies before it does)."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        for closer in (self._wfile, self._rfile, self._sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def wait_for_server(
+    host: str,
+    port: int,
+    *,
+    timeout_s: float = 10.0,
+) -> None:
+    """Block until the server answers a ping (for subprocess harnesses)."""
+    deadline = time.monotonic() + timeout_s
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host, port, timeout=1.0) as client:
+                if client.ping().get("ok"):
+                    return
+        except (OSError, ValueError) as exc:
+            last_error = exc
+        time.sleep(0.05)
+    raise ConnectionError(
+        f"no join server answering on {host}:{port} after {timeout_s}s"
+        + (f" (last error: {last_error})" if last_error else "")
+    )
+
+
+def read_port_file(path: "Path | str", *, timeout_s: float = 10.0) -> int:
+    """Wait for a ``repro serve --port-file`` to appear and parse it."""
+    path = Path(path)
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            text = path.read_text().strip()
+        except OSError:
+            text = ""
+        if text:
+            return int(text)
+        time.sleep(0.05)
+    raise TimeoutError(f"port file {path} never appeared")

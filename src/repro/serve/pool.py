@@ -1,0 +1,89 @@
+"""The resident pool: one process pool multiplexed across all queries.
+
+A one-shot run owns its :class:`~concurrent.futures.ProcessPoolExecutor`
+— spawn, use, shut down.  A serving tier cannot afford that: spawn cost
+per query would dwarf small joins, and an unbounded pool-per-query would
+blow past the machine.  :class:`SharedPoolProvider` plugs into the
+:class:`~repro.parallel.process.ProcessPBSM` pool-provider seam and
+hands every run the *same* resident executor.
+
+The awkward part is failure.  When any tenant's task crashes its worker,
+the executor breaks for **everyone**: the crashing run sees
+``BrokenProcessPool``, its co-tenants see their futures cancelled and
+``submit`` refused.  Each tenant independently calls :meth:`discard`;
+the first call retires the broken generation (shutdown without waiting,
+in-flight futures cancelled) and the next :meth:`acquire` — from any
+tenant — spawns the replacement.  Late discards of an already-retired
+pool are no-ops, so tenants never kill each other's *healthy* pool.
+Every tenant then heals through the engine's normal respawn/requeue
+path, exactly as if its private pool had broken.
+
+:meth:`release` is deliberately a no-op — the run is done, the pool is
+not.  Only the server's :meth:`close` (shutdown/SIGTERM) retires the
+pool for good.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+
+class SharedPoolProvider:
+    """Pool provider that keeps one executor alive across runs."""
+
+    shared = True
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        self.generation = 0
+        """How many pools have been spawned; bumps on every heal."""
+
+    def acquire(self, max_workers, context, initializer=None, initargs=()):
+        """Hand out the resident pool (spawning it lazily).
+
+        The per-run ``max_workers`` is ignored — the pool is sized for
+        the *server*, and run fingerprints exclude worker count, so a
+        query asking for 2 workers and one asking for 8 are the same
+        join either way.  Initializers are refused: they carry one run's
+        state into workers that serve everybody (the engine already
+        skips its heartbeat initializer for ``shared`` providers).
+        """
+        if initializer is not None:
+            raise ValueError(
+                "a shared pool cannot run per-run initializers"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("shared pool provider is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=context
+                )
+                self.generation += 1
+            return self._pool
+
+    def discard(self, pool) -> None:
+        """Retire a broken generation (first caller wins; late calls no-op)."""
+        with self._lock:
+            if pool is not self._pool:
+                return  # already retired by a co-tenant
+            self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def release(self, pool) -> None:
+        """End-of-run hook: the pool outlives the run, so do nothing."""
+
+    def close(self) -> None:
+        """Server shutdown: drain the workers and refuse future acquires."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

@@ -1,0 +1,518 @@
+"""The join server: one resident coordinator, many queries.
+
+:class:`JoinServer` listens on a local TCP socket for newline-delimited
+JSON requests (one object per line, one response line per request) and
+multiplexes join queries onto a single shared process pool.  Three
+mechanisms do the real work:
+
+**Admission control.**  At most ``max_inflight`` queries execute at
+once; at most ``max_queue`` more may wait.  A query past both bounds is
+rejected *immediately* with ``error: "queue_full"`` — explicit
+backpressure the client can act on (back off, retry elsewhere) instead
+of an invisible, ever-growing queue.  During shutdown the reject reason
+is ``"shutting_down"``.
+
+**The artifact cache.**  Every executed query runs with its checkpoint
+directory pointed at the cache root, so the durable spill + result-log
+state a crash-safe run leaves behind doubles as the cache fill.  A
+repeat of a *completed* query replays its committed result log — no
+processes, no partitioning, just a file read.  A repeat of a query that
+died midway resumes: spills are adopted, committed pairs replayed, only
+the remainder merged.  Identity is the run fingerprint, which one-shot
+``repro parallel --checkpoint-dir`` runs share — the server can adopt a
+CLI run's artifacts and vice versa.
+
+**Coalescing.**  Two simultaneous identical queries would race to write
+the same run directory.  Per fingerprint, the first arrival becomes the
+*leader* and executes; followers wait on the leader's completion event,
+then re-classify — by construction a cache hit — and replay, reported
+as ``source: "coalesced"``.
+
+Every query gets its own journal directory under ``out_dir`` (so
+``python -m repro report out/query-0007`` works on any served query),
+and the server keeps a service-level journal of ``query_received`` /
+``cache_hit`` / ``cache_evict`` / ``query_done`` events.  SIGTERM
+handling lives in the CLI wrapper; it calls :meth:`shutdown`, which
+drains in-flight queries, rejects new ones, retires the pool, and
+leaves the cache manifests consistent (they are atomically written, so
+there is nothing to repair — drain just stops adding to them).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..checkpoint.store import CheckpointMismatchError
+from ..faults.inject import CoordinatorKilledError
+from ..obs.journal import (
+    EVENT_CACHE_HIT,
+    EVENT_QUERY_DONE,
+    EVENT_QUERY_RECEIVED,
+    RunJournal,
+    ThreadSafeJournal,
+)
+from ..obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from ..parallel.process import ProcessPBSM
+from .cache import LOOKUP_HIT, LOOKUP_WARM, ArtifactCache
+from .pool import SharedPoolProvider
+from .query import QueryError, QuerySpec, result_digest
+
+DEFAULT_HOST = "127.0.0.1"
+
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_SHUTTING_DOWN = "shutting_down"
+
+SOURCE_HIT = "hit"
+SOURCE_WARM = "warm"
+SOURCE_MISS = "miss"
+SOURCE_COALESCED = "coalesced"
+
+SERVE_JOURNAL_FILENAME = "serve.jsonl"
+QUERY_JOURNAL_FILENAME = "journal.jsonl"
+
+_DATASET_MEMO_CAP = 16
+
+
+class JoinServer:
+    """Resident join service over a local TCP socket."""
+
+    def __init__(
+        self,
+        cache_dir: "Path | str",
+        out_dir: "Path | str",
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        workers: int = 2,
+        max_inflight: int = 2,
+        max_queue: int = 8,
+        max_cache_bytes: Optional[int] = None,
+        start_method: Optional[str] = None,
+        fault_plan=None,
+        kill_coordinator_after: Optional[int] = None,
+        kill_limit: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("need at least one in-flight slot")
+        if max_queue < 0:
+            raise ValueError("queue bound cannot be negative")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.start_method = start_method
+        self.fault_plan = fault_plan
+        self.kill_coordinator_after = kill_coordinator_after
+        """Coordinator-kill drill: inject a soft kill after this durable
+        ordinal into the next ``kill_limit`` executed (non-hit) queries;
+        the server recovers each by resuming from its own cache entry."""
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.journal = ThreadSafeJournal(
+            RunJournal(self.out_dir / SERVE_JOURNAL_FILENAME)
+        )
+        self.cache = ArtifactCache(
+            cache_dir,
+            max_bytes=max_cache_bytes,
+            journal=self.journal,
+            metrics=self.metrics,
+        )
+        self.provider = SharedPoolProvider(workers)
+        self._latency = self.metrics.histogram(
+            "serve.latency_s", LATENCY_BUCKETS_S
+        )
+        self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._exec_slots = threading.Semaphore(max_inflight)
+        self._leaders: Dict[str, threading.Event] = {}
+        self._datasets: Dict[tuple, tuple] = {}
+        self._drill_remaining = kill_limit if kill_coordinator_after else 0
+        self._seq = 0
+        self._queued = 0
+        self._inflight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._hits = 0
+        self._misses = 0
+        self._coalesced = 0
+        self._started_at = time.perf_counter()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and start accepting; returns ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (however triggered)."""
+        if self._listener is None:
+            self.start()
+        self._stopped.wait()
+
+    @property
+    def stopped(self) -> threading.Event:
+        return self._stopped
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Drain and stop: reject new joins, finish admitted ones, retire
+        the pool.  Idempotent; concurrent callers wait for the first."""
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return
+            self._draining.set()
+            if drain:
+                with self._idle:
+                    self._idle.wait_for(
+                        lambda: self._queued == 0 and self._inflight == 0
+                    )
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            self.provider.close()
+            self.cache.ensure_budget()
+            self.journal.close()
+            self._stopped.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    # socket plumbing
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopped.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by shutdown
+            threading.Thread(
+                target=self._conn_loop, args=(conn,), daemon=True
+            ).start()
+
+    def _conn_loop(self, conn: socket.socket) -> None:
+        try:
+            rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+            wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+            for line in rfile:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    response = _error("bad_request", "request is not JSON")
+                else:
+                    response = self._dispatch(payload)
+                wfile.write(json.dumps(response, sort_keys=True) + "\n")
+                wfile.flush()
+        except (OSError, ValueError):
+            pass  # client went away mid-request; nothing to tell it
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, payload) -> dict:
+        if not isinstance(payload, dict):
+            return _error("bad_request", "request must be a JSON object")
+        op = payload.get("op", "join")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.stats()}
+        if op == "shutdown":
+            with self._lock:
+                pending = self._queued + self._inflight
+            # Reply before the listener dies; the drain happens off-thread.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return {"ok": True, "op": "shutdown", "draining": pending}
+        if op == "join":
+            return self._op_join(payload)
+        return _error("bad_request", f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------ #
+    # the join path
+    # ------------------------------------------------------------------ #
+
+    def _op_join(self, payload: dict) -> dict:
+        try:
+            spec = QuerySpec.from_wire(payload)
+        except QueryError as exc:
+            self.metrics.counter("serve.bad_requests").inc()
+            return _error("bad_request", str(exc))
+        started = time.perf_counter()
+        with self._lock:
+            if self._draining.is_set():
+                return self._reject(REJECT_SHUTTING_DOWN)
+            if self._queued + self._inflight >= self.max_inflight + self.max_queue:
+                return self._reject(REJECT_QUEUE_FULL)
+            self._admitted += 1
+            self._queued += 1
+            self._seq += 1
+            query_id = f"query-{self._seq:04d}"
+            self.metrics.counter("serve.admitted").inc()
+            self.metrics.gauge("serve.queue_depth").set(self._queued)
+        self.journal.emit(
+            EVENT_QUERY_RECEIVED, query=query_id, **spec.to_wire()
+        )
+        self._exec_slots.acquire()
+        with self._lock:
+            self._queued -= 1
+            self._inflight += 1
+            self.metrics.gauge("serve.queue_depth").set(self._queued)
+        try:
+            response = self._execute(spec, query_id, started)
+            with self._lock:
+                self._completed += 1
+            self.metrics.counter("serve.completed").inc()
+            return response
+        except Exception as exc:  # noqa: BLE001 — one query must not kill the server
+            with self._lock:
+                self._failed += 1
+            self.metrics.counter("serve.failed").inc()
+            return _error(
+                "internal", f"{type(exc).__name__}: {exc}", query=query_id
+            )
+        finally:
+            self._exec_slots.release()
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    def _execute(self, spec: QuerySpec, query_id: str, started: float) -> dict:
+        tuples_r, tuples_s = self._materialise(spec)
+        fingerprint = spec.fingerprint(tuples_r, tuples_s)
+        run_id = fingerprint.run_id
+        coalesced = self._await_leadership(run_id)
+        query_dir = self.out_dir / query_id
+        journal = RunJournal(query_dir / QUERY_JOURNAL_FILENAME)
+        drill: Optional[dict] = None
+        try:
+            with self.cache.pinned(run_id):
+                journal.emit(
+                    EVENT_QUERY_RECEIVED, query=query_id, **spec.to_wire()
+                )
+                disposition = self.cache.lookup(fingerprint)
+                pairs: Optional[List[Tuple[int, int]]] = None
+                if disposition == LOOKUP_HIT:
+                    pairs = self.cache.replay(fingerprint)
+                if pairs is not None:
+                    source = SOURCE_COALESCED if coalesced else SOURCE_HIT
+                    with self._lock:
+                        self._hits += 1
+                        if coalesced:
+                            self._coalesced += 1
+                    self.metrics.counter("serve.cache.hits").inc()
+                    for j in (journal, self.journal):
+                        j.emit(
+                            EVENT_CACHE_HIT,
+                            query=query_id, run_id=run_id,
+                            result_count=len(pairs), coalesced=coalesced,
+                        )
+                else:
+                    # Warm or miss (a hit whose replay failed verification
+                    # lands here too): the engine does the work, writing
+                    # its durable state into the cache as it goes.
+                    source = (
+                        SOURCE_WARM
+                        if disposition == LOOKUP_WARM
+                        else SOURCE_MISS
+                    )
+                    with self._lock:
+                        self._misses += 1
+                    self.metrics.counter("serve.cache.misses").inc()
+                    pairs, drill = self._run_engine(
+                        spec, tuples_r, tuples_s, journal,
+                        resume=(source == SOURCE_WARM),
+                    )
+                self.cache.touch(run_id)
+                latency = time.perf_counter() - started
+                self._latency.observe(latency)
+                digest = result_digest(pairs)
+                for j in (journal, self.journal):
+                    j.emit(
+                        EVENT_QUERY_DONE,
+                        query=query_id, run_id=run_id, source=source,
+                        result_count=len(pairs),
+                        latency_s=round(latency, 6),
+                    )
+        finally:
+            journal.close()
+            self._yield_leadership(run_id)
+        self.cache.ensure_budget()
+        response = {
+            "ok": True,
+            "op": "join",
+            "query": query_id,
+            "source": source,
+            "run_id": run_id,
+            "result_count": len(pairs),
+            "result_sha256": digest,
+            "latency_s": round(latency, 6),
+            "journal": str(query_dir),
+        }
+        if drill is not None:
+            response["drill"] = drill
+        if spec.include_pairs:
+            response["pairs"] = [list(p) for p in pairs]
+        return response
+
+    def _run_engine(
+        self, spec, tuples_r, tuples_s, journal, *, resume: bool
+    ) -> Tuple[List[Tuple[int, int]], Optional[dict]]:
+        """Execute (or resume) the join through the shared pool; if the
+        coordinator-kill drill fires, recover by resuming our own cache
+        entry — the same protocol a crashed one-shot run recovers by."""
+        kill_after: Optional[int] = None
+        with self._lock:
+            if self._drill_remaining > 0:
+                self._drill_remaining -= 1
+                kill_after = self.kill_coordinator_after
+        engine = self._engine(spec, journal, kill_after=kill_after)
+        drill: Optional[dict] = None
+        try:
+            if resume:
+                result = engine.resume(tuples_r, tuples_s, spec.predicate_fn)
+            else:
+                result = engine.run(tuples_r, tuples_s, spec.predicate_fn)
+        except CoordinatorKilledError as exc:
+            drill = {"killed_at_ordinal": exc.ordinal, "resumed": True}
+            self.metrics.counter("serve.drill_kills").inc()
+            engine = self._engine(spec, journal)
+            result = engine.resume(tuples_r, tuples_s, spec.predicate_fn)
+        except CheckpointMismatchError:
+            # The warm entry was for this fingerprint at lookup time, so
+            # this should be unreachable; treat it as a cold start rather
+            # than failing the query on our own bookkeeping.
+            result = self._engine(spec, journal).run(
+                tuples_r, tuples_s, spec.predicate_fn
+            )
+        return sorted(set(result.pairs)), drill
+
+    def _engine(self, spec, journal, *, kill_after=None) -> ProcessPBSM:
+        return ProcessPBSM(
+            spec.workers,
+            num_partitions=spec.partitions,
+            memory_bytes=spec.memory_bytes,
+            start_method=self.start_method,
+            journal=journal,
+            metrics=self.metrics,
+            fault_plan=self.fault_plan,
+            checkpoint_dir=str(self.cache.root),
+            kill_coordinator_after=kill_after,
+            pool_provider=self.provider,
+        )
+
+    def _materialise(self, spec: QuerySpec):
+        """Input tuples for the spec, memoized by dataset key — queries
+        differing only in predicate or partitioning share one generation."""
+        key = spec.dataset_key
+        with self._lock:
+            cached = self._datasets.get(key)
+        if cached is not None:
+            return cached
+        data = spec.generate()
+        with self._lock:
+            if len(self._datasets) >= _DATASET_MEMO_CAP:
+                self._datasets.pop(next(iter(self._datasets)))
+            self._datasets[key] = data
+        return data
+
+    # ------------------------------------------------------------------ #
+    # coalescing
+    # ------------------------------------------------------------------ #
+
+    def _await_leadership(self, run_id: str) -> bool:
+        """Become the sole executor for ``run_id``; returns whether we
+        waited behind another query for the same fingerprint (in which
+        case its completed cache entry is now ours to replay)."""
+        coalesced = False
+        while True:
+            with self._lock:
+                leader = self._leaders.get(run_id)
+                if leader is None:
+                    self._leaders[run_id] = threading.Event()
+                    return coalesced
+            coalesced = True
+            leader.wait()
+
+    def _yield_leadership(self, run_id: str) -> None:
+        with self._lock:
+            event = self._leaders.pop(run_id, None)
+        if event is not None:
+            event.set()
+
+    # ------------------------------------------------------------------ #
+
+    def _reject(self, reason: str) -> dict:
+        self._rejected += 1  # caller holds the lock
+        self.metrics.counter("serve.rejected").inc()
+        return _error(reason, f"query rejected: {reason}")
+
+    def stats(self) -> dict:
+        with self._lock:
+            latency = {
+                "count": self._latency.count,
+                "p50_s": self._latency.quantile(0.5),
+                "p95_s": self._latency.quantile(0.95),
+                "p99_s": self._latency.quantile(0.99),
+            }
+            return {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "failed": self._failed,
+                "queued": self._queued,
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "hits": self._hits,
+                "misses": self._misses,
+                "coalesced": self._coalesced,
+                "latency": latency,
+                "cache": self.cache.stats(),
+                "pool_generation": self.provider.generation,
+                "workers": self.workers,
+                "draining": self._draining.is_set(),
+                "uptime_s": round(time.perf_counter() - self._started_at, 6),
+            }
+
+
+def _error(code: str, message: str, **extra) -> dict:
+    response = {"ok": False, "error": code, "message": message}
+    response.update(extra)
+    return response

@@ -1,0 +1,361 @@
+"""JoinServer: cache dispositions, coalescing, admission control, drain
+shutdown, fault survival, and the coordinator-kill drill — all against a
+real TCP socket."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import inspect_checkpoint_dir
+from repro.faults import load_plan
+from repro.parallel import parallel_join
+from repro.serve import (
+    JoinServer,
+    QuerySpec,
+    ServeClient,
+    read_port_file,
+    result_digest,
+    wait_for_server,
+)
+
+SPEC = {"dataset": "road_hydro", "scale": 0.004, "workers": 2}
+
+
+def start_server(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    server = JoinServer(tmp_path / "cache", tmp_path / "out", **kwargs)
+    host, port = server.start()
+    return server, host, port
+
+
+def run_id_of(spec_fields):
+    spec = QuerySpec(**spec_fields)
+    tuples_r, tuples_s = spec.generate()
+    return spec.fingerprint(tuples_r, tuples_s).run_id
+
+
+def one_shot_digest(spec_fields):
+    spec = QuerySpec(**spec_fields)
+    tuples_r, tuples_s = spec.generate()
+    result = parallel_join(
+        tuples_r, tuples_s, spec.predicate_fn,
+        backend="process", workers=spec.workers,
+    )
+    return result_digest(result.pairs)
+
+
+class TestCachePaths:
+    def test_miss_then_hit_byte_identical_to_one_shot(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                miss = client.join(**SPEC)
+                hit = client.join(**SPEC)
+        finally:
+            server.shutdown()
+        assert miss["ok"] and miss["source"] == "miss"
+        assert hit["ok"] and hit["source"] == "hit"
+        assert miss["result_sha256"] == hit["result_sha256"]
+        assert miss["result_count"] == hit["result_count"] > 0
+        assert miss["result_sha256"] == one_shot_digest(SPEC)
+        # The hit skipped the engine entirely, so it must be far cheaper.
+        assert hit["latency_s"] < miss["latency_s"]
+
+    def test_warm_entry_resumes_instead_of_restarting(self, tmp_path):
+        # Interrupt a one-shot checkpointed run by killing its
+        # coordinator; the server then adopts the half-finished cache
+        # entry and serves it as a resume, not a cold start.
+        from repro.faults import CoordinatorKilledError
+        from repro.parallel import ProcessPBSM
+
+        spec = QuerySpec(**SPEC)
+        tuples_r, tuples_s = spec.generate()
+        engine = ProcessPBSM(
+            spec.workers,
+            checkpoint_dir=str(tmp_path / "cache"),
+            kill_coordinator_after=4,
+        )
+        with pytest.raises(CoordinatorKilledError):
+            engine.run(tuples_r, tuples_s, spec.predicate_fn)
+
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                response = client.join(**SPEC)
+        finally:
+            server.shutdown()
+        assert response["ok"] and response["source"] == "warm"
+        assert response["result_sha256"] == one_shot_digest(SPEC)
+
+    def test_served_pairs_match_when_requested(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                response = client.join(include_pairs=True, **SPEC)
+        finally:
+            server.shutdown()
+        pairs = [tuple(p) for p in response["pairs"]]
+        assert result_digest(pairs) == response["result_sha256"]
+        assert len(pairs) == response["result_count"]
+
+    def test_bad_request_is_rejected_not_executed(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                unknown = client.join(dataset="mars_canals")
+                typo = client.request({"op": "join", "scal": 0.01})
+                wrong = client.join(dataset="road_hydro",
+                                    predicate="contains")
+        finally:
+            server.shutdown()
+        for response in (unknown, typo, wrong):
+            assert not response["ok"] and response["error"] == "bad_request"
+        assert server.stats()["admitted"] == 0
+
+
+class TestCoalescing:
+    def test_simultaneous_identical_queries_coalesce(self, tmp_path):
+        """The second identical query must wait on the first's result log
+        rather than execute.  Determinism: the test itself holds the
+        leadership slot for the fingerprint, so the client query is
+        provably *blocked* behind a leader, then released."""
+        server, host, port = start_server(tmp_path)
+        try:
+            # Fill the cache so the released follower replays.
+            with ServeClient(host, port) as client:
+                first = client.join(**SPEC)
+            assert first["source"] == "miss"
+
+            run_id = run_id_of(SPEC)
+            gate = threading.Event()
+            with server._lock:
+                server._leaders[run_id] = gate  # pose as the leader
+
+            response = {}
+
+            def follower():
+                with ServeClient(host, port) as client:
+                    response.update(client.join(**SPEC))
+
+            thread = threading.Thread(target=follower, daemon=True)
+            thread.start()
+            thread.join(timeout=1.0)
+            assert thread.is_alive(), "query ran without waiting for leader"
+
+            with server._lock:
+                server._leaders.pop(run_id)
+            gate.set()
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        finally:
+            server.shutdown()
+        assert response["ok"]
+        assert response["source"] == "coalesced"
+        assert response["result_sha256"] == first["result_sha256"]
+        assert server.stats()["coalesced"] == 1
+
+    def test_concurrent_identical_queries_execute_once(self, tmp_path):
+        server, host, port = start_server(tmp_path, max_inflight=2)
+        results = [None, None]
+
+        def fire(i):
+            with ServeClient(host, port) as client:
+                results[i] = client.join(**SPEC)
+
+        try:
+            threads = [
+                threading.Thread(target=fire, args=(i,), daemon=True)
+                for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+        finally:
+            server.shutdown()
+        sources = sorted(r["source"] for r in results)
+        assert sources == ["coalesced", "miss"]
+        assert results[0]["result_sha256"] == results[1]["result_sha256"]
+        assert server.stats()["misses"] == 1
+
+
+class TestAdmission:
+    def test_queue_full_reject_is_immediate_and_explicit(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, max_inflight=1, max_queue=0
+        )
+        try:
+            run_id = run_id_of(SPEC)
+            gate = threading.Event()
+            with server._lock:
+                server._leaders[run_id] = gate  # wedge the only slot
+
+            blocked = {}
+
+            def occupant():
+                with ServeClient(host, port) as client:
+                    blocked.update(client.join(**SPEC))
+
+            thread = threading.Thread(target=occupant, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.stats()["inflight"] == 1:
+                    break
+                time.sleep(0.01)
+            assert server.stats()["inflight"] == 1
+
+            started = time.perf_counter()
+            with ServeClient(host, port) as client:
+                rejected = client.join(**SPEC)
+            reject_latency = time.perf_counter() - started
+            assert not rejected["ok"]
+            assert rejected["error"] == "queue_full"
+            assert reject_latency < 1.0  # rejected, not queued
+
+            with server._lock:
+                server._leaders.pop(run_id)
+            gate.set()
+            thread.join(timeout=60.0)
+        finally:
+            server.shutdown()
+        assert blocked["ok"]
+        stats = server.stats()
+        assert stats["rejected"] == 1 and stats["admitted"] == 1
+
+
+class TestShutdown:
+    def test_drain_finishes_inflight_and_rejects_new(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        run_id = run_id_of(SPEC)
+        gate = threading.Event()
+        inflight_response = {}
+
+        # Warm the cache, then hold a query in flight behind a posed
+        # leader while shutdown drains.
+        with ServeClient(host, port) as client:
+            first = client.join(**SPEC)
+        with server._lock:
+            server._leaders[run_id] = gate
+
+        def occupant():
+            with ServeClient(host, port) as client:
+                inflight_response.update(client.join(**SPEC))
+
+        thread = threading.Thread(target=occupant, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and server.stats()["inflight"] != 1:
+            time.sleep(0.01)
+
+        late_client = ServeClient(host, port)  # connected pre-shutdown
+        shutter = threading.Thread(target=server.shutdown, daemon=True)
+        shutter.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not server.stats()["draining"]:
+            time.sleep(0.01)
+
+        late = late_client.join(**SPEC)
+        assert not late["ok"] and late["error"] == "shutting_down"
+        late_client.close()
+
+        with server._lock:
+            server._leaders.pop(run_id)
+        gate.set()
+        shutter.join(timeout=60.0)
+        thread.join(timeout=10.0)
+        assert server.stopped.is_set()
+
+        # The drained query completed with the right answer...
+        assert inflight_response["ok"]
+        assert inflight_response["result_sha256"] == first["result_sha256"]
+        # ...and the cache is consistent: every surviving manifest is
+        # readable and the completed entry is intact.
+        infos = inspect_checkpoint_dir(tmp_path / "cache")
+        assert infos and all(not info.error for info in infos)
+        assert any(info.complete for info in infos)
+
+
+class TestFaults:
+    def test_served_results_survive_a_fault_plan(self, tmp_path):
+        plan = load_plan("worker_faults", seed=3, num_pairs=8)
+        server, host, port = start_server(tmp_path, fault_plan=plan)
+        try:
+            with ServeClient(host, port) as client:
+                miss = client.join(**SPEC)
+                hit = client.join(**SPEC)
+        finally:
+            server.shutdown()
+        assert miss["ok"] and hit["ok"]
+        assert miss["source"] == "miss" and hit["source"] == "hit"
+        # Identical to a clean, unserved, fault-free run: the recovery
+        # machinery may retry and degrade, never change the answer.
+        assert miss["result_sha256"] == one_shot_digest(SPEC)
+        assert hit["result_sha256"] == miss["result_sha256"]
+
+    def test_coordinator_kill_drill_resumes_and_stays_identical(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, kill_coordinator_after=4, kill_limit=1
+        )
+        try:
+            with ServeClient(host, port) as client:
+                drilled = client.join(**SPEC)
+                hit = client.join(**SPEC)
+        finally:
+            server.shutdown()
+        assert drilled["ok"]
+        assert drilled["drill"] == {"killed_at_ordinal": 4, "resumed": True}
+        assert drilled["result_sha256"] == one_shot_digest(SPEC)
+        assert hit["ok"] and hit["source"] == "hit"
+        assert hit["result_sha256"] == drilled["result_sha256"]
+        assert "drill" not in hit
+
+
+class TestSigterm:
+    def test_sigterm_drains_and_exits_clean(self, tmp_path):
+        port_file = tmp_path / "port.txt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[2] / "src"
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(tmp_path / "out"),
+                "--port-file", str(port_file),
+                "--workers", "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = read_port_file(port_file, timeout_s=30.0)
+            wait_for_server("127.0.0.1", port, timeout_s=30.0)
+            with ServeClient("127.0.0.1", port) as client:
+                response = client.join(**SPEC)
+            assert response["ok"]
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "drained" in out
+        # The cache survived shutdown consistent and replayable.
+        infos = inspect_checkpoint_dir(tmp_path / "cache")
+        assert len(infos) == 1 and infos[0].complete and not infos[0].error
+        # The serve journal is valid JSONL with the typed serve events.
+        journal = (tmp_path / "out" / "serve.jsonl").read_text().splitlines()
+        kinds = {json.loads(line)["type"] for line in journal}
+        assert {"query_received", "query_done"} <= kinds
