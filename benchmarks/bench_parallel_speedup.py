@@ -97,6 +97,11 @@ def test_process_backend_speedup(benchmark):
                 backend="process", workers=workers,
             )
             assert result.pairs == expected, f"pair set drifted at w={workers}"
+            assert result.duplicates_dropped == 0, (
+                f"two-layer merge dropped {result.duplicates_dropped} "
+                f"duplicate(s) at w={workers}; per-task outputs must be "
+                f"disjoint"
+            )
             costs = [t.cost_estimate for t in result.tasks]
             lpt = sum(costs) / lpt_makespan(costs, workers)
             wall_speedup = serial.wall_s / result.wall_s
@@ -119,6 +124,13 @@ def test_process_backend_speedup(benchmark):
                         "work_speedup": round(result.speedup, 4),
                         "lpt_speedup": round(lpt, 4),
                         "cpu_count": os.cpu_count(),
+                        # Two-layer partitioning: the coordinator merge is
+                        # a k-way interleave of disjoint streams, not a
+                        # sorted-set dedup — and must drop nothing.
+                        "coordinator_merge_s": round(
+                            result.coordinator_merge_s, 6
+                        ),
+                        "merge_duplicates_dropped": result.duplicates_dropped,
                     },
                 )
             )

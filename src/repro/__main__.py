@@ -8,9 +8,12 @@ Subcommands:
 * ``trace`` — run a PBSM road × hydro join under the ``repro.obs``
   observability layer and write the JSONL trace, metrics snapshot, and
   chrome-trace timeline;
-* ``parallel`` — run the road × hydro join on a parallel backend
-  (``--backend process|simulated|serial --workers N``) and report the
-  wall/critical-path numbers; ``--verify`` cross-checks the pair set
+* ``parallel`` — run a spatial join on a parallel backend
+  (``--backend process|simulated|serial --workers N``, ``--dataset``
+  picks the input pair, including the polygon workload
+  ``landuse_island``) and report the wall/critical-path numbers plus
+  the ``merge.duplicates_dropped`` invariant (two-layer partitioning
+  keeps it at 0); ``--verify`` cross-checks the pair set
   against the serial reference; ``--checkpoint-dir D`` makes the
   coordinator's state durable and ``--resume`` continues an interrupted
   checkpointed run; ``--out DIR`` records the run journal and ``--live``
@@ -188,9 +191,9 @@ def _live_renderer(stream):
 def _cmd_parallel(args: argparse.Namespace) -> int:
     from . import intersects
     from .checkpoint import CheckpointMismatchError
-    from .data import tiger
     from .obs import RunJournal, journal_path
     from .parallel import parallel_join
+    from .serve.query import DATASETS, result_digest
 
     if args.resume and not args.checkpoint_dir:
         print("parallel: --resume requires --checkpoint-dir", file=sys.stderr)
@@ -212,16 +215,17 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             on_event=_live_renderer(sys.stdout) if args.live else None,
         )
 
+    gen_r, gen_s = DATASETS[args.dataset]
     if args.seed is None:
-        roads = list(tiger.generate_roads(args.scale))
-        hydro = list(tiger.generate_hydrography(args.scale))
+        side_r = list(gen_r(args.scale))
+        side_s = list(gen_s(args.scale))
     else:
-        roads = list(tiger.generate_roads(args.scale, seed=args.seed))
-        hydro = list(tiger.generate_hydrography(args.scale, seed=args.seed + 1))
+        side_r = list(gen_r(args.scale, seed=args.seed))
+        side_s = list(gen_s(args.scale, seed=args.seed + 1))
 
     try:
         result = parallel_join(
-            roads, hydro, intersects,
+            side_r, side_s, intersects,
             backend=args.backend, workers=args.workers, scheme=args.scheme,
             start_method=args.start_method, journal=journal,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
@@ -235,16 +239,22 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
 
     verified = None
     if args.verify and args.backend != "serial":
-        reference = parallel_join(roads, hydro, intersects, backend="serial")
+        reference = parallel_join(side_r, side_s, intersects, backend="serial")
         verified = reference.pairs == result.pairs
 
     if args.json:
         document = {
             "backend": result.backend,
             "workers": args.workers,
+            "dataset": args.dataset,
             "scale": args.scale,
             "seed": args.seed,
             "result_count": len(result),
+            "result_digest": result_digest(result.pairs),
+            "merge": {
+                "duplicates_dropped": result.duplicates_dropped,
+                "coordinator_merge_s": round(result.coordinator_merge_s, 6),
+            },
             "wall_s": round(result.wall_s, 6),
             "critical_path_s": round(result.critical_path_s, 6),
             "total_work_s": round(result.total_work_s, 6),
@@ -275,10 +285,11 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         return 0 if verified in (None, True) else 1
 
     print(
-        f"{len(roads)} roads x {len(hydro)} hydrography features "
-        f"(scale={args.scale}) on backend={result.backend!r}"
+        f"{len(side_r)} x {len(side_s)} features ({args.dataset}, "
+        f"scale={args.scale}) on backend={result.backend!r}"
     )
-    print(f"{len(result)} intersecting pairs")
+    print(f"{len(result)} intersecting pairs "
+          f"(merge duplicates dropped: {result.duplicates_dropped})")
     print(
         f"wall {result.wall_s:.3f}s; per-{'worker' if args.backend == 'process' else 'node'} "
         f"work {result.total_work_s:.3f}s over {len(result.nodes)} "
@@ -799,6 +810,11 @@ def main(argv: list[str] | None = None) -> int:
     parallel.add_argument("--scale", type=float, default=0.01)
     parallel.add_argument("--seed", type=int, default=None,
                           help="base seed for the data generators")
+    parallel.add_argument("--dataset", default="road_hydro",
+                          choices=["road_hydro", "road_rail", "landuse_island"],
+                          help="input pair: TIGER roads x hydrography "
+                               "(default), roads x rail, or the SEQUOIA-style "
+                               "polygon workload landuse x islands")
     parallel.add_argument("--scheme", default="replicate_objects",
                           choices=["replicate_objects", "replicate_mbrs"],
                           help="boundary-object declustering (simulated only)")

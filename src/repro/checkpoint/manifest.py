@@ -58,6 +58,17 @@ STATE_COMPLETE = "complete"
 
 STATES = (STATE_CREATED, STATE_PARTITIONED, STATE_MERGING, STATE_COMPLETE)
 
+PARTITION_LAYOUT = "two-layer-v1"
+"""The current partition/spill layout generation, part of the fingerprint.
+
+``two-layer-v1``: one tagged ``(tile, class)`` key-pointer per overlapped
+tile, duplicate-free merge.  Artifacts written under an older layout
+(``replicate-dedup-v0``: one untagged key-pointer per overlapped
+*partition*, sorted-set dedup at the coordinator) describe different
+spill bytes and per-pair result logs, so they must never be adopted by a
+resume or served from the artifact cache — a layout bump changes the
+fingerprint digest, turning every stale artifact into a cache miss."""
+
 
 @dataclass(frozen=True)
 class RunFingerprint:
@@ -65,7 +76,9 @@ class RunFingerprint:
 
     Worker count, retry budgets, and timeouts are deliberately *excluded*:
     they change how fast the answer arrives, never what it is, so a run
-    checkpointed with 2 workers can resume with 8.
+    checkpointed with 2 workers can resume with 8.  The partition
+    ``layout`` *is* included: per-pair artifacts only replay cleanly
+    against the layout that wrote them.
     """
 
     count_r: int
@@ -75,6 +88,7 @@ class RunFingerprint:
     predicate: str
     num_partitions: int
     config: Dict[str, object]
+    layout: str = PARTITION_LAYOUT
 
     @classmethod
     def compute(
@@ -93,6 +107,7 @@ class RunFingerprint:
             predicate=getattr(predicate, "__name__", repr(predicate)),
             num_partitions=num_partitions,
             config=dataclasses.asdict(config),
+            layout=PARTITION_LAYOUT,
         )
 
     def to_dict(self) -> dict:
@@ -104,6 +119,7 @@ class RunFingerprint:
             "predicate": self.predicate,
             "num_partitions": self.num_partitions,
             "config": dict(self.config),
+            "layout": self.layout,
         }
 
     @classmethod
@@ -116,6 +132,11 @@ class RunFingerprint:
             predicate=str(data["predicate"]),
             num_partitions=int(data["num_partitions"]),
             config=dict(data["config"]),
+            # Pre-two-layer manifests carry no layout field; name their
+            # layout explicitly so they load for inspection/GC but can
+            # never fingerprint-match (and thus never be adopted by) a
+            # current run.
+            layout=str(data.get("layout", "replicate-dedup-v0")),
         )
 
     @property

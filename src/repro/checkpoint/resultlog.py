@@ -46,6 +46,7 @@ def result_to_wire(result: "PairTaskResult") -> dict:
         "attempt": result.attempt,
         "degraded": result.degraded,
         "degraded_reason": result.degraded_reason,
+        "duplicates_dropped": result.duplicates_dropped,
         "spans": result.spans,
         "metrics": result.metrics,
     }
@@ -70,6 +71,7 @@ def result_from_wire(payload: dict) -> "PairTaskResult":
         attempt=int(payload["attempt"]),
         degraded=bool(payload["degraded"]),
         degraded_reason=str(payload["degraded_reason"]),
+        duplicates_dropped=int(payload.get("duplicates_dropped", 0)),
         spans=list(payload.get("spans", [])),
         metrics=dict(payload.get("metrics", {})),
     )

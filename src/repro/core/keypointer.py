@@ -1,10 +1,15 @@
 """Key-pointer elements and their temporary on-disk files.
 
 A key-pointer element is the ``<MBR, OID>`` pair PBSM's filter step works
-with (§3.1).  Partition files are heap files of fixed 44-byte key-pointer
-records; candidate files hold the filter step's ``<OID_R, OID_S>`` output
-pairs.  Both live in temporary files charged to the simulated disk, so the
-partitioning and merging I/O the paper measures is accounted for.
+with (§3.1), extended with the two-layer partitioning tags: the tile the
+copy belongs to and its A/B/C/D border class
+(:mod:`repro.core.partition`).  One record is written per ``(tile,
+class)`` replica slot, so the merge can group a partition by tile and
+apply the duplicate-free mini-join class filter without recomputing any
+geometry.  Candidate files hold the filter step's ``<OID_R, OID_S>``
+output pairs.  Both live in temporary files charged to the simulated
+disk, so the partitioning and merging I/O the paper measures is
+accounted for.
 """
 
 from __future__ import annotations
@@ -19,16 +24,20 @@ from ..storage.buffer import BufferPool
 from ..storage.heapfile import HeapFile
 from ..storage.relation import OID
 
-_KEYPTR = struct.Struct("<ffffIII")
+_KEYPTR = struct.Struct("<ffffIIIIB")
 KEYPTR_SIZE = _KEYPTR.size
-"""Size of one key-pointer element (the paper's ``size_keyptr``, 28 bytes).
+"""Size of one key-pointer element (the paper's ``size_keyptr``; 33 bytes
+here: f32 MBR + 12-byte OID + u32 tile + u8 two-layer class).
 
 Key-pointer MBRs are stored in single precision, like Paradise's: the MBR
 is only a filter-step approximation, so the smaller footprint halves the
 partition files and keeps Equation 1's partition counts in the paper's
 regime.  Rounding is *conservative* (lower bounds rounded down, upper
 bounds up), so a stored MBR always contains the exact one and the filter
-output remains a superset of the true result.
+output remains a superset of the true result.  The tile and class tags
+are computed from the *exact* (f64) MBR at partition time and persisted,
+never re-derived from the rounded rect — the dedup-free merge depends on
+every copy of an object agreeing on its tile span.
 """
 
 _F32 = struct.Struct("<f")
@@ -36,7 +45,8 @@ _F32 = struct.Struct("<f")
 _OIDPAIR = struct.Struct("<IIIIII")
 OIDPAIR_SIZE = _OIDPAIR.size
 
-KeyPointer = Tuple[Rect, OID]
+KeyPointer = Tuple[Rect, OID, int, int]
+"""``(rect, oid, tile, class)`` — one two-layer replica slot."""
 CandidatePair = Tuple[OID, OID]
 
 
@@ -56,17 +66,18 @@ def _f32_up(value: float) -> float:
     return float(f)
 
 
-def pack_keypointer(rect: Rect, oid: OID) -> bytes:
+def pack_keypointer(rect: Rect, oid: OID, tile: int = 0, cls: int = 0) -> bytes:
     return _KEYPTR.pack(
         _f32_down(rect.xl), _f32_down(rect.yl),
         _f32_up(rect.xu), _f32_up(rect.yu),
         *oid,
+        tile, cls,
     )
 
 
 def unpack_keypointer(data: bytes) -> KeyPointer:
-    xl, yl, xu, yu, a, b, c = _KEYPTR.unpack(data)
-    return Rect(xl, yl, xu, yu), OID(a, b, c)
+    xl, yl, xu, yu, a, b, c, tile, cls = _KEYPTR.unpack(data)
+    return Rect(xl, yl, xu, yu), OID(a, b, c), tile, cls
 
 
 class KeyPointerFile:
@@ -76,8 +87,8 @@ class KeyPointerFile:
         self.heap = HeapFile(pool)
         self.count = 0
 
-    def append(self, rect: Rect, oid: OID) -> None:
-        self.heap.append(pack_keypointer(rect, oid))
+    def append(self, rect: Rect, oid: OID, tile: int = 0, cls: int = 0) -> None:
+        self.heap.append(pack_keypointer(rect, oid, tile, cls))
         self.count += 1
 
     def read_all(self) -> List[KeyPointer]:

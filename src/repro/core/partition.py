@@ -3,8 +3,25 @@
 The universe is regularly decomposed into ``NT >= P`` tiles, numbered
 row-major from the upper-left corner; each tile is mapped to one of the
 ``P`` partitions by round robin or by hashing the tile number.  A key-pointer
-element is inserted into *every* partition whose tiles its MBR overlaps —
-the replication that the refinement step's dedup later removes.
+element is inserted into *every* partition whose tiles its MBR overlaps.
+
+Replication is **two-layer** (Tsitsigkos et al., "Parallel In-Memory
+Evaluation of Spatial Joins"): each copy carries a class tag relative to
+the MBR's *first* tile — the tile containing its bottom-left corner:
+
+* class **A** — the first tile itself (holds the MBR's ``(xl, yl)``);
+* class **B** — same bottom tile row, further right: the MBR enters the
+  tile across its *left* border;
+* class **C** — same left tile column, further up: enters across the
+  *bottom* border;
+* class **D** — up and right of the first tile: enters across the corner
+  (both borders).
+
+A candidate pair is emitted only inside the tile that holds the pair's
+*reference point* ``(max(xl_r, xl_s), max(yl_r, yl_s))`` — equivalently,
+only for the class combinations in :data:`ALLOWED_CLASS_COMBOS` — so the
+merge output is duplicate-free by construction and no sorted-set dedup
+barrier is needed downstream.
 
 This is the spatial analog of virtual-processor round-robin partitioning
 for skew handling in parallel relational joins [DNSS92]; Figure 4 (partition
@@ -16,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from ..geometry import Rect
 from .keypointer import KEYPTR_SIZE
@@ -24,6 +41,40 @@ from .keypointer import KEYPTR_SIZE
 SCHEME_ROUND_ROBIN = "round_robin"
 SCHEME_HASH = "hash"
 SCHEMES = (SCHEME_ROUND_ROBIN, SCHEME_HASH)
+
+CLASS_A = 0
+"""The copy in the MBR's first tile (contains its bottom-left corner)."""
+CLASS_B = 1
+"""Crosses only the tile's left border (same bottom row, right of A)."""
+CLASS_C = 2
+"""Crosses only the tile's bottom border (same column, above A)."""
+CLASS_D = 3
+"""Crosses both borders (up and right of the first tile)."""
+
+CLASS_NAMES = "ABCD"
+
+ALLOWED_CLASS_COMBOS = frozenset({
+    (CLASS_A, CLASS_A), (CLASS_A, CLASS_B), (CLASS_A, CLASS_C),
+    (CLASS_A, CLASS_D),
+    (CLASS_B, CLASS_A), (CLASS_B, CLASS_C),
+    (CLASS_C, CLASS_A), (CLASS_C, CLASS_B),
+    (CLASS_D, CLASS_A),
+})
+"""The mini-join table: the 9 (class_r, class_s) combinations a tile may
+join without ever producing a duplicate.  A combination is allowed in tile
+T iff T holds the pair's reference point, i.e. the tile column is the
+first column of r *or* of s (``class in {A, C}``) and the tile row is the
+bottom row of r *or* of s (``class in {A, B}``)."""
+
+ALLOWED_COMBO_TABLE: Tuple[Tuple[bool, bool, bool, bool], ...] = tuple(
+    tuple((cr, cs) in ALLOWED_CLASS_COMBOS for cs in range(4))
+    for cr in range(4)
+)
+""":data:`ALLOWED_CLASS_COMBOS` as a 4x4 lookup (``table[cls_r][cls_s]``)
+for the merge's emit filter hot path."""
+
+TileAssignment = Tuple[int, int]
+"""One replica slot: ``(tile id, class)``."""
 
 
 def estimate_num_partitions(
@@ -75,25 +126,65 @@ class TileGrid:
         """Row-major numbering from the upper-left corner (§3.4)."""
         return row * self.cols + col
 
-    def tiles_for_rect(self, rect: Rect) -> List[int]:
-        """All tiles the rectangle overlaps (clamped to the universe)."""
+    def tile_span(self, rect: Rect) -> Tuple[int, int, int, int]:
+        """The rectangle's tile range ``(r0, r1, c0, c1)``, clamped.
+
+        ``r1`` is the *bottom* row (row 0 is the upper row, per the
+        paper's figure) and ``c0`` the left column, so the first tile —
+        the one holding the MBR's bottom-left corner — is ``(r1, c0)``.
+        """
         u = self.universe
         width = u.width or 1.0
         height = u.height or 1.0
         c0 = int((rect.xl - u.xl) / width * self.cols)
         c1 = int((rect.xu - u.xl) / width * self.cols)
-        # Row 0 is the *upper* row, per the paper's figure.
         r0 = int((u.yu - rect.yu) / height * self.rows)
         r1 = int((u.yu - rect.yl) / height * self.rows)
         c0 = min(max(c0, 0), self.cols - 1)
         c1 = min(max(c1, 0), self.cols - 1)
         r0 = min(max(r0, 0), self.rows - 1)
         r1 = min(max(r1, 0), self.rows - 1)
+        return r0, r1, c0, c1
+
+    def tiles_for_rect(self, rect: Rect) -> List[int]:
+        """All tiles the rectangle overlaps (clamped to the universe)."""
+        r0, r1, c0, c1 = self.tile_span(rect)
         return [
             self.tile_id(r, c)
             for r in range(r0, r1 + 1)
             for c in range(c0, c1 + 1)
         ]
+
+    def tile_assignments(self, rect: Rect) -> List[TileAssignment]:
+        """Every overlapped tile with its two-layer class tag.
+
+        Exactly one assignment per overlapped tile, and exactly one of
+        them is class A (the first tile, ``(r1, c0)``); the split into
+        B/C/D records which of that tile's borders the MBR crossed to
+        reach each other tile.
+        """
+        r0, r1, c0, c1 = self.tile_span(rect)
+        out: List[TileAssignment] = []
+        for r in range(r0, r1 + 1):
+            for c in range(c0, c1 + 1):
+                if r == r1:
+                    cls = CLASS_A if c == c0 else CLASS_B
+                else:
+                    cls = CLASS_C if c == c0 else CLASS_D
+                out.append((self.tile_id(r, c), cls))
+        return out
+
+    def reference_tile(self, rect_r: Rect, rect_s: Rect) -> int:
+        """The one tile allowed to emit the pair ``(rect_r, rect_s)``.
+
+        The tile holding the pair's reference point ``(max(xl), max(yl))``:
+        column ``max(c0_r, c0_s)``, row ``min(r1_r, r1_s)``.  For rects
+        that overlap, this is the unique tile both MBRs are assigned to
+        whose class combination :data:`ALLOWED_CLASS_COMBOS` admits.
+        """
+        _r0r, r1r, c0r, _c1r = self.tile_span(rect_r)
+        _r0s, r1s, c0s, _c1s = self.tile_span(rect_s)
+        return self.tile_id(min(r1r, r1s), max(c0r, c0s))
 
     def tile_rect(self, tile: int) -> Rect:
         """The geometric extent of a tile (for visualisation/tests)."""
@@ -148,6 +239,15 @@ class SpatialPartitioner:
         return {
             self.partition_of_tile(t) for t in self.grid.tiles_for_rect(rect)
         }
+
+    def tile_assignments(self, rect: Rect) -> List[TileAssignment]:
+        """The MBR's two-layer ``(tile, class)`` replica slots."""
+        return self.grid.tile_assignments(rect)
+
+    def owner_of_pair(self, rect_r: Rect, rect_s: Rect) -> int:
+        """The partition whose merge emits this pair (its reference tile's
+        partition) — the global uniqueness anchor for dedup-free merging."""
+        return self.partition_of_tile(self.grid.reference_tile(rect_r, rect_s))
 
 
 # ---------------------------------------------------------------------- #

@@ -9,19 +9,29 @@ Execution plan::
     Refinement    sort + dedup candidates, batched fetch, exact predicate
 
 The number of partitions follows Equation 1; the partitioning function is
-the tiled scheme of §3.4.  When a single partition pair fits in memory
-(P = 1) the key-pointers are kept in memory and the merge runs directly, as
-the paper describes for small inputs.
+the tiled scheme of §3.4, replicated under the **two-layer** class scheme
+of :mod:`repro.core.partition`: every key-pointer carries its ``(tile,
+class)`` slot, the merge sweeps each tile's group separately, and the
+emit filter admits only the class combinations of the mini-join table.
+Each result pair therefore surfaces at exactly one tile — the one holding
+its reference point — and the candidate stream is duplicate-free by
+construction; no sorted-set dedup barrier is needed downstream.  When a
+single partition pair fits in memory (P = 1) the key-pointers are kept in
+memory and the merge runs directly, as the paper describes for small
+inputs.
 
 §3.5's partition-skew handling (dynamic repartitioning of an overflown
-partition pair) is *not* in the paper's implementation; here it is available
+tile group) is *not* in the paper's implementation; here it is available
 behind ``PBSMConfig.handle_partition_skew`` as a documented extension.
+The recursion re-tiles the group with a finer grid and re-tags each copy,
+folding the parent tile's class filter into the recursive emit — so the
+output stays duplicate-free at every depth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..geometry import Rect, sweep_join, sweep_join_interval_tree
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
@@ -31,8 +41,11 @@ from ..storage.disk import PAGE_SIZE
 from ..storage.relation import Relation
 from .keypointer import KEYPTR_SIZE, CandidateFile, KeyPointer, KeyPointerFile
 from .partition import (
+    ALLOWED_COMBO_TABLE,
+    CLASS_A,
     SCHEME_HASH,
     SpatialPartitioner,
+    TileGrid,
     estimate_num_partitions,
 )
 from .predicates import Predicate
@@ -45,6 +58,10 @@ DEFAULT_NUM_TILES = 1024
 K = TypeVar("K")
 """Key-pointer payload: an OID in the single-node join, a feature id in the
 multiprocess backend.  The merge phase never looks inside it."""
+
+TaggedKeyPointer = Tuple[Rect, K, int, int]
+"""One merge-phase input record: ``(rect, key, tile, class)`` — the MBR, an
+opaque payload, and the copy's two-layer replica slot."""
 
 
 @dataclass(frozen=True)
@@ -71,8 +88,8 @@ class PBSMConfig:
 
 
 def merge_partition_pair(
-    kps_r: Sequence[Tuple[Rect, K]],
-    kps_s: Sequence[Tuple[Rect, K]],
+    kps_r: Sequence[Tuple[Rect, K, int, int]],
+    kps_s: Sequence[Tuple[Rect, K, int, int]],
     emit: Callable[[K, K], None],
     memory: int,
     config: Optional[PBSMConfig] = None,
@@ -84,13 +101,20 @@ def merge_partition_pair(
 ) -> int:
     """Plane-sweep one partition pair; the heart of PBSM's merge phase.
 
-    A module-level function over plain ``(Rect, key)`` sequences so it is
-    independently executable: :class:`PBSMJoin` drives it against key-pointer
-    files and a candidate file, while the multiprocess backend pickles the
-    surrounding task and calls it inside a worker process with feature-id
-    payloads.  §3.5 skew handling (recursive repartitioning of a pair whose
-    key-pointers exceed ``memory``) happens in here, behind
-    ``config.handle_partition_skew``.  Returns the number of emitted pairs.
+    A module-level function over plain ``(Rect, key, tile, class)``
+    sequences so it is independently executable: :class:`PBSMJoin` drives
+    it against key-pointer files and a candidate file, while the
+    multiprocess backend pickles the surrounding task and calls it inside
+    a worker process with feature-id payloads.
+
+    The sweep runs per tile group: copies of both sides sharing a tile are
+    swept together and a pair is emitted only when its class combination
+    is in the mini-join table — i.e. only in the tile holding the pair's
+    reference point — so every result pair is emitted *exactly once*
+    across all tiles and partitions.  §3.5 skew handling (recursive
+    repartitioning of a tile group whose key-pointers exceed ``memory``)
+    happens in here, behind ``config.handle_partition_skew``.  Returns the
+    number of emitted pairs.
     """
     config = config or PBSMConfig()
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -101,40 +125,57 @@ def merge_partition_pair(
         if not kps_r or not kps_s:
             return 0
 
-        oversized = (len(kps_r) + len(kps_s)) * KEYPTR_SIZE > memory
-        can_recurse = (
-            config.handle_partition_skew
-            and oversized
-            and depth < config.max_repartition_depth
-        )
-        if can_recurse:
-            metrics.counter("pbsm.merge.repartitions").inc()
-            span.tag("repartitioned", True)
-            return _repartition_pair(
-                kps_r, kps_s, emit, memory, config,
-                depth=depth, label=label, tracer=tracer, metrics=metrics,
-            )
-        if config.handle_partition_skew and oversized:
-            # §3.5 gave up: the depth budget is spent (or was declared spent
-            # by the no-progress fast-path below) and the pair still exceeds
-            # memory, so this sweep runs over-budget.  Count it — it is the
-            # skew-handling failure mode operators need to see.
-            metrics.counter("pbsm.merge.repartition_exhausted").inc()
-            span.tag("repartition_exhausted", True)
+        by_tile_r: Dict[int, List[Tuple[Rect, Tuple[K, int]]]] = {}
+        for rect, key, tile, cls in kps_r:
+            by_tile_r.setdefault(tile, []).append((rect, (key, cls)))
+        by_tile_s: Dict[int, List[Tuple[Rect, Tuple[K, int]]]] = {}
+        for rect, key, tile, cls in kps_s:
+            by_tile_s.setdefault(tile, []).append((rect, (key, cls)))
+        shared_tiles = sorted(by_tile_r.keys() & by_tile_s.keys())
+        span.tag("tile_groups", len(shared_tiles))
 
         emitted = 0
 
-        def counting_emit(key_r: K, key_s: K) -> None:
+        def filtered_emit(
+            payload_r: Tuple[K, int], payload_s: Tuple[K, int]
+        ) -> None:
             nonlocal emitted
-            emitted += 1
-            emit(key_r, key_s)
+            key_r, cls_r = payload_r
+            key_s, cls_s = payload_s
+            if ALLOWED_COMBO_TABLE[cls_r][cls_s]:
+                emitted += 1
+                emit(key_r, key_s)
 
-        items_r = [(rect, key) for rect, key in kps_r]
-        items_s = [(rect, key) for rect, key in kps_s]
-        if config.use_interval_tree:
-            sweep_join_interval_tree(items_r, items_s, counting_emit)
-        else:
-            sweep_join(items_r, items_s, counting_emit)
+        for tile in shared_tiles:
+            group_r = by_tile_r[tile]
+            group_s = by_tile_s[tile]
+            oversized = (len(group_r) + len(group_s)) * KEYPTR_SIZE > memory
+            can_recurse = (
+                config.handle_partition_skew
+                and oversized
+                and depth < config.max_repartition_depth
+            )
+            if can_recurse:
+                metrics.counter("pbsm.merge.repartitions").inc()
+                emitted += _repartition_pair(
+                    group_r, group_s, emit, memory, config,
+                    depth=depth, label=f"{label}.t{tile}",
+                    tracer=tracer, metrics=metrics,
+                )
+                continue
+            if config.handle_partition_skew and oversized:
+                # §3.5 gave up: the depth budget is spent (or was declared
+                # spent by the no-progress fast-path in the recursion) and
+                # the group still exceeds memory, so this sweep runs
+                # over-budget.  Count it — it is the skew-handling failure
+                # mode operators need to see.
+                metrics.counter("pbsm.merge.repartition_exhausted").inc()
+                span.tag("repartition_exhausted", True)
+            if config.use_interval_tree:
+                sweep_join_interval_tree(group_r, group_s, filtered_emit)
+            else:
+                sweep_join(group_r, group_s, filtered_emit)
+
         span.tag("candidates", emitted)
         metrics.counter("pbsm.merge.pairs_swept").inc()
         metrics.histogram("pbsm.merge.inputs_per_pair").observe(
@@ -145,8 +186,8 @@ def merge_partition_pair(
 
 
 def _repartition_pair(
-    kps_r: Sequence[Tuple[Rect, K]],
-    kps_s: Sequence[Tuple[Rect, K]],
+    group_r: Sequence[Tuple[Rect, Tuple[K, int]]],
+    group_s: Sequence[Tuple[Rect, Tuple[K, int]]],
     emit: Callable[[K, K], None],
     memory: int,
     config: PBSMConfig,
@@ -156,41 +197,64 @@ def _repartition_pair(
     tracer: Optional[Tracer],
     metrics: Optional[MetricsRegistry],
 ) -> int:
-    """§3.5 extension: split an overflowing pair with a finer grid."""
-    sub_universe = Rect.union_all(rect for rect, _ in kps_r).union(
-        Rect.union_all(rect for rect, _ in kps_s)
+    """§3.5 extension: split an overflowing tile group with a finer grid.
+
+    The group's copies are re-tiled over a finer :class:`TileGrid` and
+    re-tagged with their sub-tile classes; the parent tile's class filter
+    is folded into the recursive emit (each payload carries its class in
+    the parent grid), so a pair passes iff it passes the class filter at
+    *every* level — exactly-once emission holds at any depth and no
+    replicate-and-dedup fallback is ever needed.
+    """
+    sub_universe = Rect.union_all(rect for rect, _ in group_r).union(
+        Rect.union_all(rect for rect, _ in group_s)
     )
-    sub_p = max(2, estimate_num_partitions(len(kps_r), len(kps_s), memory))
-    sub = SpatialPartitioner(
-        sub_universe, sub_p, max(config.num_tiles, sub_p), config.scheme
-    )
-    buckets_r: List[List[Tuple[Rect, K]]] = [[] for _ in range(sub_p)]
-    buckets_s: List[List[Tuple[Rect, K]]] = [[] for _ in range(sub_p)]
-    for rect, key in kps_r:
-        for p in sub.partitions_for_rect(rect):
-            buckets_r[p].append((rect, key))
-    for rect, key in kps_s:
-        for p in sub.partitions_for_rect(rect):
-            buckets_s[p].append((rect, key))
+    sub_p = max(2, estimate_num_partitions(len(group_r), len(group_s), memory))
+    grid = TileGrid.for_tiles(sub_universe, sub_p)
+    sub_r = [
+        (rect, payload, tile, cls)
+        for rect, payload in group_r
+        for tile, cls in grid.tile_assignments(rect)
+    ]
+    sub_s = [
+        (rect, payload, tile, cls)
+        for rect, payload in group_s
+        for tile, cls in grid.tile_assignments(rect)
+    ]
+    sizes_r: Dict[int, int] = {}
+    for _rect, _payload, tile, _cls in sub_r:
+        sizes_r[tile] = sizes_r.get(tile, 0) + 1
+    sizes_s: Dict[int, int] = {}
+    for _rect, _payload, tile, _cls in sub_s:
+        sizes_s[tile] = sizes_s.get(tile, 0) + 1
     progress = all(
-        len(br) < len(kps_r) or len(bs) < len(kps_s)
-        for br, bs in zip(buckets_r, buckets_s)
+        sizes_r[tile] < len(group_r) or sizes_s[tile] < len(group_s)
+        for tile in sizes_r.keys() & sizes_s.keys()
     )
     if not progress and metrics is not None:
-        # Every input landed in some single sub-bucket whole (e.g. identical
-        # rectangles): a finer grid cannot split this pair, so recursing
+        # Every input landed in some single sub-tile whole (e.g. identical
+        # rectangles): a finer grid cannot split this group, so recursing
         # further would only re-run the same partitioning.  Jump straight to
         # the depth cap so the children sweep instead of recursing.
         metrics.counter("pbsm.merge.repartition_no_progress").inc()
     next_depth = depth + 1 if progress else config.max_repartition_depth
-    emitted = 0
-    for sub_index, (br, bs) in enumerate(zip(buckets_r, buckets_s)):
-        emitted += merge_partition_pair(
-            br, bs, emit, memory, config,
-            depth=next_depth, label=f"{label}.{sub_index}",
-            tracer=tracer, metrics=metrics,
-        )
-    return emitted
+
+    delivered = 0
+
+    def deliver(payload_r: Tuple[K, int], payload_s: Tuple[K, int]) -> None:
+        nonlocal delivered
+        key_r, cls_r = payload_r
+        key_s, cls_s = payload_s
+        if ALLOWED_COMBO_TABLE[cls_r][cls_s]:
+            delivered += 1
+            emit(key_r, key_s)
+
+    merge_partition_pair(
+        sub_r, sub_s, deliver, memory, config,
+        depth=next_depth, label=f"{label}.r",
+        tracer=tracer, metrics=metrics,
+    )
+    return delivered
 
 
 class PBSMJoin:
@@ -288,17 +352,23 @@ class PBSMJoin:
         in_memory: bool,
     ) -> List["KeyPointerFile | List[KeyPointer]"]:
         """Scan a relation, routing key-pointers to the partitions their
-        MBRs' tiles map to (replicating across partitions as needed)."""
+        MBRs' tiles map to — one tagged ``(tile, class)`` copy per
+        overlapped tile, so the merge can group by tile and apply the
+        duplicate-free class filter."""
         if in_memory:
+            # P = 1: a single sweep over untiled input cannot produce
+            # duplicates, so everything goes into one class-A group.
             bucket: List[KeyPointer] = []
             for oid, t in relation.scan():
-                bucket.append((t.mbr, oid))
+                bucket.append((t.mbr, oid, 0, CLASS_A))
             return [bucket]
         files = [KeyPointerFile(self.pool) for _ in range(partitioner.num_partitions)]
         for oid, t in relation.scan():
             mbr = t.mbr
-            for p in partitioner.partitions_for_rect(mbr):
-                files[p].append(mbr, oid)
+            for tile, cls in partitioner.tile_assignments(mbr):
+                files[partitioner.partition_of_tile(tile)].append(
+                    mbr, oid, tile, cls
+                )
         return files
 
     def _merge_pair(

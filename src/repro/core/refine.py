@@ -18,8 +18,9 @@ This is the [Val87]-style strategy the paper uses to avoid random seeks.
 
 from __future__ import annotations
 
+import heapq
 import struct
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
@@ -33,6 +34,28 @@ from .predicates import Predicate
 _PAIR = struct.Struct(">IIIIII")
 
 CandidatePair = Tuple[OID, OID]
+
+T = TypeVar("T")
+
+
+def merge_sorted_unique(lists: Sequence[Sequence[T]]) -> Tuple[List[T], int]:
+    """K-way merge of sorted lists into one sorted list, counting dups.
+
+    Returns ``(merged, dropped)`` where ``dropped`` is the number of
+    duplicate entries removed.  Under two-layer partitioning every result
+    pair is emitted by exactly one partition pair, so the streams are
+    disjoint and ``dropped`` must read 0 — the coordinator surfaces it as
+    ``merge.duplicates_dropped`` instead of silently paying a sorted-set
+    union, and CI gates on it staying zero.
+    """
+    merged: List[T] = []
+    dropped = 0
+    for item in heapq.merge(*lists):
+        if merged and merged[-1] == item:
+            dropped += 1
+            continue
+        merged.append(item)
+    return merged, dropped
 
 
 def dedup_sorted_pairs(pairs: List[CandidatePair]) -> List[CandidatePair]:

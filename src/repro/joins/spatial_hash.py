@@ -84,8 +84,11 @@ class SpatialHashJoin:
             for bucket_r, bucket_s in zip(buckets_r, buckets_s):
                 if bucket_r.count == 0 or bucket_s.count == 0:
                     continue
-                items_r = bucket_r.read_all()
-                items_s = bucket_s.read_all()
+                # Key-pointer records carry two-layer (tile, class) tags
+                # for PBSM's merge; the hash join's buckets are disjoint
+                # on R already, so the sweep only needs (rect, oid).
+                items_r = [(r, oid) for r, oid, _t, _c in bucket_r.read_all()]
+                items_s = [(r, oid) for r, oid, _t, _c in bucket_s.read_all()]
                 sweep_join(items_r, items_s, candidate_file.append)
             for bucket in (*buckets_r, *buckets_s):
                 bucket.drop()

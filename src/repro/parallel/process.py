@@ -15,11 +15,15 @@ real wall-clock seconds:
    fallback — when skew makes the estimate wrong, whichever worker frees
    up first simply pulls the next pair, so no worker idles while tasks
    remain.
-3. **Merge** — exact per-pair results (feature-id pairs) are unioned and
-   sorted; tile replication makes boundary duplicates, the sorted-set
-   union removes them.  Each worker's spans and metrics come back in wire
-   form and are adopted into the coordinator's tracer/registry, so one
-   trace shows every process's work in its own lane.
+3. **Merge** — exact per-pair results (feature-id pairs) arrive sorted
+   and, under two-layer partitioning, *disjoint*: only the tile holding a
+   pair's reference point may emit it, so the coordinator k-way merges
+   the streams in order instead of paying a sorted-set dedup barrier.
+   ``merge.duplicates_dropped`` counts anything the merge still had to
+   drop — it must read 0, and CI gates on it.  Each worker's spans and
+   metrics come back in wire form and are adopted into the coordinator's
+   tracer/registry, so one trace shows every process's work in its own
+   lane.
 
 The scheduler is **crash-recovering**.  A failed partition-pair task (a
 worker exception, a killed process, a task past its timeout) is retried
@@ -76,6 +80,7 @@ from ..checkpoint.manifest import (
 from ..checkpoint.store import CheckpointMismatchError, CheckpointStore
 from ..core.partition import SpatialPartitioner
 from ..core.pbsm import PBSMConfig
+from ..core.refine import merge_sorted_unique
 from ..core.predicates import Predicate
 from ..faults.inject import (
     CheckpointFaultGate,
@@ -444,7 +449,23 @@ class ProcessPBSM:
                 outcomes.extend(degraded)
             outcomes.extend(committed[index] for index in sorted(committed))
             outcomes.sort(key=lambda o: o.index)
-            merged = sorted(set().union(*(o.pairs for o in outcomes), set()))
+            # Two-layer partitioning guarantees every result pair belongs
+            # to exactly one task, so the per-task sorted lists are
+            # disjoint: merging them is a streaming k-way interleave, not
+            # a sorted-set union.  The drop counter is the invariant's
+            # tripwire — it must stay 0 and CI gates on it.
+            merge_started = time.perf_counter()
+            with self.tracer.span("process.merge", streams=len(outcomes)):
+                merged, concat_dropped = merge_sorted_unique(
+                    [o.pairs for o in outcomes]
+                )
+            coordinator_merge_s = time.perf_counter() - merge_started
+            duplicates_dropped = concat_dropped + sum(
+                o.duplicates_dropped for o in outcomes
+            )
+            self.metrics.counter("merge.duplicates_dropped").inc(
+                duplicates_dropped
+            )
             if store is not None:
                 assert manifest is not None
                 if manifest.state != STATE_COMPLETE:
@@ -491,6 +512,8 @@ class ProcessPBSM:
             fault_summary=dict(self._faults),
             resumed_pairs=sorted(committed),
             checkpoint_run_id=run_id,
+            duplicates_dropped=duplicates_dropped,
+            coordinator_merge_s=coordinator_merge_s,
         )
         self.metrics.gauge("parallel.process.partitions").set(self.num_partitions)
         self.metrics.gauge("parallel.process.workers").set(self.workers)
@@ -706,9 +729,13 @@ class ProcessPBSM:
     ) -> Tuple[List[PartitionSpill], int]:
         """Spill one input, replicated across the partitions it overlaps.
 
-        With ``atomic=True`` (checkpointed runs) each spill stages through
-        ``*.tmp`` and only reaches its final name sealed, so a resume can
-        trust any spill file that exists under the run directory."""
+        Each tuple's two-layer ``(tile, class)`` slots — computed from the
+        exact f64 MBR — are grouped by the partition their tile hashes to;
+        every receiving partition gets one tagged key-pointer per slot and
+        the full tuple once.  With ``atomic=True`` (checkpointed runs)
+        each spill stages through ``*.tmp`` and only reaches its final
+        name sealed, so a resume can trust any spill file that exists
+        under the run directory."""
         spills = [
             PartitionSpill(spill_root, side, p, atomic=atomic)
             for p in range(self.num_partitions)
@@ -717,8 +744,13 @@ class ProcessPBSM:
         try:
             for ordinal, t in enumerate(tuples):
                 injector.check(side, ordinal)
-                for p in sorted(partitioner.partitions_for_rect(t.mbr)):
-                    spills[p].add(t)
+                by_part: Dict[int, List[Tuple[int, int]]] = {}
+                for tile, cls in partitioner.tile_assignments(t.mbr):
+                    by_part.setdefault(
+                        partitioner.partition_of_tile(tile), []
+                    ).append((tile, cls))
+                for p in sorted(by_part):
+                    spills[p].add(t, by_part[p])
                     placed += 1
         except BaseException:
             # Abort, not remove: discard in-progress temp files *and* any
@@ -1190,7 +1222,7 @@ class ProcessPBSM:
             span.tag("reason", reason)
             kps_r, lookup_r = _rebuild_partition(tuples_r, partitioner, index)
             kps_s, lookup_s = _rebuild_partition(tuples_s, partitioner, index)
-            pairs, candidates = merge_refine_pair(
+            pairs, candidates, dropped = merge_refine_pair(
                 kps_r, kps_s, lookup_r, lookup_s,
                 predicate, self.memory_bytes, self.config,
                 label=f"degraded.{index}",
@@ -1207,6 +1239,7 @@ class ProcessPBSM:
             wall_s=time.perf_counter() - started,
             degraded=True,
             degraded_reason=reason,
+            duplicates_dropped=dropped,
         )
 
     def _node_reports(self, outcomes: List[PairTaskResult]) -> List[NodeReport]:
@@ -1233,12 +1266,20 @@ def _rebuild_partition(
 
     Uses the same pack/unpack rounding as the spill path
     (:func:`~repro.parallel.tasks.fid_keypointer`), so the degraded merge
-    sees bit-identical MBRs to what the worker would have read.
+    sees bit-identical MBRs to what the worker would have read — and the
+    same f64-derived ``(tile, class)`` tags, so the rebuilt replica slots
+    and the class-filtered sweep they feed are identical too.
     """
     kps = []
     lookup = {}
     for t in tuples:
-        if index in partitioner.partitions_for_rect(t.mbr):
-            kps.append(fid_keypointer(t))
+        slots = [
+            (tile, cls)
+            for tile, cls in partitioner.tile_assignments(t.mbr)
+            if partitioner.partition_of_tile(tile) == index
+        ]
+        if slots:
+            for tile, cls in slots:
+                kps.append(fid_keypointer(t, tile, cls))
             lookup[t.feature_id] = t
     return kps, lookup

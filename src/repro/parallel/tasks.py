@@ -4,10 +4,14 @@ The coordinator partitions both inputs once with PBSM's own tiled
 partitioning function and spills, per partition, two kinds of file a worker
 process can read back (:mod:`repro.storage.spill`):
 
-* a **key-pointer spill** — packed ``<MBR_f32, feature_id>`` records, the
-  filter step's input.  MBRs are rounded conservatively (exactly like the
-  single-node key-pointer files), so the sweep's output stays a superset
-  of the true result;
+* a **key-pointer spill** — packed ``<MBR_f32, feature_id, tile, class>``
+  records, the filter step's input: one record per two-layer ``(tile,
+  class)`` replica slot (:mod:`repro.core.partition`), so a worker's merge
+  groups by tile and applies the duplicate-free class filter without any
+  geometry recomputation.  MBRs are rounded conservatively (exactly like
+  the single-node key-pointer files), so the sweep's output stays a
+  superset of the true result; tile/class tags are computed from the exact
+  f64 MBR *before* rounding and persisted;
 * a **tuple spill** — the partition's full tuples (``serialize_tuple``
   format), the refinement step's input.
 
@@ -44,7 +48,7 @@ import struct
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.keypointer import _f32_down, _f32_up
 from ..core.pbsm import PBSMConfig, merge_partition_pair
@@ -58,10 +62,12 @@ from ..storage.errors import SpillCorruptionError
 from ..storage.spill import SpillWriter, read_spill
 from ..storage.tuples import SpatialTuple, deserialize_tuple, serialize_tuple
 
-_FIDKP = struct.Struct("<ffffI")
-"""One spilled key-pointer: conservative f32 MBR + u32 feature id."""
+_FIDKP = struct.Struct("<ffffIIB")
+"""One spilled key-pointer: conservative f32 MBR + u32 feature id + u32
+tile + u8 two-layer class."""
 
-FidKeyPointer = Tuple[Rect, int]
+FidKeyPointer = Tuple[Rect, int, int, int]
+"""``(rect, feature_id, tile, class)`` — one two-layer replica slot."""
 
 _HEARTBEAT_QUEUE = None
 """Worker-process global: the coordinator's heartbeat queue, installed by
@@ -95,27 +101,31 @@ def _heartbeat(pair: int, attempt: int, phase: str) -> None:
         pass
 
 
-def pack_fid_keypointer(rect: Rect, feature_id: int) -> bytes:
+def pack_fid_keypointer(
+    rect: Rect, feature_id: int, tile: int = 0, cls: int = 0
+) -> bytes:
     return _FIDKP.pack(
         _f32_down(rect.xl), _f32_down(rect.yl),
         _f32_up(rect.xu), _f32_up(rect.yu),
-        feature_id,
+        feature_id, tile, cls,
     )
 
 
 def unpack_fid_keypointer(record: bytes) -> FidKeyPointer:
-    xl, yl, xu, yu, fid = _FIDKP.unpack(record)
-    return Rect(xl, yl, xu, yu), fid
+    xl, yl, xu, yu, fid, tile, cls = _FIDKP.unpack(record)
+    return Rect(xl, yl, xu, yu), fid, tile, cls
 
 
-def fid_keypointer(t: SpatialTuple) -> FidKeyPointer:
+def fid_keypointer(t: SpatialTuple, tile: int = 0, cls: int = 0) -> FidKeyPointer:
     """The key-pointer a tuple spills to, with identical f32 rounding.
 
     The coordinator's degraded path rebuilds a partition from base tuples;
     routing through the pack/unpack pair guarantees the rebuilt MBRs are
     bit-identical to what a worker would have read from the spill file.
+    Tile/class tags come from the exact f64 MBR, so the rebuilt replica
+    slots are identical too.
     """
-    return unpack_fid_keypointer(pack_fid_keypointer(t.mbr, t.feature_id))
+    return unpack_fid_keypointer(pack_fid_keypointer(t.mbr, t.feature_id, tile, cls))
 
 
 class WorkerTaskError(RuntimeError):
@@ -185,8 +195,15 @@ class PartitionSpill:
     def count(self) -> int:
         return self._kp.count
 
-    def add(self, t: SpatialTuple) -> None:
-        self._kp.append(pack_fid_keypointer(t.mbr, t.feature_id))
+    def add(self, t: SpatialTuple, slots: Sequence[Tuple[int, int]]) -> None:
+        """Spill one tuple with its two-layer ``(tile, class)`` slots.
+
+        One key-pointer record per slot (the merge's per-tile groups), the
+        full tuple once.  ``count`` — the LPT cost seed — therefore counts
+        replica slots, which is exactly the sweep work a worker will do.
+        """
+        for tile, cls in slots:
+            self._kp.append(pack_fid_keypointer(t.mbr, t.feature_id, tile, cls))
         self._tuples.append(serialize_tuple(t))
 
     def close(self) -> None:
@@ -289,6 +306,11 @@ class PairTaskResult:
     """True when the coordinator rebuilt this pair serially after the
     process path gave up on it (retry exhaustion or quarantined spill)."""
     degraded_reason: str = ""
+    duplicates_dropped: int = 0
+    """Duplicate candidates this pair's refinement had to drop.  Two-layer
+    partitioning makes pair output duplicate-free by construction, so this
+    must read 0; anything else is an invariant violation the coordinator
+    rolls up into ``merge.duplicates_dropped``."""
     spans: List[dict] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
     events: List[dict] = field(default_factory=list)
@@ -323,14 +345,28 @@ def refine_pair(
     tuples_r: Dict[int, SpatialTuple],
     tuples_s: Dict[int, SpatialTuple],
     predicate: Predicate,
-) -> List[Tuple[int, int]]:
-    """Dedup + exact predicate: the refinement step for one pair."""
-    unique: Set[Tuple[int, int]] = set(candidates)
-    return sorted(
-        (fid_r, fid_s)
-        for fid_r, fid_s in unique
-        if predicate(tuples_r[fid_r], tuples_s[fid_s])
-    )
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Exact predicate over the sorted candidates of one pair.
+
+    Two-layer partitioning makes the candidate stream duplicate-free by
+    construction, so this no longer builds a dedup set — it sorts, applies
+    the predicate, and *counts* any adjacent duplicates it still sees.
+    Returns ``(sorted exact pairs, duplicates_dropped)``; a non-zero drop
+    count means the dedup-free invariant broke and is surfaced all the way
+    up to the coordinator's ``merge.duplicates_dropped`` metric.
+    """
+    results: List[Tuple[int, int]] = []
+    dropped = 0
+    prev: Optional[Tuple[int, int]] = None
+    for pair in sorted(candidates):
+        if pair == prev:
+            dropped += 1
+            continue
+        prev = pair
+        fid_r, fid_s = pair
+        if predicate(tuples_r[fid_r], tuples_s[fid_s]):
+            results.append(pair)
+    return results, dropped
 
 
 def merge_refine_pair(
@@ -345,30 +381,33 @@ def merge_refine_pair(
     label: str,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
-) -> Tuple[List[Tuple[int, int]], int]:
+) -> Tuple[List[Tuple[int, int]], int, int]:
     """Merge + refine one in-memory partition pair; the shared heart of the
     worker task and the coordinator's degraded rebuild.
 
-    Returns ``(sorted exact feature-id pairs, candidate count)``.  Both
-    callers feeding it identical inputs get identical output, which is what
-    makes graceful degradation invisible in the final pair set.
+    Returns ``(sorted exact feature-id pairs, candidate count, duplicates
+    dropped)``.  Both callers feeding it identical inputs get identical
+    output, which is what makes graceful degradation invisible in the
+    final pair set.
     """
     candidates = sweep_pair(
         kps_r, kps_s, memory_bytes, config,
         label=label, tracer=tracer, metrics=metrics,
     )
-    pairs = refine_pair(candidates, tuples_r, tuples_s, predicate)
-    return pairs, len(candidates)
+    pairs, dropped = refine_pair(candidates, tuples_r, tuples_s, predicate)
+    return pairs, len(candidates), dropped
 
 
 def run_pair_task(task: PairTask) -> PairTaskResult:
     """Execute one partition-pair task inside a worker process.
 
-    Filter: read the key-pointer spills, plane-sweep (with §3.5 recursion
-    if configured).  Refine: dedup the candidate feature-id pairs, look the
-    tuples up in the partition's tuple spills, apply the exact predicate.
-    The returned pair list is sorted and exact, so the coordinator's merge
-    is a plain sorted-set union.
+    Filter: read the key-pointer spills, plane-sweep per tile group with
+    the two-layer class filter (with §3.5 recursion if configured).
+    Refine: look the candidate feature-id pairs up in the partition's
+    tuple spills and apply the exact predicate.  The returned pair list is
+    sorted, exact, and — because only one tile may emit any given pair —
+    disjoint from every other task's, so the coordinator's merge is a
+    plain ordered concatenation with no dedup barrier.
 
     Any failure is re-raised as :class:`WorkerTaskError` with the pair
     index, attempt, and pid attached (corruption flagged); planned faults
@@ -426,12 +465,16 @@ def _run_pair_task(task: PairTask) -> PairTaskResult:
         ):
             tuples_r = read_tuple_spill(task.tuples_r_path)
             tuples_s = read_tuple_spill(task.tuples_s_path)
-            pairs = refine_pair(candidates, tuples_r, tuples_s, task.predicate)
+            pairs, dropped = refine_pair(
+                candidates, tuples_r, tuples_s, task.predicate
+            )
 
         span.tag("candidates", len(candidates))
         span.tag("results", len(pairs))
         metrics.counter("parallel.worker.candidates").inc(len(candidates))
-        metrics.counter("parallel.worker.pairs_checked").inc(len(set(candidates)))
+        metrics.counter("parallel.worker.pairs_checked").inc(
+            len(candidates) - dropped
+        )
         metrics.counter("parallel.worker.results").inc(len(pairs))
         metrics.histogram("parallel.worker.task_keypointers").observe(
             task.cost_estimate
@@ -448,6 +491,7 @@ def _run_pair_task(task: PairTask) -> PairTaskResult:
         count_s=task.count_s,
         wall_s=time.perf_counter() - started,
         attempt=task.attempt,
+        duplicates_dropped=dropped,
         spans=tracer.export_wire(),
         metrics=metrics.snapshot() if task.observe else {},
         events=events,

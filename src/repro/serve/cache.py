@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..checkpoint.manifest import JoinManifest, RunFingerprint
 from ..checkpoint.resultlog import replay_result_log
+from ..core.refine import merge_sorted_unique
 from ..checkpoint.store import (
     MANIFEST_FILENAME,
     RESULTS_FILENAME,
@@ -143,12 +144,15 @@ class ArtifactCache:
     ) -> Optional[List[Tuple[int, int]]]:
         """Answer a complete run from its committed result log.
 
-        Returns the sorted, deduplicated feature-id pair set — byte-equal
-        to what the run that wrote the log returned — or ``None`` when
-        the entry cannot be trusted after all (the caller falls back to
-        the miss path).  The ``complete`` manifest event records the
-        result count, and the replayed union must reproduce it exactly;
-        anything else means the directory is lying and is not served.
+        Returns the sorted feature-id pair set — byte-equal to what the
+        run that wrote the log returned — or ``None`` when the entry
+        cannot be trusted after all (the caller falls back to the miss
+        path).  Two-layer partitioning makes the per-pair logs disjoint,
+        so the replay is a k-way merge, not a set union; the ``complete``
+        manifest event records the result count, and the replayed merge
+        must reproduce it exactly — anything else (including an
+        unexpected duplicate) means the directory is lying and is not
+        served.
         """
         run_dir = self.run_dir(fingerprint)
         manifest_path = run_dir / MANIFEST_FILENAME
@@ -167,10 +171,10 @@ class ArtifactCache:
             committed, _torn = replay_result_log(run_dir / RESULTS_FILENAME)
         except ManifestCorruptionError:
             return None
-        merged = sorted(
-            set().union(*(r.pairs for r in committed.values()), set())
+        merged, dropped = merge_sorted_unique(
+            [committed[index].pairs for index in sorted(committed)]
         )
-        if manifest.result_count != len(merged):
+        if dropped or manifest.result_count != len(merged):
             return None
         return merged
 

@@ -13,18 +13,24 @@ from repro.storage import OID
 
 class TestPacking:
     def test_roundtrip_exact_for_f32_values(self):
-        # Coordinates representable in single precision survive unchanged.
+        # Coordinates representable in single precision survive unchanged,
+        # as do the two-layer (tile, class) tags.
         rect = Rect(1.5, -2.25, 3.0, 4.125)
         oid = OID(3, 17, 250)
-        assert unpack_keypointer(pack_keypointer(rect, oid)) == (rect, oid)
+        assert unpack_keypointer(pack_keypointer(rect, oid, 7, 2)) == (
+            rect, oid, 7, 2
+        )
 
     def test_rounding_is_conservative(self):
         # Arbitrary doubles round *outward*: the stored MBR contains the
         # exact one, preserving the filter step's superset property.
         rect = Rect(0.1, 0.2, 0.3, 0.4)
-        back, oid = unpack_keypointer(pack_keypointer(rect, OID(1, 2, 3)))
+        back, oid, tile, cls = unpack_keypointer(
+            pack_keypointer(rect, OID(1, 2, 3))
+        )
         assert back.contains(rect)
         assert oid == OID(1, 2, 3)
+        assert (tile, cls) == (0, 0)
         assert back.xl <= rect.xl and back.yu >= rect.yu
 
     def test_size_matches_constant(self):
@@ -32,17 +38,20 @@ class TestPacking:
         assert len(data) == KEYPTR_SIZE
 
     def test_keyptr_size_near_papers(self):
-        # The paper's <MBR, OID> is a few dozen bytes; ours is 28
-        # (single-precision MBR + 12-byte OID).
+        # The paper's <MBR, OID> is a few dozen bytes; ours is 33
+        # (single-precision MBR + 12-byte OID + tile/class tags).
         assert 16 <= KEYPTR_SIZE <= 48
 
 
 class TestKeyPointerFile:
     def test_append_and_read_all(self, db):
         kf = KeyPointerFile(db.pool)
-        items = [(Rect(i, 0, i + 1, 1), OID(0, i, 0)) for i in range(300)]
-        for rect, oid in items:
-            kf.append(rect, oid)
+        items = [
+            (Rect(i, 0, i + 1, 1), OID(0, i, 0), i % 7, i % 4)
+            for i in range(300)
+        ]
+        for rect, oid, tile, cls in items:
+            kf.append(rect, oid, tile, cls)
         assert kf.count == 300
         assert kf.read_all() == items  # small integers are f32-exact
 

@@ -9,15 +9,22 @@ still produces the exact answer, and both must be observable.
 """
 
 from repro.core.keypointer import KEYPTR_SIZE
+from repro.core.partition import CLASS_A
 from repro.core.pbsm import PBSMConfig, merge_partition_pair
 from repro.geometry import Rect
 from repro.obs.metrics import MetricsRegistry
 
 
+def _tag(kps):
+    """Plain (rect, key) inputs as one-tile, class-A tagged key-pointers
+    (exactly how the in-memory merge path tags an unpartitioned input)."""
+    return [(rect, key, 0, CLASS_A) for rect, key in kps]
+
+
 def _sweep_all(kps_r, kps_s, memory, config, metrics=None):
     out = []
     emitted = merge_partition_pair(
-        kps_r, kps_s, lambda a, b: out.append((a, b)),
+        _tag(kps_r), _tag(kps_s), lambda a, b: out.append((a, b)),
         memory, config, metrics=metrics,
     )
     assert emitted == len(out)

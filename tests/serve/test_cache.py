@@ -38,7 +38,7 @@ def make_result(index, pairs):
 
 
 def seed_complete_run(root, salt=0, pad_bytes=0):
-    """A finished run whose log replays to {(1,2),(3,4),(5,6)}."""
+    """A finished run whose disjoint pair logs merge to {(1,2),(3,4),(5,6)}."""
     store = CheckpointStore(root, make_fingerprint(salt))
     with store:
         store.begin(JoinManifest(store.fingerprint))
@@ -48,7 +48,7 @@ def seed_complete_run(root, salt=0, pad_bytes=0):
             {"type": "phase", "state": STATE_MERGING, "pairs_total": 2}
         )
         store.append_result(make_result(0, [(1, 2), (3, 4)]))
-        store.append_result(make_result(1, [(3, 4), (5, 6)]))
+        store.append_result(make_result(1, [(5, 6)]))
         store.append_event({"type": "complete", "result_count": 3})
     if pad_bytes:
         (store.run_dir / "pad.bin").write_bytes(b"x" * pad_bytes)
@@ -100,10 +100,28 @@ class TestLookup:
 
 
 class TestReplay:
-    def test_replays_the_committed_union_sorted(self, tmp_path):
+    def test_replays_the_committed_merge_sorted(self, tmp_path):
         seed_complete_run(tmp_path)
         cache = ArtifactCache(tmp_path)
         assert cache.replay(make_fingerprint()) == [(1, 2), (3, 4), (5, 6)]
+
+    def test_overlapping_pair_logs_refuse_to_serve(self, tmp_path):
+        # Two-layer partitioning makes per-pair logs disjoint by
+        # construction; a duplicate across logs means the artifacts were
+        # not written by the current layout and must not be served.
+        store = CheckpointStore(tmp_path, make_fingerprint(7))
+        with store:
+            store.begin(JoinManifest(store.fingerprint))
+            store.append_event(SEAL_R)
+            store.append_event(SEAL_S)
+            store.append_event(
+                {"type": "phase", "state": STATE_MERGING, "pairs_total": 2}
+            )
+            store.append_result(make_result(0, [(1, 2), (3, 4)]))
+            store.append_result(make_result(1, [(3, 4), (5, 6)]))
+            store.append_event({"type": "complete", "result_count": 3})
+        cache = ArtifactCache(tmp_path)
+        assert cache.replay(make_fingerprint(7)) is None
 
     def test_count_mismatch_refuses_to_serve(self, tmp_path):
         # The manifest promises 3 results; hand-truncate the log so the
