@@ -174,6 +174,11 @@ def test_serve_throughput(benchmark):
         assert completed, "no query survived admission — mix/rate mismatch"
         assert len(completed) + len(rejected) == N_QUERIES
         assert stats["admitted"] + stats["rejected"] == N_QUERIES + burst_n
+        # A healthy bench run never trips the breaker, sheds, or dedups.
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["outcomes"]["degraded"] == 0
+        assert stats["outcomes"]["deadline_exceeded"] == 0
+        assert stats["duplicates_dropped"] == 0
 
         # Byte-identity: served answers must match one-shot parallel runs,
         # and every response for the same spec must agree with itself.
@@ -268,6 +273,12 @@ def test_serve_throughput(benchmark):
                     "max_inflight": MAX_INFLIGHT,
                     "max_queue": MAX_QUEUE,
                     "pool_generation": stats["pool_generation"],
+                    "outcomes": stats["outcomes"],
+                    "breaker_state": stats["breaker"]["state"],
+                    "breaker_trips": stats["breaker"]["trips"],
+                    "scrub_passes": stats["scrub"]["passes"],
+                    "scrub_quarantined": stats["scrub"]["quarantined"],
+                    "duplicates_dropped": stats["duplicates_dropped"],
                 },
             }
 

@@ -644,7 +644,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .faults import load_plan
 
         plan = load_plan(
-            args.faults, seed=args.fault_seed, num_pairs=args.fault_pairs
+            args.faults, seed=args.fault_seed, num_pairs=args.fault_pairs,
+            hang_s=args.fault_hang_s,
         )
     server = JoinServer(
         args.cache_dir,
@@ -658,6 +659,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         start_method=args.start_method,
         fault_plan=plan,
         kill_coordinator_after=args.kill_coordinator_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window_s=args.breaker_window,
+        breaker_cooldown_s=args.breaker_cooldown,
+        scrub_interval_s=args.scrub_interval,
     )
     host, port = server.start()
     if args.port_file:
@@ -683,8 +688,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stats = server.stats()
     print(f"drained: {stats['completed']} completed, "
           f"{stats['rejected']} rejected, "
+          f"{stats['outcomes']['deadline_exceeded']} deadline-exceeded, "
+          f"{stats['outcomes']['degraded']} degraded, "
           f"{stats['hits']} cache hits / {stats['misses']} misses")
     return 0
+
+
+_QUERY_TIMEOUT_GRACE_S = 30.0
+"""Socket-timeout slack past the query deadline: enough for the server
+to notice the deadline, abandon the pool, and write its typed reject."""
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -696,8 +708,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if port is None:
         print("query: need --port or --port-file", file=sys.stderr)
         return 2
+    # --timeout is the *query deadline*: the server enforces it through
+    # deadline_s and answers a typed reject.  The socket timeout trails it
+    # by a grace period so the server's answer (not a client-side timeout)
+    # is what the user sees; past the grace, something is truly wedged.
+    socket_timeout = (
+        args.timeout + _QUERY_TIMEOUT_GRACE_S
+        if args.timeout is not None
+        else None
+    )
     try:
-        with ServeClient(args.host, port, timeout=args.timeout) as client:
+        with ServeClient(args.host, port, timeout=socket_timeout) as client:
             if args.op == "ping":
                 response = client.ping()
             elif args.op == "stats":
@@ -712,6 +733,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     predicate=args.predicate,
                     workers=args.workers,
                     include_pairs=args.pairs,
+                    deadline_s=args.timeout,
                 )
     except (OSError, TimeoutError) as exc:
         print(f"query: {exc}", file=sys.stderr)
@@ -966,6 +988,24 @@ def main(argv: list[str] | None = None) -> int:
                             "resuming the cache entry")
     serve.set_defaults(func=_cmd_serve)
 
+    serve.add_argument("--fault-hang-s", type=float, default=None,
+                       metavar="S",
+                       help="override the fault plan's hang duration "
+                            "(the deadline-stall drill keeps it just past "
+                            "the query deadline instead of 30s)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="pool deaths within the window that open the "
+                            "circuit breaker")
+    serve.add_argument("--breaker-window", type=float, default=30.0,
+                       metavar="S", help="breaker failure-counting window")
+    serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       metavar="S",
+                       help="open time before a half-open probe query")
+    serve.add_argument("--scrub-interval", type=float, default=None,
+                       metavar="S",
+                       help="run the cache scrubber every S seconds "
+                            "(default: scrubber off)")
+
     query = sub.add_parser(
         "query", help="one-shot client for a running join server"
     )
@@ -984,8 +1024,12 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("--workers", type=int, default=2)
     query.add_argument("--pairs", action="store_true",
                        help="include the full result pair list")
-    query.add_argument("--timeout", type=float, default=None,
-                       help="socket timeout in seconds (default: block)")
+    query.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="query deadline in seconds: sent as deadline_s "
+                            "(the server cancels the join past it and "
+                            "answers error=deadline_exceeded); also bounds "
+                            "the socket wait at S plus grace "
+                            "(default: block forever)")
     query.set_defaults(func=_cmd_query)
 
     plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")

@@ -66,6 +66,12 @@ class FaultSpec:
     torn_manifests: int = 0
     """Manifest files damaged at the tail after a durable write, so resume
     must exercise prefix recovery."""
+    cache_corruptions: int = 0
+    """Cache entries damaged *at rest*: each picks a deterministic byte
+    ordinal at which a completed entry's result log is torn after the
+    fact.  Applied by the chaos harness (the serve-chaos drill), not the
+    worker — it exercises the scrubber/quarantine path, which exists for
+    exactly the damage no running coordinator would ever write."""
     hang_s: float = DEFAULT_HANG_S
     slow_s: float = DEFAULT_SLOW_S
 
@@ -75,6 +81,7 @@ class FaultSpec:
             self.disk_read_errors + self.disk_write_errors + self.torn_frames
             + self.worker_crashes + self.hangs + self.slow_tasks
             + self.coordinator_kills + self.torn_manifests
+            + self.cache_corruptions
         )
 
     def to_dict(self) -> dict:
@@ -150,6 +157,10 @@ class FaultPlan:
     :class:`repro.faults.inject.CheckpointFaultGate`)."""
     torn_manifest_ordinals: Tuple[int, ...] = ()
     """Checkpoint ordinals after which the manifest's tail is damaged."""
+    cache_corruption_ordinals: Tuple[int, ...] = ()
+    """Byte ordinals (modulo the victim file's size at damage time) at
+    which the serve-chaos harness flips one byte of a completed cache
+    entry's result log — the scrubber drill's injection points."""
 
     # ------------------------------------------------------------------ #
 
@@ -216,6 +227,9 @@ class FaultPlan:
         manifest_tears = tuple(
             sorted(rng.randrange(1, 5) for _ in range(spec.torn_manifests))
         )
+        cache_tears = tuple(
+            sorted(rng.randrange(1 << 10) for _ in range(spec.cache_corruptions))
+        )
         return cls(
             seed=seed,
             num_pairs=num_pairs,
@@ -225,6 +239,7 @@ class FaultPlan:
             write_errors=writes,
             coordinator_kill_ordinals=kills,
             torn_manifest_ordinals=manifest_tears,
+            cache_corruption_ordinals=cache_tears,
         )
 
     # ------------------------------------------------------------------ #
@@ -280,6 +295,11 @@ NAMED_SPECS: Dict[str, FaultSpec] = {
     "worker_faults": FaultSpec(
         disk_read_errors=2, worker_crashes=1, slow_tasks=1
     ),
+    # One task sleeps far past any sane query deadline — the serve
+    # drill's stalled tenant (override hang_s to taste via load_plan).
+    "deadline_stall": FaultSpec(hangs=1),
+    # One completed cache entry damaged at rest — the scrubber drill.
+    "scrub_corruption": FaultSpec(cache_corruptions=1),
     "combined": FaultSpec(
         disk_read_errors=1,
         disk_write_errors=1,

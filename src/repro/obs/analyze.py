@@ -391,6 +391,38 @@ def analyze_events(
                 # A pure cache hit never emits run_finished; the served
                 # result count is the only total there is.
                 analysis.results = int(record.get("result_count", 0) or 0)
+        elif kind == "deadline_exceeded":
+            analysis.serve["deadline_exceeded"] = {
+                "deadline_s": record.get("deadline_s"),
+                "queued": record.get("queued"),
+                "completed": record.get("completed"),
+            }
+        elif kind == "breaker_transition":
+            analysis.serve.setdefault("breaker_transitions", []).append(
+                f"{record.get('from_state')}->{record.get('to_state')}"
+            )
+        elif kind == "cache_corrupt":
+            analysis.serve.setdefault("cache_corrupt", []).append(
+                {
+                    "run_id": record.get("run_id"),
+                    "reason": record.get("reason"),
+                }
+            )
+        elif kind == "cache_quarantine":
+            analysis.serve.setdefault("quarantined_entries", []).append(
+                {
+                    "run_id": record.get("run_id"),
+                    "reason": record.get("reason"),
+                }
+            )
+        elif kind == "cache_scrub":
+            totals = analysis.serve.setdefault(
+                "scrub", {"passes": 0, "scanned": 0, "repaired": 0,
+                          "quarantined": 0}
+            )
+            totals["passes"] += 1
+            for key in ("scanned", "repaired", "quarantined"):
+                totals[key] += int(record.get(key, 0) or 0)
     analysis.fault_ledger = [ledger[key] for key in sorted(ledger)]
     analysis.quarantined_pairs = sorted(set(analysis.quarantined_pairs))
     analysis.degraded_pairs = sorted(set(analysis.degraded_pairs))
@@ -504,6 +536,33 @@ def render_report(analysis: RunAnalysis, *, timings: bool = False) -> str:
         run_id = analysis.serve.get("run_id") or "?"
         out(f"- served query: {query} — source `{source}`, cache entry "
             f"`{run_id}`")
+        deadline = analysis.serve.get("deadline_exceeded")
+        if deadline:
+            out(
+                f"- deadline exceeded: budget {deadline.get('deadline_s')}s, "
+                f"{deadline.get('completed')} pairs committed, "
+                f"{deadline.get('queued')} still queued"
+            )
+        transitions = analysis.serve.get("breaker_transitions")
+        if transitions:
+            out(f"- breaker transitions: {', '.join(transitions)}")
+        scrub = analysis.serve.get("scrub")
+        if scrub:
+            out(
+                f"- cache scrub: {scrub['passes']} passes, "
+                f"{scrub['scanned']} scanned, {scrub['repaired']} repaired, "
+                f"{scrub['quarantined']} quarantined"
+            )
+        for corrupt in analysis.serve.get("cache_corrupt", []):
+            out(
+                f"- cache entry distrusted: `{corrupt.get('run_id')}` "
+                f"({corrupt.get('reason')})"
+            )
+        for quarantined in analysis.serve.get("quarantined_entries", []):
+            out(
+                f"- cache entry quarantined: `{quarantined.get('run_id')}` "
+                f"({quarantined.get('reason')})"
+            )
     out(f"- result pairs: {analysis.results}")
     out("")
 

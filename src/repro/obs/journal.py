@@ -102,6 +102,21 @@ byte budget (run id, bytes freed)."""
 EVENT_QUERY_DONE = "query_done"
 """Serving tier: a query finished (query ordinal, cache disposition,
 result count, wall seconds)."""
+EVENT_DEADLINE_EXCEEDED = "deadline_exceeded"
+"""A run blew its query deadline: dispatch stopped, in-flight pairs
+abandoned (queued/inflight counts, the configured deadline)."""
+EVENT_BREAKER = "breaker_transition"
+"""Serving tier: the shared-pool circuit breaker changed state
+(from/to, failures in window)."""
+EVENT_CACHE_CORRUPT = "cache_corrupt"
+"""Serving tier: a cache entry failed replay verification (truncated or
+corrupt result log) and was downgraded to a miss (run id, reason)."""
+EVENT_CACHE_SCRUB = "cache_scrub"
+"""Serving tier: one scrubber pass finished (entries scanned, repaired,
+quarantined)."""
+EVENT_CACHE_QUARANTINE = "cache_quarantine"
+"""Serving tier: the scrubber moved a corrupt cache entry out of the
+serving root — it becomes a cold miss, never a crash (run id, reason)."""
 
 EVENT_TYPES = frozenset(
     {
@@ -127,6 +142,11 @@ EVENT_TYPES = frozenset(
         EVENT_CACHE_HIT,
         EVENT_CACHE_EVICT,
         EVENT_QUERY_DONE,
+        EVENT_DEADLINE_EXCEEDED,
+        EVENT_BREAKER,
+        EVENT_CACHE_CORRUPT,
+        EVENT_CACHE_SCRUB,
+        EVENT_CACHE_QUARANTINE,
     }
 )
 """Every type :meth:`RunJournal.emit` accepts; a typo'd type is a bug in
@@ -140,6 +160,8 @@ FAULT_TIMELINE_TYPES = frozenset(
         EVENT_DEGRADED,
         EVENT_POOL_RESPAWN,
         EVENT_TIMEOUT,
+        EVENT_DEADLINE_EXCEEDED,
+        EVENT_CACHE_QUARANTINE,
     }
 )
 """The subset that belongs on a "when did things go wrong" timeline —

@@ -28,7 +28,7 @@ from .engine import (
     TaskReport,
     serial_feature_pairs,
 )
-from .process import ProcessPBSM, RunPoolProvider
+from .process import DeadlineExceededError, ProcessPBSM, RunPoolProvider
 from .tasks import (
     PairTask,
     PairTaskResult,
@@ -43,6 +43,7 @@ __all__ = [
     "BACKEND_PROCESS",
     "BACKEND_SERIAL",
     "BACKEND_SIMULATED",
+    "DeadlineExceededError",
     "NodeReport",
     "PairTask",
     "PairTaskResult",

@@ -90,6 +90,7 @@ from ..faults.inject import (
 )
 from ..faults.plan import FaultPlan
 from ..obs.journal import (
+    EVENT_DEADLINE_EXCEEDED,
     EVENT_DEGRADED,
     EVENT_FAULT_INJECTED,
     EVENT_PARTITION_SEALED,
@@ -155,6 +156,30 @@ DEFAULT_SAMPLE_INTERVAL_S = 0.5
 queue depth / inflight / utilization timeseries."""
 
 
+class DeadlineExceededError(RuntimeError):
+    """The run blew its wall-clock deadline and was cooperatively cancelled.
+
+    Raised by :class:`ProcessPBSM` when ``deadline_s`` elapses before the
+    join completes: queued pair tasks stop being dispatched, in-flight
+    futures are abandoned through the same pool-abandonment path a task
+    timeout uses (a wedged worker cannot be killed inside
+    ``ProcessPoolExecutor`` without breaking the pool), and this error
+    surfaces.  Every pair harvested before the deadline was already
+    committed through ``on_result``, so with a checkpoint directory the
+    partial state stays adoptable — a retry *resumes* the join instead of
+    restarting it.
+    """
+
+    def __init__(self, deadline_s: float, *, completed: int = 0, pending: int = 0):
+        super().__init__(
+            f"join exceeded its {deadline_s}s deadline "
+            f"({completed} pairs committed, {pending} abandoned)"
+        )
+        self.deadline_s = deadline_s
+        self.completed = completed
+        self.pending = pending
+
+
 class RunPoolProvider:
     """Per-run executor ownership: the default pool lifecycle.
 
@@ -213,6 +238,7 @@ class ProcessPBSM:
         sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
         fault_plan: Optional[FaultPlan] = None,
         task_timeout_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
         max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
         degrade_on_failure: bool = True,
@@ -245,6 +271,15 @@ class ProcessPBSM:
         if task_timeout_s is not None and task_timeout_s <= 0:
             raise ValueError("task timeout must be positive")
         self.task_timeout_s = task_timeout_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("run deadline must be positive")
+        self.deadline_s = deadline_s
+        """Wall-clock budget for the whole run.  Unlike ``task_timeout_s``
+        (per-attempt), this bounds the run: past it the coordinator stops
+        dispatching, abandons in-flight futures through the pool-abandonment
+        path, and raises :class:`DeadlineExceededError`.  Committed
+        checkpoint state survives, so a retry can :meth:`resume`."""
+        self._deadline_at: Optional[float] = None
         if max_task_retries < 0:
             raise ValueError("retry budget cannot be negative")
         self.max_task_retries = max_task_retries
@@ -311,6 +346,118 @@ class ProcessPBSM:
             raise ValueError("resume() requires checkpoint_dir")
         return self._run(tuples_r, tuples_s, predicate, resuming=True)
 
+    def run_serial(
+        self,
+        tuples_r: Sequence[SpatialTuple],
+        tuples_s: Sequence[SpatialTuple],
+        predicate: Predicate,
+    ) -> ParallelJoinResult:
+        """The whole join, serially, in this process: the shed path.
+
+        No pool, no spills, no checkpoint.  Every partition pair is
+        rebuilt from the base relations through the same machinery the
+        degraded path uses, so the answer is byte-identical to any other
+        backend — the serve tier's circuit breaker leans on that to serve
+        ``degraded`` responses whose digests match a healthy run's.  Worker
+        faults never fire here (they live in ``run_pair_task``), and the
+        run deadline still applies, checked between pairs.
+        """
+        started = time.perf_counter()
+        self._faults = TallyCounter()
+        self._arm_deadline()
+        self.journal.emit(
+            EVENT_RUN_STARTED,
+            backend="process-serial",
+            workers=0,
+            partitions=self.num_partitions,
+            tuples_r=len(tuples_r),
+            tuples_s=len(tuples_s),
+            resuming=False,
+        )
+        if not tuples_r or not tuples_s:
+            self.journal.emit(EVENT_RUN_FINISHED, results=0, degraded_pairs=[])
+            return ParallelJoinResult(
+                [], backend="process-serial",
+                wall_s=time.perf_counter() - started,
+            )
+        partitioner = self._partitioner(tuples_r, tuples_s)
+        outcomes: List[PairTaskResult] = []
+        for index in range(self.num_partitions):
+            if self._deadline_expired():
+                raise self._deadline_error(
+                    queued=self.num_partitions - index,
+                    inflight=[],
+                    completed=len(outcomes),
+                )
+            outcomes.append(
+                self._degraded_pair(
+                    index, "breaker_shed",
+                    tuples_r, tuples_s, partitioner, predicate,
+                )
+            )
+        merged, concat_dropped = merge_sorted_unique(
+            [o.pairs for o in outcomes]
+        )
+        duplicates_dropped = concat_dropped + sum(
+            o.duplicates_dropped for o in outcomes
+        )
+        self.metrics.counter("merge.duplicates_dropped").inc(
+            duplicates_dropped
+        )
+        self.journal.emit(
+            EVENT_RUN_FINISHED,
+            results=len(merged),
+            degraded_pairs=sorted(o.index for o in outcomes),
+            replayed_pairs=[],
+        )
+        return ParallelJoinResult(
+            merged,
+            nodes=self._node_reports(outcomes),
+            storage_factor_r=sum(o.count_r for o in outcomes) / len(tuples_r),
+            storage_factor_s=sum(o.count_s for o in outcomes) / len(tuples_s),
+            backend="process-serial",
+            wall_s=time.perf_counter() - started,
+            degraded_pairs=sorted(o.index for o in outcomes),
+            fault_summary=dict(self._faults),
+            duplicates_dropped=duplicates_dropped,
+        )
+
+    # ------------------------------------------------------------------ #
+    # run deadline
+    # ------------------------------------------------------------------ #
+
+    def _arm_deadline(self) -> None:
+        self._deadline_at = (
+            time.monotonic() + self.deadline_s
+            if self.deadline_s is not None
+            else None
+        )
+
+    def _deadline_expired(self) -> bool:
+        return (
+            self._deadline_at is not None
+            and time.monotonic() > self._deadline_at
+        )
+
+    def _deadline_error(
+        self, *, queued: int, inflight: List[int], completed: int
+    ) -> DeadlineExceededError:
+        """Journal the expiry and build the typed error (caller raises)."""
+        assert self.deadline_s is not None
+        self._count("deadline_exceeded")
+        self.journal.emit(
+            EVENT_DEADLINE_EXCEEDED,
+            deadline_s=self.deadline_s,
+            queued=queued,
+            inflight=sorted(inflight),
+            completed=completed,
+        )
+        return DeadlineExceededError(
+            self.deadline_s,
+            completed=completed,
+            pending=queued + len(inflight),
+        )
+
     def _run(
         self,
         tuples_r: Sequence[SpatialTuple],
@@ -321,6 +468,7 @@ class ProcessPBSM:
     ) -> ParallelJoinResult:
         started = time.perf_counter()
         self._faults = TallyCounter()
+        self._arm_deadline()
         self.journal.emit(
             EVENT_RUN_STARTED,
             backend="process",
@@ -1011,6 +1159,22 @@ class ProcessPBSM:
 
         try:
             while to_submit or inflight:
+                if self._deadline_expired():
+                    # Cooperative cancellation.  Everything harvested so
+                    # far was already committed through ``on_result``, so a
+                    # checkpointed retry resumes instead of restarting.
+                    # In-flight futures ride the same pool-abandonment path
+                    # a task timeout uses (a wedged worker cannot be killed
+                    # without breaking the pool); with nothing in flight
+                    # the pool is left healthy for its other tenants.
+                    error = self._deadline_error(
+                        queued=len(to_submit),
+                        inflight=list(inflight.values()),
+                        completed=len(outcomes),
+                    )
+                    if inflight:
+                        abandon_pool()
+                    raise error
                 if pool is None:
                     if heartbeats is not None:
                         pool = provider.acquire(
@@ -1057,11 +1221,18 @@ class ProcessPBSM:
 
                 # A journaling run polls so heartbeats and sampler ticks
                 # keep flowing while tasks are quiet; otherwise the wait
-                # only needs a slice when deadlines must be enforced.
+                # only needs a slice when a deadline — per-task or
+                # whole-run — must be enforced.
                 wait(
                     set(inflight),
                     timeout=(
-                        _POLL_S if (deadlines or journal.enabled) else None
+                        _POLL_S
+                        if (
+                            deadlines
+                            or journal.enabled
+                            or self._deadline_at is not None
+                        )
+                        else None
                     ),
                     return_when=FIRST_COMPLETED,
                 )
@@ -1196,6 +1367,12 @@ class ProcessPBSM:
             raise error
         results = []
         for index in sorted(failed):
+            if self._deadline_expired():
+                raise self._deadline_error(
+                    queued=len(failed) - len(results),
+                    inflight=[],
+                    completed=len(results),
+                )
             reason = "corrupt_spill" if index in quarantined else "retry_exhausted"
             results.append(
                 self._degraded_pair(

@@ -9,13 +9,33 @@ cache entry, and a half-finished one resumes instead of restarting.
 Admission control keeps the service honest under load: bounded
 in-flight queries, a bounded queue, and explicit rejects past both.
 
+Resilience rides on three mechanisms: per-query **deadlines**
+(``deadline_s`` on the spec, cooperatively cancelled inside the engine,
+typed ``deadline_exceeded`` rejects with adoptable checkpoint state), a
+**circuit breaker** over the shared pool's respawn rate
+(:mod:`repro.serve.pool` — open breakers shed queries to a
+byte-identical in-process serial path, reported as ``degraded``), and a
+background **cache scrubber** (:mod:`repro.serve.scrub`) that CRC-walks
+entries at rest, repairing warm ones and quarantining liars.
+
 ``python -m repro serve`` runs it; :mod:`repro.serve.client` talks to
 it; ``benchmarks/bench_serve_throughput.py`` measures it.
 """
 
-from .cache import LOOKUP_HIT, LOOKUP_MISS, LOOKUP_WARM, ArtifactCache
+from .cache import (
+    LOOKUP_HIT,
+    LOOKUP_MISS,
+    LOOKUP_WARM,
+    QUARANTINE_DIRNAME,
+    ArtifactCache,
+)
 from .client import ServeClient, read_port_file, wait_for_server
-from .pool import SharedPoolProvider
+from .pool import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    SharedPoolProvider,
+)
 from .query import (
     DATASETS,
     PREDICATES,
@@ -23,11 +43,14 @@ from .query import (
     QuerySpec,
     result_digest,
 )
+from .scrub import CacheScrubber
 from .server import (
     DEFAULT_HOST,
+    REJECT_DEADLINE,
     REJECT_QUEUE_FULL,
     REJECT_SHUTTING_DOWN,
     SOURCE_COALESCED,
+    SOURCE_DEGRADED,
     SOURCE_HIT,
     SOURCE_MISS,
     SOURCE_WARM,
@@ -36,6 +59,10 @@ from .server import (
 
 __all__ = [
     "ArtifactCache",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CacheScrubber",
     "DATASETS",
     "DEFAULT_HOST",
     "JoinServer",
@@ -43,11 +70,14 @@ __all__ = [
     "LOOKUP_MISS",
     "LOOKUP_WARM",
     "PREDICATES",
+    "QUARANTINE_DIRNAME",
     "QueryError",
     "QuerySpec",
+    "REJECT_DEADLINE",
     "REJECT_QUEUE_FULL",
     "REJECT_SHUTTING_DOWN",
     "SOURCE_COALESCED",
+    "SOURCE_DEGRADED",
     "SOURCE_HIT",
     "SOURCE_MISS",
     "SOURCE_WARM",

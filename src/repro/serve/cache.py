@@ -42,13 +42,24 @@ from ..checkpoint.store import (
     inspect_checkpoint_dir,
     select_lru_victims,
 )
-from ..obs.journal import EVENT_CACHE_EVICT, NULL_JOURNAL
+from ..obs.journal import (
+    EVENT_CACHE_CORRUPT,
+    EVENT_CACHE_EVICT,
+    EVENT_CACHE_QUARANTINE,
+    NULL_JOURNAL,
+)
 from ..obs.metrics import NULL_METRICS
-from ..storage.errors import ManifestCorruptionError
+from ..storage.errors import ManifestCorruptionError, SpillCorruptionError
 
 LOOKUP_HIT = "hit"
 LOOKUP_WARM = "warm"
 LOOKUP_MISS = "miss"
+
+QUARANTINE_DIRNAME = "quarantine"
+"""Subdirectory corrupt entries are moved into.  It does not start with
+the ``run-`` prefix, so :func:`inspect_checkpoint_dir` never walks into
+it — quarantined state is invisible to lookup, eviction, and stats, and
+the fingerprint it occupied becomes an ordinary cold miss."""
 
 
 class ArtifactCache:
@@ -153,6 +164,11 @@ class ArtifactCache:
         must reproduce it exactly — anything else (including an
         unexpected duplicate) means the directory is lying and is not
         served.
+
+        Distrust is always a *downgrade*, never an exception: a log that
+        is truncated, torn mid-file, or CRC-broken surfaces to the query
+        path as a plain miss, with a ``cache_corrupt`` journal event and
+        a ``serve.cache.corrupt`` tick recording why.
         """
         run_dir = self.run_dir(fingerprint)
         manifest_path = run_dir / MANIFEST_FILENAME
@@ -169,14 +185,60 @@ class ArtifactCache:
             return None
         try:
             committed, _torn = replay_result_log(run_dir / RESULTS_FILENAME)
-        except ManifestCorruptionError:
+        except (OSError, ValueError, SpillCorruptionError) as exc:
+            # ManifestCorruptionError (malformed record) and
+            # SpillCorruptionError (CRC / short frame) both land here —
+            # and so does a log file deleted out from under us.
+            self._distrust(fingerprint.run_id, type(exc).__name__)
             return None
         merged, dropped = merge_sorted_unique(
             [committed[index].pairs for index in sorted(committed)]
         )
         if dropped or manifest.result_count != len(merged):
+            self._distrust(
+                fingerprint.run_id,
+                "duplicate_results" if dropped else "result_count_mismatch",
+            )
             return None
         return merged
+
+    def _distrust(self, run_id: str, reason: str) -> None:
+        """Record that a complete-looking entry failed replay checks."""
+        self.journal.emit(EVENT_CACHE_CORRUPT, run_id=run_id, reason=reason)
+        self.metrics.counter("serve.cache.corrupt").inc()
+
+    # ------------------------------------------------------------------ #
+    # quarantine
+    # ------------------------------------------------------------------ #
+
+    def quarantine(self, run_id: str, reason: str) -> bool:
+        """Move a corrupt entry out of the serving root (scrubber's verb).
+
+        The directory lands under ``root/quarantine/<run_id>`` — outside
+        the ``run-`` namespace every walker uses — so the entry becomes a
+        cold miss while its bytes stay on disk for post-mortem.  Pinned
+        entries are refused (a query thread is mid-read or mid-write in
+        there; whatever looked corrupt is in flux) and so is a directory
+        that no longer exists.  Returns whether the move happened.
+        """
+        with self._lock:
+            if run_id in self._pins:
+                return False
+            src = self.root / run_id
+            if not src.is_dir():
+                return False
+            dest_root = self.root / QUARANTINE_DIRNAME
+            dest_root.mkdir(parents=True, exist_ok=True)
+            dest = dest_root / run_id
+            if dest.exists():
+                shutil.rmtree(dest, ignore_errors=True)
+            shutil.move(str(src), str(dest))
+            self._recency.pop(run_id, None)
+            self.journal.emit(
+                EVENT_CACHE_QUARANTINE, run_id=run_id, reason=reason
+            )
+            self.metrics.counter("serve.cache.quarantined").inc()
+            return True
 
     # ------------------------------------------------------------------ #
     # eviction

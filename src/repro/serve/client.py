@@ -7,10 +7,20 @@ is as simple as a socket, two buffered file wrappers, and ``json`` —
 deliberately free of engine imports, a benchmark or test harness can
 hammer a server from threads with one client each.
 
+Transient transport failures — a reset connection, a refused connect
+while the server's accept loop restarts, a broken pipe — are retried
+with bounded exponential backoff: the connection is torn down, rebuilt,
+and the request resent.  That is safe because every op is idempotent
+for the caller (a ``join`` re-asks for the same fingerprint and at
+worst finds the first attempt's cache entry).  A *timeout* is never
+retried — the server may still be working, and the deadline machinery
+owns that story.
+
 All methods return the server's response dict verbatim (``ok`` tells
 you whether it worked; ``error`` carries ``queue_full`` /
-``shutting_down`` / ``bad_request`` / ``internal`` when it did not).
-Transport failures raise ``ConnectionError``.
+``shutting_down`` / ``deadline_exceeded`` / ``bad_request`` /
+``internal`` when it did not).  Transport failures that survive the
+retry budget raise ``ConnectionError``.
 """
 
 from __future__ import annotations
@@ -31,20 +41,73 @@ class ServeClient:
         port: int,
         *,
         timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ):
+        if retries < 0:
+            raise ValueError("retry budget cannot be negative")
+        if retry_backoff_s < 0:
+            raise ValueError("retry backoff cannot be negative")
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self._sock: Optional[socket.socket] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
         self._rfile = self._sock.makefile("r", encoding="utf-8", newline="\n")
         self._wfile = self._sock.makefile("w", encoding="utf-8", newline="\n")
 
     def request(self, payload: dict) -> dict:
-        """Send one request object, block for its one response line."""
-        self._wfile.write(json.dumps(payload, sort_keys=True) + "\n")
-        self._wfile.flush()
-        line = self._rfile.readline()
+        """Send one request object, block for its one response line.
+
+        Retries transient connection failures (``ConnectionResetError``,
+        ``ECONNREFUSED``, a broken pipe, a mid-request close) up to
+        ``retries`` times with exponential backoff, reconnecting and
+        resending each time.  A refused *reconnect* burns an attempt just
+        like a reset request did.  ``socket.timeout`` propagates
+        immediately: silence is not evidence the server is gone.
+        """
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self._connect()
+                return self._request_once(payload)
+            except socket.timeout:
+                raise
+            except ConnectionError:
+                # ConnectionResetError, ConnectionRefusedError (including
+                # from _connect above), BrokenPipeError — all transient.
+                if attempt >= self.retries:
+                    raise
+                backoff = self.retry_backoff_s * (2 ** attempt)
+                attempt += 1
+                self.close()
+                self._sock = None
+                if backoff > 0:
+                    time.sleep(backoff)
+
+    def _request_once(self, payload: dict) -> dict:
+        try:
+            self._wfile.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._wfile.flush()
+            line = self._rfile.readline()
+        except socket.timeout:
+            raise
+        except OSError as exc:
+            if isinstance(exc, ConnectionError):
+                raise
+            raise ConnectionError(f"transport failure: {exc}") from exc
         if not line:
-            raise ConnectionError("server closed the connection mid-request")
+            raise ConnectionResetError(
+                "server closed the connection mid-request"
+            )
         return json.loads(line)
 
     def join(self, **spec_fields) -> dict:
@@ -64,7 +127,10 @@ class ServeClient:
         return self.request({"op": "shutdown"})
 
     def close(self) -> None:
-        for closer in (self._wfile, self._rfile, self._sock):
+        for name in ("_wfile", "_rfile", "_sock"):
+            closer = getattr(self, name, None)
+            if closer is None:
+                continue
             try:
                 closer.close()
             except OSError:
@@ -88,7 +154,7 @@ def wait_for_server(
     last_error: Optional[Exception] = None
     while time.monotonic() < deadline:
         try:
-            with ServeClient(host, port, timeout=1.0) as client:
+            with ServeClient(host, port, timeout=1.0, retries=0) as client:
                 if client.ping().get("ok"):
                     return
         except (OSError, ValueError) as exc:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.pbsm import PBSMConfig
 from ..core.predicates import Predicate, contains, intersects, intersects_naive
@@ -83,6 +83,13 @@ class QuerySpec:
     include_pairs: bool = False
     """Ship the full result pair list back (costly; off by default —
     responses always carry the count and a SHA-256 of the sorted pairs)."""
+    deadline_s: Optional[float] = None
+    """Wall-clock budget for this query.  Past it the server stops
+    dispatching pair tasks, abandons in-flight ones, and answers with a
+    typed ``deadline_exceeded`` reject — committed checkpoint state stays
+    adoptable, so a retry resumes instead of restarting.  A *cost* knob,
+    not an *answer* knob: it is deliberately excluded from the run
+    fingerprint, so deadlined and undeadlined runs share a cache entry."""
 
     def __post_init__(self):
         if self.dataset not in DATASETS:
@@ -111,6 +118,8 @@ class QuerySpec:
             raise QueryError("num_partitions cannot be negative")
         if self.memory_bytes < 1:
             raise QueryError("memory budget must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise QueryError("deadline_s must be positive when given")
 
     # ------------------------------------------------------------------ #
 
@@ -168,6 +177,7 @@ class QuerySpec:
             "num_partitions": self.num_partitions,
             "memory_bytes": self.memory_bytes,
             "include_pairs": self.include_pairs,
+            "deadline_s": self.deadline_s,
         }
 
     @classmethod
@@ -177,6 +187,7 @@ class QuerySpec:
         known = {
             "dataset", "scale", "seed", "predicate", "workers",
             "num_partitions", "memory_bytes", "include_pairs",
+            "deadline_s",
         }
         extra = set(payload) - known - {"op"}
         if extra:
@@ -191,6 +202,11 @@ class QuerySpec:
                 num_partitions=int(payload.get("num_partitions", 0)),
                 memory_bytes=int(payload.get("memory_bytes", DEFAULT_TASK_MEMORY)),
                 include_pairs=bool(payload.get("include_pairs", False)),
+                deadline_s=(
+                    float(payload["deadline_s"])
+                    if payload.get("deadline_s") is not None
+                    else None
+                ),
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, QueryError):

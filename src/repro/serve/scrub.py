@@ -1,0 +1,278 @@
+"""The cache scrubber: a low-rate background CRC walk over the cache.
+
+Crash drills (PR 4) prove the checkpoint protocol never *writes* a lying
+entry; this thread defends against everything the protocol cannot see —
+bit rot, a truncating filesystem, an operator's stray ``dd`` — by
+re-verifying entries **at rest**, before a query trips over them.
+
+One :meth:`CacheScrubber.scrub_once` pass walks every unpinned run
+directory under the :class:`~repro.serve.cache.ArtifactCache` root and
+classifies it:
+
+* **clean** — the manifest loads, every result-log frame passes its CRC
+  and decodes as a pair result, and (for a ``complete`` entry) the
+  merged replay matches the manifest's ``result_count`` with zero
+  duplicates dropped.
+* **repaired** — a *warm* entry whose result log is damaged part-way:
+  the log is atomically rewritten down to its longest intact frame
+  prefix.  Committed pairs in the prefix survive; the damaged tail's
+  pairs simply return to *uncommitted*, so the next warm resume re-runs
+  only those — the cheapest correct outcome.
+* **quarantined** — anything a trim cannot make honest (corrupt or
+  missing manifest; a ``complete`` entry whose log is damaged or whose
+  replay count disagrees) is moved to ``quarantine/`` via
+  :meth:`~repro.serve.cache.ArtifactCache.quarantine`.  The fingerprint
+  becomes a cold miss; the bytes stay for post-mortem.
+
+Pinned entries are always skipped: a pin means a query thread is mid
+read or write in there, and whatever looks wrong is just in flux.  The
+pin check and any rewrite happen under the cache lock, and pinning
+itself takes that lock, so an entry cannot gain a writer mid-repair.
+
+The scrubber never raises into its thread — a pass that blows up is
+counted (``serve.scrub.errors``) and the next tick tries again.  Every
+pass emits a ``cache_scrub`` journal event and ``serve.scrub.*``
+metrics; each quarantine additionally emits ``cache_quarantine`` (from
+the cache) so the fault timeline shows *which* entry went bad.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..checkpoint.manifest import _decode
+from ..checkpoint.resultlog import replay_result_log, result_from_wire
+from ..checkpoint.store import (
+    RESULTS_FILENAME,
+    STATE_COMPLETE,
+    inspect_checkpoint_dir,
+)
+from ..core.refine import merge_sorted_unique
+from ..obs.journal import EVENT_CACHE_SCRUB, NULL_JOURNAL
+from ..obs.metrics import NULL_METRICS
+from ..storage.errors import ManifestCorruptionError
+from ..storage.spill import FRAME_HEADER_SIZE, MAX_RECORD_BYTES
+
+from .cache import ArtifactCache
+
+SCRUB_CLEAN = "clean"
+SCRUB_REPAIRED = "repaired"
+SCRUB_QUARANTINED = "quarantined"
+SCRUB_SKIPPED = "skipped"
+
+
+def intact_prefix(path: Path) -> Tuple[int, int]:
+    """``(frames, bytes)`` of the longest trustworthy result-log prefix.
+
+    A frame counts only if its header is whole, its payload passes the
+    CRC, *and* the payload decodes as a pair-result record — a CRC-valid
+    frame holding garbage is damage too.  A missing file is an empty
+    (perfectly intact) log.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return 0, 0
+    label = str(path)
+    offset = 0
+    frames = 0
+    while True:
+        header = data[offset:offset + FRAME_HEADER_SIZE]
+        if len(header) < FRAME_HEADER_SIZE:
+            break
+        length, crc = struct.unpack("<II", header)
+        if length > MAX_RECORD_BYTES:
+            break
+        payload = data[
+            offset + FRAME_HEADER_SIZE:offset + FRAME_HEADER_SIZE + length
+        ]
+        if len(payload) < length:
+            break
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        try:
+            result_from_wire(_decode(payload, label, frames))
+        except (
+            KeyError, TypeError, ValueError, ManifestCorruptionError,
+        ):
+            break
+        offset += FRAME_HEADER_SIZE + length
+        frames += 1
+    return frames, offset
+
+
+class CacheScrubber:
+    """Background verifier for an :class:`ArtifactCache`."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        *,
+        interval_s: float = 30.0,
+        journal=NULL_JOURNAL,
+        metrics=NULL_METRICS,
+    ):
+        if interval_s <= 0:
+            raise ValueError("scrub interval must be positive")
+        self.cache = cache
+        self.interval_s = interval_s
+        self.journal = journal
+        self.metrics = metrics
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._counter_lock = threading.Lock()
+        self.passes = 0
+        self.scanned = 0
+        self.repaired = 0
+        self.quarantined = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="cache-scrubber", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.scrub_once()
+            except Exception:
+                # The scrubber heals the cache; it must never hurt the
+                # server.  Count the blown pass and try again next tick.
+                with self._counter_lock:
+                    self.errors += 1
+                self.metrics.counter("serve.scrub.errors").inc()
+
+    # ------------------------------------------------------------------ #
+    # one pass
+    # ------------------------------------------------------------------ #
+
+    def scrub_once(self) -> dict:
+        """Walk every entry once; returns this pass's tallies."""
+        scanned = repaired = quarantined = 0
+        for info in inspect_checkpoint_dir(self.cache.root):
+            verdict = self._scrub_entry(info)
+            if verdict == SCRUB_SKIPPED:
+                continue
+            scanned += 1
+            if verdict == SCRUB_REPAIRED:
+                repaired += 1
+            elif verdict == SCRUB_QUARANTINED:
+                quarantined += 1
+        with self._counter_lock:
+            self.passes += 1
+            self.scanned += scanned
+            self.repaired += repaired
+            self.quarantined += quarantined
+        self.metrics.counter("serve.scrub.passes").inc()
+        self.metrics.counter("serve.scrub.scanned").inc(scanned)
+        self.metrics.counter("serve.scrub.repaired").inc(repaired)
+        self.metrics.counter("serve.scrub.quarantined").inc(quarantined)
+        self.journal.emit(
+            EVENT_CACHE_SCRUB,
+            scanned=scanned, repaired=repaired, quarantined=quarantined,
+        )
+        return {
+            "scanned": scanned,
+            "repaired": repaired,
+            "quarantined": quarantined,
+        }
+
+    def _scrub_entry(self, info) -> str:
+        if info.run_id in self.cache.pinned_ids():
+            return SCRUB_SKIPPED
+        if info.state in ("corrupt", "missing-manifest", "unknown"):
+            return (
+                SCRUB_QUARANTINED
+                if self.cache.quarantine(info.run_id, f"manifest_{info.state}")
+                else SCRUB_SKIPPED
+            )
+        log_path = Path(info.path) / RESULTS_FILENAME
+        # The pin re-check and any rewrite share the cache lock with
+        # pin(), so no query can start writing this entry mid-repair.
+        with self.cache._lock:
+            if info.run_id in self.cache.pinned_ids():
+                return SCRUB_SKIPPED
+            frames, intact_bytes = intact_prefix(log_path)
+            try:
+                log_bytes = log_path.stat().st_size
+            except OSError:
+                log_bytes = 0
+            if intact_bytes < log_bytes:
+                if info.state == STATE_COMPLETE:
+                    # Trimming a *complete* log would contradict the
+                    # manifest's result_count: nothing to repair toward.
+                    return (
+                        SCRUB_QUARANTINED
+                        if self.cache.quarantine(
+                            info.run_id, "result_log_damage"
+                        )
+                        else SCRUB_SKIPPED
+                    )
+                self._trim_log(log_path, intact_bytes)
+                return SCRUB_REPAIRED
+        if info.state == STATE_COMPLETE and not self._replay_matches(
+            log_path, info.result_count
+        ):
+            return (
+                SCRUB_QUARANTINED
+                if self.cache.quarantine(info.run_id, "result_count_mismatch")
+                else SCRUB_SKIPPED
+            )
+        return SCRUB_CLEAN
+
+    @staticmethod
+    def _trim_log(log_path: Path, intact_bytes: int) -> None:
+        """Atomically rewrite the log down to its intact prefix."""
+        tmp = log_path.with_name(log_path.name + ".scrub")
+        with open(tmp, "wb") as fh:
+            with open(log_path, "rb") as src:
+                fh.write(src.read(intact_bytes))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, log_path)
+
+    @staticmethod
+    def _replay_matches(log_path: Path, result_count) -> bool:
+        """Does the merged replay reproduce the manifest's count exactly?"""
+        try:
+            committed, _torn = replay_result_log(log_path)
+        except (OSError, ValueError):
+            return False
+        merged, dropped = merge_sorted_unique(
+            [committed[index].pairs for index in sorted(committed)]
+        )
+        return not dropped and result_count == len(merged)
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        with self._counter_lock:
+            return {
+                "running": self._thread is not None,
+                "interval_s": self.interval_s,
+                "passes": self.passes,
+                "scanned": self.scanned,
+                "repaired": self.repaired,
+                "quarantined": self.quarantined,
+                "errors": self.errors,
+            }

@@ -57,20 +57,25 @@ from ..obs.journal import (
     ThreadSafeJournal,
 )
 from ..obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
-from ..parallel.process import ProcessPBSM
+from ..parallel.process import DeadlineExceededError, ProcessPBSM
 from .cache import LOOKUP_HIT, LOOKUP_WARM, ArtifactCache
 from .pool import SharedPoolProvider
 from .query import QueryError, QuerySpec, result_digest
+from .scrub import CacheScrubber
 
 DEFAULT_HOST = "127.0.0.1"
 
 REJECT_QUEUE_FULL = "queue_full"
 REJECT_SHUTTING_DOWN = "shutting_down"
+REJECT_DEADLINE = "deadline_exceeded"
 
 SOURCE_HIT = "hit"
 SOURCE_WARM = "warm"
 SOURCE_MISS = "miss"
 SOURCE_COALESCED = "coalesced"
+SOURCE_DEGRADED = "degraded"
+"""The breaker shed this query off the pool: the answer came from the
+in-process serial path — byte-identical, just slower and uncached."""
 
 SERVE_JOURNAL_FILENAME = "serve.jsonl"
 QUERY_JOURNAL_FILENAME = "journal.jsonl"
@@ -97,6 +102,10 @@ class JoinServer:
         kill_coordinator_after: Optional[int] = None,
         kill_limit: int = 1,
         metrics: Optional[MetricsRegistry] = None,
+        breaker_threshold: int = 5,
+        breaker_window_s: float = 30.0,
+        breaker_cooldown_s: float = 5.0,
+        scrub_interval_s: Optional[float] = None,
     ):
         if max_inflight < 1:
             raise ValueError("need at least one in-flight slot")
@@ -125,7 +134,22 @@ class JoinServer:
             journal=self.journal,
             metrics=self.metrics,
         )
-        self.provider = SharedPoolProvider(workers)
+        self.provider = SharedPoolProvider(
+            workers,
+            breaker_threshold=breaker_threshold,
+            breaker_window_s=breaker_window_s,
+            breaker_cooldown_s=breaker_cooldown_s,
+            journal=self.journal,
+        )
+        self.scrub_interval_s = scrub_interval_s
+        """``None`` leaves the scrubber thread stopped; :meth:`scrub_once`
+        on :attr:`scrubber` still works (tests drive it deterministically)."""
+        self.scrubber = CacheScrubber(
+            self.cache,
+            interval_s=scrub_interval_s if scrub_interval_s else 30.0,
+            journal=self.journal,
+            metrics=self.metrics,
+        )
         self._latency = self.metrics.histogram(
             "serve.latency_s", LATENCY_BUCKETS_S
         )
@@ -142,6 +166,8 @@ class JoinServer:
         self._rejected = 0
         self._completed = 0
         self._failed = 0
+        self._deadline_exceeded = 0
+        self._degraded = 0
         self._hits = 0
         self._misses = 0
         self._coalesced = 0
@@ -169,6 +195,8 @@ class JoinServer:
             target=self._accept_loop, name="serve-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.scrub_interval_s is not None:
+            self.scrubber.start()
         return self.host, self.port
 
     def serve_forever(self) -> None:
@@ -198,6 +226,7 @@ class JoinServer:
                     self._listener.close()
                 except OSError:
                     pass
+            self.scrubber.stop()
             self.provider.close()
             self.cache.ensure_budget()
             self.journal.close()
@@ -300,6 +329,21 @@ class JoinServer:
                 self._completed += 1
             self.metrics.counter("serve.completed").inc()
             return response
+        except DeadlineExceededError as exc:
+            # A typed reject, not a failure: the query asked for a budget
+            # and the budget ran out.  Committed checkpoint state stays in
+            # the cache, so a retry of the same spec resumes warm.
+            with self._lock:
+                self._deadline_exceeded += 1
+            self.metrics.counter("serve.deadline_exceeded").inc()
+            return _error(
+                REJECT_DEADLINE,
+                str(exc),
+                query=query_id,
+                deadline_s=exc.deadline_s,
+                completed_pairs=exc.completed,
+                pending_pairs=exc.pending,
+            )
         except Exception as exc:  # noqa: BLE001 — one query must not kill the server
             with self._lock:
                 self._failed += 1
@@ -355,10 +399,25 @@ class JoinServer:
                     with self._lock:
                         self._misses += 1
                     self.metrics.counter("serve.cache.misses").inc()
-                    pairs, drill = self._run_engine(
-                        spec, tuples_r, tuples_s, journal,
-                        resume=(source == SOURCE_WARM),
-                    )
+                    if self.provider.admit():
+                        pairs, drill = self._run_engine(
+                            spec, tuples_r, tuples_s, journal,
+                            resume=(source == SOURCE_WARM),
+                        )
+                        self.provider.report_success()
+                    else:
+                        # The breaker is open: shed off the pool onto the
+                        # in-process serial path.  Same answer (digest
+                        # equality is the CI drill), same deadline, no
+                        # cache fill (no checkpoint dir — a degraded run
+                        # must not shadow the real entry).
+                        source = SOURCE_DEGRADED
+                        with self._lock:
+                            self._degraded += 1
+                        self.metrics.counter("serve.degraded").inc()
+                        pairs = self._run_shed(
+                            spec, tuples_r, tuples_s, journal
+                        )
                 self.cache.touch(run_id)
                 latency = time.perf_counter() - started
                 self._latency.observe(latency)
@@ -423,6 +482,21 @@ class JoinServer:
             )
         return sorted(set(result.pairs)), drill
 
+    def _run_shed(self, spec, tuples_r, tuples_s, journal):
+        """The breaker's degraded path: the whole join, serially, in this
+        process.  No pool, no fault plan, no checkpoint — just the same
+        partition/merge/refine math, bounded by the same deadline."""
+        engine = ProcessPBSM(
+            spec.workers,
+            num_partitions=spec.partitions,
+            memory_bytes=spec.memory_bytes,
+            journal=journal,
+            metrics=self.metrics,
+            deadline_s=spec.deadline_s,
+        )
+        result = engine.run_serial(tuples_r, tuples_s, spec.predicate_fn)
+        return sorted(set(result.pairs))
+
     def _engine(self, spec, journal, *, kill_after=None) -> ProcessPBSM:
         return ProcessPBSM(
             spec.workers,
@@ -435,6 +509,7 @@ class JoinServer:
             checkpoint_dir=str(self.cache.root),
             kill_coordinator_after=kill_after,
             pool_provider=self.provider,
+            deadline_s=spec.deadline_s,
         )
 
     def _materialise(self, spec: QuerySpec):
@@ -496,6 +571,13 @@ class JoinServer:
                 "rejected": self._rejected,
                 "completed": self._completed,
                 "failed": self._failed,
+                "outcomes": {
+                    "completed": self._completed,
+                    "deadline_exceeded": self._deadline_exceeded,
+                    "degraded": self._degraded,
+                    "rejected": self._rejected,
+                    "failed": self._failed,
+                },
                 "queued": self._queued,
                 "inflight": self._inflight,
                 "max_inflight": self.max_inflight,
@@ -505,6 +587,11 @@ class JoinServer:
                 "coalesced": self._coalesced,
                 "latency": latency,
                 "cache": self.cache.stats(),
+                "breaker": self.provider.breaker_stats(),
+                "scrub": self.scrubber.stats(),
+                "duplicates_dropped": self.metrics.counter(
+                    "merge.duplicates_dropped"
+                ).value,
                 "pool_generation": self.provider.generation,
                 "workers": self.workers,
                 "draining": self._draining.is_set(),

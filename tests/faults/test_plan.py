@@ -47,6 +47,32 @@ class TestCompilation:
         assert FaultSpec().total_faults == 0
         assert NAMED_SPECS["combined"].total_faults == 6
 
+    def test_resilience_drill_plans_compile(self):
+        # The serve-chaos drills: one stall pinned to a single pair's
+        # attempt 0, and one at-rest cache corruption ordinal (applied by
+        # the chaos harness, never by a worker).
+        stall = load_plan(
+            "deadline_stall", seed=3, num_pairs=8, hang_s=2.5
+        )
+        assert stall.spec.hangs == 1
+        assert stall.max_hang_s == 2.5
+        hangs = [
+            (pair, wf.hang_attempts)
+            for pair, wf in sorted(stall.worker_faults.items())
+            if wf.hang_attempts
+        ]
+        assert len(hangs) == 1
+        assert hangs[0][1] == (0,)  # attempt 0: fires on first dispatch
+
+        scrub = load_plan("scrub_corruption", seed=3, num_pairs=8)
+        assert scrub.spec.cache_corruptions == 1
+        assert len(scrub.cache_corruption_ordinals) == 1
+        assert not scrub.worker_faults  # nothing fires inside a worker
+        assert FaultPlan.from_dict(scrub.to_dict()) == scrub
+
+    def test_cache_corruptions_count_as_faults(self):
+        assert FaultSpec(cache_corruptions=2).total_faults == 2
+
     def test_max_hang_s(self):
         quiet = FaultPlan.compile(FaultSpec(slow_tasks=1), seed=0, num_pairs=4)
         assert quiet.max_hang_s == 0.0

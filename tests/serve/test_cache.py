@@ -137,6 +137,50 @@ class TestReplay:
         assert cache.replay(make_fingerprint()) is None
 
 
+class _Recorder:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event_type, **fields):
+        self.events.append((event_type, fields))
+
+
+class TestCorruptReplay:
+    """Regression: a corrupted result log must downgrade to a miss (with
+    a ``cache_corrupt`` event), never crash the serving query."""
+
+    def test_mid_log_damage_downgrades_to_miss(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        store = seed_complete_run(tmp_path)
+        data = bytearray(store.results_path.read_bytes())
+        data[10] ^= 0xFF  # frame 0 payload byte: CRC check must fail
+        store.results_path.write_bytes(bytes(data))
+
+        journal = _Recorder()
+        metrics = MetricsRegistry()
+        cache = ArtifactCache(tmp_path, journal=journal, metrics=metrics)
+        assert cache.replay(make_fingerprint()) is None
+        assert metrics.snapshot()["serve.cache.corrupt"]["value"] == 1
+        events = [e for e in journal.events if e[0] == "cache_corrupt"]
+        assert len(events) == 1
+        assert events[0][1]["run_id"] == store.fingerprint.run_id
+        assert events[0][1]["reason"]
+
+    def test_byte_truncated_log_downgrades_to_miss(self, tmp_path):
+        # A torn tail replays clean but short: the committed union then
+        # disagrees with the manifest's result_count — distrust, miss.
+        store = seed_complete_run(tmp_path)
+        data = store.results_path.read_bytes()
+        store.results_path.write_bytes(data[: len(data) - 3])
+
+        journal = _Recorder()
+        cache = ArtifactCache(tmp_path, journal=journal)
+        assert cache.replay(make_fingerprint()) is None
+        events = [e for e in journal.events if e[0] == "cache_corrupt"]
+        assert len(events) == 1
+
+
 class TestPinning:
     def test_pin_is_refcounted(self, tmp_path):
         cache = ArtifactCache(tmp_path)

@@ -318,6 +318,163 @@ class TestFaults:
         assert "drill" not in hit
 
 
+class TestDeadlines:
+    def test_stalled_query_rejects_then_retry_recovers(self, tmp_path):
+        # A seeded stall pins one pair's worker for longer than the
+        # query's deadline: the server answers a *typed* reject, keeps
+        # the committed prefix in the cache, and a retry without a
+        # deadline waits out the stall and lands byte-identical.
+        plan = load_plan("deadline_stall", seed=3, num_pairs=8, hang_s=3.0)
+        server, host, port = start_server(tmp_path, fault_plan=plan)
+        try:
+            with ServeClient(host, port) as client:
+                rejected = client.join(deadline_s=1.0, **SPEC)
+                retried = client.join(**SPEC)
+        finally:
+            server.shutdown()
+        assert not rejected["ok"]
+        assert rejected["error"] == "deadline_exceeded"
+        assert rejected["deadline_s"] == 1.0
+        assert (
+            rejected["completed_pairs"] + rejected["pending_pairs"] == 8
+        )
+        assert retried["ok"]
+        assert retried["source"] in ("warm", "miss")
+        assert retried["result_sha256"] == one_shot_digest(SPEC)
+        stats = server.stats()
+        assert stats["outcomes"]["deadline_exceeded"] == 1
+        assert stats["outcomes"]["completed"] == 1
+        assert stats["duplicates_dropped"] == 0
+
+    def test_deadline_is_a_cost_knob_not_an_answer_knob(self, tmp_path):
+        # deadline_s is excluded from the run fingerprint: a deadlined
+        # repeat of an undeadlined query is a plain cache hit.
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                miss = client.join(**SPEC)
+                hit = client.join(deadline_s=300.0, **SPEC)
+        finally:
+            server.shutdown()
+        assert miss["ok"] and miss["source"] == "miss"
+        assert hit["ok"] and hit["source"] == "hit"
+        assert hit["result_sha256"] == miss["result_sha256"]
+
+
+def retire_pool_generation(server):
+    """Simulate a worker crash's pool retirement (one breaker failure)."""
+    import multiprocessing
+
+    pool = server.provider.acquire(2, multiprocessing.get_context())
+    server.provider.discard(pool)
+
+
+class TestBreaker:
+    OTHER = {"dataset": "road_hydro", "scale": 0.003, "workers": 2}
+
+    def test_open_breaker_sheds_to_byte_identical_degraded(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, breaker_threshold=1, breaker_cooldown_s=60.0
+        )
+        try:
+            with ServeClient(host, port) as client:
+                baseline = client.join(**SPEC)
+                retire_pool_generation(server)
+                degraded = client.join(**self.OTHER)
+                # Cache hits never consult the breaker: the cached spec
+                # still serves from the log while the pool is shunned.
+                hit = client.join(**SPEC)
+            stats = server.stats()
+        finally:
+            server.shutdown()
+        assert baseline["ok"] and baseline["source"] == "miss"
+        assert degraded["ok"] and degraded["source"] == "degraded"
+        assert degraded["result_sha256"] == one_shot_digest(self.OTHER)
+        assert hit["ok"] and hit["source"] == "hit"
+        assert stats["breaker"]["state"] == "open"
+        assert stats["breaker"]["trips"] == 1
+        assert stats["outcomes"]["degraded"] == 1
+        assert stats["duplicates_dropped"] == 0
+        # A degraded run must not shadow the real cache entry: the shed
+        # path never writes a run directory for its fingerprint.
+        assert not (tmp_path / "cache" / run_id_of(self.OTHER)).exists()
+
+    def test_half_open_probe_closes_the_breaker(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, breaker_threshold=1, breaker_cooldown_s=0.3
+        )
+        try:
+            retire_pool_generation(server)
+            assert server.provider.breaker_stats()["state"] == "open"
+            time.sleep(0.35)
+            with ServeClient(host, port) as client:
+                probe = client.join(**SPEC)
+            stats = server.stats()
+        finally:
+            server.shutdown()
+        # The probe ran pool-backed and its success closed the breaker.
+        assert probe["ok"] and probe["source"] == "miss"
+        assert probe["result_sha256"] == one_shot_digest(SPEC)
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["breaker"]["trips"] == 1
+        assert stats["outcomes"]["degraded"] == 0
+
+
+class TestScrubberIntegration:
+    def test_corrupted_entry_is_quarantined_and_requeried_clean(
+        self, tmp_path
+    ):
+        server, host, port = start_server(tmp_path, scrub_interval_s=0.1)
+        try:
+            with ServeClient(host, port) as client:
+                first = client.join(**SPEC)
+                assert first["ok"] and first["source"] == "miss"
+                log = (
+                    tmp_path / "cache" / first["run_id"] / "results.log"
+                )
+                data = bytearray(log.read_bytes())
+                data[10] ^= 0xFF
+                log.write_bytes(bytes(data))
+
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    if server.stats()["scrub"]["quarantined"] >= 1:
+                        break
+                    time.sleep(0.05)
+                assert server.stats()["scrub"]["quarantined"] == 1
+                assert (
+                    tmp_path / "cache" / "quarantine" / first["run_id"]
+                ).is_dir()
+
+                # The fingerprint is a cold miss now; the re-run answer
+                # is byte-identical to the pre-corruption one.
+                again = client.join(**SPEC)
+            stats = server.stats()
+        finally:
+            server.shutdown()
+        assert again["ok"] and again["source"] == "miss"
+        assert again["result_sha256"] == first["result_sha256"]
+        assert stats["duplicates_dropped"] == 0
+        assert stats["scrub"]["errors"] == 0
+
+
+class TestStatsOp:
+    def test_stats_exposes_resilience_state(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                stats = client.stats()["stats"]
+        finally:
+            server.shutdown()
+        assert stats["breaker"]["state"] == "closed"
+        assert set(stats["outcomes"]) == {
+            "completed", "deadline_exceeded", "degraded", "rejected",
+            "failed",
+        }
+        assert stats["scrub"]["running"] is False  # no --scrub-interval
+        assert stats["duplicates_dropped"] == 0
+
+
 class TestSigterm:
     def test_sigterm_drains_and_exits_clean(self, tmp_path):
         port_file = tmp_path / "port.txt"
