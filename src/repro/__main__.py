@@ -194,6 +194,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     from .obs import RunJournal, journal_path
     from .parallel import parallel_join
     from .serve.query import DATASETS, result_digest
+    from .storage import DiskFullError
 
     if args.resume and not args.checkpoint_dir:
         print("parallel: --resume requires --checkpoint-dir", file=sys.stderr)
@@ -207,6 +208,16 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
               "(process or simulated); the serial reference has no "
               "journal to record", file=sys.stderr)
         return 2
+    budget = None
+    if args.disk_budget is not None:
+        if args.backend != "process":
+            print("parallel: --disk-budget requires --backend process "
+                  "(the other backends write no real bytes to govern)",
+                  file=sys.stderr)
+            return 2
+        from .storage import DiskBudget
+
+        budget = DiskBudget(args.disk_budget)
 
     journal = None
     if args.live or args.out:
@@ -229,10 +240,15 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             backend=args.backend, workers=args.workers, scheme=args.scheme,
             start_method=args.start_method, journal=journal,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            disk_budget=budget,
         )
     except CheckpointMismatchError as exc:
         print(f"parallel: {exc}", file=sys.stderr)
         return 2
+    except DiskFullError as exc:
+        print(f"parallel: disk budget exhausted past every recovery: {exc}",
+              file=sys.stderr)
+        return 3
     finally:
         if journal is not None:
             journal.close()
@@ -277,6 +293,8 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         if args.checkpoint_dir:
             document["checkpoint_run_id"] = result.checkpoint_run_id
             document["resumed_pairs"] = result.resumed_pairs
+        if budget is not None:
+            document["disk"] = budget.snapshot()
         if args.out:
             document["journal"] = str(journal.path)
         if verified is not None:
@@ -308,6 +326,12 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         if args.resume:
             line += f"; resumed {len(result.resumed_pairs)} committed pair(s)"
         print(line)
+    if budget is not None:
+        snap = budget.snapshot()
+        print(f"disk budget {snap['max_bytes']} bytes: "
+              f"peak {snap['high_watermark_bytes']}, "
+              f"{snap['used_bytes']} still on disk, "
+              f"{snap['denials']} denial(s)")
     if args.out:
         print(f"run journal: {journal.path}  "
               f"(analyze with `python -m repro report {args.out}`)")
@@ -574,18 +598,31 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
             return 2
         report = gc_checkpoint_dir(root, run_id=args.run_id,
                                    all_runs=args.all_runs,
-                                   max_bytes=args.max_bytes)
+                                   max_bytes=args.max_bytes,
+                                   dry_run=args.dry_run)
         if args.json:
             print(json.dumps(
                 {"removed": report.removed, "kept": report.kept,
-                 "bytes_freed": report.bytes_freed},
+                 "bytes_freed": report.bytes_freed,
+                 "dry_run": args.dry_run},
                 indent=2, sort_keys=True,
             ))
             return 0
-        print(f"removed {len(report.removed)} run(s), "
-              f"freed {report.bytes_freed} bytes")
-        for run_id in report.removed:
-            print(f"  removed {run_id}")
+        if args.dry_run:
+            print(f"would remove {len(report.removed)} run(s), "
+                  f"freeing {report.bytes_freed} bytes")
+            for run_id in report.removed:
+                info = by_id.get(run_id)
+                detail = ""
+                if info is not None:
+                    age = _time.time() - info.mtime
+                    detail = f"  ({info.bytes_total} bytes, {age:.0f}s old)"
+                print(f"  would remove {run_id}{detail}")
+        else:
+            print(f"removed {len(report.removed)} run(s), "
+                  f"freed {report.bytes_freed} bytes")
+            for run_id in report.removed:
+                print(f"  removed {run_id}")
         for run_id in report.kept:
             print(f"  kept    {run_id}  (resumable; gc it by name or --all)")
         return 0
@@ -656,6 +693,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         max_cache_bytes=args.max_cache_bytes,
+        disk_budget_bytes=args.disk_budget,
         start_method=args.start_method,
         fault_plan=plan,
         kill_coordinator_after=args.kill_coordinator_after,
@@ -689,6 +727,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"drained: {stats['completed']} completed, "
           f"{stats['rejected']} rejected, "
           f"{stats['outcomes']['deadline_exceeded']} deadline-exceeded, "
+          f"{stats['outcomes']['storage_overload']} storage-overload, "
           f"{stats['outcomes']['degraded']} degraded, "
           f"{stats['hits']} cache hits / {stats['misses']} misses")
     return 0
@@ -849,6 +888,13 @@ def main(argv: list[str] | None = None) -> int:
     parallel.add_argument("--checkpoint-dir", default=None,
                           help="make coordinator state durable under this "
                                "directory (process backend only)")
+    parallel.add_argument("--disk-budget", type=int, default=None,
+                          metavar="N",
+                          help="hard ceiling on spill+checkpoint bytes "
+                               "(process backend only); past it the engine "
+                               "reclaims, then degrades pairs to the serial "
+                               "no-spill path — the pair set stays "
+                               "byte-identical")
     parallel.add_argument("--resume", action="store_true",
                           help="continue a checkpointed run instead of "
                                "starting over")
@@ -944,6 +990,9 @@ def main(argv: list[str] | None = None) -> int:
                              help="gc: prune least-recently-used runs until "
                                   "the directory fits N bytes (the serve "
                                   "cache's eviction policy)")
+    checkpoints.add_argument("--dry-run", action="store_true",
+                             help="gc: report what would be removed (same "
+                                  "selection policy, nothing deleted)")
     checkpoints.add_argument("--json", action="store_true",
                              help="emit machine-readable output")
     checkpoints.set_defaults(func=_cmd_checkpoints)
@@ -973,6 +1022,13 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--max-cache-bytes", type=int, default=None,
                        metavar="N",
                        help="LRU-evict unpinned cache entries to fit N bytes")
+    serve.add_argument("--disk-budget", type=int, default=None,
+                       metavar="N",
+                       help="hard ceiling on bytes this server writes "
+                            "(spills + checkpoints = cache fills); "
+                            "over-footprint queries get a typed "
+                            "error=storage_overload reject with "
+                            "estimated_bytes/available_bytes")
     serve.add_argument("--start-method", default=None,
                        choices=["fork", "forkserver", "spawn"])
     serve.add_argument("--faults", default=None, metavar="PLAN",

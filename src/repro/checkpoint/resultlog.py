@@ -78,17 +78,26 @@ def result_from_wire(payload: dict) -> "PairTaskResult":
 
 
 class ResultLog:
-    """Append-only writer for the result log; one fsync per commit."""
+    """Append-only writer for the result log; one fsync per commit.
 
-    def __init__(self, path: "Path | str"):
+    With a ``budget`` (:class:`~repro.storage.pressure.DiskBudget`) every
+    frame is charged under ``checkpoint`` *before* it is written, so a
+    denied commit raises :class:`~repro.storage.errors.DiskFullError`
+    with the log unchanged — the pair simply was never committed.
+    """
+
+    def __init__(self, path: "Path | str", *, budget=None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.budget = budget
         self._fh: Optional[BinaryIO] = self.path.open("ab")
 
     def append(self, result: "PairTaskResult", *, fsync: bool = True) -> int:
         """Durably commit one pair result; returns the bytes appended."""
         assert self._fh is not None, "result log is closed"
         frame = pack_frame(_encode(result_to_wire(result)))
+        if self.budget is not None:
+            self.budget.charge(len(frame), "checkpoint")
         self._fh.write(frame)
         self._fh.flush()
         if fsync:

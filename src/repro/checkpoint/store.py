@@ -31,9 +31,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
-from ..obs.journal import EVENT_CHECKPOINT_COMMIT, NULL_JOURNAL
+from ..obs.journal import (
+    EVENT_CHECKPOINT_COMMIT,
+    EVENT_DISK_FULL_RECOVERED,
+    EVENT_DISK_PRESSURE,
+    NULL_JOURNAL,
+)
 from ..storage.disk import SimulatedDisk, atomic_write_bytes
-from ..storage.errors import ManifestCorruptionError, SpillCorruptionError
+from ..storage.errors import (
+    DiskFullError,
+    ManifestCorruptionError,
+    SpillCorruptionError,
+)
 from ..storage.spill import sweep_orphan_spills
 
 from .manifest import STATE_COMPLETE, JoinManifest, RunFingerprint
@@ -85,12 +94,20 @@ class CheckpointStore:
         disk: Optional[SimulatedDisk] = None,
         on_durable: Optional[OnDurable] = None,
         journal=NULL_JOURNAL,
+        budget=None,
     ):
         self.root = Path(root)
         self.fingerprint = fingerprint
         self.disk = disk
         self.on_durable = on_durable
         self.journal = journal
+        self.budget = budget
+        """Optional :class:`~repro.storage.pressure.DiskBudget` every
+        durable write charges under ``checkpoint`` before touching disk.
+        A denied write triggers one round of sibling-run garbage
+        collection (completed runs in the same directory are finished
+        with) and one retry before the denial propagates."""
+        self._manifest_charged = 0
         """Flight recorder for ``checkpoint_commit`` events; the journal
         entry lands *before* ``on_durable`` runs, so a fault gate that
         kills the coordinator at this ordinal leaves the commit on
@@ -155,7 +172,17 @@ class CheckpointStore:
         data = self.manifest.to_bytes()
         # The disk charge is folded into _durable; atomic_write_bytes only
         # performs the real-filesystem protocol here.
-        atomic_write_bytes(self.manifest_path, data)
+        self._write_durable(
+            lambda: atomic_write_bytes(
+                self.manifest_path, data, budget=self.budget
+            ),
+            DURABLE_MANIFEST,
+        )
+        if self.budget is not None:
+            # The rename replaced the previous manifest; its bytes left
+            # the disk, so return them to the budget.
+            self.budget.release(self._manifest_charged, "checkpoint")
+            self._manifest_charged = len(data)
         self._durable(self.manifest_path, DURABLE_MANIFEST, len(data))
 
     # ------------------------------------------------------------------ #
@@ -165,9 +192,51 @@ class CheckpointStore:
     def append_result(self, result: "PairTaskResult") -> None:
         """Durably commit one pair result (append + fsync; durable)."""
         if self._results is None:
-            self._results = ResultLog(self.results_path)
-        nbytes = self._results.append(result)
+            self._results = ResultLog(self.results_path, budget=self.budget)
+        nbytes = self._write_durable(
+            lambda: self._results.append(result), DURABLE_RESULT
+        )
         self._durable(self.results_path, DURABLE_RESULT, nbytes)
+
+    # ------------------------------------------------------------------ #
+    # storage-pressure recovery
+    # ------------------------------------------------------------------ #
+
+    def _write_durable(self, write, kind: str):
+        """Run a budget-charged write, recovering once from a denial.
+
+        A :class:`DiskFullError` triggers garbage collection of completed
+        sibling runs (a finished run's checkpoints exist only to be
+        adopted; under pressure, finishing *this* run wins) and one
+        retry.  A second denial propagates — there is nothing left to
+        free at this layer.
+        """
+        try:
+            return write()
+        except DiskFullError:
+            self.journal.emit(
+                EVENT_DISK_PRESSURE, category="checkpoint", kind=kind
+            )
+            freed = self.reclaim_completed_siblings()
+            result = write()
+            self.journal.emit(
+                EVENT_DISK_FULL_RECOVERED,
+                category="checkpoint", kind=kind,
+                action="sibling_gc", bytes_freed=freed,
+            )
+            return result
+
+    def reclaim_completed_siblings(self) -> int:
+        """Delete completed sibling run directories; returns bytes freed."""
+        freed = 0
+        for info in inspect_checkpoint_dir(self.root):
+            if info.run_id == self.fingerprint.run_id or not info.complete:
+                continue
+            shutil.rmtree(info.path, ignore_errors=True)
+            freed += info.bytes_total
+            if self.budget is not None:
+                self.budget.release(info.bytes_total, "checkpoint")
+        return freed
 
     def replay_results(
         self,
@@ -370,6 +439,7 @@ def gc_checkpoint_dir(
     run_id: Optional[str] = None,
     all_runs: bool = False,
     max_bytes: Optional[int] = None,
+    dry_run: bool = False,
 ) -> GCReport:
     """Delete run directories that are finished with (or named explicitly).
 
@@ -382,6 +452,11 @@ def gc_checkpoint_dir(
     the budget, complete or not — the same policy, via the same
     :func:`select_lru_victims`, that the serving tier's artifact cache
     applies between queries.
+
+    ``dry_run`` runs the identical selection — same inspection, same
+    victim policy — but deletes nothing: the report's ``removed`` lists
+    what *would* be collected, so an operator can preview a gc with the
+    exact code that will later perform it.
     """
     report = GCReport()
     infos = inspect_checkpoint_dir(root)
@@ -404,7 +479,8 @@ def gc_checkpoint_dir(
         else:
             collect = info.complete
         if collect:
-            shutil.rmtree(info.path, ignore_errors=True)
+            if not dry_run:
+                shutil.rmtree(info.path, ignore_errors=True)
             report.removed.append(info.run_id)
             report.bytes_freed += info.bytes_total
         else:

@@ -23,6 +23,7 @@ from .inject import (
     WORKER_CRASH_EXIT_CODE,
     CheckpointFaultGate,
     CoordinatorKilledError,
+    DiskFullInjector,
     InjectedFaultError,
     WriteErrorInjector,
     apply_worker_faults,
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_SLOW_S",
     "CheckpointFaultGate",
     "CoordinatorKilledError",
+    "DiskFullInjector",
     "FaultPlan",
     "FaultSpec",
     "InjectedFaultError",

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Callable, Optional, Set, Tuple
 
 from ..obs.journal import EVENT_FAULT_INJECTED, NULL_JOURNAL
+from ..storage.errors import DiskFullError
 from ..storage.spill import FRAME_HEADER_SIZE
 from .plan import FaultPlan, WorkerFaults
 
@@ -114,6 +115,59 @@ class WriteErrorInjector:
                 f"injected spill write error (side {side!r}, record {ordinal})",
                 kind="disk_write_error",
             )
+
+
+class DiskFullInjector:
+    """One-shot disk-budget denials keyed by category byte ordinals.
+
+    A :class:`~repro.storage.pressure.DiskBudget` consults :meth:`check`
+    inside every charge with the half-open byte interval ``[start, end)``
+    the charge would occupy on that category's monotonic charged-byte
+    clock.  The first charge whose interval crosses a planned ordinal is
+    denied with :class:`~repro.storage.errors.DiskFullError` (flagged
+    ``injected=True``); the point is then spent, so the recovery path's
+    retry of the same write proceeds.  Because the clock only advances on
+    *successful* charges, the ordinals mean the same byte positions on
+    every replay — the determinism contract of the plan suite.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan], *, journal=NULL_JOURNAL):
+        self._pending: dict = {}
+        if plan is not None:
+            for category, ordinal in plan.disk_full_points:
+                self._pending.setdefault(category, []).append(ordinal)
+        for ordinals in self._pending.values():
+            ordinals.sort()
+        self.fired = 0
+        self.journal = journal
+
+    @property
+    def armed(self) -> bool:
+        return any(self._pending.values())
+
+    def check(self, category: str, start: int, end: int) -> None:
+        ordinals = self._pending.get(category)
+        if not ordinals or ordinals[0] >= end:
+            return
+        # One denial spends *every* ordinal the interval crosses: two
+        # points landing inside the same charge must not demand two
+        # retries of one write — recovery paths retry exactly once.
+        crossed = []
+        while ordinals and ordinals[0] < end:
+            crossed.append(ordinals.pop(0))
+        self.fired += len(crossed)
+        self.journal.emit(
+            EVENT_FAULT_INJECTED,
+            kind="disk_full", category=category, ordinal=crossed[0],
+        )
+        raise DiskFullError(
+            f"injected disk-full denial ({category} byte "
+            f"ordinal{'s' if len(crossed) > 1 else ''} "
+            f"{', '.join(str(o) for o in crossed)})",
+            category=category,
+            requested=end - start,
+            injected=True,
+        )
 
 
 class CoordinatorKilledError(RuntimeError):

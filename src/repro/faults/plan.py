@@ -22,6 +22,12 @@ an exact, replayable point:
   coordinator dead right after durable op N; a torn manifest damages the
   manifest's tail at that point.  Both exist to exercise the
   checkpoint/resume path and need a ``checkpoint_dir`` to be survivable.
+* **disk-full denials** are keyed by ``(category, byte ordinal)`` on the
+  disk budget's per-category charged-byte clock: the first charge whose
+  byte interval crosses the ordinal is denied with a
+  :class:`~repro.storage.errors.DiskFullError` (one-shot — the retry of
+  the same write proceeds), exercising every layer's storage-pressure
+  recovery path without needing a real full disk.
 
 Two compilations from the same ``(spec, seed, num_pairs)`` are equal, which
 is the determinism contract the fault-matrix suite is built on: replaying a
@@ -72,6 +78,11 @@ class FaultSpec:
     fact.  Applied by the chaos harness (the serve-chaos drill), not the
     worker — it exercises the scrubber/quarantine path, which exists for
     exactly the damage no running coordinator would ever write."""
+    disk_full: int = 0
+    """Disk-budget charge denials: each picks a category (``spill`` or
+    ``checkpoint``) and a byte ordinal on that category's charged-byte
+    clock; the first charge crossing the ordinal raises
+    :class:`~repro.storage.errors.DiskFullError`, one-shot."""
     hang_s: float = DEFAULT_HANG_S
     slow_s: float = DEFAULT_SLOW_S
 
@@ -81,7 +92,7 @@ class FaultSpec:
             self.disk_read_errors + self.disk_write_errors + self.torn_frames
             + self.worker_crashes + self.hangs + self.slow_tasks
             + self.coordinator_kills + self.torn_manifests
-            + self.cache_corruptions
+            + self.cache_corruptions + self.disk_full
         )
 
     def to_dict(self) -> dict:
@@ -161,6 +172,9 @@ class FaultPlan:
     """Byte ordinals (modulo the victim file's size at damage time) at
     which the serve-chaos harness flips one byte of a completed cache
     entry's result log — the scrubber drill's injection points."""
+    disk_full_points: Tuple[Tuple[str, int], ...] = ()
+    """``(category, byte ordinal)`` points at which the disk budget denies
+    a charge (see :class:`repro.faults.inject.DiskFullInjector`)."""
 
     # ------------------------------------------------------------------ #
 
@@ -230,6 +244,17 @@ class FaultPlan:
         cache_tears = tuple(
             sorted(rng.randrange(1 << 10) for _ in range(spec.cache_corruptions))
         )
+        # Disk-full points draw *after* every earlier kind so adding them
+        # to a spec never perturbs the other kinds' draws under one seed.
+        # Ordinal ranges are small on purpose: the drill workloads spill a
+        # few KB per category, and a point past the bytes a run actually
+        # charges would never fire.
+        disk_points = []
+        for _ in range(spec.disk_full):
+            category = rng.choice(("spill", "checkpoint"))
+            bound = 1 << 12 if category == "spill" else 1 << 10
+            disk_points.append((category, rng.randrange(bound)))
+        disk_full_points = tuple(sorted(disk_points))
         return cls(
             seed=seed,
             num_pairs=num_pairs,
@@ -240,6 +265,7 @@ class FaultPlan:
             coordinator_kill_ordinals=kills,
             torn_manifest_ordinals=manifest_tears,
             cache_corruption_ordinals=cache_tears,
+            disk_full_points=disk_full_points,
         )
 
     # ------------------------------------------------------------------ #
@@ -300,6 +326,8 @@ NAMED_SPECS: Dict[str, FaultSpec] = {
     "deadline_stall": FaultSpec(hangs=1),
     # One completed cache entry damaged at rest — the scrubber drill.
     "scrub_corruption": FaultSpec(cache_corruptions=1),
+    # Two budget charges denied mid-run — the storage-pressure drill.
+    "disk_full": FaultSpec(disk_full=2),
     "combined": FaultSpec(
         disk_read_errors=1,
         disk_write_errors=1,

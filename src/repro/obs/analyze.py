@@ -46,6 +46,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .journal import (
     EVENT_CHECKPOINT_COMMIT,
     EVENT_DEGRADED,
+    EVENT_DISK_FULL_RECOVERED,
+    EVENT_DISK_PRESSURE,
     EVENT_FAULT_INJECTED,
     EVENT_PARTITION_SEALED,
     EVENT_QUARANTINED,
@@ -165,6 +167,15 @@ class RunAnalysis:
     degraded_pairs: List[int] = field(default_factory=list)
     replayed_pairs: List[int] = field(default_factory=list)
     checkpoint_commits: Dict[str, int] = field(default_factory=dict)
+    disk_budget: Optional[int] = None
+    """The run's disk-budget ceiling (``run_started``); None when the run
+    was unconstrained or predates storage governance."""
+    disk_pressure: List[dict] = field(default_factory=list)
+    """``disk_pressure`` episodes, deterministic fields only (category,
+    side, partition, kind, query) — byte counts stay out of the report
+    body because directory sizes carry measured wall_s frames."""
+    disk_recoveries: List[dict] = field(default_factory=list)
+    """``disk_full_recovered`` events: the recovery action that worked."""
     serve: Dict[str, object] = field(default_factory=dict)
     """Serving-tier context when the journal came from a served query
     (``repro serve``): query id, cache disposition, coalescing."""
@@ -263,6 +274,9 @@ class RunAnalysis:
             "degraded_pairs": self.degraded_pairs,
             "replayed_pairs": self.replayed_pairs,
             "checkpoint_commits": self.checkpoint_commits,
+            "disk_budget": self.disk_budget,
+            "disk_pressure": self.disk_pressure,
+            "disk_recoveries": self.disk_recoveries,
             "serve": self.serve,
             "phase_breakdown": self.phase_breakdown,
             "event_counts": self.event_counts,
@@ -327,6 +341,8 @@ def analyze_events(
             analysis.tuples_r = int(record.get("tuples_r", 0))
             analysis.tuples_s = int(record.get("tuples_s", 0))
             analysis.resuming = bool(record.get("resuming", False))
+            if record.get("disk_budget") is not None:
+                analysis.disk_budget = int(record["disk_budget"])
         elif kind == "run_finished":
             analysis.results = int(record.get("results", 0))
         elif kind == EVENT_PARTITION_SEALED:
@@ -370,6 +386,26 @@ def analyze_events(
             commit_kind = str(record.get("kind", "?"))
             analysis.checkpoint_commits[commit_kind] = (
                 analysis.checkpoint_commits.get(commit_kind, 0) + 1
+            )
+        elif kind == EVENT_DISK_PRESSURE:
+            analysis.disk_pressure.append(
+                {
+                    key: record[key]
+                    for key in (
+                        "category", "side", "partition", "kind", "query",
+                    )
+                    if record.get(key) is not None
+                }
+            )
+        elif kind == EVENT_DISK_FULL_RECOVERED:
+            analysis.disk_recoveries.append(
+                {
+                    key: record[key]
+                    for key in (
+                        "category", "side", "partition", "kind", "action",
+                    )
+                    if record.get(key) is not None
+                }
             )
         elif kind == "retry":
             if record.get("backoff_s") is not None:
@@ -418,10 +454,10 @@ def analyze_events(
         elif kind == "cache_scrub":
             totals = analysis.serve.setdefault(
                 "scrub", {"passes": 0, "scanned": 0, "repaired": 0,
-                          "quarantined": 0}
+                          "quarantined": 0, "evicted": 0}
             )
             totals["passes"] += 1
-            for key in ("scanned", "repaired", "quarantined"):
+            for key in ("scanned", "repaired", "quarantined", "evicted"):
                 totals[key] += int(record.get(key, 0) or 0)
     analysis.fault_ledger = [ledger[key] for key in sorted(ledger)]
     analysis.quarantined_pairs = sorted(set(analysis.quarantined_pairs))
@@ -502,6 +538,8 @@ def _describe_fault(record: dict) -> str:
     where: List[str] = []
     if record.get("pair") is not None:
         where.append(f"pair {record['pair']}")
+    if record.get("category"):
+        where.append(f"category {record['category']}")
     if record.get("side"):
         where.append(f"side {record['side']}")
     if record.get("attempt") is not None:
@@ -551,7 +589,8 @@ def render_report(analysis: RunAnalysis, *, timings: bool = False) -> str:
             out(
                 f"- cache scrub: {scrub['passes']} passes, "
                 f"{scrub['scanned']} scanned, {scrub['repaired']} repaired, "
-                f"{scrub['quarantined']} quarantined"
+                f"{scrub['quarantined']} quarantined, "
+                f"{scrub.get('evicted', 0)} evicted"
             )
         for corrupt in analysis.serve.get("cache_corrupt", []):
             out(
@@ -659,6 +698,44 @@ def render_report(analysis: RunAnalysis, *, timings: bool = False) -> str:
     if analysis.degraded_pairs:
         out(f"- degraded rebuilds: {analysis.degraded_pairs}")
     out("")
+
+    if (
+        analysis.disk_budget is not None
+        or analysis.disk_pressure
+        or analysis.disk_recoveries
+    ):
+        out("## Storage pressure")
+        out("")
+        if analysis.disk_budget is not None:
+            out(f"- disk budget: {analysis.disk_budget} bytes")
+        else:
+            out("- disk budget: unconstrained (metering only)")
+        if analysis.disk_pressure:
+            out(f"- pressure episodes: {len(analysis.disk_pressure)}")
+            for episode in analysis.disk_pressure:
+                parts = ", ".join(
+                    f"{key} {episode[key]}"
+                    for key in ("side", "partition", "kind", "query")
+                    if key in episode
+                )
+                suffix = f" ({parts})" if parts else ""
+                out(f"  - `{episode.get('category', '?')}`{suffix}")
+        else:
+            out("- pressure episodes: none")
+        if analysis.disk_recoveries:
+            out(f"- recoveries: {len(analysis.disk_recoveries)}")
+            for recovery in analysis.disk_recoveries:
+                parts = ", ".join(
+                    f"{key} {recovery[key]}"
+                    for key in ("side", "partition", "kind")
+                    if key in recovery
+                )
+                suffix = f" ({parts})" if parts else ""
+                out(
+                    f"  - `{recovery.get('category', '?')}` via "
+                    f"`{recovery.get('action', '?')}`{suffix}"
+                )
+        out("")
 
     if analysis.checkpoint_commits:
         out("## Checkpoints")

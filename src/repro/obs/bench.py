@@ -39,13 +39,15 @@ def bench_record(
     buffer_mb_scaled: Optional[float] = None,
     algorithm: Optional[str] = None,
     faults: Optional[dict] = None,
+    disk: Optional[dict] = None,
 ) -> dict:
     """Build one schema-conforming record from a ``JoinReport``.
 
     ``buffer_mb`` is the *paper* buffer size the cell models (2/8/24);
     ``buffer_mb_scaled`` the actual pool the scaled run used.  ``faults``
     attaches a chaos block (see ``BENCH_FAULTS_SCHEMA``) when the run
-    executed under a fault plan; leave it ``None`` for fault-free runs so
+    executed under a fault plan; ``disk`` a storage-pressure block (see
+    ``BENCH_DISK_SCHEMA``).  Leave both ``None`` for runs without them so
     baselines stay byte-comparable.
     """
     base = report_to_dict(report)
@@ -71,6 +73,8 @@ def bench_record(
         record["notes"] = base["notes"]
     if faults is not None:
         record["faults"] = faults
+    if disk is not None:
+        record["disk"] = disk
     return record
 
 

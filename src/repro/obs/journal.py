@@ -118,6 +118,17 @@ EVENT_CACHE_QUARANTINE = "cache_quarantine"
 """Serving tier: the scrubber moved a corrupt cache entry out of the
 serving root — it becomes a cold miss, never a crash (run id, reason)."""
 
+EVENT_DISK_PRESSURE = "disk_pressure"
+"""A disk-budget charge was denied and a recovery path engaged (category,
+plus the denied layer's locus — side/partition for spills, store root for
+checkpoints, query for serve admission).  Emitted once per recovery
+episode, not per denial, so a tightly constrained run cannot flood the
+journal."""
+EVENT_DISK_FULL_RECOVERED = "disk_full_recovered"
+"""A disk-pressure episode ended with the write succeeding (action:
+``sweep_retry`` for spill reclamation, ``sibling_gc`` for checkpoint run
+collection, ``cache_evict`` for serve-tier eviction)."""
+
 EVENT_TYPES = frozenset(
     {
         EVENT_RUN_STARTED,
@@ -147,6 +158,8 @@ EVENT_TYPES = frozenset(
         EVENT_CACHE_CORRUPT,
         EVENT_CACHE_SCRUB,
         EVENT_CACHE_QUARANTINE,
+        EVENT_DISK_PRESSURE,
+        EVENT_DISK_FULL_RECOVERED,
     }
 )
 """Every type :meth:`RunJournal.emit` accepts; a typo'd type is a bug in
@@ -162,6 +175,8 @@ FAULT_TIMELINE_TYPES = frozenset(
         EVENT_TIMEOUT,
         EVENT_DEADLINE_EXCEEDED,
         EVENT_CACHE_QUARANTINE,
+        EVENT_DISK_PRESSURE,
+        EVENT_DISK_FULL_RECOVERED,
     }
 )
 """The subset that belongs on a "when did things go wrong" timeline —

@@ -51,6 +51,24 @@ BENCH_FAULTS_SCHEMA = {
 Optional on every record — absent means the run was fault-free by
 construction, present means a fault plan was active."""
 
+BENCH_DISK_SCHEMA = {
+    "type": "object",
+    "required": ["spill_bytes"],
+    "properties": {
+        "spill_bytes": {"type": "integer", "minimum": 0},
+        "budget_bytes": {"type": "integer", "minimum": 0},
+        "high_watermark_bytes": {"type": "integer", "minimum": 0},
+        "denials": {"type": "integer", "minimum": 0},
+        "pressure_events": {"type": "integer", "minimum": 0},
+        "degraded_pairs": {"type": "integer", "minimum": 0},
+        "by_category": {"type": "object"},
+    },
+}
+"""The storage-pressure block: the run's on-disk footprint and how the
+disk budget behaved.  Optional on every record — absent means the run
+predates storage governance or wrote nothing worth metering;
+``spill_bytes`` alone records an unconstrained run's footprint."""
+
 BENCH_RECORD_SCHEMA = {
     "type": "object",
     "required": [
@@ -87,6 +105,7 @@ BENCH_RECORD_SCHEMA = {
         },
         "notes": {"type": "object"},
         "faults": BENCH_FAULTS_SCHEMA,
+        "disk": BENCH_DISK_SCHEMA,
     },
 }
 

@@ -62,6 +62,7 @@ def parallel_join(
     max_task_retries: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    disk_budget=None,
 ) -> ParallelJoinResult:
     """Run the join on the chosen backend; pairs are feature-id pairs.
 
@@ -80,10 +81,17 @@ def parallel_join(
     ``journal`` attaches a flight recorder
     (:class:`~repro.obs.journal.RunJournal`) to the simulated and process
     backends; the serial reference has no scheduler to record.
+    ``disk_budget`` (a :class:`~repro.storage.pressure.DiskBudget`)
+    governs the process backend's spill and checkpoint footprint; the
+    other backends write no real bytes to govern.
     """
     if backend != BACKEND_PROCESS and fault_plan is not None:
         raise ValueError(
             f"fault injection requires the process backend, not {backend!r}"
+        )
+    if backend != BACKEND_PROCESS and disk_budget is not None:
+        raise ValueError(
+            f"a disk budget requires the process backend, not {backend!r}"
         )
     if backend != BACKEND_PROCESS and (checkpoint_dir is not None or resume):
         raise ValueError(
@@ -123,7 +131,7 @@ def parallel_join(
             workers, num_partitions=num_partitions, config=config,
             start_method=start_method, tracer=tracer, metrics=metrics,
             fault_plan=fault_plan, task_timeout_s=task_timeout_s,
-            checkpoint_dir=checkpoint_dir,
+            checkpoint_dir=checkpoint_dir, disk_budget=disk_budget,
             **extra,
         )
         if resume:

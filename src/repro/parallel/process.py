@@ -60,6 +60,7 @@ import os
 import shutil
 import tempfile
 import time
+from pathlib import Path
 from collections import Counter as TallyCounter
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -84,6 +85,7 @@ from ..core.refine import merge_sorted_unique
 from ..core.predicates import Predicate
 from ..faults.inject import (
     CheckpointFaultGate,
+    DiskFullInjector,
     InjectedFaultError,
     WriteErrorInjector,
     tear_frame,
@@ -92,6 +94,8 @@ from ..faults.plan import FaultPlan
 from ..obs.journal import (
     EVENT_DEADLINE_EXCEEDED,
     EVENT_DEGRADED,
+    EVENT_DISK_FULL_RECOVERED,
+    EVENT_DISK_PRESSURE,
     EVENT_FAULT_INJECTED,
     EVENT_PARTITION_SEALED,
     EVENT_POOL_RESPAWN,
@@ -110,7 +114,9 @@ from ..obs.journal import (
 )
 from ..obs.metrics import LATENCY_BUCKETS_S, NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
-from ..storage.errors import ManifestCorruptionError
+from ..storage.errors import DiskFullError, ManifestCorruptionError
+from ..storage.pressure import DiskBudget
+from ..storage.spill import TMP_SUFFIX
 from ..storage.tuples import SpatialTuple
 from .engine import NodeReport, ParallelJoinResult, TaskReport
 from .tasks import (
@@ -246,6 +252,7 @@ class ProcessPBSM:
         kill_coordinator_after: Optional[int] = None,
         kill_hard: bool = False,
         pool_provider: Optional[RunPoolProvider] = None,
+        disk_budget: Optional[DiskBudget] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -303,7 +310,21 @@ class ProcessPBSM:
         run; a shared provider (the serve tier) hands every run the same
         resident pool, ignores ``release``, and heals ``discard`` by
         swapping in a new generation for everyone."""
+        self.disk_budget = disk_budget
+        """Optional :class:`~repro.storage.pressure.DiskBudget` every
+        coordinator-side write (partition spills, checkpoint manifests,
+        result-log commits) charges before touching disk.  A denied spill
+        write triggers one reclaim-and-retry of that partition; a second
+        denial degrades the pair to the serial no-spill path, which is
+        byte-identical.  The budget stays in the coordinator — workers
+        only ever *read* spills.  A ``fault_plan`` with ``disk_full``
+        points auto-creates an unbounded metering budget so the injector
+        has a clock to key on."""
         self._faults: TallyCounter = TallyCounter()
+        self._disk_injector: Optional[DiskFullInjector] = None
+        self._budget: Optional[DiskBudget] = None
+        self._disk_degraded: Set[int] = set()
+        self._active_store: Optional[CheckpointStore] = None
 
     # ------------------------------------------------------------------ #
 
@@ -418,7 +439,7 @@ class ProcessPBSM:
             backend="process-serial",
             wall_s=time.perf_counter() - started,
             degraded_pairs=sorted(o.index for o in outcomes),
-            fault_summary=dict(self._faults),
+            fault_summary=self._fault_summary(),
             duplicates_dropped=duplicates_dropped,
         )
 
@@ -469,6 +490,25 @@ class ProcessPBSM:
         started = time.perf_counter()
         self._faults = TallyCounter()
         self._arm_deadline()
+        self._disk_degraded = set()
+        self._disk_injector = None
+        budget = self.disk_budget
+        if (
+            budget is None
+            and self.fault_plan is not None
+            and self.fault_plan.disk_full_points
+        ):
+            # The injector needs a charged-byte clock to key on; an
+            # unbounded budget meters without ever denying on its own.
+            budget = DiskBudget()
+        if budget is not None:
+            budget.bind(metrics=self.metrics)
+            if self.fault_plan is not None and self.fault_plan.disk_full_points:
+                self._disk_injector = DiskFullInjector(
+                    self.fault_plan, journal=self.journal
+                )
+                budget.bind(injector=self._disk_injector)
+        self._budget = budget
         self.journal.emit(
             EVENT_RUN_STARTED,
             backend="process",
@@ -477,6 +517,7 @@ class ProcessPBSM:
             tuples_r=len(tuples_r),
             tuples_s=len(tuples_s),
             resuming=resuming,
+            disk_budget=budget.max_bytes if budget is not None else None,
         )
         if not tuples_r or not tuples_s:
             self.journal.emit(EVENT_RUN_FINISHED, results=0, degraded_pairs=[])
@@ -513,6 +554,7 @@ class ProcessPBSM:
             store = CheckpointStore(
                 self.checkpoint_dir, fingerprint,
                 on_durable=gate.after_durable, journal=self.journal,
+                budget=budget,
             )
             store.run_dir.mkdir(parents=True, exist_ok=True)
             swept = store.sweep_orphans()
@@ -525,7 +567,10 @@ class ProcessPBSM:
             spill_root = tempfile.mkdtemp(
                 prefix="repro-pbsm-", dir=self.spill_dir
             )
+        self._active_store = store
 
+        spills_r: SideSpills = []
+        spills_s: SideSpills = []
         try:
             partitioner = self._partitioner(tuples_r, tuples_s)
             injector = WriteErrorInjector(self.fault_plan, journal=self.journal)
@@ -595,6 +640,21 @@ class ProcessPBSM:
                     for outcome in degraded:
                         store.append_result(outcome)
                 outcomes.extend(degraded)
+            # Partitions whose spills were dropped under disk pressure
+            # never became tasks; rebuild them in memory — no spill, no
+            # budget charge — so the answer stays byte-identical.
+            for index in sorted(self._disk_degraded - set(committed)):
+                outcome = self._degraded_pair(
+                    index, "disk_full",
+                    tuples_r, tuples_s, partitioner, predicate,
+                )
+                self._count("degraded")
+                self.journal.emit(
+                    EVENT_DEGRADED, pair=index, reason="disk_full"
+                )
+                if store is not None:
+                    store.append_result(outcome)
+                outcomes.append(outcome)
             outcomes.extend(committed[index] for index in sorted(committed))
             outcomes.sort(key=lambda o: o.index)
             # Two-layer partitioning guarantees every result pair belongs
@@ -632,6 +692,13 @@ class ProcessPBSM:
                 store.close()
             else:
                 shutil.rmtree(spill_root, ignore_errors=True)
+                if budget is not None:
+                    # The tempdir's spills just left the disk; checkpoint
+                    # runs keep their charges (the files persist).
+                    for spill in list(spills_r) + list(spills_s):
+                        release = getattr(spill, "release_budget", None)
+                        if release is not None:
+                            release()
 
         result = ParallelJoinResult(
             merged,
@@ -657,7 +724,7 @@ class ProcessPBSM:
             degraded_pairs=sorted(
                 o.index for o in outcomes if o.degraded
             ),
-            fault_summary=dict(self._faults),
+            fault_summary=self._fault_summary(),
             resumed_pairs=sorted(committed),
             checkpoint_run_id=run_id,
             duplicates_dropped=duplicates_dropped,
@@ -765,7 +832,11 @@ class ProcessPBSM:
             counts=[s.count for s in spills],
             adopted=False,
         )
-        if store is not None:
+        if store is not None and not self._disk_degraded:
+            # A side partitioned under disk pressure holds deliberately
+            # empty spills for its degraded partitions; sealing it would
+            # let a resume adopt files that lie about the data.  No seal
+            # event → a resume re-partitions the side from source.
             store.append_event(
                 {
                     "type": "spills_sealed",
@@ -816,6 +887,18 @@ class ProcessPBSM:
         """One fault/recovery event: tallied on the run *and* in metrics."""
         self._faults[what] += amount
         self.metrics.counter(f"faults.{what}").inc(amount)
+
+    def _fault_summary(self) -> dict:
+        """The run's fault tallies plus spent disk_full plan points.
+
+        The injector fires inside ``DiskBudget.charge`` — below the
+        layers that tally recoveries — so its count is folded in here
+        rather than at each catch site; that covers the spill and
+        checkpoint layers uniformly."""
+        summary = dict(self._faults)
+        if self._disk_injector is not None and self._disk_injector.fired:
+            summary["injected_disk_full"] = self._disk_injector.fired
+        return summary
 
     # ------------------------------------------------------------------ #
     # partitioning + spilling
@@ -883,12 +966,25 @@ class ProcessPBSM:
         the full tuple once.  With ``atomic=True`` (checkpointed runs)
         each spill stages through ``*.tmp`` and only reaches its final
         name sealed, so a resume can trust any spill file that exists
-        under the run directory."""
+        under the run directory.
+
+        A spill write denied by the disk budget triggers one reclaim-and-
+        replay of that partition (stale orphans swept, finished sibling
+        checkpoint runs collected, the partition's spill rewritten from
+        its routed tuples); a second denial *degrades* the partition —
+        its spills are replaced with sealed empty files so no task is
+        built, and the coordinator rebuilds the pair serially in memory
+        after the merge phase.  Either way the run finishes exact."""
+        budget = self._budget
         spills = [
-            PartitionSpill(spill_root, side, p, atomic=atomic)
+            PartitionSpill(spill_root, side, p, atomic=atomic, budget=budget)
             for p in range(self.num_partitions)
         ]
         placed = 0
+        # Per-partition replay log for disk-pressure recovery: every tuple
+        # fully added to a partition, with its slots.  Only kept when a
+        # budget could deny a write.
+        routed: Dict[int, List[Tuple[SpatialTuple, List[Tuple[int, int]]]]] = {}
         try:
             for ordinal, t in enumerate(tuples):
                 injector.check(side, ordinal)
@@ -898,8 +994,21 @@ class ProcessPBSM:
                         partitioner.partition_of_tile(tile), []
                     ).append((tile, cls))
                 for p in sorted(by_part):
-                    spills[p].add(t, by_part[p])
+                    if p in self._disk_degraded:
+                        continue
+                    try:
+                        spills[p].add(t, by_part[p])
+                    except DiskFullError:
+                        if not self._recover_spill_pressure(
+                            side, p, spills, routed.get(p, ()),
+                            spill_root, atomic, t, by_part[p],
+                        ):
+                            self._disk_degraded.add(p)
+                            routed.pop(p, None)
+                            continue
                     placed += 1
+                    if budget is not None:
+                        routed.setdefault(p, []).append((t, by_part[p]))
         except BaseException:
             # Abort, not remove: discard in-progress temp files *and* any
             # sealed output, leaving no spill litter on the failure path.
@@ -912,6 +1021,85 @@ class ProcessPBSM:
         for spill in spills:
             skew.observe(spill.count)
         return spills, placed
+
+    def _recover_spill_pressure(
+        self,
+        side: str,
+        p: int,
+        spills: List[PartitionSpill],
+        replay,
+        spill_root: str,
+        atomic: bool,
+        t: SpatialTuple,
+        slots: List[Tuple[int, int]],
+    ) -> bool:
+        """One reclaim-and-replay attempt for a budget-denied partition.
+
+        Returns True when the partition's spill was rewritten in full
+        (including the tuple whose add was denied); False means the
+        partition was degraded — its spills are now sealed empty files,
+        so no task is built and the pair is rebuilt serially instead.
+        """
+        budget = self._budget
+        self._count("disk_pressure")
+        self.journal.emit(
+            EVENT_DISK_PRESSURE, category="spill", side=side, partition=p
+        )
+        # Reclaim, cheapest first: the partition's own partial spill (its
+        # frames are being rewritten anyway), stale orphan temp files,
+        # and — when checkpointing — completed sibling runs.
+        spills[p].abort()
+        self._sweep_stale_orphans(spill_root, spills)
+        if self._active_store is not None:
+            self._active_store.reclaim_completed_siblings()
+        spills[p] = PartitionSpill(
+            spill_root, side, p, atomic=atomic, budget=budget
+        )
+        try:
+            for prev_t, prev_slots in replay:
+                spills[p].add(prev_t, prev_slots)
+            spills[p].add(t, slots)
+        except DiskFullError:
+            spills[p].abort()
+            empty = PartitionSpill(spill_root, side, p, atomic=atomic)
+            empty.close()
+            spills[p] = empty
+            self._count("disk_degraded")
+            return False
+        self._count("disk_full_recovered")
+        self.journal.emit(
+            EVENT_DISK_FULL_RECOVERED,
+            category="spill", side=side, partition=p, action="sweep_retry",
+        )
+        return True
+
+    def _sweep_stale_orphans(
+        self, spill_root: str, spills: List[PartitionSpill]
+    ) -> int:
+        """Delete orphan ``*.tmp`` files that are not a live writer's
+        staging file, crediting their bytes back to the budget — the
+        budget models the spill directory's footprint, so any file freed
+        is headroom regained.  Returns bytes freed."""
+        live = set()
+        for spill in spills:
+            live.add(spill.kp_path + TMP_SUFFIX)
+            live.add(spill.tuple_path + TMP_SUFFIX)
+        root = Path(spill_root)
+        freed = 0
+        if not root.is_dir():
+            return 0
+        for path in sorted(root.rglob("*" + TMP_SUFFIX)):
+            if str(path) in live:
+                continue
+            try:
+                size = path.stat().st_size
+                os.unlink(path)
+            except OSError:
+                continue
+            freed += size
+        if freed and self._budget is not None:
+            self._budget.release(freed, "spill")
+        return freed
 
     def _apply_torn_frames(
         self,

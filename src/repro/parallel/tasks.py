@@ -66,6 +66,10 @@ _FIDKP = struct.Struct("<ffffIIB")
 """One spilled key-pointer: conservative f32 MBR + u32 feature id + u32
 tile + u8 two-layer class."""
 
+KEYPOINTER_RECORD_BYTES = _FIDKP.size
+"""On-disk payload of one spilled key-pointer (the spill frame header is
+extra) — the serve tier's spill-footprint estimator depends on this."""
+
 FidKeyPointer = Tuple[Rect, int, int, int]
 """``(rect, feature_id, tile, class)`` — one two-layer replica slot."""
 
@@ -183,17 +187,35 @@ class PartitionSpill:
     """
 
     def __init__(
-        self, directory: str, side: str, index: int, *, atomic: bool = False
+        self,
+        directory: str,
+        side: str,
+        index: int,
+        *,
+        atomic: bool = False,
+        budget=None,
     ):
         base = os.path.join(directory, f"part{index:04d}.{side}")
         self.kp_path = base + ".kp"
         self.tuple_path = base + ".tup"
-        self._kp = SpillWriter(self.kp_path, atomic=atomic)
-        self._tuples = SpillWriter(self.tuple_path, atomic=atomic)
+        self._kp = SpillWriter(self.kp_path, atomic=atomic, budget=budget)
+        self._tuples = SpillWriter(
+            self.tuple_path, atomic=atomic, budget=budget
+        )
 
     @property
     def count(self) -> int:
         return self._kp.count
+
+    @property
+    def charged(self) -> int:
+        """Bytes this spill holds against its disk budget."""
+        return self._kp.charged + self._tuples.charged
+
+    def release_budget(self) -> None:
+        """Return both writers' charged bytes (the files left the disk)."""
+        self._kp.release_budget()
+        self._tuples.release_budget()
 
     def add(self, t: SpatialTuple, slots: Sequence[Tuple[int, int]]) -> None:
         """Spill one tuple with its two-layer ``(tile, class)`` slots.

@@ -49,12 +49,14 @@ from .server import (
     REJECT_DEADLINE,
     REJECT_QUEUE_FULL,
     REJECT_SHUTTING_DOWN,
+    REJECT_STORAGE_OVERLOAD,
     SOURCE_COALESCED,
     SOURCE_DEGRADED,
     SOURCE_HIT,
     SOURCE_MISS,
     SOURCE_WARM,
     JoinServer,
+    StorageOverloadError,
 )
 
 __all__ = [
@@ -76,6 +78,7 @@ __all__ = [
     "REJECT_DEADLINE",
     "REJECT_QUEUE_FULL",
     "REJECT_SHUTTING_DOWN",
+    "REJECT_STORAGE_OVERLOAD",
     "SOURCE_COALESCED",
     "SOURCE_DEGRADED",
     "SOURCE_HIT",
@@ -83,6 +86,7 @@ __all__ = [
     "SOURCE_WARM",
     "ServeClient",
     "SharedPoolProvider",
+    "StorageOverloadError",
     "read_port_file",
     "result_digest",
     "wait_for_server",

@@ -50,6 +50,7 @@ from ..obs.journal import (
 )
 from ..obs.metrics import NULL_METRICS
 from ..storage.errors import ManifestCorruptionError, SpillCorruptionError
+from ..storage.pressure import CATEGORY_CACHE
 
 LOOKUP_HIT = "hit"
 LOOKUP_WARM = "warm"
@@ -72,6 +73,7 @@ class ArtifactCache:
         max_bytes: Optional[int] = None,
         journal=NULL_JOURNAL,
         metrics=NULL_METRICS,
+        budget=None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -80,6 +82,11 @@ class ArtifactCache:
         self.max_bytes = max_bytes
         self.journal = journal
         self.metrics = metrics
+        self.budget = budget
+        """Optional :class:`~repro.storage.pressure.DiskBudget`: eviction
+        and quarantine release an entry's bytes back to it (under the
+        ``cache`` category — the engine charged them as spill/checkpoint,
+        and the budget's release clamps keep cross-category frees safe)."""
         self._lock = threading.RLock()
         self._pins: Dict[str, int] = {}
         self._recency: Dict[str, int] = {}
@@ -232,6 +239,14 @@ class ArtifactCache:
             dest = dest_root / run_id
             if dest.exists():
                 shutil.rmtree(dest, ignore_errors=True)
+            if self.budget is not None:
+                # Quarantined bytes leave the *governed* serving set (no
+                # walker ever counts them again); operators collect the
+                # quarantine directory out-of-band.
+                freed = sum(
+                    f.stat().st_size for f in src.rglob("*") if f.is_file()
+                )
+                self.budget.release(freed, CATEGORY_CACHE)
             shutil.move(str(src), str(dest))
             self._recency.pop(run_id, None)
             self.journal.emit(
@@ -271,6 +286,8 @@ class ArtifactCache:
                 shutil.rmtree(info.path, ignore_errors=True)
                 self._recency.pop(info.run_id, None)
                 evicted.append(info.run_id)
+                if self.budget is not None:
+                    self.budget.release(info.bytes_total, CATEGORY_CACHE)
                 self.journal.emit(
                     EVENT_CACHE_EVICT,
                     run_id=info.run_id, bytes=info.bytes_total,

@@ -29,6 +29,11 @@ read or write in there, and whatever looks wrong is just in flux.  The
 pin check and any rewrite happen under the cache lock, and pinning
 itself takes that lock, so an entry cannot gain a writer mid-repair.
 
+Every pass ends by re-enforcing the cache's byte budget
+(:meth:`~repro.serve.cache.ArtifactCache.ensure_budget`), so LRU
+evictions — and the disk-budget releases they carry — happen even on an
+idle server, not only on the query path.
+
 The scrubber never raises into its thread — a pass that blows up is
 counted (``serve.scrub.errors``) and the next tick tries again.  Every
 pass emits a ``cache_scrub`` journal event and ``serve.scrub.*``
@@ -130,6 +135,7 @@ class CacheScrubber:
         self.scanned = 0
         self.repaired = 0
         self.quarantined = 0
+        self.evicted = 0
         self.errors = 0
 
     # ------------------------------------------------------------------ #
@@ -178,23 +184,32 @@ class CacheScrubber:
                 repaired += 1
             elif verdict == SCRUB_QUARANTINED:
                 quarantined += 1
+        # Re-enforce the byte budget as part of every pass: quarantines
+        # above may have freed nothing under the serving root, and cold
+        # entries accumulate between queries — the scrubber is the only
+        # actor guaranteed to visit an idle cache.
+        evicted = len(self.cache.ensure_budget())
         with self._counter_lock:
             self.passes += 1
             self.scanned += scanned
             self.repaired += repaired
             self.quarantined += quarantined
+            self.evicted += evicted
         self.metrics.counter("serve.scrub.passes").inc()
         self.metrics.counter("serve.scrub.scanned").inc(scanned)
         self.metrics.counter("serve.scrub.repaired").inc(repaired)
         self.metrics.counter("serve.scrub.quarantined").inc(quarantined)
+        self.metrics.counter("serve.scrub.evicted").inc(evicted)
         self.journal.emit(
             EVENT_CACHE_SCRUB,
             scanned=scanned, repaired=repaired, quarantined=quarantined,
+            evicted=evicted,
         )
         return {
             "scanned": scanned,
             "repaired": repaired,
             "quarantined": quarantined,
+            "evicted": evicted,
         }
 
     def _scrub_entry(self, info) -> str:
@@ -274,5 +289,6 @@ class CacheScrubber:
                 "scanned": self.scanned,
                 "repaired": self.repaired,
                 "quarantined": self.quarantined,
+                "evicted": self.evicted,
                 "errors": self.errors,
             }

@@ -49,8 +49,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..checkpoint.store import CheckpointMismatchError
 from ..faults.inject import CoordinatorKilledError
+from ..core.pbsm import PBSMConfig
+from ..core.partition import SpatialPartitioner
+from ..geometry import Rect
 from ..obs.journal import (
     EVENT_CACHE_HIT,
+    EVENT_DISK_PRESSURE,
     EVENT_QUERY_DONE,
     EVENT_QUERY_RECEIVED,
     RunJournal,
@@ -58,6 +62,11 @@ from ..obs.journal import (
 )
 from ..obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 from ..parallel.process import DeadlineExceededError, ProcessPBSM
+from ..parallel.tasks import KEYPOINTER_RECORD_BYTES
+from ..storage.errors import DiskFullError
+from ..storage.pressure import CATEGORY_CACHE, DiskBudget
+from ..storage.spill import FRAME_HEADER_SIZE
+from ..storage.tuples import serialize_tuple
 from .cache import LOOKUP_HIT, LOOKUP_WARM, ArtifactCache
 from .pool import SharedPoolProvider
 from .query import QueryError, QuerySpec, result_digest
@@ -68,6 +77,11 @@ DEFAULT_HOST = "127.0.0.1"
 REJECT_QUEUE_FULL = "queue_full"
 REJECT_SHUTTING_DOWN = "shutting_down"
 REJECT_DEADLINE = "deadline_exceeded"
+REJECT_STORAGE_OVERLOAD = "storage_overload"
+"""Spill-aware admission: the query's estimated on-disk footprint does
+not fit the server's disk-budget headroom, even after cache eviction.
+The reject carries ``estimated_bytes`` and ``available_bytes`` so the
+client can shrink the query (scale, partitions) or retry after churn."""
 
 SOURCE_HIT = "hit"
 SOURCE_WARM = "warm"
@@ -81,6 +95,24 @@ SERVE_JOURNAL_FILENAME = "serve.jsonl"
 QUERY_JOURNAL_FILENAME = "journal.jsonl"
 
 _DATASET_MEMO_CAP = 16
+
+
+class StorageOverloadError(Exception):
+    """A query's estimated spill footprint exceeds the disk budget.
+
+    Raised inside the execute path and answered as a typed
+    ``storage_overload`` reject — never a crash, never a partial answer.
+    ``estimated_bytes`` is the partition phase's projected on-disk
+    footprint; ``available_bytes`` is the budget headroom left after a
+    best-effort cache eviction pass.
+    """
+
+    def __init__(
+        self, message: str, *, estimated_bytes: int, available_bytes: int
+    ):
+        super().__init__(message)
+        self.estimated_bytes = estimated_bytes
+        self.available_bytes = available_bytes
 
 
 class JoinServer:
@@ -97,6 +129,7 @@ class JoinServer:
         max_inflight: int = 2,
         max_queue: int = 8,
         max_cache_bytes: Optional[int] = None,
+        disk_budget_bytes: Optional[int] = None,
         start_method: Optional[str] = None,
         fault_plan=None,
         kill_coordinator_after: Optional[int] = None,
@@ -128,11 +161,22 @@ class JoinServer:
         self.journal = ThreadSafeJournal(
             RunJournal(self.out_dir / SERVE_JOURNAL_FILENAME)
         )
+        self.disk_budget: Optional[DiskBudget] = (
+            DiskBudget(disk_budget_bytes, metrics=self.metrics)
+            if disk_budget_bytes is not None
+            else None
+        )
+        """One ledger across every query this process serves: engine runs
+        charge their spill + checkpoint bytes into it (and a checkpointed
+        run's bytes *stay* charged — they are the cache fill), eviction
+        and quarantine release them.  Meters this server's own writes;
+        entries inherited from a previous process are not back-charged."""
         self.cache = ArtifactCache(
             cache_dir,
             max_bytes=max_cache_bytes,
             journal=self.journal,
             metrics=self.metrics,
+            budget=self.disk_budget,
         )
         self.provider = SharedPoolProvider(
             workers,
@@ -167,6 +211,7 @@ class JoinServer:
         self._completed = 0
         self._failed = 0
         self._deadline_exceeded = 0
+        self._storage_overload = 0
         self._degraded = 0
         self._hits = 0
         self._misses = 0
@@ -344,6 +389,40 @@ class JoinServer:
                 completed_pairs=exc.completed,
                 pending_pairs=exc.pending,
             )
+        except StorageOverloadError as exc:
+            # Spill-aware admission fired: the query would not fit the
+            # disk budget even after evicting cold cache entries.  A
+            # typed reject with the numbers the client needs to act.
+            with self._lock:
+                self._storage_overload += 1
+            self.metrics.counter("serve.storage_overload").inc()
+            return _error(
+                REJECT_STORAGE_OVERLOAD,
+                str(exc),
+                query=query_id,
+                estimated_bytes=exc.estimated_bytes,
+                available_bytes=exc.available_bytes,
+            )
+        except DiskFullError as exc:
+            # The admission estimate let the query through but the disk
+            # genuinely filled past every engine-side recovery (sweep,
+            # sibling gc, degradation).  Same typed reject — a budget
+            # problem must never surface as an internal server error.
+            with self._lock:
+                self._storage_overload += 1
+            self.metrics.counter("serve.storage_overload").inc()
+            available = (
+                self.disk_budget.available()
+                if self.disk_budget is not None
+                else None
+            )
+            return _error(
+                REJECT_STORAGE_OVERLOAD,
+                str(exc),
+                query=query_id,
+                estimated_bytes=exc.requested,
+                available_bytes=available,
+            )
         except Exception as exc:  # noqa: BLE001 — one query must not kill the server
             with self._lock:
                 self._failed += 1
@@ -399,6 +478,7 @@ class JoinServer:
                     with self._lock:
                         self._misses += 1
                     self.metrics.counter("serve.cache.misses").inc()
+                    self._admit_storage(spec, tuples_r, tuples_s, query_id)
                     if self.provider.admit():
                         pairs, drill = self._run_engine(
                             spec, tuples_r, tuples_s, journal,
@@ -510,7 +590,82 @@ class JoinServer:
             kill_coordinator_after=kill_after,
             pool_provider=self.provider,
             deadline_s=spec.deadline_s,
+            disk_budget=self.disk_budget,
         )
+
+    # ------------------------------------------------------------------ #
+    # spill-aware admission
+    # ------------------------------------------------------------------ #
+
+    def _admit_storage(self, spec, tuples_r, tuples_s, query_id) -> None:
+        """Refuse a query whose spill footprint cannot fit the budget.
+
+        Runs on the miss/warm path, before any engine work.  When the
+        estimate exceeds the headroom, one cache-eviction pass tries to
+        make room; still over, the query gets a typed
+        ``storage_overload`` reject instead of dying mid-partition on
+        :class:`~repro.storage.errors.DiskFullError` with the disk
+        already full of half a run.
+        """
+        budget = self.disk_budget
+        if budget is None or budget.max_bytes is None:
+            return
+        estimated = self._estimate_spill_bytes(spec, tuples_r, tuples_s)
+        available = budget.available()
+        if estimated > available:
+            self.cache.ensure_budget()
+            available = budget.available()
+        if estimated <= available:
+            return
+        self.journal.emit(
+            EVENT_DISK_PRESSURE,
+            category=CATEGORY_CACHE,
+            query=query_id,
+            estimated_bytes=estimated,
+            available_bytes=available,
+        )
+        raise StorageOverloadError(
+            f"estimated spill footprint {estimated} bytes exceeds "
+            f"disk-budget headroom {available} bytes",
+            estimated_bytes=estimated,
+            available_bytes=available,
+        )
+
+    def _estimate_spill_bytes(self, spec, tuples_r, tuples_s) -> int:
+        """Exact partition-phase footprint for this query's inputs.
+
+        Walks the same two-layer partitioner the engine will build and
+        sums the frame bytes each side's scan would spill: one
+        key-pointer frame per ``(tile, class)`` slot plus the serialized
+        tuple once per receiving partition.  Checkpoint manifest and
+        result-log bytes are not modelled — the spills dominate by
+        orders of magnitude.
+        """
+        if not tuples_r or not tuples_s:
+            return 0
+        config = PBSMConfig()
+        partitions = spec.partitions
+        universe = Rect.union_all(t.mbr for t in tuples_r).union(
+            Rect.union_all(t.mbr for t in tuples_s)
+        )
+        partitioner = SpatialPartitioner(
+            universe, partitions, max(config.num_tiles, partitions),
+            config.scheme,
+        )
+        total = 0
+        kp_frame = KEYPOINTER_RECORD_BYTES + FRAME_HEADER_SIZE
+        for tuples in (tuples_r, tuples_s):
+            for t in tuples:
+                receiving = set()
+                slots = 0
+                for tile, _cls in partitioner.tile_assignments(t.mbr):
+                    receiving.add(partitioner.partition_of_tile(tile))
+                    slots += 1
+                total += slots * kp_frame
+                total += len(receiving) * (
+                    FRAME_HEADER_SIZE + len(serialize_tuple(t))
+                )
+        return total
 
     def _materialise(self, spec: QuerySpec):
         """Input tuples for the spec, memoized by dataset key — queries
@@ -574,6 +729,7 @@ class JoinServer:
                 "outcomes": {
                     "completed": self._completed,
                     "deadline_exceeded": self._deadline_exceeded,
+                    "storage_overload": self._storage_overload,
                     "degraded": self._degraded,
                     "rejected": self._rejected,
                     "failed": self._failed,
@@ -587,6 +743,11 @@ class JoinServer:
                 "coalesced": self._coalesced,
                 "latency": latency,
                 "cache": self.cache.stats(),
+                "disk": (
+                    self.disk_budget.snapshot()
+                    if self.disk_budget is not None
+                    else None
+                ),
                 "breaker": self.provider.breaker_stats(),
                 "scrub": self.scrubber.stats(),
                 "duplicates_dropped": self.metrics.counter(

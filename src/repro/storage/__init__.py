@@ -10,6 +10,7 @@ from .disk import (
     atomic_write_bytes,
 )
 from .errors import (
+    DiskFullError,
     ManifestCorruptionError,
     PageSizeError,
     SpillCorruptionError,
@@ -17,6 +18,7 @@ from .errors import (
     UnallocatedPageError,
     UnknownFileError,
 )
+from .pressure import CATEGORIES, DiskBudget
 from .heapfile import MAX_RECORD_SIZE, RID, HeapFile, HeapFileError
 from .relation import OID, CatalogEntry, Relation
 from .tuples import (
@@ -27,6 +29,7 @@ from .tuples import (
 )
 
 __all__ = [
+    "CATEGORIES",
     "PAGE_SIZE",
     "MAX_RECORD_SIZE",
     "OID",
@@ -35,6 +38,8 @@ __all__ = [
     "BufferPoolError",
     "CatalogEntry",
     "Database",
+    "DiskBudget",
+    "DiskFullError",
     "DiskStats",
     "HeapFile",
     "HeapFileError",

@@ -231,6 +231,8 @@ def atomic_write_bytes(
     *,
     fsync: bool = True,
     disk: Optional[SimulatedDisk] = None,
+    budget=None,
+    category: str = "checkpoint",
 ) -> Path:
     """Crash-safely replace ``path`` with ``data``: write temp, fsync, rename.
 
@@ -239,8 +241,16 @@ def atomic_write_bytes(
     half-written state only ever exists under ``<path>.tmp``, which orphan
     sweeps collect.  ``disk`` (optional) charges the protocol's modeled
     cost on a :class:`SimulatedDisk` via :meth:`~SimulatedDisk.charge_durable_write`.
+
+    ``budget`` (optional :class:`~repro.storage.pressure.DiskBudget`)
+    charges ``len(data)`` under ``category`` *before* any byte is staged,
+    so a denied write raises :class:`~repro.storage.errors.DiskFullError`
+    with the target file untouched.  The caller owns releasing the old
+    version's bytes if it is rewriting a file it already charged.
     """
     path = Path(path)
+    if budget is not None:
+        budget.charge(len(data), category)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ATOMIC_TMP_SUFFIX)
     with tmp.open("wb") as fh:

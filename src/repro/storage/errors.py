@@ -13,6 +13,11 @@ hierarchy here fixes that:
 * :class:`ManifestCorruptionError` — a join-checkpoint manifest cannot be
   loaded as a trustworthy prefix of its event log (damaged header frame,
   mid-log framing break, or a CRC-valid frame holding a malformed event).
+* :class:`DiskFullError` — a write was denied by the disk-space budget
+  (:mod:`repro.storage.pressure`), the typed analogue of ``ENOSPC``.
+  Carries the category, the requested and used byte counts, and the
+  ceiling, so every layer's recovery move (sweep, gc, evict, degrade)
+  can act on exactly what was denied.
 * :class:`UnallocatedPageError` — page I/O against a page that was never
   allocated.
 * :class:`PageSizeError` — a page buffer of the wrong length.
@@ -66,6 +71,59 @@ def _rebuild_spill_corruption(
 ) -> SpillCorruptionError:
     return SpillCorruptionError(
         message, path=path, frame_index=frame_index, offset=offset
+    )
+
+
+class DiskFullError(StorageError, OSError):
+    """A write was denied by the disk-space budget (modelled ``ENOSPC``).
+
+    Raised by :meth:`repro.storage.pressure.DiskBudget.charge` *before*
+    any bytes hit the disk, so a caught denial never leaves a torn file
+    behind.  ``injected`` marks a seeded fault-plan denial (one-shot; a
+    retried charge proceeds) as opposed to genuine exhaustion — recovery
+    code deliberately treats both identically, the flag exists for
+    journals and assertions only.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        category: str = "",
+        requested: int = 0,
+        used: int = 0,
+        max_bytes: int = -1,
+        injected: bool = False,
+    ):
+        super().__init__(message)
+        self.category = str(category)
+        self.requested = requested
+        self.used = used
+        self.max_bytes = max_bytes
+        self.injected = injected
+
+    def __reduce__(self):
+        return (
+            _rebuild_disk_full,
+            (
+                self.args[0] if self.args else "",
+                self.category, self.requested, self.used,
+                self.max_bytes, self.injected,
+            ),
+        )
+
+
+def _rebuild_disk_full(
+    message: str,
+    category: str,
+    requested: int,
+    used: int,
+    max_bytes: int,
+    injected: bool,
+) -> DiskFullError:
+    return DiskFullError(
+        message, category=category, requested=requested, used=used,
+        max_bytes=max_bytes, injected=injected,
     )
 
 

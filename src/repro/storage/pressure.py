@@ -1,0 +1,202 @@
+"""Disk-space governance: a process-wide byte budget every writer charges.
+
+PBSM's whole point is graceful behaviour inside a fixed resource budget,
+and the repo meters memory pressure faithfully — but until now disk was
+treated as infinite: spill files, checkpoint run directories, and the
+serve artifact cache all grew without bound, and nothing survived a
+failed-for-space write.  :class:`DiskBudget` closes that gap.
+
+A budget is a thread-safe ledger of bytes *charged* (before a write
+lands) and *released* (when the bytes leave the disk), with:
+
+* an optional hard ceiling (``max_bytes``) past which a charge raises
+  :class:`~repro.storage.errors.DiskFullError` — the typed, catchable
+  analogue of ``ENOSPC``;
+* a high-watermark gauge (the unconstrained peak footprint, which the
+  storage-pressure drill uses to derive its constrained budgets);
+* per-category accounting across :data:`CATEGORIES` — ``spill``
+  (partition spill files), ``checkpoint`` (manifests + result logs),
+  ``cache`` (serve-tier artifact entries), ``journal`` (reserved for
+  flight-recorder output);
+* a hook for the seeded ``disk_full`` fault injector
+  (:class:`~repro.faults.inject.DiskFullInjector`): each category keeps
+  a monotonic clock of bytes successfully charged, and the injector
+  fires when a charge's byte interval crosses a planned ordinal —
+  replayable like every other fault kind.
+
+Chargers: ``SpillWriter`` (per framed record, released on ``abort``),
+``atomic_write_bytes`` (manifest rewrites), ``ResultLog.append`` (result
+frames), and the serve cache releases evicted or quarantined entries.
+The budget is coordinator-side state and is never shipped to worker
+processes; all charged writes happen in the coordinator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..obs.metrics import NULL_METRICS
+from .errors import DiskFullError
+
+CATEGORY_SPILL = "spill"
+CATEGORY_CHECKPOINT = "checkpoint"
+CATEGORY_CACHE = "cache"
+CATEGORY_JOURNAL = "journal"
+
+CATEGORIES = (
+    CATEGORY_SPILL,
+    CATEGORY_CHECKPOINT,
+    CATEGORY_CACHE,
+    CATEGORY_JOURNAL,
+)
+"""The accounting categories every charge and release is keyed by."""
+
+
+class DiskBudget:
+    """Thread-safe disk-space ledger with an optional hard ceiling.
+
+    ``max_bytes=None`` disables enforcement but keeps the metering: the
+    high watermark of an unconstrained run is exactly the peak footprint
+    a constrained rerun must survive inside.
+    """
+
+    def __init__(
+        self,
+        max_bytes: Optional[int] = None,
+        *,
+        metrics=NULL_METRICS,
+        injector=None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("disk budget cannot be negative")
+        self.max_bytes = max_bytes
+        self.metrics = metrics
+        self.injector = injector
+        self._lock = threading.Lock()
+        self.used = 0
+        self.high_watermark = 0
+        self.by_category: Dict[str, int] = {}
+        self.peak_by_category: Dict[str, int] = {}
+        self.charged_clock: Dict[str, int] = {}
+        """Per-category monotonic clock of bytes *successfully* charged —
+        never decremented by releases, so the fault injector's byte
+        ordinals mean the same thing on every replay."""
+        self.charges = 0
+        self.denials = 0
+
+    def bind(self, *, metrics=None, injector=None) -> None:
+        """Late wiring for a budget constructed before its run context.
+
+        Only the arguments given are set; an engine binding its metrics
+        registry does not clobber an injector the caller attached."""
+        if metrics is not None:
+            self.metrics = metrics
+        if injector is not None:
+            self.injector = injector
+
+    # ------------------------------------------------------------------ #
+    # the ledger
+    # ------------------------------------------------------------------ #
+
+    def charge(self, nbytes: int, category: str = CATEGORY_SPILL) -> None:
+        """Reserve ``nbytes`` before writing them, or raise.
+
+        Raises :class:`DiskFullError` when the ceiling would be exceeded
+        (the ledger is untouched — a denied write was never accounted)
+        or when the attached injector's plan says this byte interval of
+        this category fails.  Injected and genuine exhaustion raise the
+        same type on purpose: recovery code must not tell them apart.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot charge a negative byte count")
+        with self._lock:
+            clock = self.charged_clock.get(category, 0)
+            if self.injector is not None:
+                # May raise an injected DiskFullError; the clock does not
+                # advance, so a retried charge covers the same interval
+                # (with the one-shot ordinal now spent).
+                self.injector.check(category, clock, clock + nbytes)
+            if (
+                self.max_bytes is not None
+                and self.used + nbytes > self.max_bytes
+            ):
+                self.denials += 1
+                self.metrics.counter("disk.budget.denials").inc()
+                raise DiskFullError(
+                    f"disk budget exhausted: {category} write of {nbytes} "
+                    f"bytes over {self.used}/{self.max_bytes} used",
+                    category=category,
+                    requested=nbytes,
+                    used=self.used,
+                    max_bytes=self.max_bytes,
+                )
+            self.charges += 1
+            self.used += nbytes
+            self.charged_clock[category] = clock + nbytes
+            total = self.by_category.get(category, 0) + nbytes
+            self.by_category[category] = total
+            if total > self.peak_by_category.get(category, 0):
+                self.peak_by_category[category] = total
+            if self.used > self.high_watermark:
+                self.high_watermark = self.used
+            self.metrics.counter("disk.budget.charged_bytes").inc(nbytes)
+            self.metrics.counter(
+                f"disk.budget.charged_bytes.{category}"
+            ).inc(nbytes)
+            self.metrics.gauge("disk.budget.used_bytes").set(self.used)
+            self.metrics.gauge("disk.budget.hwm_bytes").set(
+                self.high_watermark
+            )
+
+    def release(self, nbytes: int, category: str = CATEGORY_SPILL) -> None:
+        """Return ``nbytes`` to the budget (the bytes left the disk).
+
+        Clamped at zero both globally and per category, so a release of
+        bytes charged under another category (the serve cache frees run
+        directories the checkpoint store charged) still frees global
+        headroom without driving any ledger negative.
+        """
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            return
+        with self._lock:
+            self.used = max(0, self.used - nbytes)
+            self.by_category[category] = max(
+                0, self.by_category.get(category, 0) - nbytes
+            )
+            self.metrics.counter("disk.budget.released_bytes").inc(nbytes)
+            self.metrics.gauge("disk.budget.used_bytes").set(self.used)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def available(self) -> Optional[int]:
+        """Bytes of headroom left, or ``None`` for an unbounded budget."""
+        with self._lock:
+            if self.max_bytes is None:
+                return None
+            return max(0, self.max_bytes - self.used)
+
+    def would_fit(self, nbytes: int) -> bool:
+        with self._lock:
+            if self.max_bytes is None:
+                return True
+            return self.used + int(nbytes) <= self.max_bytes
+
+    def snapshot(self) -> dict:
+        """The ledger's current state (serve stats, BENCH disk blocks)."""
+        with self._lock:
+            return {
+                "max_bytes": self.max_bytes,
+                "used_bytes": self.used,
+                "high_watermark_bytes": self.high_watermark,
+                "by_category": dict(sorted(self.by_category.items())),
+                "peak_by_category": dict(
+                    sorted(self.peak_by_category.items())
+                ),
+                "charges": self.charges,
+                "denials": self.denials,
+            }

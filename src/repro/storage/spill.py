@@ -79,12 +79,28 @@ class SpillWriter:
     the final path only ever holds a completely written spill.  ``count``
     tracks records written so the coordinator can seed scheduling
     estimates without re-reading the file.
+
+    With a ``budget`` (:class:`~repro.storage.pressure.DiskBudget`) every
+    frame is charged *before* it is written — a denied append raises
+    :class:`~repro.storage.errors.DiskFullError` with the file unchanged
+    — and ``abort`` releases everything this writer charged.  ``close``
+    does not release: sealed bytes stay on disk and stay accounted.
     """
 
-    def __init__(self, path: "Path | str", *, atomic: bool = False):
+    def __init__(
+        self,
+        path: "Path | str",
+        *,
+        atomic: bool = False,
+        budget=None,
+        category: str = "spill",
+    ):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.atomic = atomic
+        self.budget = budget
+        self.category = category
+        self.charged = 0
         self._write_path = (
             self.path.with_name(self.path.name + TMP_SUFFIX)
             if atomic
@@ -95,7 +111,11 @@ class SpillWriter:
 
     def append(self, record: bytes) -> None:
         assert self._fh is not None, "writer is closed"
-        self._fh.write(pack_frame(record))
+        frame = pack_frame(record)
+        if self.budget is not None:
+            self.budget.charge(len(frame), self.category)
+            self.charged += len(frame)
+        self._fh.write(frame)
         self.count += 1
 
     def close(self) -> None:
@@ -120,6 +140,13 @@ class SpillWriter:
                 os.unlink(path)
             except FileNotFoundError:
                 pass
+        self.release_budget()
+
+    def release_budget(self) -> None:
+        """Return this writer's charged bytes (its files left the disk)."""
+        if self.budget is not None and self.charged:
+            self.budget.release(self.charged, self.category)
+            self.charged = 0
 
     def __enter__(self) -> "SpillWriter":
         return self

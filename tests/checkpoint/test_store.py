@@ -241,6 +241,20 @@ class TestInspectAndGC:
         assert report.bytes_freed > 0
         assert half.run_dir.is_dir() and not done.run_dir.exists()
 
+    def test_gc_dry_run_previews_without_deleting(self, tmp_path):
+        done, half = self._seed_runs(tmp_path)
+        rehearsal = gc_checkpoint_dir(tmp_path, dry_run=True)
+        assert rehearsal.removed == [done.fingerprint.run_id]
+        assert rehearsal.kept == [half.fingerprint.run_id]
+        assert rehearsal.bytes_freed > 0
+        assert done.run_dir.is_dir() and half.run_dir.is_dir()
+        # The real pass removes exactly what the rehearsal promised —
+        # same selection code, so the numbers cannot drift.
+        real = gc_checkpoint_dir(tmp_path)
+        assert real.removed == rehearsal.removed
+        assert real.bytes_freed == rehearsal.bytes_freed
+        assert not done.run_dir.exists() and half.run_dir.is_dir()
+
     def test_gc_by_name_and_all(self, tmp_path):
         done, half = self._seed_runs(tmp_path)
         by_name = gc_checkpoint_dir(tmp_path, run_id=half.fingerprint.run_id)

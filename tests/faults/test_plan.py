@@ -82,6 +82,69 @@ class TestCompilation:
         assert hangy.max_hang_s == 9.5
 
 
+class TestDiskFullPoints:
+    def test_points_compile_deterministically(self):
+        spec = NAMED_SPECS["disk_full"]
+        a = FaultPlan.compile(spec, seed=7, num_pairs=8)
+        b = FaultPlan.compile(spec, seed=7, num_pairs=8)
+        assert a.disk_full_points == b.disk_full_points
+        assert len(a.disk_full_points) == spec.disk_full == 2
+
+    def test_points_stay_in_category_bounds(self):
+        for seed in range(20):
+            plan = FaultPlan.compile(
+                FaultSpec(disk_full=4), seed=seed, num_pairs=8
+            )
+            for category, ordinal in plan.disk_full_points:
+                assert category in ("spill", "checkpoint")
+                bound = 1 << 12 if category == "spill" else 1 << 10
+                assert 0 <= ordinal < bound
+
+    def test_adding_disk_full_never_perturbs_other_kinds(self):
+        # Disk-full points draw after every earlier fault kind, so a spec
+        # that grows a disk_full count keeps the same crash/hang/tear
+        # schedule under one seed — committed plans stay stable.
+        base = NAMED_SPECS["combined"]
+        grown = FaultSpec(
+            **{**base.to_dict(), "disk_full": 3}
+        )
+        a = FaultPlan.compile(base, seed=13, num_pairs=8)
+        b = FaultPlan.compile(grown, seed=13, num_pairs=8)
+        assert a.worker_faults == b.worker_faults
+        assert a.torn_frames == b.torn_frames
+        assert a.write_errors == b.write_errors
+        assert a.coordinator_kill_ordinals == b.coordinator_kill_ordinals
+        assert not a.disk_full_points
+        assert len(b.disk_full_points) == 3
+
+    def test_committed_drill_plan_matches_its_compiled_form(self):
+        # benchmarks/faultplans/disk_full.json is exactly what its
+        # (spec, seed, domain) triple compiles to — nobody hand-edited
+        # the artifact into something unreproducible.
+        import json
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks" / "faultplans" / "disk_full.json"
+        )
+        committed = json.loads(path.read_text())
+        plan = FaultPlan.compile(
+            NAMED_SPECS["disk_full"],
+            seed=committed["seed"], num_pairs=committed["num_pairs"],
+        )
+        assert plan.to_dict() == committed
+        # The committed points are spill-only, so the drill's injections
+        # fire even without a checkpoint directory.
+        assert plan.disk_full_points
+        assert all(c == "spill" for c, _ in plan.disk_full_points)
+
+    def test_round_trip_preserves_points(self, tmp_path):
+        plan = FaultPlan.compile(NAMED_SPECS["disk_full"], seed=5, num_pairs=8)
+        path = plan.save(tmp_path / "df.json")
+        assert FaultPlan.load(path).disk_full_points == plan.disk_full_points
+
+
 class TestSerialisation:
     def test_dict_round_trip_recompiles_equal(self):
         plan = FaultPlan.compile(NAMED_SPECS["combined"], seed=11, num_pairs=6)

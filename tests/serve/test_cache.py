@@ -308,3 +308,39 @@ class TestGcMaxBytes:
             pass
         else:
             raise AssertionError("mixed gc policies must be rejected")
+
+
+class TestDiskBudgetRelease:
+    """Evictions and quarantines must return their bytes to an attached
+    disk budget — the serve tier's admission headroom comes back when
+    entries leave the governed cache directory."""
+
+    def test_eviction_releases_charged_bytes(self, tmp_path):
+        from repro.checkpoint import inspect_checkpoint_dir
+        from repro.storage import DiskBudget
+
+        seed_complete_run(tmp_path, salt=0, pad_bytes=4096)
+        seed_complete_run(tmp_path, salt=1, pad_bytes=4096)
+        total = sum(i.bytes_total for i in inspect_checkpoint_dir(tmp_path))
+        budget = DiskBudget()
+        budget.charge(total, "cache")
+        cache = ArtifactCache(tmp_path, max_bytes=0, budget=budget)
+        evicted = cache.ensure_budget()
+        assert len(evicted) == 2
+        assert budget.used == 0
+        assert budget.high_watermark == total
+
+    def test_quarantine_releases_charged_bytes(self, tmp_path):
+        from repro.storage import DiskBudget
+
+        store = seed_complete_run(tmp_path, salt=0, pad_bytes=1024)
+        nbytes = sum(
+            f.stat().st_size
+            for f in store.run_dir.rglob("*") if f.is_file()
+        )
+        budget = DiskBudget()
+        budget.charge(nbytes, "cache")
+        cache = ArtifactCache(tmp_path, budget=budget)
+        assert cache.quarantine(store.fingerprint.run_id, "test damage")
+        assert budget.used == 0
+        assert not store.run_dir.exists()

@@ -129,7 +129,8 @@ class TestScrubOnce:
         seed_warm_run(tmp_path, salt=1)
         cache, scrubber = scrubber_for(tmp_path)
         tallies = scrubber.scrub_once()
-        assert tallies == {"scanned": 2, "repaired": 0, "quarantined": 0}
+        assert tallies == {"scanned": 2, "repaired": 0, "quarantined": 0,
+                           "evicted": 0}
         assert scrubber.stats()["passes"] == 1
 
     def test_damaged_complete_entry_is_quarantined(self, tmp_path):
@@ -169,14 +170,15 @@ class TestScrubOnce:
         flip_byte(store.results_path, first_frame + 10)
         cache, scrubber = scrubber_for(tmp_path)
         tallies = scrubber.scrub_once()
-        assert tallies == {"scanned": 1, "repaired": 1, "quarantined": 0}
+        assert tallies == {"scanned": 1, "repaired": 1, "quarantined": 0,
+                           "evicted": 0}
         assert store.results_path.stat().st_size == first_frame
         committed, torn = replay_result_log(store.results_path)
         assert sorted(committed) == [0] and not torn
         assert cache.lookup(make_fingerprint()) == LOOKUP_WARM
         # The next pass finds nothing left to do.
         assert scrubber.scrub_once() == {
-            "scanned": 1, "repaired": 0, "quarantined": 0,
+            "scanned": 1, "repaired": 0, "quarantined": 0, "evicted": 0,
         }
 
     def test_pinned_entries_are_never_touched(self, tmp_path):
@@ -186,7 +188,8 @@ class TestScrubOnce:
         cache, scrubber = scrubber_for(tmp_path)
         with cache.pinned(run_id):
             tallies = scrubber.scrub_once()
-            assert tallies == {"scanned": 0, "repaired": 0, "quarantined": 0}
+            assert tallies == {"scanned": 0, "repaired": 0,
+                               "quarantined": 0, "evicted": 0}
             assert store.run_dir.exists()
         # Unpinned, the damage is actionable again.
         assert scrubber.scrub_once()["quarantined"] == 1
@@ -233,3 +236,32 @@ class TestBackgroundThread:
         assert not stats["running"]
         scrubber.start()  # restartable after a stop
         scrubber.stop()
+
+
+class TestBudgetReEnforcement:
+    """The scrubber's background pass is the only actor guaranteed to
+    visit an idle cache, so it also re-enforces the byte budget."""
+
+    def test_scrub_pass_evicts_over_budget_entries(self, tmp_path):
+        seed_complete_run(tmp_path, salt=0)
+        seed_complete_run(tmp_path, salt=1)
+        metrics = MetricsRegistry()
+        cache = ArtifactCache(tmp_path, max_bytes=0, metrics=metrics)
+        scrubber = CacheScrubber(cache, metrics=metrics)
+        tallies = scrubber.scrub_once()
+        assert tallies["scanned"] == 2
+        assert tallies["quarantined"] == 0
+        assert tallies["evicted"] == 2
+        assert scrubber.stats()["evicted"] == 2
+        assert cache.lookup(make_fingerprint(0)) == LOOKUP_MISS
+        assert cache.lookup(make_fingerprint(1)) == LOOKUP_MISS
+        # The next pass finds an empty cache and nothing to evict.
+        assert scrubber.scrub_once() == {
+            "scanned": 0, "repaired": 0, "quarantined": 0, "evicted": 0,
+        }
+
+    def test_unconstrained_cache_never_evicts(self, tmp_path):
+        seed_complete_run(tmp_path, salt=0)
+        cache, scrubber = scrubber_for(tmp_path)
+        assert scrubber.scrub_once()["evicted"] == 0
+        assert cache.lookup(make_fingerprint(0)) != LOOKUP_MISS

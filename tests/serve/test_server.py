@@ -469,9 +469,50 @@ class TestStatsOp:
         assert stats["breaker"]["state"] == "closed"
         assert set(stats["outcomes"]) == {
             "completed", "deadline_exceeded", "degraded", "rejected",
-            "failed",
+            "failed", "storage_overload",
         }
         assert stats["scrub"]["running"] is False  # no --scrub-interval
+        assert stats["disk"] is None  # no --disk-budget
+        assert stats["duplicates_dropped"] == 0
+
+
+class TestStoragePressure:
+    def test_over_footprint_query_gets_typed_reject(self, tmp_path):
+        # A budget far below the workload's estimated spill footprint:
+        # admission must refuse with the typed storage_overload reject
+        # before a single byte hits disk — never a crash or a partial
+        # answer.
+        server, host, port = start_server(tmp_path, disk_budget_bytes=10_000)
+        try:
+            with ServeClient(host, port) as client:
+                response = client.join(**SPEC)
+                stats = client.stats()["stats"]
+        finally:
+            server.shutdown()
+        assert not response.get("ok"), response
+        assert response["error"] == "storage_overload"
+        assert response["estimated_bytes"] > response["available_bytes"]
+        assert response["available_bytes"] <= 10_000
+        assert stats["outcomes"]["storage_overload"] == 1
+        assert stats["disk"]["used_bytes"] == 0
+        assert stats["disk"]["max_bytes"] == 10_000
+
+    def test_generous_budget_serves_identically_and_meters(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, disk_budget_bytes=64 * 1024 * 1024
+        )
+        try:
+            with ServeClient(host, port) as client:
+                miss = client.join(**SPEC)
+                stats = client.stats()["stats"]
+        finally:
+            server.shutdown()
+        assert miss["ok"] and miss["source"] == "miss"
+        assert miss["result_sha256"] == one_shot_digest(SPEC)
+        # The engine's spill + checkpoint bytes stay charged: they are
+        # the cache entry the budget now governs.
+        assert stats["disk"]["used_bytes"] > 0
+        assert stats["outcomes"]["storage_overload"] == 0
         assert stats["duplicates_dropped"] == 0
 
 

@@ -73,6 +73,51 @@ class TestSpillingPath:
         assert disk.stats.page_writes > 0
 
 
+class TestBudgetEdges:
+    """Degenerate memory budgets: the sorter must stay correct when every
+    single ``add`` overflows the budget (one run per record) and when the
+    budget exactly fits one record — the storage-pressure analogue of a
+    spill path running at the edge of its allowance."""
+
+    def test_budget_below_one_record(self):
+        # A 1-byte budget against 4-byte records: each add crosses the
+        # threshold immediately, so every record becomes its own run.
+        disk, pool = make_pool()
+        values = [9, 2, 7, 1, 5]
+        sorter = ExternalSorter(pool, int_key, memory_bytes=1)
+        sorter.add_all(int_record(v) for v in values)
+        assert sorter.spilled_runs == len(values)
+        assert [int_key(r) for r in sorter.sorted_records()] == sorted(values)
+
+    def test_budget_equal_to_one_record(self):
+        # A budget of exactly one record's size also spills on every add
+        # (the threshold is >=), so the run count still equals the record
+        # count and the merge of single-record runs stays correct.
+        disk, pool = make_pool()
+        values = [4, 4, 3, 8, 0, 8]
+        record = int_record(values[0])
+        sorter = ExternalSorter(pool, int_key, memory_bytes=len(record))
+        sorter.add_all(int_record(v) for v in values)
+        assert sorter.spilled_runs == len(values)
+        assert [int_key(r) for r in sorter.sorted_records()] == sorted(values)
+
+    def test_empty_input_with_tiny_budget_spills_nothing(self):
+        disk, pool = make_pool()
+        files_before = set(disk.file_ids())
+        sorter = ExternalSorter(pool, int_key, memory_bytes=1)
+        assert list(sorter.sorted_records()) == []
+        assert sorter.spilled_runs == 0
+        assert set(disk.file_ids()) == files_before
+        assert disk.stats.page_writes == 0
+
+    def test_single_record_under_tiny_budget(self):
+        _disk, pool = make_pool()
+        sorter = ExternalSorter(pool, int_key, memory_bytes=1)
+        sorter.add(int_record(42))
+        assert sorter.spilled_runs == 1
+        assert [int_key(r) for r in sorter.sorted_records()] == [42]
+
+
 class TestMisuse:
     def test_bad_memory(self):
         _disk, pool = make_pool()

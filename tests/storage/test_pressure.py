@@ -1,0 +1,214 @@
+"""Tests for the disk-space budget ledger and the ENOSPC injector."""
+
+import pickle
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.inject import DiskFullInjector
+from repro.storage import (
+    CATEGORIES,
+    DiskBudget,
+    DiskFullError,
+    StorageError,
+)
+
+
+class TestLedger:
+    def test_charge_and_release_round_trip(self):
+        budget = DiskBudget(100)
+        budget.charge(60, "spill")
+        assert budget.used == 60
+        assert budget.available() == 40
+        budget.release(60, "spill")
+        assert budget.used == 0
+        assert budget.available() == 100
+
+    def test_high_watermark_survives_release(self):
+        budget = DiskBudget()
+        budget.charge(80, "spill")
+        budget.release(80, "spill")
+        budget.charge(10, "checkpoint")
+        assert budget.high_watermark == 80
+        assert budget.used == 10
+
+    def test_exact_fit_allowed_next_byte_denied(self):
+        budget = DiskBudget(100)
+        budget.charge(100, "spill")
+        with pytest.raises(DiskFullError):
+            budget.charge(1, "spill")
+
+    def test_denial_leaves_ledger_untouched(self):
+        budget = DiskBudget(50)
+        budget.charge(30, "spill")
+        with pytest.raises(DiskFullError) as exc_info:
+            budget.charge(40, "checkpoint")
+        # The denied write was never accounted anywhere: a caller that
+        # catches the error and walks away leaves a consistent ledger.
+        assert budget.used == 30
+        assert budget.charges == 1
+        assert budget.denials == 1
+        assert budget.charged_clock == {"spill": 30}
+        exc = exc_info.value
+        assert exc.category == "checkpoint"
+        assert exc.requested == 40
+        assert exc.used == 30
+        assert exc.max_bytes == 50
+        assert not exc.injected
+
+    def test_per_category_accounting(self):
+        budget = DiskBudget()
+        budget.charge(10, "spill")
+        budget.charge(20, "spill")
+        budget.charge(5, "checkpoint")
+        budget.release(25, "spill")
+        snap = budget.snapshot()
+        assert snap["by_category"] == {"checkpoint": 5, "spill": 5}
+        assert snap["peak_by_category"] == {"checkpoint": 5, "spill": 30}
+
+    def test_cross_category_release_clamps_but_frees_headroom(self):
+        # The serve cache frees run directories the checkpoint store
+        # charged: the global ledger must drop, no category may go
+        # negative.
+        budget = DiskBudget(100)
+        budget.charge(90, "checkpoint")
+        budget.release(90, "cache")
+        assert budget.used == 0
+        assert budget.by_category["cache"] == 0
+        assert budget.by_category["checkpoint"] == 90  # never charged back
+        budget.charge(100, "spill")  # the headroom is genuinely free
+
+    def test_release_clamps_at_zero(self):
+        budget = DiskBudget()
+        budget.charge(10, "spill")
+        budget.release(10_000, "spill")
+        assert budget.used == 0
+        assert budget.by_category["spill"] == 0
+
+    def test_charged_clock_is_monotonic(self):
+        budget = DiskBudget()
+        budget.charge(10, "spill")
+        budget.release(10, "spill")
+        budget.charge(10, "spill")
+        assert budget.charged_clock["spill"] == 20
+
+    def test_unbounded_budget_meters_without_denying(self):
+        budget = DiskBudget()
+        budget.charge(1 << 40, "spill")
+        assert budget.available() is None
+        assert budget.would_fit(1 << 40)
+        assert budget.denials == 0
+
+    def test_would_fit(self):
+        budget = DiskBudget(10)
+        assert budget.would_fit(10)
+        budget.charge(4, "spill")
+        assert budget.would_fit(6)
+        assert not budget.would_fit(7)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            DiskBudget().charge(-1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DiskBudget(-1)
+
+    def test_zero_budget_denies_first_byte(self):
+        budget = DiskBudget(0)
+        budget.charge(0, "spill")  # zero-byte writes are free
+        with pytest.raises(DiskFullError):
+            budget.charge(1, "spill")
+
+    def test_snapshot_shape(self):
+        snap = DiskBudget(42).snapshot()
+        assert set(snap) == {
+            "max_bytes", "used_bytes", "high_watermark_bytes",
+            "by_category", "peak_by_category", "charges", "denials",
+        }
+        assert snap["max_bytes"] == 42
+
+    def test_known_categories(self):
+        assert set(CATEGORIES) == {"spill", "checkpoint", "cache", "journal"}
+
+
+class TestDiskFullError:
+    def test_is_typed_storage_error_and_oserror(self):
+        exc = DiskFullError("full")
+        assert isinstance(exc, StorageError)
+        assert isinstance(exc, OSError)
+
+    def test_pickle_round_trip(self):
+        # The error crosses process boundaries under spawn; every field
+        # the recovery paths and journals read must survive.
+        exc = DiskFullError(
+            "full", category="spill", requested=7,
+            used=93, max_bytes=100, injected=True,
+        )
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, DiskFullError)
+        assert str(clone) == str(exc)
+        assert clone.category == "spill"
+        assert clone.requested == 7
+        assert clone.used == 93
+        assert clone.max_bytes == 100
+        assert clone.injected
+
+
+def plan_with_points(*points):
+    return FaultPlan(
+        seed=0, num_pairs=8, spec=FaultSpec(),
+        disk_full_points=tuple(points),
+    )
+
+
+class TestDiskFullInjector:
+    def test_one_shot_denial_then_retry_succeeds(self):
+        injector = DiskFullInjector(plan_with_points(("spill", 10)))
+        budget = DiskBudget(injector=injector)
+        budget.charge(8, "spill")  # [0, 8) misses ordinal 10
+        with pytest.raises(DiskFullError) as exc_info:
+            budget.charge(8, "spill")  # [8, 16) crosses it
+        assert exc_info.value.injected
+        assert exc_info.value.requested == 8
+        # The clock did not advance on the denial, so the retried charge
+        # covers the same interval — with the point now spent.
+        assert budget.charged_clock["spill"] == 8
+        budget.charge(8, "spill")
+        assert budget.charged_clock["spill"] == 16
+        assert not injector.armed
+
+    def test_one_denial_spends_every_crossed_ordinal(self):
+        # Recovery paths retry exactly once: two points inside one charge
+        # interval must not demand two retries of one write.
+        injector = DiskFullInjector(
+            plan_with_points(("spill", 5), ("spill", 7))
+        )
+        budget = DiskBudget(injector=injector)
+        with pytest.raises(DiskFullError):
+            budget.charge(20, "spill")
+        assert injector.fired == 2
+        budget.charge(20, "spill")
+        assert not injector.armed
+
+    def test_categories_are_independent(self):
+        injector = DiskFullInjector(plan_with_points(("checkpoint", 0)))
+        budget = DiskBudget(injector=injector)
+        budget.charge(100, "spill")  # never consults checkpoint's points
+        with pytest.raises(DiskFullError):
+            budget.charge(1, "checkpoint")
+
+    def test_unarmed_injector_is_inert(self):
+        injector = DiskFullInjector(None)
+        assert not injector.armed
+        budget = DiskBudget(injector=injector)
+        budget.charge(1 << 20, "spill")
+
+    def test_injection_does_not_count_as_budget_denial(self):
+        injector = DiskFullInjector(plan_with_points(("spill", 0)))
+        budget = DiskBudget(1 << 20, injector=injector)
+        with pytest.raises(DiskFullError):
+            budget.charge(1, "spill")
+        # The ceiling never denied anything; only the injector fired.
+        assert budget.denials == 0
+        assert injector.fired == 1

@@ -380,6 +380,36 @@ class TestCheckpointCLI:
         assert main(["checkpoints", "list", "--dir", str(ckpt)]) == 0
         assert "no checkpointed runs" in capsys.readouterr().out
 
+    def test_checkpoints_gc_dry_run_previews_without_deleting(
+        self, capsys, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        assert main(["parallel", "--backend", "process", "--workers", "2",
+                     "--scale", "0.001", "--checkpoint-dir", str(ckpt),
+                     "--json"]) == 0
+        run_id = json.loads(capsys.readouterr().out)["checkpoint_run_id"]
+
+        assert main(["checkpoints", "gc", "--dir", str(ckpt),
+                     "--dry-run", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+        assert report["removed"] == [run_id]
+        assert report["bytes_freed"] > 0
+
+        # Nothing was deleted: the run still lists, and the text-mode
+        # rehearsal says "would remove" instead of "removed".
+        assert main(["checkpoints", "list", "--dir", str(ckpt),
+                     "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert [i["run_id"] for i in listed] == [run_id]
+        assert main(["checkpoints", "gc", "--dir", str(ckpt),
+                     "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+
+    def test_parallel_disk_budget_requires_process_backend(self, capsys):
+        assert main(["parallel", "--backend", "serial",
+                     "--disk-budget", "1000"]) == 2
+
     def test_checkpoints_gc_keeps_resumable_runs_by_default(
         self, capsys, tmp_path
     ):
