@@ -39,7 +39,13 @@ from repro.bench import ResultTable
 from repro.bench.harness import RESULTS_DIR
 from repro.obs.bench import write_bench_file
 from repro.parallel import parallel_join
-from repro.serve import JoinServer, ServeClient, QuerySpec, result_digest
+from repro.serve import (
+    JoinServer,
+    QuerySpec,
+    ServeClient,
+    outcome_block,
+    result_digest,
+)
 
 N_QUERIES = 24
 ARRIVAL_RATE_QPS = 3.0
@@ -50,6 +56,10 @@ ZIPF_S = 1.1
 SERVER_WORKERS = 2
 MAX_INFLIGHT = 2
 MAX_QUEUE = 3
+TELEMETRY_INTERVAL_S = 0.25
+"""The live sampler runs during the bench so the record can carry its
+sampling footprint (tick count, peak queue/inflight) — the series stay
+on the wire op."""
 
 QUERY_MIX = [
     {"dataset": "road_hydro", "scale": 0.008, "predicate": "intersects"},
@@ -91,6 +101,7 @@ def test_serve_throughput(benchmark):
             workers=SERVER_WORKERS,
             max_inflight=MAX_INFLIGHT,
             max_queue=MAX_QUEUE,
+            telemetry_interval_s=TELEMETRY_INTERVAL_S,
         )
         host, port = server.start()
 
@@ -167,7 +178,23 @@ def test_serve_throughput(benchmark):
         assert all(r["error"] == "queue_full" for r in burst_rejected)
 
         stats = server.stats()
+        telemetry = server.telemetry()
         server.shutdown()
+
+        series = telemetry["series"]
+
+        def _series_peak(name):
+            entry = series.get(name)
+            return int(entry["max"]) if entry and entry["max"] is not None else 0
+
+        telemetry_block = {
+            "ticks": telemetry["sampling"]["ticks"],
+            "interval_s": TELEMETRY_INTERVAL_S,
+            "sampled_series": len(series),
+            "slow_log_entries": len(telemetry["slow_log"]),
+            "queue_depth_max": _series_peak("queue_depth"),
+            "inflight_max": _series_peak("inflight"),
+        }
 
         completed = [r for r in responses if r and r.get("ok")]
         rejected = [r for r in responses if r and not r.get("ok")]
@@ -272,14 +299,11 @@ def test_serve_throughput(benchmark):
                     "server_workers": SERVER_WORKERS,
                     "max_inflight": MAX_INFLIGHT,
                     "max_queue": MAX_QUEUE,
-                    "pool_generation": stats["pool_generation"],
-                    "outcomes": stats["outcomes"],
-                    "breaker_state": stats["breaker"]["state"],
-                    "breaker_trips": stats["breaker"]["trips"],
-                    "scrub_passes": stats["scrub"]["passes"],
-                    "scrub_quarantined": stats["scrub"]["quarantined"],
-                    "duplicates_dropped": stats["duplicates_dropped"],
+                    # The canonical resilience summary — one formatter
+                    # shared with the server's stats and telemetry ops.
+                    **outcome_block(stats),
                 },
+                "telemetry": telemetry_block,
             }
 
         hot_count = next(

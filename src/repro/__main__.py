@@ -701,6 +701,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_window_s=args.breaker_window,
         breaker_cooldown_s=args.breaker_cooldown,
         scrub_interval_s=args.scrub_interval,
+        telemetry_interval_s=args.telemetry_interval,
     )
     host, port = server.start()
     if args.port_file:
@@ -762,6 +763,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 response = client.ping()
             elif args.op == "stats":
                 response = client.stats()
+            elif args.op == "telemetry":
+                response = client.telemetry()
+            elif args.op == "metrics":
+                response = client.metrics()
             elif args.op == "shutdown":
                 response = client.shutdown()
             else:
@@ -779,6 +784,152 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("ok") else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs.top import render_top
+    from .serve import ServeClient, read_port_file
+
+    port = args.port
+    if port is None and args.port_file:
+        port = read_port_file(args.port_file)
+    if port is None:
+        print("top: need a port file argument or --port", file=sys.stderr)
+        return 2
+    # Clear-and-redraw only on a real terminal; piped output appends
+    # plain frames and dies quietly when the pipe closes (head, less).
+    interactive = sys.stdout.isatty() and not args.once
+    try:
+        with ServeClient(args.host, port, timeout=10.0) as client:
+            while True:
+                response = client.telemetry(args.window)
+                if not response.get("ok"):
+                    print(
+                        f"top: {response.get('message', 'telemetry failed')}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                frame = render_top(response["telemetry"])
+                try:
+                    if interactive:
+                        sys.stdout.write("\x1b[2J\x1b[H")
+                    sys.stdout.write(frame)
+                    sys.stdout.flush()
+                except (OSError, ValueError):
+                    return 0  # downstream pipe closed; nothing left to show
+                if args.once:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, TimeoutError) as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
+
+
+_RUNS_GATE_EXIT = 4
+"""`repro runs compare` exit status when a regression gate fires —
+distinct from usage errors (2) so CI can tell "regressed" from "broken"."""
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from .obs import corpus
+
+    if args.runs_op == "list":
+        records = corpus.scan_corpus(args.root)
+        if args.json:
+            print(json.dumps(
+                [r.to_dict() for r in records], indent=2, sort_keys=True
+            ))
+        else:
+            sys.stdout.write(corpus.render_list(records))
+        return 0
+
+    if args.runs_op == "show":
+        records = corpus.scan_corpus(args.root)
+        record = corpus.find_record(records, args.run_id)
+        if record is None:
+            print(
+                f"runs: no run {args.run_id!r} under {args.root} "
+                f"({len(records)} runs indexed; try `repro runs list`)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(corpus.render_show(record))
+        return 0
+
+    # compare: two artifacts, or --trend over a corpus
+    if args.trend:
+        if len(args.paths) != 1 or not args.metric:
+            print(
+                "runs compare --trend needs exactly one corpus root and "
+                "--metric", file=sys.stderr,
+            )
+            return 2
+        metric = args.metric[0]
+        records = [
+            r for r in corpus.scan_corpus(args.paths[0])
+            if not args.kind or r.kind == args.kind
+        ]
+        points = [
+            (r.run_id, r.metrics[metric])
+            for r in records
+            if metric in r.metrics
+        ]
+        if len(points) < 2:
+            print(
+                f"runs: metric {metric!r} present in {len(points)} run(s); "
+                "a trend needs at least 2", file=sys.stderr,
+            )
+            return 2
+        run_ids = [p[0] for p in points]
+        values = [p[1] for p in points]
+        trend = corpus.fit_trend(values)
+        if args.json:
+            print(json.dumps(
+                {"metric": metric, "runs": run_ids, "values": values,
+                 "trend": trend},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            sys.stdout.write(
+                corpus.render_trend(metric, run_ids, values, trend)
+            )
+        if trend["slope_frac"] > args.threshold:
+            print(
+                f"REGRESSION: {metric} trends "
+                f"{trend['slope_frac'] * 100:+.2f}% per run "
+                f"(threshold {args.threshold:.0%})"
+            )
+            return _RUNS_GATE_EXIT
+        return 0
+
+    if len(args.paths) != 2:
+        print("runs compare needs exactly two run artifacts", file=sys.stderr)
+        return 2
+    try:
+        record_a = corpus.index_path(args.paths[0])
+        record_b = corpus.index_path(args.paths[1])
+    except corpus.CorpusError as exc:
+        print(f"runs: {exc}", file=sys.stderr)
+        return 2
+    rows = corpus.compare_runs(record_a, record_b, metrics=args.metric or None)
+    if args.json:
+        print(json.dumps(
+            {"a": record_a.to_dict(), "b": record_b.to_dict(), "rows": rows},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        sys.stdout.write(corpus.render_compare(record_a, record_b, rows))
+    failures = corpus.check_gates(rows, args.gate or [], args.threshold)
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return _RUNS_GATE_EXIT if failures else 0
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -1061,6 +1212,11 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="S",
                        help="run the cache scrubber every S seconds "
                             "(default: scrubber off)")
+    serve.add_argument("--telemetry-interval", type=float, default=None,
+                       metavar="S",
+                       help="sample live telemetry every S seconds (the "
+                            "`telemetry` wire op and `repro top` read it; "
+                            "default: sampler off)")
 
     query = sub.add_parser(
         "query", help="one-shot client for a running join server"
@@ -1070,7 +1226,8 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("--port-file", default=None,
                        help="read the port a `repro serve --port-file` wrote")
     query.add_argument("--op", default="join",
-                       choices=["join", "ping", "stats", "shutdown"])
+                       choices=["join", "ping", "stats", "telemetry",
+                                "metrics", "shutdown"])
     query.add_argument("--dataset", default="road_hydro")
     query.add_argument("--scale", type=float, default=0.01)
     query.add_argument("--seed", type=int, default=0,
@@ -1087,6 +1244,69 @@ def main(argv: list[str] | None = None) -> int:
                             "the socket wait at S plus grace "
                             "(default: block forever)")
     query.set_defaults(func=_cmd_query)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running join server",
+    )
+    top.add_argument("port_file", nargs="?", default=None,
+                     help="port file a `repro serve --port-file` wrote")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=None,
+                     help="connect directly instead of reading a port file")
+    top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                     help="poll the telemetry op every S seconds")
+    top.add_argument("--window", type=float, default=None, metavar="S",
+                     help="restrict series stats to the last S seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (for scripts and CI)")
+    top.set_defaults(func=_cmd_top)
+
+    runs = sub.add_parser(
+        "runs",
+        help="cross-run warehouse: index, diff, and trend run artifacts",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_op", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="index every run dir / serve root / BENCH file under a tree"
+    )
+    runs_list.add_argument("root", help="directory tree to scan")
+    runs_list.add_argument("--json", action="store_true")
+    runs_list.set_defaults(func=_cmd_runs)
+    runs_show = runs_sub.add_parser(
+        "show", help="one indexed run's identity and metrics"
+    )
+    runs_show.add_argument("root", help="directory tree to scan")
+    runs_show.add_argument("run_id", help="run id from `repro runs list`")
+    runs_show.add_argument("--json", action="store_true")
+    runs_show.set_defaults(func=_cmd_runs)
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="diff two runs metric-by-metric, or --trend a corpus; "
+             f"exits {_RUNS_GATE_EXIT} past a regression threshold",
+    )
+    runs_compare.add_argument(
+        "paths", nargs="*",
+        help="two run artifacts (run dir, serve root, or BENCH_*.json) — "
+             "or one corpus root with --trend",
+    )
+    runs_compare.add_argument("--metric", action="append", default=None,
+                              help="restrict to this metric (repeatable); "
+                                   "with --trend, the metric to fit")
+    runs_compare.add_argument("--gate", action="append", default=None,
+                              help="fail (exit 4) if this metric regressed "
+                                   "past --threshold (repeatable)")
+    runs_compare.add_argument("--threshold", type=float, default=0.10,
+                              help="regression threshold as a fraction "
+                                   "(default 0.10 = 10%%)")
+    runs_compare.add_argument("--trend", action="store_true",
+                              help="fit a least-squares trend per metric "
+                                   "over every matching run under the root")
+    runs_compare.add_argument("--kind", default=None,
+                              choices=["engine", "serve", "bench"],
+                              help="with --trend, only index runs of this kind")
+    runs_compare.add_argument("--json", action="store_true")
+    runs_compare.set_defaults(func=_cmd_runs)
 
     plan = sub.add_parser("plan", help="apply the paper's algorithm-choice rules")
     plan.add_argument("--scale", type=float, default=0.005)

@@ -50,11 +50,34 @@ from .export import (
     write_metrics_json,
     write_trace_jsonl,
 )
+from .corpus import (
+    RunRecord,
+    check_gates,
+    compare_runs,
+    fit_trend,
+    index_bench_file,
+    index_engine_run,
+    index_path,
+    index_serve_run,
+    render_compare,
+    render_list,
+    render_show,
+    render_trend,
+    scan_corpus,
+)
+from .expo import (
+    EXPOSITION_PREFIX,
+    format_value,
+    metric_name,
+    parse_exposition,
+    render_exposition,
+)
 from .journal import (
     EVENT_TYPES,
     FAULT_TIMELINE_TYPES,
     JOURNAL_FILENAME,
     NULL_JOURNAL,
+    SERVE_TIMELINE_TYPES,
     NullJournal,
     RunJournal,
     journal_path,
@@ -67,7 +90,16 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_delta,
+    snapshot_delta,
 )
+from .timeseries import (
+    RingBufferSeries,
+    SlowLog,
+    TelemetrySampler,
+    quantile,
+)
+from .top import render_top
 from .schema import (
     BENCH_FILE_SCHEMA,
     BENCH_RECORD_SCHEMA,
@@ -85,6 +117,7 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "EVENT_TYPES",
+    "EXPOSITION_PREFIX",
     "FAULT_TIMELINE_TYPES",
     "Gauge",
     "Histogram",
@@ -97,25 +130,50 @@ __all__ = [
     "NullJournal",
     "NullTracer",
     "PairStats",
+    "RingBufferSeries",
     "RunAnalysis",
     "RunJournal",
+    "RunRecord",
     "SCHEMA_VERSION",
+    "SERVE_TIMELINE_TYPES",
     "SchemaError",
     "SkewStats",
+    "SlowLog",
     "Span",
+    "TelemetrySampler",
     "Tracer",
     "analyze_events",
     "analyze_run",
     "bench_file_name",
     "bench_record",
+    "check_gates",
     "chrome_instant_events",
     "chrome_trace_events",
+    "compare_runs",
+    "fit_trend",
+    "format_value",
+    "histogram_delta",
+    "index_bench_file",
+    "index_engine_run",
+    "index_path",
+    "index_serve_run",
     "journal_path",
     "load_bench_file",
     "lpt_replay",
+    "metric_name",
+    "parse_exposition",
+    "quantile",
     "read_journal",
+    "render_compare",
+    "render_exposition",
+    "render_list",
     "render_report",
+    "render_show",
+    "render_top",
+    "render_trend",
     "report_to_dict",
+    "scan_corpus",
+    "snapshot_delta",
     "trace_to_dicts",
     "validate",
     "validate_bench_file",

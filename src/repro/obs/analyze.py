@@ -459,6 +459,23 @@ def analyze_events(
             totals["passes"] += 1
             for key in ("scanned", "repaired", "quarantined", "evicted"):
                 totals[key] += int(record.get(key, 0) or 0)
+        elif kind == "sample" and record.get("kind") == "telemetry":
+            # The serve tier's telemetry sampler: summarize the run's
+            # live load shape (the per-tick series live on the wire op,
+            # not in the journal — only the load peaks are recorded).
+            telemetry = analysis.serve.setdefault(
+                "telemetry",
+                {"ticks": 0, "queue_depth_max": 0, "inflight_max": 0},
+            )
+            telemetry["ticks"] += 1
+            telemetry["queue_depth_max"] = max(
+                telemetry["queue_depth_max"],
+                int(record.get("queued", 0) or 0),
+            )
+            telemetry["inflight_max"] = max(
+                telemetry["inflight_max"],
+                int(record.get("inflight", 0) or 0),
+            )
     analysis.fault_ledger = [ledger[key] for key in sorted(ledger)]
     analysis.quarantined_pairs = sorted(set(analysis.quarantined_pairs))
     analysis.degraded_pairs = sorted(set(analysis.degraded_pairs))
@@ -584,6 +601,13 @@ def render_report(analysis: RunAnalysis, *, timings: bool = False) -> str:
         transitions = analysis.serve.get("breaker_transitions")
         if transitions:
             out(f"- breaker transitions: {', '.join(transitions)}")
+        telemetry = analysis.serve.get("telemetry")
+        if telemetry:
+            out(
+                f"- telemetry: {telemetry['ticks']} sampler ticks, "
+                f"peak queue {telemetry['queue_depth_max']}, "
+                f"peak inflight {telemetry['inflight_max']}"
+            )
         scrub = analysis.serve.get("scrub")
         if scrub:
             out(

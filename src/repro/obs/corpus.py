@@ -1,0 +1,561 @@
+"""Cross-run observability warehouse: index, diff, and trend run artifacts.
+
+Every run leaves durable evidence behind — engine run dirs with a
+``journal.jsonl`` (and optional ``metrics.json``), serve roots with a
+``serve.jsonl`` service journal, benchmarks with ``BENCH_*.json``
+trajectory records.  Each artifact is self-describing but single-run;
+regressions only show up when runs are compared *across* history.
+
+:func:`scan_corpus` walks a directory tree and turns every artifact it
+recognizes into a :class:`RunRecord`: a flat, deterministic
+``identity`` (what the run was — dataset, seed, backend, layout) plus a
+flat numeric ``metrics`` mapping (what it measured — phase timings,
+fault/degrade/dedup counters, disk peaks, latency quantiles).  The
+index is a pure function of file contents: same tree, same bytes out.
+
+:func:`compare_runs` diffs two records metric-by-metric and
+:func:`fit_trend` fits a least-squares slope over a metric's trajectory
+across N runs — the ``repro runs compare`` CLI turns either into a
+non-zero exit past a regression threshold, giving CI a trajectory gate
+instead of a single committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .analyze import analyze_events
+from .journal import read_journal
+from .timeseries import quantile
+
+ENGINE_JOURNAL_FILENAME = "journal.jsonl"
+SERVE_JOURNAL_FILENAME = "serve.jsonl"
+METRICS_FILENAME = "metrics.json"
+BENCH_GLOB_PREFIX = "BENCH_"
+
+KIND_ENGINE = "engine"
+KIND_SERVE = "serve"
+KIND_BENCH = "bench"
+
+DEFAULT_GATE_THRESHOLD = 0.10
+"""A gated metric regresses when ``b > a * (1 + threshold)``."""
+
+_COUNTER_METRICS = {
+    "merge.duplicates_dropped": "duplicates_dropped",
+    "disk.budget.denials": "disk_denials",
+    "disk.budget.charged_bytes": "disk_charged_bytes",
+}
+_GAUGE_METRICS = {
+    "disk.budget.hwm_bytes": "disk_hwm_bytes",
+    "disk.budget.used_bytes": "disk_used_bytes",
+}
+
+
+@dataclass
+class RunRecord:
+    """One indexed artifact: identity (what ran) + metrics (what it cost)."""
+
+    run_id: str
+    path: str
+    kind: str
+    identity: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "path": self.path,
+            "kind": self.kind,
+            "identity": {k: self.identity[k] for k in sorted(self.identity)},
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+
+class CorpusError(Exception):
+    """An artifact the indexer was pointed at directly is unusable."""
+
+
+# --------------------------------------------------------------------- #
+# per-artifact indexers
+# --------------------------------------------------------------------- #
+
+
+def index_engine_run(run_dir: "Path | str", run_id: Optional[str] = None) -> RunRecord:
+    """Index one engine run directory (``journal.jsonl`` required)."""
+    run_dir = Path(run_dir)
+    journal_path = run_dir / ENGINE_JOURNAL_FILENAME
+    if not journal_path.exists():
+        raise CorpusError(f"no {ENGINE_JOURNAL_FILENAME} under {run_dir}")
+    records = read_journal(journal_path)
+    analysis = analyze_events(records, run_dir=str(run_dir))
+    identity: Dict[str, object] = {
+        "backend": analysis.backend,
+        "workers": analysis.workers,
+        "partitions": analysis.partitions,
+        "tuples_r": analysis.tuples_r,
+        "tuples_s": analysis.tuples_s,
+        "resuming": analysis.resuming,
+    }
+    if analysis.disk_budget is not None:
+        identity["disk_budget"] = analysis.disk_budget
+    for key in ("dataset", "scale", "seed", "predicate", "query",
+                "run_id", "source"):
+        value = analysis.serve.get(key)
+        if value is not None:
+            identity[key] = value
+    metrics: Dict[str, float] = {
+        "results": analysis.results,
+        "tasks": len(analysis.schedule),
+        "makespan_cost": analysis.replay.makespan_cost,
+        "total_cost": analysis.replay.total_cost,
+        "faults_injected": len(analysis.fault_ledger),
+        "retries": analysis.event_counts.get("retry", 0),
+        "quarantined": len(analysis.quarantined_pairs),
+        "degraded": len(analysis.degraded_pairs),
+        "replayed": len(analysis.replayed_pairs),
+        "checkpoint_commits": sum(analysis.checkpoint_commits.values()),
+        "disk_pressure_events": len(analysis.disk_pressure),
+        "disk_recoveries": len(analysis.disk_recoveries),
+    }
+    for record in records:
+        if record.get("type") == "query_done" and record.get("latency_s") is not None:
+            metrics["latency_s"] = float(record["latency_s"])
+    metrics.update(_metrics_file_extract(run_dir))
+    return RunRecord(
+        run_id=run_id or run_dir.name,
+        path=str(run_dir),
+        kind=KIND_ENGINE,
+        identity=identity,
+        metrics=metrics,
+    )
+
+
+def index_serve_run(out_dir: "Path | str", run_id: Optional[str] = None) -> RunRecord:
+    """Index one serve root (``serve.jsonl`` required): query tallies,
+    per-source counts, latency quantiles over ``query_done`` events."""
+    out_dir = Path(out_dir)
+    journal_path = out_dir / SERVE_JOURNAL_FILENAME
+    if not journal_path.exists():
+        raise CorpusError(f"no {SERVE_JOURNAL_FILENAME} under {out_dir}")
+    records = read_journal(journal_path)
+    datasets: set = set()
+    seeds: set = set()
+    tallies: Dict[str, int] = {}
+    sources: Dict[str, int] = {}
+    latencies: List[float] = []
+    scrub: Dict[str, int] = {}
+    telemetry = {"ticks": 0, "queue_depth_max": 0, "inflight_max": 0}
+    for record in records:
+        kind = record.get("type")
+        tallies[kind] = tallies.get(kind, 0) + 1
+        if kind == "sample" and record.get("kind") == "telemetry":
+            telemetry["ticks"] += 1
+            telemetry["queue_depth_max"] = max(
+                telemetry["queue_depth_max"], int(record.get("queued", 0) or 0)
+            )
+            telemetry["inflight_max"] = max(
+                telemetry["inflight_max"], int(record.get("inflight", 0) or 0)
+            )
+        elif kind == "query_received":
+            if record.get("dataset") is not None:
+                datasets.add(str(record["dataset"]))
+            if record.get("seed") is not None:
+                seeds.add(int(record["seed"]))
+        elif kind == "query_done":
+            source = str(record.get("source", "?"))
+            sources[source] = sources.get(source, 0) + 1
+            if record.get("latency_s") is not None:
+                latencies.append(float(record["latency_s"]))
+        elif kind == "cache_scrub":
+            scrub["passes"] = scrub.get("passes", 0) + 1
+            for key in ("scanned", "repaired", "quarantined", "evicted"):
+                scrub[key] = scrub.get(key, 0) + int(record.get(key, 0) or 0)
+    identity: Dict[str, object] = {
+        "datasets": sorted(datasets),
+        "seeds": sorted(seeds),
+    }
+    metrics: Dict[str, float] = {
+        "queries_received": tallies.get("query_received", 0),
+        "queries_done": tallies.get("query_done", 0),
+        "cache_hits": tallies.get("cache_hit", 0),
+        "cache_evicts": tallies.get("cache_evict", 0),
+        "deadline_exceeded": tallies.get("deadline_exceeded", 0),
+        "breaker_transitions": tallies.get("breaker_transition", 0),
+        "disk_pressure_events": tallies.get("disk_pressure", 0),
+    }
+    for source in sorted(sources):
+        metrics[f"source.{source}"] = sources[source]
+    for key in sorted(scrub):
+        metrics[f"scrub.{key}"] = scrub[key]
+    if telemetry["ticks"]:
+        metrics["telemetry_ticks"] = telemetry["ticks"]
+        metrics["queue_depth_max"] = telemetry["queue_depth_max"]
+        metrics["inflight_max"] = telemetry["inflight_max"]
+    if latencies:
+        metrics["latency_count"] = len(latencies)
+        metrics["latency_mean_s"] = round(sum(latencies) / len(latencies), 6)
+        for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            value = quantile(latencies, q)
+            assert value is not None
+            metrics[f"latency_{label}_s"] = round(value, 6)
+        metrics["latency_max_s"] = round(max(latencies), 6)
+    return RunRecord(
+        run_id=run_id or out_dir.name,
+        path=str(out_dir),
+        kind=KIND_SERVE,
+        identity=identity,
+        metrics=metrics,
+    )
+
+
+def index_bench_file(path: "Path | str", run_id: Optional[str] = None) -> List[RunRecord]:
+    """Index one ``BENCH_*.json`` file: one record per benchmark cell,
+    phase timings flattened to ``phase.<name>.cpu_s`` / ``.io_s`` so
+    Table 4-style breakdowns become comparable trajectories."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise CorpusError(f"{path}: not JSON ({exc})") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("records"), list):
+        raise CorpusError(f"{path}: not a BENCH file (no records list)")
+    base = run_id or path.stem
+    out: List[RunRecord] = []
+    for i, record in enumerate(data["records"]):
+        identity: Dict[str, object] = {
+            "benchmark": data.get("benchmark"),
+            "schema_version": data.get("schema_version"),
+        }
+        for key in ("algorithm", "scale", "buffer_mb", "buffer_mb_scaled"):
+            if record.get(key) is not None:
+                identity[key] = record[key]
+        metrics: Dict[str, float] = {}
+        for key in ("total_s", "cpu_s", "io_s", "candidates", "result_count"):
+            if record.get(key) is not None:
+                metrics[key] = record[key]
+        for key, value in sorted((record.get("counters") or {}).items()):
+            if isinstance(value, (int, float)):
+                metrics[f"counter.{key}"] = value
+        for phase in record.get("phases") or []:
+            name = phase.get("name", "?")
+            for key in ("cpu_s", "io_s", "page_reads", "page_writes", "seeks"):
+                if phase.get(key) is not None:
+                    metrics[f"phase.{name}.{key}"] = phase[key]
+        for block in ("faults", "disk"):
+            for key, value in sorted((record.get(block) or {}).items()):
+                if isinstance(value, bool):
+                    metrics[f"{block}.{key}"] = int(value)
+                elif isinstance(value, (int, float)):
+                    metrics[f"{block}.{key}"] = value
+        out.append(
+            RunRecord(
+                run_id=f"{base}#{i}",
+                path=str(path),
+                kind=KIND_BENCH,
+                identity=identity,
+                metrics=metrics,
+            )
+        )
+    return out
+
+
+def _metrics_file_extract(run_dir: Path) -> Dict[str, float]:
+    """Headline counters/gauges from a run dir's ``metrics.json`` (the
+    dedup pin and the disk peaks), if the run recorded one."""
+    path = run_dir / METRICS_FILENAME
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        return {}
+    snapshot = data.get("metrics", data) if isinstance(data, dict) else {}
+    if not isinstance(snapshot, dict):
+        return {}
+    out: Dict[str, float] = {}
+    for source, target in sorted(_COUNTER_METRICS.items()):
+        entry = snapshot.get(source)
+        if isinstance(entry, dict) and isinstance(entry.get("value"), (int, float)):
+            out[target] = entry["value"]
+    for source, target in sorted(_GAUGE_METRICS.items()):
+        entry = snapshot.get(source)
+        if isinstance(entry, dict) and isinstance(entry.get("value"), (int, float)):
+            out[target] = entry["value"]
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the corpus scan
+# --------------------------------------------------------------------- #
+
+
+def index_path(path: "Path | str") -> RunRecord:
+    """Index a single artifact the user pointed at directly.
+
+    A directory with a ``serve.jsonl`` is a serve root; with a
+    ``journal.jsonl``, an engine run; a ``*.json`` file, a BENCH file
+    (multi-record files merge with ``<algorithm>.``-prefixed metrics so
+    one comparable record comes back).
+    """
+    given = str(path)
+    path = Path(path)
+    if path.is_dir():
+        if (path / SERVE_JOURNAL_FILENAME).exists():
+            return index_serve_run(path, run_id=given)
+        if (path / ENGINE_JOURNAL_FILENAME).exists():
+            return index_engine_run(path, run_id=given)
+        raise CorpusError(
+            f"{path}: neither {SERVE_JOURNAL_FILENAME} nor "
+            f"{ENGINE_JOURNAL_FILENAME} found"
+        )
+    if path.is_file():
+        records = index_bench_file(path)
+        if not records:
+            raise CorpusError(f"{path}: BENCH file with no records")
+        if len(records) == 1:
+            record = records[0]
+            record.run_id = path.stem
+            return record
+        merged = RunRecord(
+            run_id=path.stem,
+            path=str(path),
+            kind=KIND_BENCH,
+            identity={"benchmark": records[0].identity.get("benchmark"),
+                      "cells": len(records)},
+        )
+        for i, record in enumerate(records):
+            prefix = str(record.identity.get("algorithm", i))
+            for key in sorted(record.metrics):
+                merged.metrics[f"{prefix}.{key}"] = record.metrics[key]
+        return merged
+    raise CorpusError(f"{path}: no such run artifact")
+
+
+def scan_corpus(root: "Path | str") -> List[RunRecord]:
+    """Index every recognizable artifact under ``root``, sorted by
+    ``(kind, path, run_id)``.  Artifacts that fail to parse are skipped —
+    a half-written journal must not poison the whole warehouse."""
+    root = Path(root)
+    records: List[RunRecord] = []
+    if not root.exists():
+        return records
+    candidates = [root] + sorted(
+        (p for p in root.rglob("*") if p.is_dir()), key=lambda p: str(p)
+    )
+    for directory in candidates:
+        rel = directory.relative_to(root).as_posix() or "."
+        if (directory / SERVE_JOURNAL_FILENAME).exists():
+            try:
+                record = index_serve_run(directory, run_id=rel)
+            except (CorpusError, OSError, ValueError):
+                continue
+            record.path = rel
+            records.append(record)
+        if (directory / ENGINE_JOURNAL_FILENAME).exists():
+            try:
+                record = index_engine_run(directory, run_id=rel)
+            except (CorpusError, OSError, ValueError):
+                continue
+            record.path = rel
+            records.append(record)
+    bench_files = sorted(
+        (p for p in root.rglob(f"{BENCH_GLOB_PREFIX}*.json") if p.is_file()),
+        key=lambda p: str(p),
+    )
+    for path in bench_files:
+        rel = path.relative_to(root).as_posix()
+        try:
+            cells = index_bench_file(path, run_id=rel)
+        except (CorpusError, OSError, ValueError):
+            continue
+        for record in cells:
+            record.path = rel
+            records.append(record)
+    records.sort(key=lambda r: (r.kind, r.path, r.run_id))
+    return records
+
+
+def find_record(records: Sequence[RunRecord], run_id: str) -> Optional[RunRecord]:
+    for record in records:
+        if record.run_id == run_id:
+            return record
+    return None
+
+
+# --------------------------------------------------------------------- #
+# diffing and trending
+# --------------------------------------------------------------------- #
+
+
+def compare_runs(
+    a: RunRecord,
+    b: RunRecord,
+    metrics: Optional[Sequence[str]] = None,
+) -> List[dict]:
+    """Metric-by-metric diff rows over the union of both records' keys.
+
+    Each row carries both readings plus ``delta`` (b - a) and ``ratio``
+    (b / a) when they are computable.  ``metrics`` restricts the rows to
+    the named keys, in the given order.
+    """
+    keys: List[str] = (
+        list(metrics)
+        if metrics
+        else sorted(set(a.metrics) | set(b.metrics))
+    )
+    rows: List[dict] = []
+    for key in keys:
+        va = a.metrics.get(key)
+        vb = b.metrics.get(key)
+        row: dict = {"metric": key, "a": va, "b": vb}
+        if va is not None and vb is not None:
+            row["delta"] = round(vb - va, 9)
+            if va:
+                row["ratio"] = round(vb / va, 6)
+        rows.append(row)
+    return rows
+
+
+def check_gates(
+    rows: Sequence[dict],
+    gates: Sequence[str],
+    threshold: float = DEFAULT_GATE_THRESHOLD,
+) -> List[str]:
+    """Regression messages for each gated metric; empty means pass.
+
+    A gate fires when ``b > a * (1 + threshold)`` — higher is worse for
+    everything worth gating (latency, wall time, retries, disk peaks).
+    A gated metric missing from either side fires too: a gate that
+    cannot read its metric must fail loudly, not pass silently.
+    """
+    by_metric = {row["metric"]: row for row in rows}
+    failures: List[str] = []
+    for gate in gates:
+        row = by_metric.get(gate)
+        if row is None or row.get("a") is None or row.get("b") is None:
+            failures.append(f"gate {gate}: metric missing from one side")
+            continue
+        limit = row["a"] * (1.0 + threshold)
+        if row["b"] > limit:
+            failures.append(
+                f"gate {gate}: {_fmt_num(row['b'])} exceeds "
+                f"{_fmt_num(row['a'])} by more than {threshold:.0%}"
+            )
+    return failures
+
+
+def fit_trend(values: Sequence[float]) -> dict:
+    """Least-squares line over ``values`` at x = 0..n-1.
+
+    ``slope_frac`` normalizes the slope by the mean magnitude, so "this
+    metric grows 3% per run" reads directly against a threshold.
+    """
+    n = len(values)
+    if n < 2:
+        return {
+            "n": n,
+            "slope": 0.0,
+            "intercept": values[0] if values else 0.0,
+            "mean": values[0] if values else 0.0,
+            "slope_frac": 0.0,
+        }
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    sxx = sum((i - mean_x) ** 2 for i in range(n))
+    sxy = sum((i - mean_x) * (v - mean_y) for i, v in enumerate(values))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    magnitude = sum(abs(v) for v in values) / n
+    return {
+        "n": n,
+        "slope": round(slope, 9),
+        "intercept": round(intercept, 9),
+        "mean": round(mean_y, 9),
+        "slope_frac": round(slope / magnitude, 9) if magnitude else 0.0,
+    }
+
+
+# --------------------------------------------------------------------- #
+# deterministic text rendering
+# --------------------------------------------------------------------- #
+
+
+def _fmt_num(value) -> str:
+    if value is None:
+        return "-"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    text = f"{number:.6f}".rstrip("0").rstrip(".")
+    return text if text not in ("", "-") else "0"
+
+
+def render_list(records: Sequence[RunRecord]) -> str:
+    lines = ["# runs"]
+    if not records:
+        lines.append("(no runs found)")
+        return "\n".join(lines) + "\n"
+    for record in records:
+        headline = ""
+        for key in ("latency_p50_s", "total_s", "results", "queries_done"):
+            if key in record.metrics:
+                headline = f"  {key}={_fmt_num(record.metrics[key])}"
+                break
+        lines.append(
+            f"{record.kind:<6} {record.run_id}  "
+            f"[{len(record.metrics)} metrics]{headline}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_show(record: RunRecord) -> str:
+    lines = [
+        f"# run {record.run_id}",
+        f"kind: {record.kind}",
+        f"path: {record.path}",
+        "",
+        "## identity",
+    ]
+    for key in sorted(record.identity):
+        lines.append(f"- {key}: {json.dumps(record.identity[key], sort_keys=True)}")
+    lines.append("")
+    lines.append("## metrics")
+    for key in sorted(record.metrics):
+        lines.append(f"- {key}: {_fmt_num(record.metrics[key])}")
+    return "\n".join(lines) + "\n"
+
+
+def render_compare(a: RunRecord, b: RunRecord, rows: Sequence[dict]) -> str:
+    lines = [
+        "# runs compare",
+        f"a: {a.run_id} ({a.kind})",
+        f"b: {b.run_id} ({b.kind})",
+        "",
+        f"{'metric':<32} {'a':>14} {'b':>14} {'delta':>14} {'ratio':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['metric']:<32} {_fmt_num(row.get('a')):>14} "
+            f"{_fmt_num(row.get('b')):>14} {_fmt_num(row.get('delta')):>14} "
+            f"{_fmt_num(row.get('ratio')):>8}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_trend(metric: str, run_ids: Sequence[str], values: Sequence[float],
+                 trend: dict) -> str:
+    lines = [
+        "# runs trend",
+        f"metric: {metric}",
+        f"n: {trend['n']}",
+        f"mean: {_fmt_num(trend['mean'])}",
+        f"slope: {_fmt_num(trend['slope'])} per run "
+        f"({trend['slope_frac'] * 100:+.2f}% of mean)",
+        "",
+    ]
+    for run_id, value in zip(run_ids, values):
+        lines.append(f"{run_id:<40} {_fmt_num(value):>14}")
+    return "\n".join(lines) + "\n"

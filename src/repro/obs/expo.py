@@ -1,0 +1,157 @@
+"""Prometheus-style plaintext exposition of a metrics snapshot.
+
+:func:`render_exposition` turns a :meth:`MetricsRegistry.snapshot` into
+the text format scrapers speak: a ``# TYPE`` line per metric, cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count`` for histograms,
+bare ``name value`` lines for counters and gauges.  Names are sanitized
+(dots become underscores) and prefixed so ``serve.latency_s`` scrapes as
+``repro_serve_latency_s``.  Output is byte-deterministic: metrics sort
+by name and every number renders through one canonical formatter.
+
+:func:`parse_exposition` is the inverse — enough of a parser for CI to
+scrape the ``metrics`` wire op and assert the counters it sees match the
+``stats`` op, without a Prometheus binary in the loop.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping
+
+EXPOSITION_PREFIX = "repro_"
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+
+def metric_name(name: str, prefix: str = EXPOSITION_PREFIX) -> str:
+    """Sanitized exposition name for a registry instrument name."""
+    return prefix + _NAME_SANITIZE.sub("_", name)
+
+
+def format_value(value) -> str:
+    """One canonical number rendering: integral values print as
+    integers, everything else as Python's shortest round-trip float.
+    ``inf`` prints as ``+Inf`` (the exposition spelling)."""
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_exposition(
+    snapshot: Mapping[str, dict], *, prefix: str = EXPOSITION_PREFIX
+) -> str:
+    """Render a registry snapshot as Prometheus plaintext exposition.
+
+    Histogram buckets are converted from the registry's per-bucket
+    counts to the format's cumulative counts, with the trailing
+    ``+Inf`` bucket equal to ``_count``.
+    """
+    lines = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        exposed = metric_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed} {format_value(data['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {format_value(data['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {exposed} histogram")
+            cumulative = 0
+            for bucket in data["buckets"]:
+                cumulative += bucket["count"]
+                le = (
+                    "+Inf"
+                    if bucket["le"] == "inf"
+                    else format_value(bucket["le"])
+                )
+                lines.append(
+                    f'{exposed}_bucket{{le="{le}"}} {cumulative}'
+                )
+            lines.append(f"{exposed}_sum {format_value(data['sum'])}")
+            lines.append(f"{exposed}_count {format_value(data['count'])}")
+        # unknown/empty instrument snapshots are skipped, not invented
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_exposition(text: str) -> Dict[str, dict]:
+    """Parse exposition text back into ``{name: {...}}``.
+
+    Counters and gauges come back as ``{"type", "value"}``; histograms
+    as ``{"type", "buckets": {le_label: cumulative_count}, "sum",
+    "count"}``.  Raises :class:`ValueError` on any line it cannot
+    understand — CI uses this as the "exposition parses" assertion.
+    """
+    types: Dict[str, str] = {}
+    metrics: Dict[str, dict] = {}
+
+    def base_name(sample: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample[: -len(suffix)] if sample.endswith(suffix) else None
+            if trimmed and types.get(trimmed) == "histogram":
+                return trimmed
+        return sample
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+                continue
+            if parts[0] == "#" and len(parts) >= 2 and parts[1] in ("HELP",):
+                continue
+            raise ValueError(f"line {lineno}: unrecognized comment {raw!r}")
+        match = _LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {raw!r}")
+        sample = match.group("name")
+        labels = match.group("labels")
+        try:
+            value = float(match.group("value").replace("Inf", "inf"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad value {match.group('value')!r}"
+            ) from exc
+        name = base_name(sample)
+        kind = types.get(name)
+        if kind is None:
+            raise ValueError(f"line {lineno}: sample {sample!r} has no TYPE")
+        if kind == "histogram":
+            entry = metrics.setdefault(
+                name, {"type": "histogram", "buckets": {}, "sum": 0.0, "count": 0}
+            )
+            if sample.endswith("_bucket"):
+                if not labels or not labels.startswith('le="'):
+                    raise ValueError(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                le = labels[len('le="'):].rstrip('"')
+                entry["buckets"][le] = value
+            elif sample.endswith("_sum"):
+                entry["sum"] = value
+            elif sample.endswith("_count"):
+                entry["count"] = value
+            else:
+                raise ValueError(
+                    f"line {lineno}: unexpected histogram sample {sample!r}"
+                )
+        else:
+            metrics[name] = {"type": kind, "value": value}
+    return metrics

@@ -23,7 +23,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from .journal import FAULT_TIMELINE_TYPES
+from .journal import FAULT_TIMELINE_TYPES, SERVE_TIMELINE_TYPES
 from .metrics import MetricsRegistry
 from .trace import Span, Tracer
 
@@ -137,19 +137,28 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
 
 
 def chrome_instant_events(journal_events: List[dict]) -> List[dict]:
-    """Instant ("ph": "i") markers for the run's fault/recovery moments.
+    """Instant ("ph": "i") markers for the run's notable moments.
 
     Renders the journal's fault timeline —
     :data:`~repro.obs.journal.FAULT_TIMELINE_TYPES` plus checkpoint
     commits — as global-scope instants, so fault injections, retries, and
-    respawns appear as vertical ticks across the span flame chart.  Other
-    journal event types are skipped: the lifecycle ones already exist as
-    spans, and heartbeats/samples would drown the timeline.
+    respawns appear as vertical ticks across the span flame chart.  Serve
+    and per-query journals render their lifecycle moments too
+    (:data:`~repro.obs.journal.SERVE_TIMELINE_TYPES`: query arrivals,
+    cache hits, breaker transitions) under the ``"serve"`` category.
+    Other journal event types are skipped: the engine lifecycle ones
+    already exist as spans, and heartbeats/samples would drown the
+    timeline.
     """
-    marked = FAULT_TIMELINE_TYPES | {"checkpoint_commit"}
+    fault_marked = FAULT_TIMELINE_TYPES | {"checkpoint_commit"}
     events: List[dict] = []
     for record in journal_events:
-        if record.get("type") not in marked:
+        kind = record.get("type")
+        if kind in fault_marked:
+            category = "fault"
+        elif kind in SERVE_TIMELINE_TYPES:
+            category = "serve"
+        else:
             continue
         args = {
             k: v
@@ -159,7 +168,7 @@ def chrome_instant_events(journal_events: List[dict]) -> List[dict]:
         events.append(
             {
                 "name": record["type"],
-                "cat": "fault",
+                "cat": category,
                 "ph": "i",
                 "s": "g",
                 "ts": float(record.get("t", 0.0)) * 1e6,

@@ -182,6 +182,18 @@ FAULT_TIMELINE_TYPES = frozenset(
 """The subset that belongs on a "when did things go wrong" timeline —
 what the chrome-trace exporter renders as instant events."""
 
+SERVE_TIMELINE_TYPES = frozenset(
+    {
+        EVENT_QUERY_RECEIVED,
+        EVENT_CACHE_HIT,
+        EVENT_BREAKER,
+    }
+)
+"""The serving-tier lifecycle moments worth a timeline marker: a serve
+(or per-query) journal rendered through the chrome-trace exporter shows
+when each query arrived, which ones the cache answered, and every
+breaker transition in between."""
+
 OnJournalEvent = Callable[[Dict[str, object]], None]
 """Observer invoked with each emitted record (the ``--live`` renderer)."""
 

@@ -157,6 +157,122 @@ class Histogram:
             ],
         }
 
+    def delta(self, prev: Optional[dict]) -> dict:
+        """This histogram's change since ``prev`` (a prior :meth:`snapshot`).
+
+        Returns a snapshot-shaped dict describing only the observations
+        made *after* ``prev`` was taken, so samplers can compute windowed
+        rates and quantiles without re-reading cumulative totals.  An
+        empty or ``None`` ``prev`` yields the full current snapshot; a
+        ``prev`` with more observations than the present state (any
+        regressed bucket) means the instrument restarted, and the whole
+        current state is the delta — counter-reset semantics.
+        """
+        return histogram_delta(self.snapshot(), prev)
+
+    @classmethod
+    def from_snapshot(cls, data: dict, name: str = "") -> "Histogram":
+        """Rebuild a histogram (quantiles and all) from a snapshot dict.
+
+        The inverse of :meth:`snapshot`, used to take quantiles of a
+        :meth:`delta` window.  Deltas carry bucket-edge min/max estimates
+        rather than exact extremes, so quantiles of a rebuilt delta are
+        bucket-resolution — the same resolution Prometheus offers.
+        """
+        bounds = [b["le"] for b in data["buckets"] if b["le"] != "inf"]
+        hist = cls(name, bounds)
+        hist.counts = [b["count"] for b in data["buckets"]]
+        hist.count = data["count"]
+        hist.total = data["sum"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+
+def histogram_delta(cur: dict, prev: Optional[dict]) -> dict:
+    """Difference of two histogram snapshots, as a snapshot-shaped dict.
+
+    ``cur`` and ``prev`` must come from the same instrument (identical
+    bucket bounds).  Min/max of the window are unknowable from bucket
+    counts alone, so they are estimated from the edges of the first and
+    last buckets the window touched (exact when ``prev`` is empty, since
+    the window then spans the instrument's whole life).
+    """
+    if not prev or prev.get("type") != "histogram":
+        return dict(cur)
+    cur_bounds = [b["le"] for b in cur["buckets"]]
+    prev_bounds = [b["le"] for b in prev["buckets"]]
+    if cur_bounds != prev_bounds:
+        raise ValueError(
+            f"histogram delta: bucket bounds differ "
+            f"({cur_bounds} vs {prev_bounds})"
+        )
+    cur_counts = [b["count"] for b in cur["buckets"]]
+    prev_counts = [b["count"] for b in prev["buckets"]]
+    regressed = prev["count"] > cur["count"] or any(
+        p > c for p, c in zip(prev_counts, cur_counts)
+    )
+    if regressed:
+        return dict(cur)
+    counts = [c - p for c, p in zip(cur_counts, prev_counts)]
+    count = cur["count"] - prev["count"]
+    total = cur["sum"] - prev["sum"] if count else 0.0
+    if count == 0:
+        d_min: Optional[float] = None
+        d_max: Optional[float] = None
+    elif prev["count"] == 0:
+        d_min, d_max = cur["min"], cur["max"]
+    else:
+        bounds = [b for b in cur_bounds if b != "inf"]
+        nonzero = [i for i, n in enumerate(counts) if n]
+        lo, hi = nonzero[0], nonzero[-1]
+        d_min = bounds[lo - 1] if lo > 0 else cur["min"]
+        d_max = bounds[hi] if hi < len(bounds) else cur["max"]
+    return {
+        "type": "histogram",
+        "count": count,
+        "sum": total,
+        "min": d_min,
+        "max": d_max,
+        "mean": total / count if count else 0.0,
+        "buckets": [
+            {"le": bound, "count": n} for bound, n in zip(cur_bounds, counts)
+        ],
+    }
+
+
+def snapshot_delta(
+    cur: Dict[str, dict], prev: Optional[Dict[str, dict]]
+) -> Dict[str, dict]:
+    """Registry-level difference of two :meth:`MetricsRegistry.snapshot` s.
+
+    Counters subtract (clamped to the current value on reset), gauges
+    pass through their current reading (a gauge has no rate), histograms
+    go through :func:`histogram_delta`.  Instruments absent from ``prev``
+    contribute their full current state; instruments that vanished from
+    ``cur`` are dropped — registries only grow in practice.
+    """
+    prev = prev or {}
+    out: Dict[str, dict] = {}
+    for name in sorted(cur):
+        data = cur[name]
+        kind = data.get("type")
+        before = prev.get(name)
+        if kind == "counter":
+            prior = before["value"] if before and before.get("type") == "counter" else 0
+            value = data["value"] - prior
+            if value < 0:  # instrument restarted
+                value = data["value"]
+            out[name] = {"type": "counter", "value": value}
+        elif kind == "gauge":
+            out[name] = dict(data)
+        elif kind == "histogram":
+            before = before if before and before.get("type") == "histogram" else None
+            out[name] = histogram_delta(data, before)
+        else:
+            out[name] = dict(data)
+    return out
+
 
 class _NullInstrument:
     """Answers every instrument API with a no-op / zero."""
@@ -184,6 +300,9 @@ class _NullInstrument:
         return {}
 
     def snapshot(self) -> dict:
+        return {}
+
+    def delta(self, prev: Optional[dict]) -> dict:
         return {}
 
 
@@ -233,6 +352,13 @@ class MetricsRegistry:
         return {
             name: self._instruments[name].snapshot() for name in self.names()
         }
+
+    def delta(self, prev: Optional[Dict[str, dict]]) -> Dict[str, dict]:
+        """Change since ``prev`` (a prior :meth:`snapshot`) — see
+        :func:`snapshot_delta`.  A disabled registry answers ``{}``."""
+        if not self.enabled:
+            return {}
+        return snapshot_delta(self.snapshot(), prev)
 
     # ------------------------------------------------------------------ #
     # cross-process merging

@@ -69,6 +69,23 @@ disk budget behaved.  Optional on every record — absent means the run
 predates storage governance or wrote nothing worth metering;
 ``spill_bytes`` alone records an unconstrained run's footprint."""
 
+BENCH_TELEMETRY_SCHEMA = {
+    "type": "object",
+    "required": ["ticks"],
+    "properties": {
+        "ticks": {"type": "integer", "minimum": 0},
+        "interval_s": {"type": "number", "minimum": 0},
+        "sampled_series": {"type": "integer", "minimum": 0},
+        "slow_log_entries": {"type": "integer", "minimum": 0},
+        "queue_depth_max": {"type": "integer", "minimum": 0},
+        "inflight_max": {"type": "integer", "minimum": 0},
+    },
+}
+"""The live-telemetry block: what the sampler saw while the benchmark
+ran.  Optional on every record — absent means the run was sampled never
+(telemetry off); the series themselves stay on the wire op, only the
+sampling footprint and load peaks are recorded."""
+
 BENCH_RECORD_SCHEMA = {
     "type": "object",
     "required": [
@@ -106,6 +123,7 @@ BENCH_RECORD_SCHEMA = {
         "notes": {"type": "object"},
         "faults": BENCH_FAULTS_SCHEMA,
         "disk": BENCH_DISK_SCHEMA,
+        "telemetry": BENCH_TELEMETRY_SCHEMA,
     },
 }
 

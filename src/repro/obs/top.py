@@ -1,0 +1,140 @@
+"""Frame renderer for ``python -m repro top`` — the live serve dashboard.
+
+The CLI polls a running server's ``telemetry`` wire op and draws one
+frame per poll; everything about what a frame *looks like* lives here as
+a pure function of the telemetry payload, so tests exercise the layout
+without a socket or a terminal in the loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+
+def _num(value, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return f"{number:.{digits}f}"
+
+
+def _seconds(value) -> str:
+    return "-" if value is None else f"{float(value):.3f}s"
+
+
+def _bytes(value) -> str:
+    if value is None:
+        return "-"
+    number = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(number) < 1024.0 or unit == "GiB":
+            return f"{number:.1f}{unit}" if unit != "B" else f"{int(number)}B"
+        number /= 1024.0
+    return f"{number:.1f}GiB"
+
+
+def render_top(
+    telemetry: Mapping[str, object],
+    *,
+    slow_rows: int = 5,
+    series_rows: int = 12,
+) -> str:
+    """One dashboard frame from a ``telemetry`` op payload."""
+    stats: Mapping = telemetry.get("stats") or {}
+    outcomes_block: Mapping = telemetry.get("outcomes") or {}
+    sampling: Mapping = telemetry.get("sampling") or {}
+    series: Mapping = telemetry.get("series") or {}
+    slow_log = telemetry.get("slow_log") or []
+
+    lines: List[str] = []
+    breaker = outcomes_block.get("breaker_state", "?")
+    lines.append(
+        "repro serve"
+        f" · up {_num(stats.get('uptime_s'), 1)}s"
+        f" · workers {stats.get('workers', '?')}"
+        f" · queue {stats.get('queued', 0)}/{stats.get('max_queue', '?')}"
+        f" · inflight {stats.get('inflight', 0)}/{stats.get('max_inflight', '?')}"
+        f" · breaker {breaker}"
+        + (" · DRAINING" if stats.get("draining") else "")
+    )
+
+    outcomes: Mapping = outcomes_block.get("outcomes") or {}
+    lines.append(
+        "outcomes   "
+        + " ".join(f"{key}={outcomes[key]}" for key in sorted(outcomes))
+    )
+
+    hits = stats.get("hits", 0)
+    misses = stats.get("misses", 0)
+    lookups = hits + misses
+    ratio = f"{hits / lookups:.2f}" if lookups else "-"
+    lines.append(
+        f"cache      hits={hits} misses={misses} "
+        f"coalesced={stats.get('coalesced', 0)} hit_ratio={ratio}"
+    )
+
+    latency: Mapping = stats.get("latency") or {}
+    lines.append(
+        f"latency    count={latency.get('count', 0)}"
+        f" p50={_seconds(latency.get('p50_s'))}"
+        f" p95={_seconds(latency.get('p95_s'))}"
+        f" p99={_seconds(latency.get('p99_s'))}"
+    )
+
+    disk: Optional[Mapping] = stats.get("disk")
+    if disk:
+        lines.append(
+            f"disk       used={_bytes(disk.get('used_bytes'))}"
+            f" budget={_bytes(disk.get('max_bytes'))}"
+            f" hwm={_bytes(disk.get('high_watermark_bytes'))}"
+            f" denials={disk.get('denials', 0)}"
+        )
+
+    lines.append(
+        f"dedup      duplicates_dropped={outcomes_block.get('duplicates_dropped', 0)}"
+        f" pool_generation={outcomes_block.get('pool_generation', 0)}"
+        f" breaker_trips={outcomes_block.get('breaker_trips', 0)}"
+        f" scrub_passes={outcomes_block.get('scrub_passes', 0)}"
+    )
+
+    lines.append("")
+    ticks = sampling.get("ticks", 0)
+    interval = sampling.get("interval_s")
+    lines.append(
+        f"series     ticks={ticks}"
+        + (f" interval={_num(interval)}s" if interval is not None else "")
+    )
+    shown = 0
+    for name in sorted(series):
+        if shown >= series_rows:
+            lines.append(f"  … {len(series) - shown} more series")
+            break
+        window: Mapping = series[name]
+        lines.append(
+            f"  {name:<28} last={_num(window.get('last'))}"
+            f" mean={_num(window.get('mean'))}"
+            f" max={_num(window.get('max'))}"
+            f" p95={_num(window.get('p95'))}"
+        )
+        shown += 1
+    if not series:
+        lines.append("  (no samples yet)")
+
+    lines.append("")
+    lines.append("slow log   (top by latency)")
+    for entry in list(slow_log)[:slow_rows]:
+        phases: Mapping = entry.get("phases") or {}
+        phase_text = " ".join(
+            f"{key}={_seconds(phases[key])}" for key in sorted(phases)
+        )
+        lines.append(
+            f"  {entry.get('query', '?'):<12}"
+            f" {_seconds(entry.get('latency_s'))}"
+            f" {entry.get('source', '?'):<9}"
+            f" {phase_text}"
+        )
+    if not slow_log:
+        lines.append("  (no completed queries yet)")
+    return "\n".join(lines) + "\n"

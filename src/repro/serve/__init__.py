@@ -45,6 +45,7 @@ from .query import (
 )
 from .scrub import CacheScrubber
 from .server import (
+    BREAKER_STATE_CODES,
     DEFAULT_HOST,
     REJECT_DEADLINE,
     REJECT_QUEUE_FULL,
@@ -57,11 +58,13 @@ from .server import (
     SOURCE_WARM,
     JoinServer,
     StorageOverloadError,
+    outcome_block,
 )
 
 __all__ = [
     "ArtifactCache",
     "BREAKER_CLOSED",
+    "BREAKER_STATE_CODES",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
     "CacheScrubber",
@@ -87,6 +90,7 @@ __all__ = [
     "ServeClient",
     "SharedPoolProvider",
     "StorageOverloadError",
+    "outcome_block",
     "read_port_file",
     "result_digest",
     "wait_for_server",

@@ -122,6 +122,18 @@ class ServeClient:
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 
+    def telemetry(self, window_s: Optional[float] = None) -> dict:
+        """The live telemetry payload (series windows, slow log, outcome
+        summary); ``window_s`` restricts series stats to recent samples."""
+        payload: dict = {"op": "telemetry"}
+        if window_s is not None:
+            payload["window_s"] = window_s
+        return self.request(payload)
+
+    def metrics(self) -> dict:
+        """The Prometheus-style plaintext exposition (``exposition`` key)."""
+        return self.request({"op": "metrics"})
+
     def shutdown(self) -> dict:
         """Ask the server to drain and stop (replies before it does)."""
         return self.request({"op": "shutdown"})

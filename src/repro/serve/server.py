@@ -57,10 +57,18 @@ from ..obs.journal import (
     EVENT_DISK_PRESSURE,
     EVENT_QUERY_DONE,
     EVENT_QUERY_RECEIVED,
+    EVENT_SAMPLE,
     RunJournal,
     ThreadSafeJournal,
 )
-from ..obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from ..obs.expo import render_exposition
+from ..obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    snapshot_delta,
+)
+from ..obs.timeseries import SlowLog, TelemetrySampler
 from ..parallel.process import DeadlineExceededError, ProcessPBSM
 from ..parallel.tasks import KEYPOINTER_RECORD_BYTES
 from ..storage.errors import DiskFullError
@@ -95,6 +103,28 @@ SERVE_JOURNAL_FILENAME = "serve.jsonl"
 QUERY_JOURNAL_FILENAME = "journal.jsonl"
 
 _DATASET_MEMO_CAP = 16
+
+BREAKER_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+"""Numeric encoding of the breaker state for the telemetry time series
+(a string cannot ride a ring buffer; an unknown state samples as -1)."""
+
+
+def outcome_block(stats: dict) -> dict:
+    """The canonical outcome summary, shaped from a :meth:`JoinServer.stats`.
+
+    One formatter for the three surfaces that report it — the ``stats``
+    op (as its ``summary``), the ``telemetry`` op, and
+    ``bench_serve_throughput``'s notes — so their fields can never skew.
+    """
+    return {
+        "outcomes": dict(stats["outcomes"]),
+        "breaker_state": stats["breaker"]["state"],
+        "breaker_trips": stats["breaker"]["trips"],
+        "scrub_passes": stats["scrub"]["passes"],
+        "scrub_quarantined": stats["scrub"]["quarantined"],
+        "duplicates_dropped": stats["duplicates_dropped"],
+        "pool_generation": stats["pool_generation"],
+    }
 
 
 class StorageOverloadError(Exception):
@@ -139,6 +169,8 @@ class JoinServer:
         breaker_window_s: float = 30.0,
         breaker_cooldown_s: float = 5.0,
         scrub_interval_s: Optional[float] = None,
+        telemetry_interval_s: Optional[float] = None,
+        slowlog_top_k: int = 8,
     ):
         if max_inflight < 1:
             raise ValueError("need at least one in-flight slot")
@@ -197,6 +229,16 @@ class JoinServer:
         self._latency = self.metrics.histogram(
             "serve.latency_s", LATENCY_BUCKETS_S
         )
+        self.telemetry_interval_s = telemetry_interval_s
+        """``None`` leaves the sampler thread stopped; :meth:`TelemetrySampler.sample`
+        on :attr:`sampler` still ticks manually (tests and drills drive it
+        deterministically, optionally under an injected clock)."""
+        self.sampler = TelemetrySampler(
+            self._telemetry_tick,
+            interval_s=telemetry_interval_s if telemetry_interval_s else 1.0,
+        )
+        self.slowlog = SlowLog(top_k=slowlog_top_k)
+        self._telemetry_prev: Dict[str, dict] = {}
         self._lock = threading.RLock()
         self._idle = threading.Condition(self._lock)
         self._exec_slots = threading.Semaphore(max_inflight)
@@ -242,6 +284,8 @@ class JoinServer:
         self._accept_thread.start()
         if self.scrub_interval_s is not None:
             self.scrubber.start()
+        if self.telemetry_interval_s is not None:
+            self.sampler.start()
         return self.host, self.port
 
     def serve_forever(self) -> None:
@@ -271,6 +315,7 @@ class JoinServer:
                     self._listener.close()
                 except OSError:
                     pass
+            self.sampler.stop()
             self.scrubber.stop()
             self.provider.close()
             self.cache.ensure_budget()
@@ -327,7 +372,32 @@ class JoinServer:
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "stats":
-            return {"ok": True, "op": "stats", "stats": self.stats()}
+            stats = self.stats()
+            return {
+                "ok": True,
+                "op": "stats",
+                "stats": stats,
+                "summary": outcome_block(stats),
+            }
+        if op == "telemetry":
+            window_s = payload.get("window_s")
+            if window_s is not None:
+                try:
+                    window_s = float(window_s)
+                except (TypeError, ValueError):
+                    return _error("bad_request", "window_s must be a number")
+            return {
+                "ok": True,
+                "op": "telemetry",
+                "telemetry": self.telemetry(window_s),
+            }
+        if op == "metrics":
+            return {
+                "ok": True,
+                "op": "metrics",
+                "content_type": "text/plain; version=0.0.4",
+                "exposition": render_exposition(self.metrics.snapshot()),
+            }
         if op == "shutdown":
             with self._lock:
                 pending = self._queued + self._inflight
@@ -364,15 +434,28 @@ class JoinServer:
             EVENT_QUERY_RECEIVED, query=query_id, **spec.to_wire()
         )
         self._exec_slots.acquire()
+        phases: Dict[str, float] = {
+            "queue_s": round(time.perf_counter() - started, 6)
+        }
         with self._lock:
             self._queued -= 1
             self._inflight += 1
             self.metrics.gauge("serve.queue_depth").set(self._queued)
         try:
-            response = self._execute(spec, query_id, started)
+            response = self._execute(spec, query_id, started, phases)
             with self._lock:
                 self._completed += 1
             self.metrics.counter("serve.completed").inc()
+            self.slowlog.record(
+                {
+                    "query": query_id,
+                    "source": response.get("source"),
+                    "run_id": response.get("run_id"),
+                    "result_count": response.get("result_count"),
+                    "latency_s": response.get("latency_s"),
+                    "phases": phases,
+                }
+            )
             return response
         except DeadlineExceededError as exc:
             # A typed reject, not a failure: the query asked for a budget
@@ -436,8 +519,18 @@ class JoinServer:
                 self._inflight -= 1
                 self._idle.notify_all()
 
-    def _execute(self, spec: QuerySpec, query_id: str, started: float) -> dict:
+    def _execute(
+        self,
+        spec: QuerySpec,
+        query_id: str,
+        started: float,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> dict:
+        if phases is None:
+            phases = {}
+        mark = time.perf_counter()
         tuples_r, tuples_s = self._materialise(spec)
+        phases["materialise_s"] = round(time.perf_counter() - mark, 6)
         fingerprint = spec.fingerprint(tuples_r, tuples_s)
         run_id = fingerprint.run_id
         coalesced = self._await_leadership(run_id)
@@ -501,6 +594,15 @@ class JoinServer:
                 self.cache.touch(run_id)
                 latency = time.perf_counter() - started
                 self._latency.observe(latency)
+                phases["execute_s"] = round(
+                    max(
+                        0.0,
+                        latency
+                        - phases.get("queue_s", 0.0)
+                        - phases.get("materialise_s", 0.0),
+                    ),
+                    6,
+                )
                 digest = result_digest(pairs)
                 for j in (journal, self.journal):
                     j.emit(
@@ -712,6 +814,91 @@ class JoinServer:
         self._rejected += 1  # caller holds the lock
         self.metrics.counter("serve.rejected").inc()
         return _error(reason, f"query rejected: {reason}")
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def _telemetry_tick(self) -> Dict[str, float]:
+        """One sampler tick's readings: instantaneous state plus per-tick
+        rates from the metrics registry's delta since the previous tick —
+        windowed rates without re-reading cumulative totals."""
+        snap = self.metrics.snapshot()
+        delta = snapshot_delta(snap, self._telemetry_prev)
+        self._telemetry_prev = snap
+        with self._lock:
+            queued = self._queued
+            inflight = self._inflight
+            hits = self._hits
+            misses = self._misses
+        readings: Dict[str, float] = {
+            "queue_depth": float(queued),
+            "inflight": float(inflight),
+        }
+        lookups = hits + misses
+        if lookups:
+            readings["cache_hit_ratio"] = round(hits / lookups, 6)
+        for metric, signal in (
+            ("serve.admitted", "admitted"),
+            ("serve.completed", "completed"),
+            ("serve.rejected", "rejected"),
+            ("serve.failed", "failed"),
+            ("serve.deadline_exceeded", "deadline_exceeded"),
+            ("serve.storage_overload", "storage_overload"),
+            ("serve.degraded", "degraded"),
+            ("serve.cache.hits", "cache_hits"),
+            ("serve.cache.misses", "cache_misses"),
+        ):
+            entry = delta.get(metric)
+            readings[signal] = float(entry["value"]) if entry else 0.0
+        latency = delta.get("serve.latency_s")
+        if latency and latency.get("count"):
+            window = Histogram.from_snapshot(latency)
+            readings["latency_count"] = float(latency["count"])
+            for q, label in ((0.5, "p50"), (0.95, "p95")):
+                value = window.quantile(q)
+                if value is not None:
+                    readings[f"latency_{label}_s"] = round(value, 6)
+            readings["latency_max_s"] = round(latency["max"], 6)
+        state = self.provider.breaker_stats().get("state")
+        readings["breaker_state"] = BREAKER_STATE_CODES.get(state, -1.0)
+        if self.disk_budget is not None:
+            disk = self.disk_budget.snapshot()
+            readings["disk_used_bytes"] = float(disk["used_bytes"])
+            readings["disk_hwm_bytes"] = float(disk["high_watermark_bytes"])
+            denials = delta.get("disk.budget.denials")
+            readings["disk_denials"] = (
+                float(denials["value"]) if denials else 0.0
+            )
+        if not self._stopped.is_set():
+            # Load peaks into the service journal, so the run warehouse
+            # sees the live shape post-hoc; the full series stays on the
+            # wire op — journaling every signal would bloat the stream.
+            self.journal.emit(
+                EVENT_SAMPLE,
+                kind="telemetry",
+                queued=queued,
+                inflight=inflight,
+                completed=int(readings.get("completed", 0)),
+                breaker_state=state,
+            )
+        return readings
+
+    def telemetry(self, window_s: Optional[float] = None) -> dict:
+        """The ``telemetry`` wire op's payload: sampler window stats, the
+        slow log, the shared outcome summary, and the full stats dict."""
+        stats = self.stats()
+        return {
+            "sampling": {
+                "interval_s": self.telemetry_interval_s,
+                "ticks": self.sampler.ticks,
+                "capacity": self.sampler.capacity,
+            },
+            "series": self.sampler.snapshot(window_s),
+            "slow_log": self.slowlog.top(),
+            "outcomes": outcome_block(stats),
+            "stats": stats,
+        }
 
     def stats(self) -> dict:
         with self._lock:

@@ -1,0 +1,105 @@
+"""Prometheus-style text exposition: rendering, parsing, determinism."""
+
+import pytest
+
+from repro.obs.expo import (
+    format_value,
+    metric_name,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("serve.completed").inc(5)
+    reg.gauge("disk.budget.used_bytes").set(4096)
+    h = reg.histogram("serve.latency_s", buckets=[0.1, 1.0])
+    for v in (0.05, 0.5, 2.0):
+        h.observe(v)
+    return reg
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("serve.cache.hits") == "repro_serve_cache_hits"
+
+    def test_hostile_characters_sanitised(self):
+        assert metric_name("a-b c/d") == "repro_a_b_c_d"
+
+    def test_custom_prefix(self):
+        assert metric_name("x", prefix="") == "x"
+
+
+class TestFormatValue:
+    def test_integral_floats_render_as_ints(self):
+        assert format_value(5.0) == "5"
+        assert format_value(0) == "0"
+
+    def test_fractions_keep_precision(self):
+        assert format_value(0.25) == "0.25"
+
+    def test_special_values(self):
+        assert format_value(None) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+
+
+class TestRenderExposition:
+    def test_golden_output(self):
+        # The exact wire format — a golden test so the exposition cannot
+        # silently drift and break scrapers.
+        assert render_exposition(sample_registry().snapshot()) == (
+            "# TYPE repro_disk_budget_used_bytes gauge\n"
+            "repro_disk_budget_used_bytes 4096\n"
+            "# TYPE repro_serve_completed counter\n"
+            "repro_serve_completed 5\n"
+            "# TYPE repro_serve_latency_s histogram\n"
+            'repro_serve_latency_s_bucket{le="0.1"} 1\n'
+            'repro_serve_latency_s_bucket{le="1"} 2\n'
+            'repro_serve_latency_s_bucket{le="+Inf"} 3\n'
+            "repro_serve_latency_s_sum 2.55\n"
+            "repro_serve_latency_s_count 3\n"
+        )
+
+    def test_names_sorted_and_byte_identical(self):
+        snap = sample_registry().snapshot()
+        assert render_exposition(snap) == render_exposition(snap)
+        reg2 = sample_registry()
+        assert render_exposition(reg2.snapshot()) == render_exposition(snap)
+
+    def test_buckets_are_cumulative(self):
+        h = Histogram("h", buckets=[1, 10])
+        for v in (0.5, 5, 5, 100):
+            h.observe(v)
+        text = render_exposition({"h": h.snapshot()})
+        assert 'le="1"} 1\n' in text
+        assert 'le="10"} 3\n' in text
+        assert 'le="+Inf"} 4\n' in text
+
+    def test_empty_snapshot(self):
+        assert render_exposition({}) == ""
+
+
+class TestParseExposition:
+    def test_round_trip(self):
+        snap = sample_registry().snapshot()
+        parsed = parse_exposition(render_exposition(snap))
+        assert parsed["repro_serve_completed"] == {
+            "type": "counter", "value": 5.0,
+        }
+        assert parsed["repro_disk_budget_used_bytes"]["value"] == 4096.0
+        hist = parsed["repro_serve_latency_s"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 3.0
+        assert hist["sum"] == 2.55
+        assert hist["buckets"]["+Inf"] == 3.0
+        assert hist["buckets"]["0.1"] == 1.0
+
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("repro_x this is not a number\n")
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("repro_orphan 3\n")

@@ -130,6 +130,51 @@ class TestChromeInstantEvents:
         assert all(e["ph"] == "X" for e in events)
 
 
+class TestServeInstantEvents:
+    JOURNAL = [
+        {"seq": 1, "t": 0.0, "type": "serve_started", "workers": 2},
+        {"seq": 2, "t": 0.1, "type": "query_received",
+         "query": "query-0001", "dataset": "road_hydro", "seed": 7},
+        {"seq": 3, "t": 0.2, "type": "cache_hit", "query": "query-0001"},
+        {"seq": 4, "t": 0.3, "type": "breaker_transition",
+         "state": "open", "failures": 3},
+        {"seq": 5, "t": 0.4, "type": "query_done", "query": "query-0001",
+         "source": "hit", "latency_s": 0.3},
+        {"seq": 6, "t": 0.5, "type": "sample", "kind": "telemetry",
+         "queued": 0, "inflight": 1},
+    ]
+
+    def test_golden_shape(self):
+        # The serve-side timeline events Perfetto consumes — golden, like
+        # the fault timeline above, so the exporter cannot silently drift.
+        assert chrome_instant_events(self.JOURNAL) == [
+            {"name": "query_received", "cat": "serve", "ph": "i", "s": "g",
+             "ts": 100000.0, "pid": 0, "tid": 0,
+             "args": {"query": "query-0001", "dataset": "road_hydro",
+                      "seed": 7}},
+            {"name": "cache_hit", "cat": "serve", "ph": "i", "s": "g",
+             "ts": 200000.0, "pid": 0, "tid": 0,
+             "args": {"query": "query-0001"}},
+            {"name": "breaker_transition", "cat": "serve", "ph": "i",
+             "s": "g", "ts": 300000.0, "pid": 0, "tid": 0,
+             "args": {"state": "open", "failures": 3}},
+        ]
+
+    def test_lifecycle_and_sampler_events_are_skipped(self):
+        names = {e["name"] for e in chrome_instant_events(self.JOURNAL)}
+        assert "serve_started" not in names
+        assert "query_done" not in names
+        assert "sample" not in names
+
+    def test_fault_and_serve_categories_coexist(self):
+        mixed = self.JOURNAL + [
+            {"seq": 7, "t": 0.6, "type": "fault_injected",
+             "kind": "worker_crash", "pair": 1, "attempt": 0},
+        ]
+        cats = [e["cat"] for e in chrome_instant_events(mixed)]
+        assert cats == ["serve", "serve", "serve", "fault"]
+
+
 class TestMetricsJson:
     def test_write_snapshot_with_extra(self, tmp_path):
         reg = MetricsRegistry()

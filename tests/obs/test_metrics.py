@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    histogram_delta,
+    snapshot_delta,
+)
 
 
 class TestCounterGauge:
@@ -111,6 +117,112 @@ class TestHistogramQuantile:
         reg = MetricsRegistry(enabled=False)
         assert reg.histogram("h").quantile(0.5) is None
         assert reg.histogram("h").summary() == {}
+
+
+class TestHistogramDelta:
+    def make(self, *values):
+        h = Histogram("h", buckets=[1, 10, 100])
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_prev_yields_full_snapshot(self):
+        h = self.make(5, 50)
+        assert h.delta(None) == h.snapshot()
+        assert h.delta({}) == h.snapshot()
+
+    def test_identical_snapshots_yield_zero(self):
+        h = self.make(5, 50)
+        d = h.delta(h.snapshot())
+        assert d["count"] == 0
+        assert d["sum"] == 0.0
+        assert d["min"] is None and d["max"] is None
+        assert all(b["count"] == 0 for b in d["buckets"])
+
+    def test_window_holds_only_new_observations(self):
+        h = self.make(5)
+        prev = h.snapshot()
+        h.observe(50)
+        h.observe(60)
+        d = h.delta(prev)
+        assert d["count"] == 2
+        assert d["sum"] == 110.0
+        assert [b["count"] for b in d["buckets"]] == [0, 0, 2, 0]
+        # min/max are bucket-edge estimates: (10, 100] bounds the window.
+        assert d["min"] == 10 and d["max"] == 100
+
+    def test_exact_extremes_when_prev_was_empty(self):
+        h = self.make()
+        prev = h.snapshot()
+        h.observe(5)
+        h.observe(50)
+        d = h.delta(prev)
+        assert d["min"] == 5 and d["max"] == 50
+
+    def test_regressed_bucket_means_restart(self):
+        # prev claims more observations than the instrument now holds:
+        # the instrument restarted, so the whole current state is the delta.
+        prev = self.make(5, 50, 60).snapshot()
+        h = self.make(7)
+        assert h.delta(prev) == h.snapshot()
+
+    def test_regressed_single_bucket_detected(self):
+        # Same total count but one bucket moved backwards — still a restart.
+        prev = self.make(5).snapshot()
+        cur = self.make(50).snapshot()
+        assert histogram_delta(cur, prev) == cur
+
+    def test_mismatched_bounds_rejected(self):
+        prev = Histogram("h", buckets=[1, 2]).snapshot()
+        with pytest.raises(ValueError):
+            self.make(5).delta(prev)
+
+    def test_quantiles_of_a_rebuilt_delta(self):
+        h = self.make(5)
+        prev = h.snapshot()
+        for v in (20, 30, 40):
+            h.observe(v)
+        window = Histogram.from_snapshot(h.delta(prev))
+        assert window.count == 3
+        # All three landed in (10, 100]; the estimate stays in-bucket.
+        assert 10 <= window.quantile(0.5) <= 100
+
+
+class TestSnapshotDelta:
+    def test_counters_subtract_gauges_pass(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(10)
+        prev = reg.snapshot()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        d = reg.delta(prev)
+        assert d["c"] == {"type": "counter", "value": 3}
+        assert d["g"] == {"type": "gauge", "value": 7}
+
+    def test_counter_reset_clamps_to_current(self):
+        cur = {"c": {"type": "counter", "value": 2}}
+        prev = {"c": {"type": "counter", "value": 9}}
+        assert snapshot_delta(cur, prev)["c"]["value"] == 2
+
+    def test_new_instrument_contributes_fully(self):
+        reg = MetricsRegistry()
+        prev = reg.snapshot()
+        reg.counter("born").inc(4)
+        assert reg.delta(prev)["born"]["value"] == 4
+
+    def test_histograms_delegate(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1, 10])
+        h.observe(5)
+        prev = reg.snapshot()
+        h.observe(7)
+        d = reg.delta(prev)
+        assert d["h"]["count"] == 1
+
+    def test_disabled_registry_answers_empty(self):
+        assert MetricsRegistry(enabled=False).delta({}) == {}
+        assert NULL_METRICS.counter("x").delta({}) == {}
 
 
 class TestRegistry:

@@ -516,6 +516,117 @@ class TestStoragePressure:
         assert stats["duplicates_dropped"] == 0
 
 
+class TestTelemetryOps:
+    def test_telemetry_op_reports_series_and_slow_log(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                miss = client.join(**SPEC)
+                hit = client.join(**SPEC)
+                server.sampler.sample()  # deterministic manual tick
+                response = client.telemetry()
+        finally:
+            server.shutdown()
+        assert miss["ok"] and hit["ok"]
+        assert response["ok"] and response["op"] == "telemetry"
+        telemetry = response["telemetry"]
+        assert telemetry["sampling"]["ticks"] == 1
+        series = telemetry["series"]
+        assert series["completed"]["last"] == 2.0
+        assert series["cache_hits"]["last"] == 1.0
+        assert series["breaker_state"]["last"] == 0.0  # closed
+        # The slow log carries the full phase breakdown per query.
+        entries = telemetry["slow_log"]
+        assert len(entries) == 2
+        assert {e["source"] for e in entries} == {"miss", "hit"}
+        for entry in entries:
+            assert set(entry["phases"]) == {
+                "queue_s", "materialise_s", "execute_s",
+            }
+            assert entry["latency_s"] >= entry["phases"]["queue_s"]
+        # The miss did engine work; it must rank above the hit.
+        assert entries[0]["source"] == "miss"
+
+    def test_outcome_block_shared_by_stats_and_telemetry(self, tmp_path):
+        from repro.serve import outcome_block
+
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                client.join(**SPEC)
+                stats_response = client.stats()
+                telemetry = client.telemetry()["telemetry"]
+        finally:
+            server.shutdown()
+        # One formatter, three consumers: the stats op summary, the
+        # telemetry op outcomes, and (via import) the benchmark notes.
+        block = outcome_block(stats_response["stats"])
+        assert stats_response["summary"] == block
+        assert telemetry["outcomes"] == block
+        assert block["outcomes"]["completed"] == 1
+        assert block["breaker_state"] == "closed"
+
+    def test_metrics_op_exposition_parses_and_matches_stats(self, tmp_path):
+        from repro.obs import parse_exposition
+
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                client.join(**SPEC)
+                client.join(**SPEC)
+                first = client.metrics()
+                second = client.metrics()
+                stats = client.stats()["stats"]
+        finally:
+            server.shutdown()
+        assert first["ok"] and first["content_type"].startswith("text/plain")
+        # Deterministic: an idle server scrapes byte-identical text.
+        assert first["exposition"] == second["exposition"]
+        parsed = parse_exposition(first["exposition"])
+        assert parsed["repro_serve_completed"]["value"] == (
+            stats["outcomes"]["completed"]
+        )
+        assert parsed["repro_serve_cache_hits"]["value"] == stats["hits"]
+        assert parsed["repro_serve_cache_misses"]["value"] == stats["misses"]
+        latency = parsed["repro_serve_latency_s"]
+        assert latency["type"] == "histogram"
+        assert latency["count"] == 2.0
+
+    def test_window_s_must_be_numeric(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                bad = client.request({"op": "telemetry", "window_s": "soon"})
+        finally:
+            server.shutdown()
+        assert not bad["ok"] and bad["error"] == "bad_request"
+
+    def test_interval_sampler_ticks_and_journals(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, telemetry_interval_s=0.05
+        )
+        try:
+            with ServeClient(host, port) as client:
+                client.join(**SPEC)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if server.sampler.ticks >= 2:
+                        break
+                    time.sleep(0.02)
+                assert server.sampler.ticks >= 2
+        finally:
+            server.shutdown()
+        journal = (tmp_path / "out" / "serve.jsonl").read_text().splitlines()
+        samples = [
+            record for record in map(json.loads, journal)
+            if record["type"] == "sample"
+        ]
+        assert samples and all(r["kind"] == "telemetry" for r in samples)
+        assert {"queued", "inflight", "completed", "breaker_state"} <= set(
+            samples[0]
+        )
+
+
 class TestSigterm:
     def test_sigterm_drains_and_exits_clean(self, tmp_path):
         port_file = tmp_path / "port.txt"

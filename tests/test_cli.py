@@ -441,3 +441,130 @@ class TestCheckpointCLI:
                      "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert len(report["removed"]) == 1
+
+
+def write_serve_journal(root, latencies):
+    """A minimal serve root: one query_received/query_done per latency."""
+    root.mkdir(parents=True, exist_ok=True)
+    lines = []
+    seq = 0
+    for i, latency in enumerate(latencies):
+        seq += 1
+        lines.append({"seq": seq, "t": 0.1 * seq, "type": "query_received",
+                      "query": f"query-{i:04d}", "dataset": "road_hydro",
+                      "seed": 7})
+        seq += 1
+        lines.append({"seq": seq, "t": 0.1 * seq, "type": "query_done",
+                      "query": f"query-{i:04d}", "source": "miss",
+                      "latency_s": latency})
+    with (root / "serve.jsonl").open("w") as fh:
+        for line in lines:
+            fh.write(json.dumps(line) + "\n")
+    return root
+
+
+class TestRunsCLI:
+    def test_list_show_and_determinism(self, capsys, tmp_path):
+        write_serve_journal(tmp_path / "runA", [0.1, 0.2])
+        write_serve_journal(tmp_path / "runB", [0.3])
+
+        assert main(["runs", "list", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["runs", "list", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == first  # byte-identical
+        assert "runA" in first and "runB" in first
+
+        assert main(["runs", "show", str(tmp_path), "runA", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "serve"
+        assert record["metrics"]["queries_done"] == 2
+
+        assert main(["runs", "show", str(tmp_path), "missing"]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_compare_is_deterministic_and_gates(self, capsys, tmp_path):
+        fast = write_serve_journal(tmp_path / "fast", [0.1, 0.1, 0.1])
+        slow = write_serve_journal(tmp_path / "slow", [0.4, 0.5, 0.6])
+
+        assert main(["runs", "compare", str(fast), str(slow)]) == 0
+        first = capsys.readouterr().out
+        assert main(["runs", "compare", str(fast), str(slow)]) == 0
+        assert capsys.readouterr().out == first
+        assert "# runs compare" in first
+        assert "latency_p50_s" in first
+
+        # The seeded regression trips the gate (exit 4)...
+        assert main(["runs", "compare", str(fast), str(slow),
+                     "--gate", "latency_p50_s", "--threshold", "0.2"]) == 4
+        assert "REGRESSION" in capsys.readouterr().out
+        # ...and an identical pair passes it.
+        assert main(["runs", "compare", str(fast), str(fast),
+                     "--gate", "latency_p50_s", "--threshold", "0.2"]) == 0
+        capsys.readouterr()
+
+    def test_compare_json_and_metric_restriction(self, capsys, tmp_path):
+        fast = write_serve_journal(tmp_path / "fast", [0.1])
+        slow = write_serve_journal(tmp_path / "slow", [0.2])
+        assert main(["runs", "compare", str(fast), str(slow),
+                     "--metric", "latency_p50_s", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        rows = document["rows"]
+        assert [r["metric"] for r in rows] == ["latency_p50_s"]
+        assert rows[0]["ratio"] == 2.0
+
+    def test_compare_unusable_artifact_exits_2(self, capsys, tmp_path):
+        fast = write_serve_journal(tmp_path / "fast", [0.1])
+        assert main(["runs", "compare", str(fast),
+                     str(tmp_path / "nowhere")]) == 2
+        assert "nowhere" in capsys.readouterr().err
+
+    def test_trend_gates_a_growing_metric(self, capsys, tmp_path):
+        for i, latency in enumerate([0.1, 0.2, 0.4]):
+            write_serve_journal(tmp_path / f"run{i}", [latency] * 2)
+        args = ["runs", "compare", str(tmp_path), "--trend",
+                "--metric", "latency_p50_s"]
+        assert main(args + ["--threshold", "10.0"]) == 0
+        out = capsys.readouterr().out
+        assert "# runs trend" in out and "slope" in out
+        assert main(args + ["--threshold", "0.05"]) == 4
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_trend_needs_enough_points(self, capsys, tmp_path):
+        write_serve_journal(tmp_path / "only", [0.1])
+        assert main(["runs", "compare", str(tmp_path), "--trend",
+                     "--metric", "latency_p50_s", "--kind", "serve"]) == 2
+        assert "needs at least 2" in capsys.readouterr().err
+
+
+class TestTopCLI:
+    def test_once_renders_a_frame_from_a_port_file(self, capsys, tmp_path):
+        from repro.serve import JoinServer
+
+        server = JoinServer(tmp_path / "cache", tmp_path / "out", workers=2)
+        host, port = server.start()
+        port_file = tmp_path / "port.txt"
+        port_file.write_text(f"{port}\n")
+        try:
+            from repro.serve import ServeClient
+
+            with ServeClient(host, port) as client:
+                assert client.join(dataset="road_hydro", scale=0.003,
+                                   workers=2)["ok"]
+            server.sampler.sample()
+            assert main(["top", str(port_file), "--once"]) == 0
+            frame = capsys.readouterr().out
+        finally:
+            server.shutdown()
+        assert "repro serve" in frame
+        assert "completed=1" in frame
+        assert "slow log" in frame
+
+    def test_no_port_source_exits_2(self, capsys):
+        assert main(["top"]) == 2
+        assert "port" in capsys.readouterr().err
+
+    def test_dead_server_exits_1(self, capsys, tmp_path):
+        port_file = tmp_path / "port.txt"
+        port_file.write_text("1\n")  # nothing listens on port 1
+        assert main(["top", str(port_file), "--once"]) == 1
+        assert capsys.readouterr().err
